@@ -1,0 +1,29 @@
+//! Figure 2: percentage of lock coherence overhead (LCO) in application
+//! running time under TAS, TTL, ABQL, MCS and QSL for kdtree, facesim
+//! and fluidanimate.
+//!
+//! Paper shape: TAS highest (up to ~90% on facesim), then TTL ≈ ABQL,
+//! with MCS and QSL lowest.
+
+use inpg::stats::{pct, Table};
+use inpg::Mechanism;
+use inpg_bench::{run_point, scale_from_env};
+use inpg_locks::LockPrimitive;
+
+fn main() {
+    let scale = scale_from_env(0.2);
+    println!("Figure 2: LCO share of application running time (scale {scale})\n");
+
+    let mut table = Table::new(vec!["benchmark", "TAS", "TTL", "ABQL", "MCS", "QSL"]);
+    for benchmark in ["kdtree", "face", "fluid"] {
+        let mut row = vec![benchmark.to_string()];
+        for primitive in LockPrimitive::ALL {
+            let r = run_point(benchmark, Mechanism::Original, primitive, scale);
+            row.push(pct(r.lco_share()));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+    println!("(LCO = cycles with a lock-variable coherence transaction outstanding,");
+    println!(" averaged over threads, relative to ROI runtime.)");
+}

@@ -1,0 +1,81 @@
+//! Figure 7: synthesis and physical floorplan/layout results for one
+//! big/normal router and the whole 64-core chip, from the analytical
+//! hardware model (constants anchored to the paper's published numbers;
+//! see `inpg::hardware`).
+
+use inpg::hardware;
+use inpg::stats::Table;
+use inpg::noc::NocConfig;
+
+fn main() {
+    println!("Figure 7a: module synthesis and layout (TSMC 40 nm LP model)\n");
+
+    let core = hardware::core();
+    let big = hardware::big_router(16);
+    let normal = hardware::normal_router();
+    let generator = hardware::packet_generator(16);
+
+    let mut table = Table::new(vec!["metric", "core", "big router", "router", "packet gen"]);
+    let fmt1 = |v: f64| format!("{v:.1}");
+    let fmt2 = |v: f64| format!("{v:.2}");
+    table.add_row(vec![
+        "gate count (K)".into(),
+        fmt1(core.kgates),
+        fmt1(big.kgates),
+        fmt1(normal.kgates),
+        fmt1(generator.kgates),
+    ]);
+    table.add_row(vec![
+        "SC count (K)".into(),
+        fmt1(core.kcells),
+        fmt1(big.kcells),
+        fmt1(normal.kcells),
+        fmt1(generator.kcells),
+    ]);
+    table.add_row(vec![
+        "dyn. power (mW)".into(),
+        fmt1(core.dynamic_mw),
+        fmt1(big.dynamic_mw),
+        fmt1(normal.dynamic_mw),
+        fmt1(generator.dynamic_mw),
+    ]);
+    table.add_row(vec![
+        "area (mm^2)".into(),
+        fmt2(core.area_mm2),
+        fmt2(big.area_mm2),
+        fmt2(normal.area_mm2),
+        "-".into(),
+    ]);
+    table.add_row(vec![
+        "cell density".into(),
+        format!("{:.2}%", hardware::core_cell_density() * 100.0),
+        format!("{:.2}%", hardware::router_cell_density(true) * 100.0),
+        format!("{:.2}%", hardware::router_cell_density(false) * 100.0),
+        "-".into(),
+    ]);
+    println!("{table}");
+
+    let (layers, metal) = hardware::floorplan_layers();
+    println!("floorplan: {layers} total layers, {metal} metal layers\n");
+
+    println!("tiles: big {:.1} mW, normal {:.1} mW", hardware::tile(true, 16).dynamic_mw, hardware::tile(false, 16).dynamic_mw);
+
+    let chip = hardware::chip(&NocConfig::paper_default());
+    println!(
+        "chip ({} tiles, {} big routers): {:.0} K gates, {:.2} W dynamic, {:.1} mm^2, +{:.2}% power vs all-normal",
+        chip.tiles,
+        chip.big_routers,
+        chip.kgates,
+        chip.dynamic_w,
+        chip.area_mm2,
+        chip.power_overhead * 100.0
+    );
+
+    println!("\nbarrier-table scaling of the packet generator:");
+    let mut table = Table::new(vec!["entries", "gates (K)", "power (mW)"]);
+    for entries in [4usize, 16, 64] {
+        let g = hardware::packet_generator(entries);
+        table.add_row(vec![entries.to_string(), format!("{:.2}", g.kgates), format!("{:.2}", g.dynamic_mw)]);
+    }
+    println!("{table}");
+}

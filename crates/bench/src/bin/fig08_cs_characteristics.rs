@@ -1,0 +1,54 @@
+//! Figure 8: (a) total CS access counts and average CPU cycles per CS
+//! for the 24 programs; (b) the COH vs CSE breakdown of total CS time
+//! and the three benchmark groups.
+
+use inpg::stats::{pct, Table};
+use inpg::Mechanism;
+use inpg_bench::{run_point, scale_from_env};
+use inpg_locks::LockPrimitive;
+use inpg_workloads::{group_of, BENCHMARKS};
+
+fn main() {
+    let scale = scale_from_env(0.2);
+
+    println!("Figure 8a: benchmark CS characteristics (model signatures)\n");
+    let mut table =
+        Table::new(vec!["benchmark", "suite", "total CS", "avg cycles/CS", "locks", "group"]);
+    let mut ordered: Vec<_> = BENCHMARKS.iter().collect();
+    ordered.sort_by_key(|b| b.total_cs_time());
+    for spec in &ordered {
+        table.add_row(vec![
+            spec.name.to_string(),
+            spec.suite.to_string(),
+            spec.total_cs.to_string(),
+            spec.avg_cs_cycles.to_string(),
+            spec.locks.to_string(),
+            group_of(spec).to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    println!("Figure 8b: measured COH vs CSE breakdown (Original, QSL, scale {scale})\n");
+    let mut table = Table::new(vec![
+        "benchmark",
+        "group",
+        "COH share of CS time",
+        "CSE share of CS time",
+        "avg COH/CS",
+        "avg CSE/CS",
+    ]);
+    for spec in &ordered {
+        let r = run_point(spec.name, Mechanism::Original, LockPrimitive::Qsl, scale);
+        let total = r.avg_cs_coh + r.avg_cs_cse;
+        table.add_row(vec![
+            spec.name.to_string(),
+            group_of(spec).to_string(),
+            pct(r.avg_cs_coh / total),
+            pct(r.avg_cs_cse / total),
+            format!("{:.0}", r.avg_cs_coh),
+            format!("{:.0}", r.avg_cs_cse),
+        ]);
+    }
+    println!("{table}");
+    println!("(Paper shape: COH dominates CSE for most programs; groups split 6/12/6.)");
+}

@@ -1,0 +1,88 @@
+//! Figure 11: critical-section expedition (normalized mean CS access
+//! time, COH + CSE) achieved by the four mechanisms over all 24
+//! programs, reported per group and overall.
+//!
+//! Paper shape: OCOR 1.45x avg (max 1.90x, dedup); iNPG 1.98x avg (max
+//! 3.48x, nab); iNPG+OCOR 2.71x avg; gains grow from Group 1 to Group 3;
+//! iNPG over OCOR: 1.35x avg.
+
+use inpg::stats::{speedup, Table};
+use inpg::Mechanism;
+use inpg_bench::{geomean, run_point_seeded, scale_from_env, seeds_from_env};
+use inpg_locks::LockPrimitive;
+use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
+
+fn main() {
+    let scale = scale_from_env(0.2);
+    println!("Figure 11: CS expedition vs Original (QSL, scale {scale})\n");
+
+    let mut table =
+        Table::new(vec!["benchmark", "group", "OCOR", "iNPG", "iNPG+OCOR"]);
+    let mut per_group: Vec<(CsGroup, [Vec<f64>; 3])> = vec![
+        (CsGroup::Low, [vec![], vec![], vec![]]),
+        (CsGroup::Medium, [vec![], vec![], vec![]]),
+        (CsGroup::High, [vec![], vec![], vec![]]),
+    ];
+    let mut all: [Vec<(f64, &str)>; 3] = [vec![], vec![], vec![]];
+
+    let seeds = seeds_from_env();
+    for spec in &BENCHMARKS {
+        let bases: Vec<_> = seeds
+            .iter()
+            .map(|&s| run_point_seeded(spec.name, Mechanism::Original, LockPrimitive::Qsl, scale, s))
+            .collect();
+        let mut row = vec![spec.name.to_string(), group_of(spec).to_string()];
+        for (i, mechanism) in [Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor]
+            .into_iter()
+            .enumerate()
+        {
+            let exps: Vec<f64> = seeds
+                .iter()
+                .zip(&bases)
+                .map(|(&s, base)| {
+                    let r = run_point_seeded(spec.name, mechanism, LockPrimitive::Qsl, scale, s);
+                    base.cs_access_time() / r.cs_access_time()
+                })
+                .collect();
+            let expedition = geomean(&exps);
+            row.push(speedup(expedition));
+            for (g, lists) in per_group.iter_mut() {
+                if *g == group_of(spec) {
+                    lists[i].push(expedition);
+                }
+            }
+            all[i].push((expedition, spec.name));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    let mut summary = Table::new(vec!["scope", "OCOR", "iNPG", "iNPG+OCOR"]);
+    for (group, lists) in &per_group {
+        summary.add_row(vec![
+            group.to_string(),
+            speedup(geomean(&lists[0])),
+            speedup(geomean(&lists[1])),
+            speedup(geomean(&lists[2])),
+        ]);
+    }
+    let avg: Vec<f64> =
+        all.iter().map(|v| geomean(&v.iter().map(|(e, _)| *e).collect::<Vec<_>>())).collect();
+    summary.add_row(vec![
+        "all 24 (geomean)".into(),
+        speedup(avg[0]),
+        speedup(avg[1]),
+        speedup(avg[2]),
+    ]);
+    println!("{summary}");
+
+    for (i, name) in ["OCOR", "iNPG", "iNPG+OCOR"].iter().enumerate() {
+        let (max, bench) =
+            all[i].iter().cloned().fold((0.0, ""), |acc, v| if v.0 > acc.0 { v } else { acc });
+        println!("max {name}: {} ({bench})", speedup(max));
+    }
+    println!(
+        "iNPG over OCOR: {} avg",
+        speedup(avg[1] / avg[0])
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 13: ROI finish time reduction achieved by iNPG under the five
+//! locking primitives (TAS, TTL, ABQL, QSL, MCS), averaged over all 24
+//! programs.
+//!
+//! Paper shape: TAS benefits most (52.8%), then TTL (33.4%) ≈ ABQL
+//! (32.6%), then QSL (19.9%), then MCS (16.5%) — the less lock
+//! competition traffic a primitive puts in the NoC, the smaller the win.
+
+use inpg::stats::{pct, Table};
+use inpg::Mechanism;
+use inpg_bench::{mean, run_point, scale_from_env};
+use inpg_locks::LockPrimitive;
+use inpg_workloads::BENCHMARKS;
+
+fn main() {
+    let scale = scale_from_env(0.05);
+    println!("Figure 13: ROI finish time reduction by iNPG per primitive (scale {scale})\n");
+
+    let mut table = Table::new(vec!["benchmark", "TAS", "TTL", "ABQL", "MCS", "QSL"]);
+    let mut per_primitive: Vec<Vec<f64>> = vec![Vec::new(); LockPrimitive::ALL.len()];
+    for spec in &BENCHMARKS {
+        let mut row = vec![spec.name.to_string()];
+        for (i, primitive) in LockPrimitive::ALL.into_iter().enumerate() {
+            let base = run_point(spec.name, Mechanism::Original, primitive, scale);
+            let inpg = run_point(spec.name, Mechanism::Inpg, primitive, scale);
+            let reduction = 1.0 - inpg.roi_cycles as f64 / base.roi_cycles as f64;
+            per_primitive[i].push(reduction);
+            row.push(pct(reduction));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    let mut summary = Table::new(vec!["primitive", "avg ROI reduction"]);
+    for (i, primitive) in LockPrimitive::ALL.into_iter().enumerate() {
+        summary.add_row(vec![primitive.to_string(), pct(mean(&per_primitive[i]))]);
+    }
+    println!("{summary}");
+    println!("(Paper: TAS 52.8%, TTL 33.4%, ABQL 32.6%, QSL 19.9%, MCS 16.5%.)");
+}

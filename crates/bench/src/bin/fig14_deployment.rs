@@ -1,0 +1,64 @@
+//! Figure 14: critical-section expedition with different big-router
+//! deployments (0, 4, 16, 32, 64 big routers, spread evenly).
+//!
+//! Paper shape: COH expedition grows with the number of big routers but
+//! saturates — 32 big routers capture nearly all of the 64-router gain
+//! (CSE is untouched).
+
+use inpg::stats::{speedup, Table};
+use inpg::{Experiment, Mechanism};
+use inpg_bench::{geomean, scale_from_env};
+use inpg_locks::LockPrimitive;
+use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
+
+const DEPLOYMENTS: [usize; 5] = [0, 4, 16, 32, 64];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env(0.05);
+    println!("Figure 14: CS expedition vs big-router deployment (QSL, scale {scale})\n");
+
+    // Use the Group 3 (high CS time) programs: the paper's sensitivity
+    // trends are clearest where competition dominates, and every program
+    // shows the same saturation shape.
+    let subjects: Vec<&str> = BENCHMARKS
+        .iter()
+        .filter(|b| group_of(b) == CsGroup::High)
+        .map(|b| b.name)
+        .collect();
+
+    let mut table = Table::new(vec!["benchmark", "0", "4", "16", "32", "64"]);
+    let mut per_deploy: Vec<Vec<f64>> = vec![Vec::new(); DEPLOYMENTS.len()];
+    for name in &subjects {
+        let mut baseline_cs = None;
+        let mut row = vec![name.to_string()];
+        for (i, &count) in DEPLOYMENTS.iter().enumerate() {
+            let r = Experiment::benchmark(name)
+                .mechanism(if count == 0 { Mechanism::Original } else { Mechanism::Inpg })
+                .primitive(LockPrimitive::Qsl)
+                .big_routers(count)
+                .scale(scale)
+                .run()?;
+            assert!(r.completed, "{name} with {count} big routers");
+            let cs_time = r.cs_access_time();
+            let expedition = match baseline_cs {
+                None => {
+                    baseline_cs = Some(cs_time);
+                    1.0
+                }
+                Some(base) => base / cs_time,
+            };
+            per_deploy[i].push(expedition);
+            row.push(speedup(expedition));
+        }
+        table.add_row(row);
+    }
+    println!("{table}");
+
+    let mut summary = Table::new(vec!["big routers", "avg CS expedition"]);
+    for (i, &count) in DEPLOYMENTS.iter().enumerate() {
+        summary.add_row(vec![count.to_string(), speedup(geomean(&per_deploy[i]))]);
+    }
+    println!("{summary}");
+    println!("(Paper: monotone improvement, marginal gain from 32 to 64 big routers.)");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Figure 15: iNPG's average ROI finish time reduction across NoC
+//! dimensions (2×2, 4×4, 8×8, 16×16) and locking-barrier-table sizes
+//! (4, 16, 64 entries).
+//!
+//! Paper shape: the benefit grows with the mesh (4.7% at 2×2 → 19.9% at
+//! 8×8 → 57.5% at 16×16); 4-entry tables throttle iNPG on big meshes
+//! while 16 vs 64 entries barely differ.
+
+use inpg::stats::{pct, Table};
+use inpg::{Experiment, Mechanism};
+use inpg_bench::{mean, scale_from_env};
+use inpg_locks::LockPrimitive;
+use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
+
+const MESHES: [(u8, u8); 4] = [(2, 2), (4, 4), (8, 8), (16, 16)];
+const TABLES: [usize; 3] = [4, 16, 64];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env(0.02);
+    println!("Figure 15: iNPG ROI reduction vs mesh dimension x barrier-table size (QSL, scale {scale})\n");
+
+    let subjects: Vec<&str> = BENCHMARKS
+        .iter()
+        .filter(|b| group_of(b) == CsGroup::High)
+        .map(|b| b.name)
+        .collect();
+
+    let mut table = Table::new(vec!["mesh", "4 entries", "16 entries", "64 entries"]);
+    for (w, h) in MESHES {
+        // One baseline per (mesh, subject), shared across table sizes.
+        let mut baselines = Vec::new();
+        for name in &subjects {
+            let base = Experiment::benchmark(name)
+                .mechanism(Mechanism::Original)
+                .primitive(LockPrimitive::Qsl)
+                .mesh(w, h)
+                .scale(scale)
+                .run()?;
+            assert!(base.completed, "{name} {w}x{h} baseline");
+            baselines.push(base.roi_cycles as f64);
+        }
+        let mut row = vec![format!("{w}x{h}")];
+        for entries in TABLES {
+            let mut reductions = Vec::new();
+            for (name, &base_roi) in subjects.iter().zip(&baselines) {
+                let inpg = Experiment::benchmark(name)
+                    .mechanism(Mechanism::Inpg)
+                    .primitive(LockPrimitive::Qsl)
+                    .mesh(w, h)
+                    .barrier_entries(entries)
+                    .scale(scale)
+                    .run()?;
+                assert!(inpg.completed, "{name} {w}x{h} {entries}");
+                reductions.push(1.0 - inpg.roi_cycles as f64 / base_roi);
+            }
+            row.push(pct(mean(&reductions)));
+        }
+        table.add_row(row);
+        eprintln!("[fig15] {w}x{h} done");
+    }
+    println!("{table}");
+    println!("(Paper: benefit grows with mesh size; 4 entries throttle big meshes;");
+    println!(" 16 vs 64 entries barely differ — 16 is chosen as the default.)");
+    Ok(())
+}

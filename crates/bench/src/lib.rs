@@ -1,0 +1,98 @@
+//! Benchmark harness support: shared helpers for the `fig*` binaries
+//! that regenerate every table and figure of the paper's evaluation.
+//!
+//! Each binary prints the figure's rows/series as a text table. Scale is
+//! controlled with the `INPG_SCALE` environment variable (1.0 = the
+//! paper's full Figure-8 critical-section counts); the per-binary
+//! defaults keep a full regeneration affordable on a laptop while
+//! preserving every trend.
+
+use inpg::{Experiment, ExperimentResult, Mechanism};
+use inpg_locks::LockPrimitive;
+
+/// Reads the workload scale from `INPG_SCALE`, falling back to
+/// `default_scale`.
+pub fn scale_from_env(default_scale: f64) -> f64 {
+    std::env::var("INPG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(default_scale)
+}
+
+/// Workload seeds to average over, from `INPG_SEEDS` (default 1).
+pub fn seeds_from_env() -> Vec<u64> {
+    let n: u64 = std::env::var("INPG_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    (0..n).map(|i| 0x1a9e_4711 + i * 0x9e37).collect()
+}
+
+/// Like [`run_point`] with an explicit workload seed.
+pub fn run_point_seeded(
+    benchmark: &str,
+    mechanism: Mechanism,
+    primitive: LockPrimitive,
+    scale: f64,
+    seed: u64,
+) -> ExperimentResult {
+    let result = Experiment::benchmark(benchmark)
+        .mechanism(mechanism)
+        .primitive(primitive)
+        .scale(scale)
+        .seed(seed)
+        .run()
+        .unwrap_or_else(|e| panic!("{benchmark}/{mechanism}/{primitive}: {e}"));
+    assert!(
+        result.completed,
+        "{benchmark}/{mechanism}/{primitive} did not complete within the cycle bound"
+    );
+    result
+}
+
+/// Runs one benchmark × mechanism × primitive point at `scale`,
+/// panicking (with context) if it fails to complete.
+pub fn run_point(
+    benchmark: &str,
+    mechanism: Mechanism,
+    primitive: LockPrimitive,
+    scale: f64,
+) -> ExperimentResult {
+    let result = Experiment::benchmark(benchmark)
+        .mechanism(mechanism)
+        .primitive(primitive)
+        .scale(scale)
+        .run()
+        .unwrap_or_else(|e| panic!("{benchmark}/{mechanism}/{primitive}: {e}"));
+    assert!(
+        result.completed,
+        "{benchmark}/{mechanism}/{primitive} did not complete within the cycle bound"
+    );
+    result
+}
+
+/// Geometric mean of a nonempty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of an empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean of a nonempty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of an empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+}

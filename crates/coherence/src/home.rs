@@ -1,0 +1,973 @@
+//! The home node: one shared-L2 bank with its coherence directory.
+//!
+//! Each tile hosts one bank; blocks interleave across banks via
+//! [`HomeMap`](crate::HomeMap). The directory serializes transactions per
+//! block: while a transaction is in flight the block is *busy* and later
+//! requests queue in FIFO order — this queue is precisely the home-node
+//! serialization the paper identifies as the source of lock coherence
+//! overhead.
+//!
+//! # iNPG support
+//!
+//! Big routers convert stopped lock `GetX` requests into
+//! [`RelayedGetX`](crate::CoherenceMsg::RelayedGetX) messages and relay
+//! the early invalidation acknowledgements as
+//! [`RelayedInvAck`](crate::CoherenceMsg::RelayedInvAck)s. The home node:
+//!
+//! * treats a `RelayedGetX` as the loser's queued lock request **and** as
+//!   notice that the loser's L1 was early-invalidated (keyed by the
+//!   interception cycle `stopped_at`);
+//! * when processing a winner's `GetX`, skips sending its own `Inv` to
+//!   sharers known to be early-invalidated — it either forwards the
+//!   already-arrived acknowledgement on their behalf or marks the
+//!   transaction to forward it on arrival;
+//! * deduplicates: a relayed acknowledgement matching no record is parked
+//!   and only consumed by the matching `RelayedGetX` notification, so a
+//!   duplicate (the loser also answered a home `Inv` directly) can never
+//!   satisfy a later invalidation wrongly.
+
+use crate::msg::{AckTarget, CoherenceMsg, Envelope};
+use crate::stats::{HomeStats, InvAckRoundTrips};
+use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Directory state of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// No cached copies; the L2 value is authoritative.
+    Unowned,
+    /// Clean copies at the listed cores; the L2 value is current.
+    ///
+    /// With owner-retention MOESI (the first reader is granted E and a
+    /// forwarding owner stays in O), a block that has cached copies
+    /// always has an owner, so this state is only reachable if a future
+    /// extension adds owner write-back/downgrade. Kept for protocol
+    /// totality.
+    #[allow(dead_code)]
+    Shared(BTreeSet<CoreId>),
+    /// `owner` holds the (possibly dirty) block; `sharers` hold copies.
+    Owned { owner: CoreId, sharers: BTreeSet<CoreId> },
+    /// `owner` holds the block exclusively (E or M).
+    Exclusive { owner: CoreId },
+}
+
+/// Early-invalidation knowledge about one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EarlyRec {
+    /// The `RelayedGetX` notification arrived; the acknowledgement is in
+    /// flight to us.
+    Notified { stopped_at: Cycle },
+    /// Both the notification and the relayed acknowledgement arrived.
+    AckArrived { stopped_at: Cycle },
+}
+
+/// A queued request waiting for the block to become free.
+#[derive(Debug, Clone, Copy)]
+struct QueuedReq {
+    requester: CoreId,
+    exclusive: bool,
+    /// Exclusive requests that may be demoted to a shared-copy service
+    /// when the block is owned (conditional lock RMWs).
+    failable: bool,
+    /// Stopped by a big router: the request provably lost an in-network
+    /// race, so it is demote-eligible even if the block is idle when it
+    /// is finally processed.
+    relayed: bool,
+    queued_at: Cycle,
+}
+
+/// The in-flight transaction blocking a block.
+#[derive(Debug, Clone)]
+enum BusyTxn {
+    /// A read being served by an owner forward or an E grant.
+    Read { requester: CoreId },
+    /// An exclusive access: `winner` is collecting data + acks.
+    Exclusive {
+        winner: CoreId,
+        /// Sharers whose acknowledgement will arrive as a relayed early
+        /// ack; maps to the interception cycle for matching.
+        pending_relay: BTreeMap<CoreId, Cycle>,
+        /// Sharers we sent our own `Inv` to (their relayed duplicates,
+        /// if any, must be dropped).
+        direct_inv: BTreeSet<CoreId>,
+    },
+}
+
+#[derive(Debug, Default)]
+struct DirEntry {
+    state: Option<DirState>,
+    busy: Option<BusyTxn>,
+    queue: VecDeque<QueuedReq>,
+    /// Early-invalidation records per core.
+    early: BTreeMap<CoreId, EarlyRec>,
+    /// Relayed acknowledgements that matched no record yet: they wait for
+    /// their `RelayedGetX` notification (never satisfy invalidations
+    /// directly).
+    parked_acks: Vec<(CoreId, Cycle)>,
+}
+
+impl DirEntry {
+    fn state(&self) -> &DirState {
+        self.state.as_ref().unwrap_or(&DirState::Unowned)
+    }
+}
+
+/// One home node: L2 bank, directory, and request serialization queue.
+#[derive(Debug)]
+pub struct HomeBank {
+    core: CoreId,
+    entries: HashMap<Addr, DirEntry>,
+    data: HashMap<Addr, u64>,
+    inbox: VecDeque<(CoherenceMsg, Cycle)>,
+    /// Acknowledgements and completion notices: cheap directory
+    /// bookkeeping processed out of band (they do not occupy the
+    /// request-serialization slot).
+    fast_inbox: VecDeque<(CoherenceMsg, Cycle)>,
+    delayed: EventWheel<Envelope>,
+    l2_latency: u64,
+    stats: HomeStats,
+    roundtrips: InvAckRoundTrips,
+}
+
+impl HomeBank {
+    /// Creates the bank for `core`. `l2_latency` is Table 1's 6-cycle L2
+    /// access latency (applied to data responses); `cores` sizes the
+    /// round-trip accounting.
+    pub fn new(core: CoreId, cores: usize, l2_latency: u64) -> Self {
+        HomeBank {
+            core,
+            entries: HashMap::new(),
+            data: HashMap::new(),
+            inbox: VecDeque::new(),
+            fast_inbox: VecDeque::new(),
+            delayed: EventWheel::new(),
+            l2_latency,
+            stats: HomeStats::default(),
+            roundtrips: InvAckRoundTrips::new(cores, 256),
+        }
+    }
+
+    /// The tile this bank lives on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Initializes the L2-resident value of a block (warm start).
+    pub fn init_block(&mut self, addr: Addr, value: u64) {
+        self.data.insert(addr.block(), value);
+    }
+
+    /// The L2-resident value of a block (stale while an L1 owns it).
+    pub fn l2_value(&self, addr: Addr) -> u64 {
+        self.data.get(&addr.block()).copied().unwrap_or(0)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &HomeStats {
+        &self.stats
+    }
+
+    /// Early invalidation round trips recorded at this home (relayed
+    /// acknowledgements: router Inv generation to router ack arrival).
+    pub fn roundtrips(&self) -> &InvAckRoundTrips {
+        &self.roundtrips
+    }
+
+    /// Busy or queue-holding blocks, for stuck-run diagnostics.
+    pub fn busy_report(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.busy.is_some() || !e.queue.is_empty())
+            .map(|(addr, e)| {
+                format!(
+                    "{addr}: busy={:?} queue={} early={:?} parked={}",
+                    e.busy,
+                    e.queue.len(),
+                    e.early,
+                    e.parked_acks.len()
+                )
+            })
+            .collect()
+    }
+
+    /// Directory view of one block, for diagnostics.
+    pub fn dir_report(&self, addr: Addr) -> String {
+        match self.entries.get(&addr.block()) {
+            Some(e) => format!(
+                "state={:?} busy={:?} queue={} early={:?} l2_value={:?}",
+                e.state, e.busy, e.queue.len(), e.early, self.data.get(&addr.block())
+            ),
+            None => "no entry".to_string(),
+        }
+    }
+
+    /// Whether the bank has no queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.inbox.is_empty()
+            && self.fast_inbox.is_empty()
+            && self.delayed.is_empty()
+            && self.entries.values().all(|e| e.busy.is_none() && e.queue.is_empty())
+    }
+
+    /// Accepts one delivered message (any cycle).
+    pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle) {
+        match msg {
+            CoherenceMsg::RelayedInvAck { .. }
+            | CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. } => self.fast_inbox.push_back((msg, now)),
+            _ => self.inbox.push_back((msg, now)),
+        }
+    }
+
+    /// Advances one cycle: releases delayed responses and processes one
+    /// inbox message (the directory's serialization bottleneck).
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
+        while let Some(env) = self.delayed.pop_due(now) {
+            out.push(env);
+        }
+        while let Some((msg, arrived)) = self.fast_inbox.pop_front() {
+            self.process(msg, arrived, now, out);
+        }
+        if let Some((msg, arrived)) = self.inbox.pop_front() {
+            self.process(msg, arrived, now, out);
+        }
+        // Emit responses that were scheduled with zero latency this cycle.
+        while let Some(env) = self.delayed.pop_due(now) {
+            out.push(env);
+        }
+    }
+
+    fn process(&mut self, msg: CoherenceMsg, arrived: Cycle, now: Cycle, out: &mut Vec<Envelope>) {
+        match msg {
+            CoherenceMsg::GetS { addr, requester } => {
+                self.stats.requests += 1;
+                self.admit(
+                    addr,
+                    QueuedReq { requester, exclusive: false, failable: false, relayed: false, queued_at: arrived },
+                    now,
+                    out,
+                );
+            }
+            CoherenceMsg::GetX { addr, requester, failable, .. } => {
+                self.stats.requests += 1;
+                self.stats.getx += 1;
+                self.admit(
+                    addr,
+                    QueuedReq {
+                        requester,
+                        exclusive: true,
+                        failable,
+                        relayed: false,
+                        queued_at: arrived,
+                    },
+                    now,
+                    out,
+                );
+            }
+            CoherenceMsg::RelayedGetX { addr, requester, stopped_at, failable, .. } => {
+                self.stats.requests += 1;
+                self.stats.getx += 1;
+                self.note_early_inv(addr, requester, stopped_at, now, out);
+                self.admit(
+                    addr,
+                    QueuedReq {
+                        requester,
+                        exclusive: true,
+                        failable,
+                        relayed: true,
+                        queued_at: arrived,
+                    },
+                    now,
+                    out,
+                );
+            }
+            CoherenceMsg::RelayedInvAck { addr, from, inv_sent_at, relayed_at } => {
+                // Figure 10 metric for iNPG: router Inv -> router ack.
+                self.roundtrips.record(from, relayed_at.saturating_since(inv_sent_at));
+                self.on_relayed_ack(addr, from, inv_sent_at, out);
+            }
+            CoherenceMsg::UnblockS { addr, from } | CoherenceMsg::UnblockX { addr, from } => {
+                self.on_unblock(addr, from, now, out);
+            }
+            other => panic!("home node received unexpected message {other:?}"),
+        }
+    }
+
+    /// Queues or immediately processes a request.
+    fn admit(&mut self, addr: Addr, req: QueuedReq, now: Cycle, out: &mut Vec<Envelope>) {
+        let entry = self.entries.entry(addr).or_default();
+        if entry.busy.is_some() {
+            entry.queue.push_back(req);
+            self.stats.max_queue_len = self.stats.max_queue_len.max(entry.queue.len() as u64);
+        } else {
+            debug_assert!(entry.queue.is_empty(), "idle block must have an empty queue");
+            // A request admitted to an idle block never lost a race: it
+            // gets the full service (it may be the next winner).
+            self.start_request(addr, req, false, now, out);
+        }
+    }
+
+    /// Starts one request. `lost_race` is true when the request was
+    /// queued behind a concurrent exclusive transaction — i.e. it
+    /// competed for the lock and lost.
+    fn start_request(
+        &mut self,
+        addr: Addr,
+        req: QueuedReq,
+        lost_race: bool,
+        now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) {
+        self.stats.queue_wait_cycles += now.saturating_since(req.queued_at);
+        if req.exclusive {
+            // A failable (conditional lock RMW) request that *lost the
+            // race* to a concurrent winner is demoted: the winner sends
+            // it a valid shared copy (now showing the lock occupied) and
+            // the RMW fails without writing — the paper's Figure 4
+            // step 4. Requests that did not race anyone get the full
+            // service, since they may be the next legitimate winner.
+            if req.failable && (lost_race || req.relayed) {
+                let entry = self.entries.entry(addr).or_default();
+                let owner = match entry.state() {
+                    DirState::Exclusive { owner } => Some(*owner),
+                    DirState::Owned { owner, .. } => Some(*owner),
+                    _ => None,
+                };
+                if let Some(owner) = owner {
+                    if owner != req.requester {
+                        // This request's early-invalidation record (if it
+                        // was stopped by a big router) is consumed here:
+                        // the requester is about to receive a fresh copy,
+                        // so a leftover record must never suppress a
+                        // future invalidation of that fresh copy.
+                        entry.early.remove(&req.requester);
+                        self.stats.demotions += 1;
+                        self.forward_read(addr, owner, req.requester, out);
+                        return;
+                    }
+                }
+            }
+            self.start_exclusive(addr, req.requester, now, out);
+        } else {
+            self.start_read(addr, req.requester, now, out);
+        }
+    }
+
+    /// Non-blocking shared-copy service from the current owner: the
+    /// requester joins the sharer set and the owner forwards the data;
+    /// the home does not enter a busy state.
+    fn forward_read(&mut self, addr: Addr, owner: CoreId, requester: CoreId, out: &mut Vec<Envelope>) {
+        let entry = self.entries.entry(addr).or_default();
+        let mut sharers = match entry.state().clone() {
+            DirState::Owned { sharers, .. } => sharers,
+            _ => BTreeSet::new(),
+        };
+        sharers.insert(requester);
+        entry.state = Some(DirState::Owned { owner, sharers });
+        out.push(Envelope::to_core(owner, CoherenceMsg::FwdGetS { addr, requester }));
+    }
+
+    fn start_read(&mut self, addr: Addr, requester: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+        let value = *self.data.entry(addr).or_insert(0);
+        let l2_latency = self.l2_latency;
+        let entry = self.entries.entry(addr).or_default();
+        match entry.state().clone() {
+            DirState::Unowned => {
+                // Grant E to the sole reader; busy until UnblockS because
+                // an owner now exists.
+                entry.state = Some(DirState::Exclusive { owner: requester });
+                entry.busy = Some(BusyTxn::Read { requester });
+                self.delayed.schedule(
+                    now + l2_latency,
+                    Envelope::to_core(
+                        requester,
+                        CoherenceMsg::Data {
+                            addr,
+                            value,
+                            acks_expected: 0,
+                            exclusive: true,
+                            needs_unblock: true,
+                        },
+                    ),
+                );
+            }
+            DirState::Shared(mut sharers) => {
+                // Clean data straight from the L2; no transaction needed.
+                sharers.insert(requester);
+                entry.state = Some(DirState::Shared(sharers));
+                self.delayed.schedule(
+                    now + l2_latency,
+                    Envelope::to_core(
+                        requester,
+                        CoherenceMsg::Data {
+                            addr,
+                            value,
+                            acks_expected: 0,
+                            exclusive: false,
+                            needs_unblock: false,
+                        },
+                    ),
+                );
+            }
+            DirState::Exclusive { owner } | DirState::Owned { owner, .. } => {
+                debug_assert_ne!(owner, requester, "owner cannot read-miss");
+                // Owner-forwarded reads do not block the home: spin-read
+                // storms are served by the owner in parallel with other
+                // directory work.
+                self.forward_read(addr, owner, requester, out);
+            }
+        }
+    }
+
+    fn start_exclusive(&mut self, addr: Addr, winner: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+        let value = *self.data.entry(addr).or_insert(0);
+        let l2_latency = self.l2_latency;
+        let home = self.core;
+        let entry = self.entries.entry(addr).or_default();
+
+        // The winner's own early records belong to its previous stopped
+        // request (this one); they are consumed here.
+        entry.early.remove(&winner);
+
+        let (owner, sharers) = match entry.state().clone() {
+            DirState::Unowned => (None, BTreeSet::new()),
+            DirState::Shared(sharers) => (None, sharers),
+            DirState::Exclusive { owner } => (Some(owner), BTreeSet::new()),
+            DirState::Owned { owner, sharers } => (Some(owner), sharers),
+        };
+
+        let inv_targets: BTreeSet<CoreId> =
+            sharers.iter().copied().filter(|s| *s != winner && Some(*s) != owner).collect();
+        let acks_expected = inv_targets.len() as u16;
+
+        let mut pending_relay = BTreeMap::new();
+        let mut direct_inv = BTreeSet::new();
+        let mut prearrived: u16 = 0;
+        let mut prearrived_rep = winner;
+        for s in inv_targets {
+            match entry.early.remove(&s) {
+                Some(EarlyRec::AckArrived { .. }) => {
+                    // The early ack already reached us: it is batched
+                    // into a single aggregated acknowledgement below.
+                    self.stats.invs_saved_by_early += 1;
+                    self.stats.early_acks_consumed += 1;
+                    prearrived += 1;
+                    prearrived_rep = s;
+                }
+                Some(EarlyRec::Notified { stopped_at }) => {
+                    // Ack in flight to us; forward when it arrives.
+                    self.stats.invs_saved_by_early += 1;
+                    pending_relay.insert(s, stopped_at);
+                }
+                None => {
+                    // The directory walks its sharer vector serially:
+                    // one invalidation per cycle leaves the home node
+                    // (the serialization the paper identifies as a major
+                    // LCO source; early invalidation removes sharers
+                    // from this walk entirely).
+                    self.stats.invs_sent += 1;
+                    let nth = direct_inv.len() as u64;
+                    direct_inv.insert(s);
+                    let sent_at = now + nth;
+                    self.delayed.schedule(
+                        sent_at,
+                        Envelope::to_core(
+                            s,
+                            CoherenceMsg::Inv {
+                                addr,
+                                ack_to: AckTarget::Core(winner),
+                                home,
+                                sent_at,
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+        if prearrived > 0 {
+            // One aggregated acknowledgement covers every sharer whose
+            // early ack had already arrived: the winner is freed from
+            // collecting them one by one.
+            out.push(Envelope::to_core(
+                winner,
+                CoherenceMsg::InvAck {
+                    addr,
+                    from: prearrived_rep,
+                    inv_sent_at: now,
+                    via_home: true,
+                    count: prearrived,
+                },
+            ));
+        }
+
+        match owner {
+            Some(o) if o != winner => {
+                out.push(Envelope::to_core(
+                    o,
+                    CoherenceMsg::FwdGetX { addr, requester: winner, acks_expected },
+                ));
+            }
+            Some(_) => {
+                // The winner is the O-state owner upgrading in place: no
+                // data moves, only the ack count.
+                out.push(Envelope::to_core(
+                    winner,
+                    CoherenceMsg::AckCount { addr, acks_expected },
+                ));
+            }
+            None => {
+                self.delayed.schedule(
+                    now + l2_latency,
+                    Envelope::to_core(
+                        winner,
+                        CoherenceMsg::Data {
+                            addr,
+                            value,
+                            acks_expected,
+                            exclusive: true,
+                            needs_unblock: true,
+                        },
+                    ),
+                );
+            }
+        }
+
+        entry.state = Some(DirState::Exclusive { owner: winner });
+        entry.busy = Some(BusyTxn::Exclusive { winner, pending_relay, direct_inv });
+    }
+
+    /// Records the early-invalidation notification carried by a
+    /// `RelayedGetX`, merging any parked acknowledgement of the same
+    /// interception.
+    fn note_early_inv(
+        &mut self,
+        addr: Addr,
+        core: CoreId,
+        stopped_at: Cycle,
+        _now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) {
+        let entry = self.entries.entry(addr).or_default();
+        // If the current transaction is already waiting on this core via
+        // pending_relay or direct_inv, the notification is informational.
+        if let Some(BusyTxn::Exclusive { pending_relay, direct_inv, .. }) = &entry.busy {
+            if pending_relay.contains_key(&core) || direct_inv.contains(&core) {
+                return;
+            }
+        }
+        if let Some(pos) =
+            entry.parked_acks.iter().position(|(c, ts)| *c == core && *ts == stopped_at)
+        {
+            entry.parked_acks.remove(pos);
+            entry.early.insert(core, EarlyRec::AckArrived { stopped_at });
+        } else {
+            entry.early.insert(core, EarlyRec::Notified { stopped_at });
+        }
+        let _ = out;
+    }
+
+    fn on_relayed_ack(
+        &mut self,
+        addr: Addr,
+        from: CoreId,
+        inv_sent_at: Cycle,
+        out: &mut Vec<Envelope>,
+    ) {
+        let entry = self.entries.entry(addr).or_default();
+        // Current transaction waiting on this relay?
+        if let Some(BusyTxn::Exclusive { winner, pending_relay, direct_inv }) = &mut entry.busy {
+            if pending_relay.get(&from) == Some(&inv_sent_at) {
+                pending_relay.remove(&from);
+                self.stats.relays_forwarded += 1;
+                out.push(Envelope::to_core(
+                    *winner,
+                    CoherenceMsg::InvAck { addr, from, inv_sent_at, via_home: true, count: 1 },
+                ));
+                return;
+            }
+            if direct_inv.contains(&from) {
+                // Duplicate: we invalidated this core ourselves; its
+                // direct ack goes to the winner. Drop the relay.
+                return;
+            }
+        }
+        match entry.early.get(&from) {
+            Some(EarlyRec::Notified { stopped_at }) if *stopped_at == inv_sent_at => {
+                entry.early.insert(from, EarlyRec::AckArrived { stopped_at: inv_sent_at });
+            }
+            _ => {
+                // Park until the matching notification arrives; parked
+                // acks never satisfy invalidations on their own.
+                self.stats.acks_parked += 1;
+                entry.parked_acks.push((from, inv_sent_at));
+                if entry.parked_acks.len() > 64 {
+                    entry.parked_acks.remove(0);
+                }
+            }
+        }
+    }
+
+    fn on_unblock(&mut self, addr: Addr, from: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+        let entry = self.entries.entry(addr).or_default();
+        let was_exclusive = match entry.busy.take() {
+            Some(BusyTxn::Read { requester }) => {
+                debug_assert_eq!(requester, from);
+                false
+            }
+            Some(BusyTxn::Exclusive { winner, pending_relay, .. }) => {
+                debug_assert_eq!(winner, from);
+                debug_assert!(
+                    pending_relay.is_empty(),
+                    "winner unblocked with relays outstanding"
+                );
+                true
+            }
+            None => panic!("unblock for an idle block"),
+        };
+        // Drain queued requests until one blocks the line again: demoted
+        // losers are all served in this burst (the winner multicasts
+        // valid copies, Figure 4 step 4). Whether they lost a race
+        // depends on the transaction they queued behind.
+        let mut lost_race = was_exclusive;
+        loop {
+            let entry = self.entries.entry(addr).or_default();
+            if entry.busy.is_some() {
+                break;
+            }
+            let Some(next) = entry.queue.pop_front() else { break };
+            self.start_request(addr, next, lost_race, now, out);
+            // Anything still queued after a new exclusive txn starts
+            // will drain on its unblock with lost_race = true.
+            let _ = &mut lost_race;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn home() -> HomeBank {
+        HomeBank::new(CoreId::new(0), 8, 0)
+    }
+
+    fn run_one(bank: &mut HomeBank, now: u64) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        bank.tick(Cycle::new(now), &mut out);
+        out
+    }
+
+    #[test]
+    fn unowned_gets_grants_exclusive() {
+        let mut bank = home();
+        bank.init_block(Addr::new(0), 7);
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        let out = run_one(&mut bank, 0);
+        assert_eq!(out.len(), 1);
+        let CoherenceMsg::Data { value, exclusive, needs_unblock, .. } = out[0].msg else {
+            panic!("expected Data")
+        };
+        assert_eq!(value, 7);
+        assert!(exclusive && needs_unblock);
+        assert!(!bank.is_idle());
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(5));
+        run_one(&mut bank, 5);
+        assert!(bank.is_idle());
+    }
+
+    #[test]
+    fn second_reader_is_forwarded_to_owner() {
+        let mut bank = home();
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        run_one(&mut bank, 0);
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(2));
+        run_one(&mut bank, 2);
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(2) }, Cycle::new(4));
+        let out = run_one(&mut bank, 4);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dst, CoreId::new(1), "forward goes to the E owner");
+        assert!(matches!(out[0].msg, CoherenceMsg::FwdGetS { requester, .. } if requester == CoreId::new(2)));
+    }
+
+    #[test]
+    fn shared_reads_do_not_block() {
+        let mut bank = home();
+        // Two readers while Unowned->E->Shared: set up Shared by two
+        // sequential reads through the owner path is complex; instead
+        // exercise Shared directly: first read E, unblock, then a write
+        // brings it back... simpler: read E, unblock, owner invalidated
+        // via GetX from another core, etc. Here we just check two queued
+        // reads both get served.
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        let out = run_one(&mut bank, 0);
+        assert!(matches!(out[0].msg, CoherenceMsg::Data { .. }));
+        // Second read queues while busy.
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(2) }, Cycle::new(1));
+        assert!(run_one(&mut bank, 1).is_empty(), "block busy: request queued");
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(3));
+        let out = run_one(&mut bank, 3);
+        assert_eq!(out.len(), 1, "queued read starts when unblocked");
+        assert!(matches!(out[0].msg, CoherenceMsg::FwdGetS { .. }));
+    }
+
+    #[test]
+    fn getx_with_sharers_sends_invs_and_data() {
+        let mut bank = home();
+        bank.init_block(Addr::new(0), 3);
+        // Build Shared{1,2} by hand via the protocol: 1 reads (E), 1
+        // unblocks; 2 reads -> forwarded to 1 (Owned); 2 unblocks.
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        run_one(&mut bank, 0);
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(1));
+        run_one(&mut bank, 1);
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(2) }, Cycle::new(2));
+        let out = run_one(&mut bank, 2);
+        assert!(matches!(out[0].msg, CoherenceMsg::FwdGetS { .. }), "owner forward, non-blocking");
+
+        // Core 3 wants exclusive: owner is 1, sharer is 2.
+        bank.handle(
+            CoherenceMsg::GetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(3),
+                home: CoreId::new(0),
+                lock: true,
+                failable: false,
+            },
+            Cycle::new(4),
+        );
+        let out = run_one(&mut bank, 4);
+        let inv = out.iter().find(|e| matches!(e.msg, CoherenceMsg::Inv { .. })).unwrap();
+        assert_eq!(inv.dst, CoreId::new(2));
+        assert!(matches!(
+            inv.msg,
+            CoherenceMsg::Inv { ack_to: AckTarget::Core(w), .. } if w == CoreId::new(3)
+        ));
+        let fwd = out.iter().find(|e| matches!(e.msg, CoherenceMsg::FwdGetX { .. })).unwrap();
+        assert_eq!(fwd.dst, CoreId::new(1));
+        assert!(matches!(
+            fwd.msg,
+            CoherenceMsg::FwdGetX { acks_expected: 1, .. }
+        ));
+        assert_eq!(bank.stats().invs_sent, 1);
+    }
+
+    /// Parks the block busy on the cold E-grant read by core 1 (not yet
+    /// unblocked), with a read by core 2, a GetX by core 3 and core 2's
+    /// relayed (stopped) GetX queued behind it, in that order.
+    fn busy_with_queued_requests() -> HomeBank {
+        let mut bank = home();
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        let out = run_one(&mut bank, 0);
+        assert!(matches!(out[0].msg, CoherenceMsg::Data { exclusive: true, .. }));
+        // Queued while the E-grant is busy:
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(2) }, Cycle::new(1));
+        assert!(run_one(&mut bank, 1).is_empty());
+        bank.handle(
+            CoherenceMsg::GetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(3),
+                home: CoreId::new(0),
+                lock: true,
+                failable: false,
+            },
+            Cycle::new(2),
+        );
+        assert!(run_one(&mut bank, 2).is_empty());
+        bank.handle(
+            CoherenceMsg::RelayedGetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(2),
+                home: CoreId::new(0),
+                stopped_at: Cycle::new(10),
+                failable: false,
+            },
+            Cycle::new(3),
+        );
+        assert!(run_one(&mut bank, 3).is_empty());
+        bank
+    }
+
+    #[test]
+    fn early_notified_then_ack_is_forwarded_during_txn() {
+        let mut bank = busy_with_queued_requests();
+        // Unblocking the E-grant drains the queue: core 2's read is a
+        // non-blocking owner forward, then core 3's GetX starts. Core 2
+        // is a sharer with a Notified record, so the home must not
+        // invalidate it itself.
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(4));
+        let out = run_one(&mut bank, 4);
+        assert!(
+            out.iter().any(|e| matches!(e.msg, CoherenceMsg::FwdGetS { .. }) && e.dst == CoreId::new(1)),
+            "core 2's read forwarded to owner 1: {out:?}"
+        );
+        assert!(
+            !out.iter().any(|e| matches!(e.msg, CoherenceMsg::Inv { .. }) && e.dst == CoreId::new(2)),
+            "no home Inv to the early-invalidated sharer: {out:?}"
+        );
+        assert!(
+            out.iter().any(|e| matches!(e.msg, CoherenceMsg::FwdGetX { .. }) && e.dst == CoreId::new(1)),
+            "ownership transfer to core 3 forwarded to owner 1"
+        );
+        assert_eq!(bank.stats().invs_saved_by_early, 1);
+
+        // The relayed ack arrives and is forwarded to the winner.
+        bank.handle(
+            CoherenceMsg::RelayedInvAck {
+                addr: Addr::new(0),
+                from: CoreId::new(2),
+                inv_sent_at: Cycle::new(10),
+                relayed_at: Cycle::new(14),
+            },
+            Cycle::new(5),
+        );
+        let out = run_one(&mut bank, 5);
+        let fwd = out.iter().find(|e| matches!(e.msg, CoherenceMsg::InvAck { .. })).unwrap();
+        assert_eq!(fwd.dst, CoreId::new(3));
+        assert!(matches!(fwd.msg, CoherenceMsg::InvAck { via_home: true, from, .. } if from == CoreId::new(2)));
+        assert_eq!(bank.stats().relays_forwarded, 1);
+        // Round trip recorded: 14 - 10.
+        assert_eq!(bank.roundtrips().total_count(), 1);
+        assert_eq!(bank.roundtrips().mean(), 4.0);
+    }
+
+    #[test]
+    fn early_ack_before_getx_is_consumed_at_processing() {
+        let mut bank = busy_with_queued_requests();
+        // The ack arrives (and matches the Notified record) while the
+        // block is still busy with the E-grant read.
+        bank.handle(
+            CoherenceMsg::RelayedInvAck {
+                addr: Addr::new(0),
+                from: CoreId::new(2),
+                inv_sent_at: Cycle::new(10),
+                relayed_at: Cycle::new(12),
+            },
+            Cycle::new(4),
+        );
+        run_one(&mut bank, 4);
+
+        // Unblock: the drain reaches core 3's GetX, which consumes the
+        // stored ack on core 2's behalf.
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(5));
+        let out = run_one(&mut bank, 5);
+        let ack = out.iter().find(|e| matches!(e.msg, CoherenceMsg::InvAck { .. })).unwrap();
+        assert_eq!(ack.dst, CoreId::new(3), "home answers on the loser's behalf");
+        assert!(matches!(ack.msg, CoherenceMsg::InvAck { via_home: true, .. }));
+        assert!(!out.iter().any(|e| matches!(e.msg, CoherenceMsg::Inv { .. }) && e.dst == CoreId::new(2)));
+        assert_eq!(bank.stats().early_acks_consumed, 1);
+    }
+
+    #[test]
+    fn failable_getx_racing_a_winner_is_demoted() {
+        let mut bank = home();
+        // Core 1 owns (E-grant + unblock).
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        run_one(&mut bank, 0);
+        bank.handle(CoherenceMsg::UnblockS { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::new(1));
+        run_one(&mut bank, 1);
+        // Core 3 wins the lock (full exclusive service, busy).
+        bank.handle(
+            CoherenceMsg::GetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(3),
+                home: CoreId::new(0),
+                lock: true,
+                failable: true,
+            },
+            Cycle::new(2),
+        );
+        let out = run_one(&mut bank, 2);
+        assert!(
+            out.iter().any(|e| matches!(e.msg, CoherenceMsg::FwdGetX { .. })),
+            "first competitor gets the full service: {out:?}"
+        );
+        // Core 2's CAS races the winner: queued, then demoted at drain.
+        bank.handle(
+            CoherenceMsg::GetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(2),
+                home: CoreId::new(0),
+                lock: true,
+                failable: true,
+            },
+            Cycle::new(3),
+        );
+        assert!(run_one(&mut bank, 3).is_empty(), "queued behind the winner");
+        bank.handle(CoherenceMsg::UnblockX { addr: Addr::new(0), from: CoreId::new(3) }, Cycle::new(4));
+        let out = run_one(&mut bank, 4);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, CoherenceMsg::FwdGetS { requester, .. } if requester == CoreId::new(2)));
+        assert_eq!(out[0].dst, CoreId::new(3), "served by the new owner");
+        assert_eq!(bank.stats().demotions, 1);
+        assert!(bank.is_idle(), "demotion does not block the home");
+    }
+
+    #[test]
+    fn ack_racing_ahead_of_notification_is_parked_then_merged() {
+        let mut bank = home();
+        // Ack arrives with no record: parked, never consumed directly.
+        bank.handle(
+            CoherenceMsg::RelayedInvAck {
+                addr: Addr::new(0),
+                from: CoreId::new(2),
+                inv_sent_at: Cycle::new(10),
+                relayed_at: Cycle::new(12),
+            },
+            Cycle::ZERO,
+        );
+        run_one(&mut bank, 0);
+        assert_eq!(bank.stats().acks_parked, 1);
+        // The matching notification arrives: merged into AckArrived.
+        bank.handle(
+            CoherenceMsg::RelayedGetX {
+                addr: Addr::new(0),
+                requester: CoreId::new(2),
+                home: CoreId::new(0),
+                stopped_at: Cycle::new(10),
+                failable: false,
+            },
+            Cycle::new(1),
+        );
+        run_one(&mut bank, 1);
+        // Processing core 2's own queued request clears its records; the
+        // request itself proceeds (Unowned -> direct grant).
+        // (The RelayedGetX above *was* the queued request.)
+        // Nothing to assert beyond not panicking; the invariant tests
+        // live in the integration suite.
+    }
+
+    #[test]
+    #[should_panic(expected = "unblock for an idle block")]
+    fn stray_unblock_panics() {
+        let mut bank = home();
+        bank.handle(CoherenceMsg::UnblockX { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::ZERO);
+        run_one(&mut bank, 0);
+    }
+
+    #[test]
+    fn inbox_serializes_one_request_per_cycle() {
+        let mut bank = home();
+        for i in 1..=3 {
+            bank.handle(
+                CoherenceMsg::GetS { addr: Addr::new(i * 128), requester: CoreId::new(i as usize) },
+                Cycle::ZERO,
+            );
+        }
+        assert_eq!(run_one(&mut bank, 0).len(), 1);
+        assert_eq!(run_one(&mut bank, 1).len(), 1);
+        assert_eq!(run_one(&mut bank, 2).len(), 1);
+        assert_eq!(run_one(&mut bank, 3).len(), 0);
+    }
+
+    #[test]
+    fn l2_latency_delays_data() {
+        let mut bank = HomeBank::new(CoreId::new(0), 8, 6);
+        bank.handle(CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) }, Cycle::ZERO);
+        assert!(run_one(&mut bank, 0).is_empty(), "data not ready yet");
+        for now in 1..6 {
+            assert!(run_one(&mut bank, now).is_empty());
+        }
+        let out = run_one(&mut bank, 6);
+        assert!(matches!(out[0].msg, CoherenceMsg::Data { .. }));
+    }
+}

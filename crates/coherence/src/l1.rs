@@ -1,0 +1,959 @@
+//! The private L1 cache controller: MOESI stable states plus the
+//! transient transactions the lock workloads exercise.
+//!
+//! Each core owns one [`L1Cache`]. The core model issues at most one
+//! demand operation at a time (cores block on memory in the
+//! lock/critical-section code paths); the controller turns misses into
+//! directory transactions and answers forwards/invalidations from the
+//! network at any time.
+//!
+//! # Model simplifications (documented in `DESIGN.md`)
+//!
+//! * No capacity evictions: the lock study touches a handful of blocks,
+//!   far below the 32 KB capacity, so replacement never triggers and is
+//!   not modelled.
+//! * One word of payload per 128-byte block — exactly what lock variables
+//!   and per-thread queue nodes need.
+//! * A read whose data response races an invalidation installs a shared
+//!   copy that may be momentarily stale; the authoritative SWAP/CAS path
+//!   always goes through an exclusive transaction, so lock correctness is
+//!   unaffected (a stale spin read just retries).
+
+use crate::map::HomeMap;
+use crate::msg::{AckTarget, CoherenceMsg, Envelope};
+use crate::stats::{InvAckRoundTrips, L1Stats};
+use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
+use std::collections::HashMap;
+
+/// One memory operation a core can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOpKind {
+    /// Read a word.
+    Load,
+    /// Write a word.
+    Store(u64),
+    /// Atomically exchange the word, returning the old value (the
+    /// paper's `SWAP`).
+    Swap(u64),
+    /// Atomically add to the word, returning the old value
+    /// (`fetch_and_add`, used by the ticket lock and ABQL).
+    FetchAdd(u64),
+    /// Atomically compare-and-swap, returning the old value
+    /// (`compare_and_swap`, used by the MCS lock).
+    CompareSwap {
+        /// Value the word must currently hold for the swap to happen.
+        expected: u64,
+        /// Value written on success.
+        new: u64,
+    },
+}
+
+impl MemOpKind {
+    /// Whether this operation needs exclusive (write) access.
+    pub fn is_write(self) -> bool {
+        !matches!(self, MemOpKind::Load)
+    }
+
+    /// Applies the operation to `old`, returning the new stored value.
+    pub fn apply(self, old: u64) -> u64 {
+        match self {
+            MemOpKind::Load => old,
+            MemOpKind::Store(v) | MemOpKind::Swap(v) => v,
+            MemOpKind::FetchAdd(d) => old.wrapping_add(d),
+            MemOpKind::CompareSwap { expected, new } => {
+                if old == expected {
+                    new
+                } else {
+                    old
+                }
+            }
+        }
+    }
+}
+
+/// A memory operation plus the address it targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Target address (word granularity; coherence is per block).
+    pub addr: Addr,
+    /// What to do.
+    pub kind: MemOpKind,
+    /// True when the address is a lock variable: the resulting `GetX` is
+    /// interceptable by big routers and counted as lock coherence
+    /// overhead.
+    pub lock: bool,
+}
+
+/// The result handed back to the core when an operation finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The finished operation.
+    pub op: MemOp,
+    /// The value the word held *before* the operation (load value, or
+    /// the old value for RMWs).
+    pub value: u64,
+    /// When the operation was issued.
+    pub issued_at: Cycle,
+    /// When it completed.
+    pub completed_at: Cycle,
+}
+
+/// MOESI stable states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Modified,
+    Owned,
+    Exclusive,
+    Shared,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    state: State,
+    value: u64,
+}
+
+/// An in-flight directory transaction.
+#[derive(Debug, Clone, Copy)]
+struct PendingTxn {
+    op: MemOp,
+    issued_at: Cycle,
+    exclusive: bool,
+    /// Data (or AckCount) received yet?
+    granted: bool,
+    /// Value delivered by Data (exclusive path) or kept from an O-state
+    /// upgrade (AckCount path).
+    value: u64,
+    /// Whether `value` is authoritative even if Data arrives (O upgrade).
+    own_value: bool,
+    acks_expected: Option<u16>,
+    acks_received: u16,
+    /// Whether the request may be demoted to a failed shared-copy
+    /// service (conditional lock RMWs).
+    failable: bool,
+    /// An invalidation raced this transaction: any shared copy received
+    /// is potentially stale and must not be cached.
+    poisoned: bool,
+    /// OCOR priority (kept for reissues).
+    priority: u8,
+}
+
+/// The private L1 cache + controller of one core.
+#[derive(Debug)]
+pub struct L1Cache {
+    core: CoreId,
+    home_map: HomeMap,
+    lines: HashMap<Addr, Line>,
+    pending: Option<PendingTxn>,
+    done: EventWheel<Completion>,
+    completed: Option<Completion>,
+    hit_latency: u64,
+    stats: L1Stats,
+    roundtrips: InvAckRoundTrips,
+}
+
+impl L1Cache {
+    /// Creates the L1 for `core`. `hit_latency` is Table 1's 2-cycle L1
+    /// latency.
+    pub fn new(core: CoreId, home_map: HomeMap, hit_latency: u64) -> Self {
+        L1Cache {
+            core,
+            home_map,
+            lines: HashMap::new(),
+            pending: None,
+            done: EventWheel::new(),
+            completed: None,
+            hit_latency,
+            stats: L1Stats::default(),
+            roundtrips: InvAckRoundTrips::new(home_map.cores(), 256),
+        }
+    }
+
+    /// The owning core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Whether a demand operation is outstanding.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some() || !self.done.is_empty() || self.completed.is_some()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    /// Invalidation round trips observed by this core as a *winner*
+    /// (direct acknowledgements it collected).
+    pub fn roundtrips(&self) -> &InvAckRoundTrips {
+        &self.roundtrips
+    }
+
+    /// Pending-transaction description for stuck-run diagnostics.
+    pub fn pending_report(&self) -> Option<String> {
+        Some(format!(
+            "pending={:?} done_queue={} completed={:?} busy={}",
+            self.pending,
+            self.done.len(),
+            self.completed,
+            self.is_busy()
+        ))
+    }
+
+    /// The cached line (state, value) of `addr`, for diagnostics.
+    pub fn probe_line(&self, addr: Addr) -> Option<(&'static str, u64)> {
+        self.lines.get(&addr.block()).map(|l| {
+            let s = match l.state {
+                State::Modified => "M",
+                State::Owned => "O",
+                State::Exclusive => "E",
+                State::Shared => "S",
+            };
+            (s, l.value)
+        })
+    }
+
+    /// The cached state of `addr` as a debug string (testing aid).
+    pub fn probe_state(&self, addr: Addr) -> &'static str {
+        match self.lines.get(&addr.block()).map(|l| l.state) {
+            Some(State::Modified) => "M",
+            Some(State::Owned) => "O",
+            Some(State::Exclusive) => "E",
+            Some(State::Shared) => "S",
+            None => "I",
+        }
+    }
+
+    /// Issues a demand operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already outstanding; the core model must
+    /// wait for [`take_completion`](Self::take_completion) first.
+    pub fn issue(&mut self, op: MemOp, now: Cycle, out: &mut Vec<Envelope>) {
+        self.issue_with_priority(op, 0, now, out);
+    }
+
+    /// Issues a demand operation whose request packet carries an OCOR
+    /// `priority`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already outstanding.
+    pub fn issue_with_priority(
+        &mut self,
+        op: MemOp,
+        priority: u8,
+        now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) {
+        assert!(!self.is_busy(), "L1 supports one outstanding demand op");
+        let block = op.addr.block();
+        if op.kind.is_write() {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        let line = self.lines.get_mut(&block);
+        match line {
+            // Load hits in any valid state.
+            Some(line) if !op.kind.is_write() => {
+                self.stats.hits += 1;
+                let value = line.value;
+                self.done.schedule(
+                    now + self.hit_latency,
+                    Completion { op, value, issued_at: now, completed_at: now + self.hit_latency },
+                );
+            }
+            // Writes hit in M and E (E upgrades silently).
+            Some(line)
+                if matches!(line.state, State::Modified | State::Exclusive) =>
+            {
+                self.stats.hits += 1;
+                let old = line.value;
+                line.value = op.kind.apply(old);
+                line.state = State::Modified;
+                self.done.schedule(
+                    now + self.hit_latency,
+                    Completion {
+                        op,
+                        value: old,
+                        issued_at: now,
+                        completed_at: now + self.hit_latency,
+                    },
+                );
+            }
+            // Write in S/O, or any miss: directory transaction.
+            other => {
+                self.stats.misses += 1;
+                let home = self.home_map.home_of(block);
+                if op.kind.is_write() {
+                    // S/O copies are dropped; an O owner keeps its value
+                    // as the authoritative one (the home copy is stale).
+                    let own = other.map(|l| (l.state, l.value));
+                    let (own_value, value) = match own {
+                        Some((State::Owned, v)) | Some((State::Modified, v)) => (true, v),
+                        _ => (false, 0),
+                    };
+                    self.lines.remove(&block);
+                    self.stats.getx_issued += 1;
+                    // An O-state owner upgrading in place must never be
+                    // intercepted by a big router: its copy is the only
+                    // up-to-date one and the directory will forward other
+                    // requesters to it. Clear the interceptable flag on
+                    // the wire (LCO accounting still uses `op.lock`).
+                    let interceptable = op.lock && !own_value;
+                    // Conditional RMWs (compare-and-swap) may be demoted
+                    // to a failed shared-copy service by the home node.
+                    let failable = matches!(op.kind, MemOpKind::CompareSwap { .. }) && !own_value;
+                    self.pending = Some(PendingTxn {
+                        op,
+                        issued_at: now,
+                        exclusive: true,
+                        granted: false,
+                        value,
+                        own_value,
+                        acks_expected: None,
+                        acks_received: 0,
+                        failable,
+                        poisoned: false,
+                        priority,
+                    });
+                    out.push(
+                        Envelope::to_core(
+                            home,
+                            CoherenceMsg::GetX {
+                                addr: block,
+                                requester: self.core,
+                                home,
+                                lock: interceptable,
+                                failable,
+                            },
+                        )
+                        .with_priority(priority),
+                    );
+                } else {
+                    self.stats.gets_issued += 1;
+                    self.pending = Some(PendingTxn {
+                        op,
+                        issued_at: now,
+                        exclusive: false,
+                        granted: false,
+                        value: 0,
+                        own_value: false,
+                        acks_expected: Some(0),
+                        acks_received: 0,
+                        failable: false,
+                        poisoned: false,
+                        priority,
+                    });
+                    out.push(
+                        Envelope::to_core(
+                            home,
+                            CoherenceMsg::GetS { addr: block, requester: self.core },
+                        )
+                        .with_priority(priority),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles one protocol message delivered to this core.
+    pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle, out: &mut Vec<Envelope>) {
+        match msg {
+            CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock } => {
+                self.on_data(addr, value, acks_expected, exclusive, needs_unblock, now, out);
+            }
+            CoherenceMsg::AckCount { addr, acks_expected } => {
+                let pending = self.pending.as_mut().expect("AckCount without transaction");
+                debug_assert_eq!(pending.op.addr.block(), addr);
+                debug_assert!(pending.exclusive && pending.own_value);
+                pending.granted = true;
+                pending.acks_expected = Some(acks_expected);
+                self.try_complete_exclusive(now, out);
+            }
+            CoherenceMsg::InvAck { addr, from, inv_sent_at, via_home, count } => {
+                let pending = self.pending.as_mut().expect("InvAck without transaction");
+                debug_assert_eq!(pending.op.addr.block(), addr);
+                pending.acks_received += count;
+                if !via_home {
+                    self.roundtrips.record(from, now.saturating_since(inv_sent_at));
+                }
+                self.try_complete_exclusive(now, out);
+            }
+            CoherenceMsg::Inv { addr, ack_to, home, sent_at } => {
+                self.stats.invs_received += 1;
+                self.lines.remove(&addr);
+                if let Some(pending) = self.pending.as_mut() {
+                    if pending.op.addr.block() == addr {
+                        // A racing invalidation: any *shared* data this
+                        // transaction later receives may be stale and
+                        // must not be cached.
+                        pending.poisoned = true;
+                    }
+                }
+                match ack_to {
+                    AckTarget::Core(winner) => out.push(Envelope::to_core(
+                        winner,
+                        CoherenceMsg::InvAck {
+                            addr,
+                            from: self.core,
+                            inv_sent_at: sent_at,
+                            via_home: false,
+                            count: 1,
+                        },
+                    )),
+                    AckTarget::Router(router) => out.push(Envelope::to_router(
+                        router,
+                        CoherenceMsg::EarlyInvAck {
+                            addr,
+                            from: self.core,
+                            home,
+                            inv_sent_at: sent_at,
+                        },
+                    )),
+                }
+            }
+            CoherenceMsg::FwdGetS { addr, requester } => {
+                // An owner that issued an upgrade GetX has dropped its
+                // line but is still the logical owner until the home
+                // processes its (queued) request: serve the forward from
+                // the transaction's saved value (the MOESI "OM" state).
+                let value = if let Some(line) = self.lines.get_mut(&addr) {
+                    debug_assert!(matches!(
+                        line.state,
+                        State::Modified | State::Exclusive | State::Owned
+                    ));
+                    line.state = State::Owned;
+                    line.value
+                } else if let Some(pending) = self
+                    .pending
+                    .as_ref()
+                    .filter(|p| p.op.addr.block() == addr && p.own_value)
+                {
+                    pending.value
+                } else {
+                    // Ownership moved on before the forward arrived (the
+                    // non-blocking read path allows this): bounce the
+                    // request back to the home, which re-resolves the
+                    // current owner.
+                    self.stats.forwards_bounced += 1;
+                    let home = self.home_map.home_of(addr);
+                    out.push(Envelope::to_core(
+                        home,
+                        CoherenceMsg::GetS { addr, requester },
+                    ));
+                    return;
+                };
+                out.push(Envelope::to_core(
+                    requester,
+                    CoherenceMsg::Data {
+                        addr,
+                        value,
+                        acks_expected: 0,
+                        exclusive: false,
+                        needs_unblock: false,
+                    },
+                ));
+            }
+            CoherenceMsg::FwdGetX { addr, requester, acks_expected } => {
+                let value = if let Some(line) = self.lines.remove(&addr) {
+                    debug_assert!(matches!(
+                        line.state,
+                        State::Modified | State::Exclusive | State::Owned
+                    ));
+                    line.value
+                } else {
+                    // Ownership is taken away while our own upgrade GetX
+                    // is still queued at the home: hand the dirty value
+                    // over and demote our transaction to an ordinary
+                    // miss (the home will route fresh data to us when
+                    // our turn comes).
+                    let pending = self
+                        .pending
+                        .as_mut()
+                        .filter(|p| p.op.addr.block() == addr && p.own_value)
+                        .expect("FwdGetX to a non-owner: home serialization violated");
+                    debug_assert!(!pending.granted, "forward after grant");
+                    pending.own_value = false;
+                    let value = pending.value;
+                    pending.value = 0;
+                    value
+                };
+                out.push(Envelope::to_core(
+                    requester,
+                    CoherenceMsg::Data {
+                        addr,
+                        value,
+                        acks_expected,
+                        exclusive: true,
+                        needs_unblock: true,
+                    },
+                ));
+            }
+            other => panic!("L1 received unexpected message {other:?}"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the Data message fields
+    fn on_data(
+        &mut self,
+        addr: Addr,
+        value: u64,
+        acks_expected: u16,
+        exclusive: bool,
+        needs_unblock: bool,
+        now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) {
+        let pending = self.pending.as_mut().expect("Data without transaction");
+        debug_assert_eq!(pending.op.addr.block(), addr);
+        if pending.exclusive && !exclusive {
+            // Demoted: the home answered a failable lock RMW with a
+            // shared copy because the block is owned elsewhere (paper
+            // Figure 4 step 4). The conditional op fails without
+            // writing — unless the observed value would have let it
+            // succeed, in which case contend properly with a
+            // non-demotable retry.
+            assert!(pending.failable, "non-failable exclusive granted shared data");
+            let MemOpKind::CompareSwap { expected, .. } = pending.op.kind else {
+                panic!("failable transaction must be a compare-and-swap")
+            };
+            if value == expected {
+                self.stats.demote_retries += 1;
+                let pending = self.pending.as_mut().expect("checked above");
+                pending.failable = false;
+                pending.poisoned = false;
+                let home = self.home_map.home_of(addr);
+                out.push(
+                    Envelope::to_core(
+                        home,
+                        CoherenceMsg::GetX {
+                            addr,
+                            requester: self.core,
+                            home,
+                            lock: pending.op.lock,
+                            failable: false,
+                        },
+                    )
+                    .with_priority(pending.priority),
+                );
+                return;
+            }
+            self.stats.demoted_fails += 1;
+            let pending = self.pending.take().expect("checked above");
+            if !pending.poisoned {
+                self.lines.insert(addr, Line { state: State::Shared, value });
+            }
+            debug_assert!(!needs_unblock, "demoted service must not block the home");
+            self.finish(pending, value, now);
+            return;
+        }
+        if pending.exclusive {
+            debug_assert!(exclusive, "exclusive transaction granted shared data");
+            pending.granted = true;
+            pending.acks_expected = Some(acks_expected);
+            if !pending.own_value {
+                pending.value = value;
+            }
+            self.try_complete_exclusive(now, out);
+        } else {
+            // Read transaction completes on data.
+            let pending = self.pending.take().expect("checked above");
+            if exclusive || !pending.poisoned {
+                let state = if exclusive { State::Exclusive } else { State::Shared };
+                self.lines.insert(addr, Line { state, value });
+            }
+            if needs_unblock {
+                let home = self.home_map.home_of(addr);
+                out.push(Envelope::to_core(
+                    home,
+                    CoherenceMsg::UnblockS { addr, from: self.core },
+                ));
+            }
+            self.finish(pending, value, now);
+        }
+    }
+
+    fn try_complete_exclusive(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
+        let Some(pending) = self.pending.as_ref() else { return };
+        let Some(expected) = pending.acks_expected else { return };
+        if !pending.granted || pending.acks_received < expected {
+            return;
+        }
+        debug_assert!(pending.acks_received == expected, "surplus InvAcks");
+        let pending = self.pending.take().expect("checked above");
+        let block = pending.op.addr.block();
+        let old = pending.value;
+        let new = pending.op.kind.apply(old);
+        self.lines.insert(block, Line { state: State::Modified, value: new });
+        let home = self.home_map.home_of(block);
+        out.push(Envelope::to_core(home, CoherenceMsg::UnblockX { addr: block, from: self.core }));
+        self.finish(pending, old, now);
+    }
+
+    fn finish(&mut self, pending: PendingTxn, value: u64, now: Cycle) {
+        let busy = now.saturating_since(pending.issued_at);
+        self.stats.mem_txn_cycles += busy;
+        if pending.exclusive {
+            self.stats.write_miss_lat += busy;
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_miss_lat += busy;
+            self.stats.read_misses += 1;
+        }
+        if pending.op.lock {
+            self.stats.lock_txn_cycles += busy;
+            self.stats.lock_txns += 1;
+        }
+        self.done.schedule(
+            now + 1,
+            Completion { op: pending.op, value, issued_at: pending.issued_at, completed_at: now + 1 },
+        );
+    }
+
+    /// Advances internal timers (hit-latency and completion events).
+    pub fn tick(&mut self, now: Cycle) {
+        if self.completed.is_none() {
+            self.completed = self.done.pop_due(now);
+        }
+        if let Some(due) = self.done.next_due() {
+            if now.saturating_since(due) > 100_000 {
+                panic!(
+                    "L1 {} completion stuck: due {due:?} now {now:?} completed {:?} pending {:?}",
+                    self.core.index(), self.completed, self.pending
+                );
+            }
+        }
+    }
+
+    /// Removes and returns the completion of the outstanding operation,
+    /// if it has finished.
+    pub fn take_completion(&mut self) -> Option<Completion> {
+        self.completed.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(CoreId::new(0), HomeMap::new(4), 2)
+    }
+
+    fn drive_until_complete(l1: &mut L1Cache, mut now: Cycle) -> (Completion, Cycle) {
+        for _ in 0..64 {
+            l1.tick(now);
+            if let Some(c) = l1.take_completion() {
+                return (c, now);
+            }
+            now = now.next();
+        }
+        panic!("operation did not complete");
+    }
+
+    fn data(addr: Addr, value: u64, acks: u16, exclusive: bool) -> CoherenceMsg {
+        CoherenceMsg::Data {
+            addr,
+            value,
+            acks_expected: acks,
+            exclusive,
+            needs_unblock: false,
+        }
+    }
+
+    #[test]
+    fn cold_load_issues_gets_and_installs_shared() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100);
+        l1.issue(MemOp { addr, kind: MemOpKind::Load, lock: false }, Cycle::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].msg, CoherenceMsg::GetS { .. }));
+        assert_eq!(out[0].dst, CoreId::new(2), "0x100 is block 2 of 4 banks");
+        out.clear();
+        l1.handle(data(addr.block(), 42, 0, false), Cycle::new(10), &mut out);
+        assert!(out.is_empty(), "no unblock needed for direct shared grant");
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(10));
+        assert_eq!(c.value, 42);
+        assert_eq!(l1.probe_state(addr), "S");
+    }
+
+    #[test]
+    fn exclusive_read_grant_installs_e_and_write_hits_silently() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100);
+        l1.issue(MemOp { addr, kind: MemOpKind::Load, lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(
+            CoherenceMsg::Data {
+                addr: addr.block(),
+                value: 5,
+                acks_expected: 0,
+                exclusive: true,
+                needs_unblock: true,
+            },
+            Cycle::new(8),
+            &mut out,
+        );
+        assert!(
+            matches!(out[0].msg, CoherenceMsg::UnblockS { .. }),
+            "E grant blocks the home until unblocked"
+        );
+        drive_until_complete(&mut l1, Cycle::new(8));
+        assert_eq!(l1.probe_state(addr), "E");
+
+        // A store now upgrades silently: no traffic.
+        out.clear();
+        l1.issue(MemOp { addr, kind: MemOpKind::Store(9), lock: false }, Cycle::new(20), &mut out);
+        assert!(out.is_empty());
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(20));
+        assert_eq!(c.value, 5, "store returns the old value");
+        assert_eq!(l1.probe_state(addr), "M");
+    }
+
+    #[test]
+    fn swap_miss_runs_full_getx_transaction() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200);
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        let CoherenceMsg::GetX { lock, .. } = out[0].msg else { panic!("expected GetX") };
+        assert!(lock, "lock flag propagates to the GetX");
+        out.clear();
+
+        // Data with two acks expected; completion only after both.
+        l1.handle(data(addr.block(), 0, 2, true), Cycle::new(6), &mut out);
+        assert!(out.is_empty());
+        l1.tick(Cycle::new(7));
+        assert!(l1.take_completion().is_none());
+        l1.handle(
+            CoherenceMsg::InvAck {
+                addr: addr.block(),
+                from: CoreId::new(1),
+                inv_sent_at: Cycle::new(2),
+                via_home: false,
+                count: 1,
+            },
+            Cycle::new(8),
+            &mut out,
+        );
+        l1.handle(
+            CoherenceMsg::InvAck {
+                addr: addr.block(),
+                from: CoreId::new(2),
+                inv_sent_at: Cycle::new(2),
+                via_home: true,
+                count: 1,
+            },
+            Cycle::new(9),
+            &mut out,
+        );
+        let unblock = out.iter().find(|e| matches!(e.msg, CoherenceMsg::UnblockX { .. }));
+        assert!(unblock.is_some(), "winner unblocks the home");
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(9));
+        assert_eq!(c.value, 0, "swap returns the pre-swap value");
+        assert_eq!(l1.probe_state(addr), "M");
+        // Only the direct (non-via-home) ack was recorded as a round trip.
+        assert_eq!(l1.roundtrips().total_count(), 1);
+        assert_eq!(l1.stats().lock_txns, 1);
+        assert!(l1.stats().lock_txn_cycles > 0);
+    }
+
+    #[test]
+    fn acks_may_arrive_before_data() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200);
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(
+            CoherenceMsg::InvAck {
+                addr: addr.block(),
+                from: CoreId::new(3),
+                inv_sent_at: Cycle::ZERO,
+                via_home: false,
+                count: 1,
+            },
+            Cycle::new(4),
+            &mut out,
+        );
+        l1.tick(Cycle::new(5));
+        assert!(l1.take_completion().is_none(), "no data yet");
+        l1.handle(data(addr.block(), 7, 1, true), Cycle::new(6), &mut out);
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(6));
+        assert_eq!(c.value, 7);
+    }
+
+    #[test]
+    fn inv_invalidates_and_acks_winner() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Load, lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(data(addr, 1, 0, false), Cycle::new(5), &mut out);
+        drive_until_complete(&mut l1, Cycle::new(5));
+        assert_eq!(l1.probe_state(addr), "S");
+
+        l1.handle(
+            CoherenceMsg::Inv {
+                addr,
+                ack_to: AckTarget::Core(CoreId::new(3)),
+                home: CoreId::new(2),
+                sent_at: Cycle::new(9),
+            },
+            Cycle::new(12),
+            &mut out,
+        );
+        assert_eq!(l1.probe_state(addr), "I");
+        let ack = out.last().unwrap();
+        assert_eq!(ack.dst, CoreId::new(3));
+        assert!(matches!(
+            ack.msg,
+            CoherenceMsg::InvAck { from, via_home: false, .. } if from == CoreId::new(0)
+        ));
+    }
+
+    #[test]
+    fn early_inv_acks_to_router_even_when_line_absent() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x300).block();
+        l1.handle(
+            CoherenceMsg::Inv {
+                addr,
+                ack_to: AckTarget::Router(CoreId::new(9)),
+                home: CoreId::new(2),
+                sent_at: Cycle::new(4),
+            },
+            Cycle::new(8),
+            &mut out,
+        );
+        let ack = out.last().unwrap();
+        assert_eq!(ack.dst, CoreId::new(9));
+        assert!(matches!(
+            ack.msg,
+            CoherenceMsg::EarlyInvAck { inv_sent_at, .. } if inv_sent_at == Cycle::new(4)
+        ));
+        assert_eq!(ack.sink, inpg_noc::Sink::Router);
+    }
+
+    #[test]
+    fn fwd_gets_shares_and_keeps_ownership() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        // Become M owner.
+        l1.issue(MemOp { addr, kind: MemOpKind::Store(11), lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(data(addr, 0, 0, true), Cycle::new(5), &mut out);
+        drive_until_complete(&mut l1, Cycle::new(5));
+        assert_eq!(l1.probe_state(addr), "M");
+
+        out.clear();
+        l1.handle(CoherenceMsg::FwdGetS { addr, requester: CoreId::new(2) }, Cycle::new(20), &mut out);
+        assert_eq!(l1.probe_state(addr), "O");
+        let CoherenceMsg::Data { value, exclusive, needs_unblock, .. } = out[0].msg else {
+            panic!("expected Data")
+        };
+        assert_eq!(value, 11);
+        assert!(!exclusive);
+        assert!(!needs_unblock, "owner forwards are non-blocking");
+        assert_eq!(out[0].dst, CoreId::new(2));
+    }
+
+    #[test]
+    fn fwd_getx_transfers_ownership() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Store(13), lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(data(addr, 0, 0, true), Cycle::new(5), &mut out);
+        drive_until_complete(&mut l1, Cycle::new(5));
+
+        out.clear();
+        l1.handle(
+            CoherenceMsg::FwdGetX { addr, requester: CoreId::new(3), acks_expected: 2 },
+            Cycle::new(20),
+            &mut out,
+        );
+        assert_eq!(l1.probe_state(addr), "I");
+        let CoherenceMsg::Data { value, acks_expected, exclusive, .. } = out[0].msg else {
+            panic!("expected Data")
+        };
+        assert_eq!(value, 13);
+        assert_eq!(acks_expected, 2);
+        assert!(exclusive);
+    }
+
+    #[test]
+    fn o_state_upgrade_uses_own_value_with_ackcount() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        // Become M, then demote to O via FwdGetS.
+        l1.issue(MemOp { addr, kind: MemOpKind::Store(21), lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(data(addr, 0, 0, true), Cycle::new(5), &mut out);
+        drive_until_complete(&mut l1, Cycle::new(5));
+        out.clear();
+        l1.handle(CoherenceMsg::FwdGetS { addr, requester: CoreId::new(2) }, Cycle::new(10), &mut out);
+        assert_eq!(l1.probe_state(addr), "O");
+
+        // Upgrade: O -> GetX; home answers with AckCount (no data).
+        out.clear();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::new(20), &mut out);
+        assert!(matches!(out[0].msg, CoherenceMsg::GetX { .. }));
+        out.clear();
+        l1.handle(CoherenceMsg::AckCount { addr, acks_expected: 1 }, Cycle::new(26), &mut out);
+        l1.handle(
+            CoherenceMsg::InvAck {
+                addr,
+                from: CoreId::new(2),
+                inv_sent_at: Cycle::new(24),
+                via_home: false,
+                count: 1,
+            },
+            Cycle::new(30),
+            &mut out,
+        );
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(30));
+        assert_eq!(c.value, 21, "swap sees the owner's own (dirty) value");
+        assert_eq!(l1.probe_state(addr), "M");
+    }
+
+    #[test]
+    #[should_panic(expected = "one outstanding")]
+    fn double_issue_panics() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let op = MemOp { addr: Addr::new(0x100), kind: MemOpKind::Load, lock: false };
+        l1.issue(op, Cycle::ZERO, &mut out);
+        l1.issue(op, Cycle::ZERO, &mut out);
+    }
+
+    #[test]
+    fn hit_latency_is_respected() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Load, lock: false }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.handle(data(addr, 1, 0, false), Cycle::new(5), &mut out);
+        drive_until_complete(&mut l1, Cycle::new(5));
+
+        // Now a hit: completes exactly hit_latency cycles later.
+        l1.issue(MemOp { addr, kind: MemOpKind::Load, lock: false }, Cycle::new(20), &mut out);
+        assert!(out.is_empty());
+        let (c, when) = drive_until_complete(&mut l1, Cycle::new(20));
+        assert_eq!(when, Cycle::new(22));
+        assert_eq!(c.completed_at, Cycle::new(22));
+    }
+}

@@ -1,0 +1,29 @@
+//! Directory-based MOESI cache coherence for the iNPG reproduction.
+//!
+//! The crate provides the protocol substrate of the paper's target
+//! many-core (Table 1): private L1 caches with a directory-based MOESI
+//! protocol, a chip-wide shared L2 distributed over all tiles
+//! (block-interleaved home nodes), and the protocol message set —
+//! including the iNPG extensions (`RelayedGetX`, `EarlyInvAck`,
+//! `RelayedInvAck`) that big routers generate.
+//!
+//! Components communicate through [`Envelope`]s; the `inpg-manycore`
+//! crate wraps them into NoC packets. [`CoherenceMsg`] implements the
+//! NoC's [`PacketGenPayload`](inpg_noc::PacketGenPayload), which is how
+//! big routers learn to intercept lock `GetX` requests.
+//!
+//! See module docs of [`l1`] and [`home`] for the protocol state
+//! machines, and `DESIGN.md` at the repository root for the documented
+//! simplifications.
+
+pub mod home;
+pub mod l1;
+pub mod map;
+pub mod msg;
+pub mod stats;
+
+pub use home::HomeBank;
+pub use l1::{Completion, L1Cache, MemOp, MemOpKind};
+pub use map::HomeMap;
+pub use msg::{AckTarget, CoherenceMsg, Envelope};
+pub use stats::{HomeStats, InvAckRoundTrips, L1Stats};

@@ -1,0 +1,97 @@
+//! Home-node mapping: which L2 bank (tile) owns each cache block.
+
+use inpg_sim::{Addr, CoreId};
+
+/// Block-interleaved mapping of addresses to home tiles.
+///
+/// The target architecture (paper Figure 3) distributes the shared L2
+/// across all tiles; consecutive 128-byte blocks interleave across the
+/// banks, so `home(block) = block_index mod cores`.
+///
+/// # Example
+///
+/// ```
+/// use inpg_coherence::HomeMap;
+/// use inpg_sim::Addr;
+///
+/// let map = HomeMap::new(64);
+/// assert_eq!(map.home_of(Addr::new(0)).index(), 0);
+/// assert_eq!(map.home_of(Addr::new(128)).index(), 1);
+/// assert_eq!(map.home_of(Addr::new(64 * 128)).index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeMap {
+    cores: usize,
+}
+
+impl HomeMap {
+    /// Creates a mapping over `cores` L2 banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "at least one L2 bank is required");
+        HomeMap { cores }
+    }
+
+    /// The home tile of the block containing `addr`.
+    pub fn home_of(self, addr: Addr) -> CoreId {
+        CoreId::new((addr.block_index() % self.cores as u64) as usize)
+    }
+
+    /// Number of banks.
+    pub fn cores(self) -> usize {
+        self.cores
+    }
+
+    /// A block-aligned address homed at `home`, distinct for each
+    /// `slot`. Used to place lock variables at chosen home nodes (e.g.
+    /// Figure 10 homes the contended lock at tile (5, 6)).
+    pub fn addr_homed_at(self, home: CoreId, slot: u64) -> Addr {
+        assert!(home.index() < self.cores, "home out of range");
+        let block_index = slot * self.cores as u64 + home.index() as u64;
+        Addr::new(block_index * inpg_sim::ids::BLOCK_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaves_blocks() {
+        let map = HomeMap::new(4);
+        assert_eq!(map.home_of(Addr::new(0)).index(), 0);
+        assert_eq!(map.home_of(Addr::new(127)).index(), 0);
+        assert_eq!(map.home_of(Addr::new(128)).index(), 1);
+        assert_eq!(map.home_of(Addr::new(3 * 128)).index(), 3);
+        assert_eq!(map.home_of(Addr::new(4 * 128)).index(), 0);
+    }
+
+    #[test]
+    fn addr_homed_at_round_trips() {
+        let map = HomeMap::new(64);
+        for home in [0usize, 5, 63] {
+            for slot in [0u64, 1, 17] {
+                let addr = map.addr_homed_at(CoreId::new(home), slot);
+                assert!(addr.is_block_aligned());
+                assert_eq!(map.home_of(addr), CoreId::new(home));
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_slots_give_distinct_blocks() {
+        let map = HomeMap::new(8);
+        let a = map.addr_homed_at(CoreId::new(3), 0);
+        let b = map.addr_homed_at(CoreId::new(3), 1);
+        assert_ne!(a.block(), b.block());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one L2 bank")]
+    fn zero_cores_panics() {
+        HomeMap::new(0);
+    }
+}

@@ -1,0 +1,443 @@
+//! Directory-MOESI protocol messages and their mapping onto NoC packets.
+
+use inpg_noc::packet::{EarlyAck, LockRequest, PacketGenPayload, Sink, VirtualNetwork};
+use inpg_sim::{Addr, CoreId, Cycle};
+
+/// Where an invalidation's acknowledgement must be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckTarget {
+    /// To the core winning the exclusive access (normal directory flow:
+    /// the winner collects acknowledgements, paper Figure 4 step 3).
+    Core(CoreId),
+    /// To the big router that generated an early invalidation (iNPG flow,
+    /// paper Figure 5b); the id is the router's tile.
+    Router(CoreId),
+}
+
+/// One directory-MOESI protocol message.
+///
+/// Control messages are single-flit; [`Data`](CoherenceMsg::Data) carries
+/// a cache block (8 flits). The `lock` flag on `GetX` marks requests
+/// produced by atomic read-modify-write instructions on lock variables —
+/// the requests big routers may intercept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoherenceMsg {
+    // ---- requests: core -> home (vnet 0) -----------------------------
+    /// Read request.
+    GetS {
+        /// Block address.
+        addr: Addr,
+        /// Requesting core.
+        requester: CoreId,
+    },
+    /// Exclusive (read-for-modification) request.
+    GetX {
+        /// Block address.
+        addr: Addr,
+        /// Requesting core.
+        requester: CoreId,
+        /// Home node of the block (carried so big routers can route
+        /// generated packets without knowing the home mapping).
+        home: CoreId,
+        /// True when issued by an atomic RMW on a lock variable.
+        lock: bool,
+        /// True when the request may be *demoted*: if the block is owned
+        /// by another core, the home may answer with a shared copy and
+        /// the requester's conditional RMW fails without writing (the
+        /// paper's Figure 4 step 4: losers receive a valid copy and loop
+        /// back to spinning).
+        failable: bool,
+    },
+    /// A `GetX` that was stopped by a big router and relayed onward: the
+    /// home node treats it as the loser's queued request *and* as notice
+    /// that the requester's L1 has been early-invalidated.
+    RelayedGetX {
+        /// Block address.
+        addr: Addr,
+        /// The stopped requester.
+        requester: CoreId,
+        /// Home node of the block.
+        home: CoreId,
+        /// Cycle the big router stopped the request (equals the early
+        /// invalidation's `sent_at`); the home node matches this against
+        /// the relayed acknowledgement of the same interception.
+        stopped_at: Cycle,
+        /// Propagated from the stopped request.
+        failable: bool,
+    },
+
+    // ---- forwards: home -> core (vnet 1) ------------------------------
+    /// Directory asks the current owner to send a shared copy to
+    /// `requester` (owner keeps the block in O).
+    FwdGetS {
+        /// Block address.
+        addr: Addr,
+        /// Core to receive the data.
+        requester: CoreId,
+    },
+    /// Directory asks the current owner to transfer exclusive ownership
+    /// to `requester`.
+    FwdGetX {
+        /// Block address.
+        addr: Addr,
+        /// Core to receive ownership.
+        requester: CoreId,
+        /// Invalidation acknowledgements `requester` must still collect.
+        acks_expected: u16,
+    },
+    /// Invalidate the receiver's copy and acknowledge to `ack_to`.
+    Inv {
+        /// Block address.
+        addr: Addr,
+        /// Where to send the acknowledgement.
+        ack_to: AckTarget,
+        /// Home node of the block (needed by early acks for relaying).
+        home: CoreId,
+        /// When this invalidation was generated (Figure 10's metric).
+        sent_at: Cycle,
+    },
+
+    // ---- responses (vnet 2) -------------------------------------------
+    /// Cache-block data. From the home node or a forwarding owner.
+    Data {
+        /// Block address.
+        addr: Addr,
+        /// Block value (the simulator models one word per block).
+        value: u64,
+        /// Invalidation acks the requester must collect before using the
+        /// block exclusively (0 for read data).
+        acks_expected: u16,
+        /// True when the block is granted exclusively (E/M), false for S.
+        exclusive: bool,
+        /// Whether the home node is blocked on this transaction and the
+        /// requester must send an `UnblockS` when done (read path only;
+        /// exclusive transactions always send `UnblockX`).
+        needs_unblock: bool,
+    },
+    /// Acknowledgement count sent by the home node to a winner who is
+    /// already the data owner (O-state upgrade): no data travels, only
+    /// the number of invalidations to collect (the paper's `AckCount`).
+    AckCount {
+        /// Block address.
+        addr: Addr,
+        /// Invalidation acks the requester must collect.
+        acks_expected: u16,
+    },
+    /// Invalidation acknowledgement, collected by the winning core.
+    InvAck {
+        /// Block address.
+        addr: Addr,
+        /// The invalidated core (representative when `count > 1`).
+        from: CoreId,
+        /// When the corresponding `Inv` was generated.
+        inv_sent_at: Cycle,
+        /// True when the home node forwarded an early acknowledgement on
+        /// the invalidated core's behalf (the round trip was already
+        /// recorded at the relaying router, so the winner must not
+        /// record it again).
+        via_home: bool,
+        /// Acknowledgements this message carries: the home node
+        /// aggregates already-arrived early acknowledgements into one
+        /// message, freeing the winner from collecting them one by one.
+        count: u16,
+    },
+    /// Acknowledgement of an *early* invalidation, addressed to the
+    /// generating big router ([`Sink::Router`]).
+    EarlyInvAck {
+        /// Block address.
+        addr: Addr,
+        /// The invalidated core.
+        from: CoreId,
+        /// Home node of the block.
+        home: CoreId,
+        /// When the early invalidation was generated.
+        inv_sent_at: Cycle,
+    },
+    /// An early acknowledgement relayed by a big router to the home node
+    /// (the AckFwd phase); the home forwards it to the winner.
+    RelayedInvAck {
+        /// Block address.
+        addr: Addr,
+        /// The invalidated core.
+        from: CoreId,
+        /// When the early invalidation was generated.
+        inv_sent_at: Cycle,
+        /// When the acknowledgement reached the relaying router.
+        relayed_at: Cycle,
+    },
+
+    // ---- completion notices (vnet 3) -----------------------------------
+    /// The requester of a read has installed its shared copy; the home
+    /// node may close the transaction.
+    UnblockS {
+        /// Block address.
+        addr: Addr,
+        /// The completing core.
+        from: CoreId,
+    },
+    /// The requester of an exclusive access holds data and all acks; the
+    /// home node may close the transaction.
+    UnblockX {
+        /// Block address.
+        addr: Addr,
+        /// The completing core.
+        from: CoreId,
+    },
+    /// An OS-level wakeup IPI: the queue spin-lock releaser wakes the
+    /// next sleeping thread (used by the manycore layer, carried on the
+    /// system virtual network).
+    OsWakeup {
+        /// The core whose sleeping thread must be woken.
+        core: CoreId,
+    },
+}
+
+impl CoherenceMsg {
+    /// The virtual network this message class travels on.
+    pub fn vnet(&self) -> VirtualNetwork {
+        match self {
+            CoherenceMsg::GetS { .. }
+            | CoherenceMsg::GetX { .. }
+            | CoherenceMsg::RelayedGetX { .. } => VirtualNetwork::REQUEST,
+            CoherenceMsg::FwdGetS { .. }
+            | CoherenceMsg::FwdGetX { .. }
+            | CoherenceMsg::Inv { .. } => VirtualNetwork::FORWARD,
+            CoherenceMsg::Data { .. }
+            | CoherenceMsg::AckCount { .. }
+            | CoherenceMsg::InvAck { .. }
+            | CoherenceMsg::EarlyInvAck { .. }
+            | CoherenceMsg::RelayedInvAck { .. } => VirtualNetwork::RESPONSE,
+            CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. }
+            | CoherenceMsg::OsWakeup { .. } => VirtualNetwork::SYSTEM,
+        }
+    }
+
+    /// Packet length in flits: 8 for a cache block, 1 for control.
+    pub fn flits(&self) -> u8 {
+        match self {
+            CoherenceMsg::Data { .. } => 8,
+            _ => 1,
+        }
+    }
+
+    /// The block address this message concerns.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            CoherenceMsg::GetS { addr, .. }
+            | CoherenceMsg::GetX { addr, .. }
+            | CoherenceMsg::RelayedGetX { addr, .. }
+            | CoherenceMsg::FwdGetS { addr, .. }
+            | CoherenceMsg::FwdGetX { addr, .. }
+            | CoherenceMsg::Inv { addr, .. }
+            | CoherenceMsg::Data { addr, .. }
+            | CoherenceMsg::AckCount { addr, .. }
+            | CoherenceMsg::InvAck { addr, .. }
+            | CoherenceMsg::EarlyInvAck { addr, .. }
+            | CoherenceMsg::RelayedInvAck { addr, .. }
+            | CoherenceMsg::UnblockS { addr, .. }
+            | CoherenceMsg::UnblockX { addr, .. } => addr,
+            CoherenceMsg::OsWakeup { .. } => Addr::new(0),
+        }
+    }
+}
+
+impl PacketGenPayload for CoherenceMsg {
+    fn as_lock_request(&self) -> Option<LockRequest> {
+        match *self {
+            CoherenceMsg::GetX { addr, requester, home, lock: true, .. } => {
+                Some(LockRequest { addr, requester, home })
+            }
+            _ => None,
+        }
+    }
+
+    fn as_early_ack(&self) -> Option<EarlyAck> {
+        match *self {
+            CoherenceMsg::EarlyInvAck { addr, from, home, inv_sent_at } => {
+                Some(EarlyAck { addr, from, home, inv_sent_at })
+            }
+            _ => None,
+        }
+    }
+
+    fn early_inv(request: LockRequest, ack_router: CoreId, now: Cycle) -> Self {
+        CoherenceMsg::Inv {
+            addr: request.addr,
+            ack_to: AckTarget::Router(ack_router),
+            home: request.home,
+            sent_at: now,
+        }
+    }
+
+    fn forwarded_getx(&self, now: Cycle) -> Self {
+        match *self {
+            CoherenceMsg::GetX { addr, requester, home, failable, .. } => {
+                CoherenceMsg::RelayedGetX { addr, requester, home, stopped_at: now, failable }
+            }
+            ref other => {
+                debug_assert!(false, "forwarded_getx on non-GetX message");
+                other.clone()
+            }
+        }
+    }
+
+    fn relayed_ack(ack: EarlyAck, now: Cycle) -> Self {
+        CoherenceMsg::RelayedInvAck {
+            addr: ack.addr,
+            from: ack.from,
+            inv_sent_at: ack.inv_sent_at,
+            relayed_at: now,
+        }
+    }
+}
+
+/// An outgoing message plus its destination, produced by L1 and home
+/// controllers; the system layer wraps it into a NoC packet.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Destination core (tile).
+    pub dst: CoreId,
+    /// NI or router sink.
+    pub sink: Sink,
+    /// The protocol message.
+    pub msg: CoherenceMsg,
+    /// OCOR priority (0 unless the upper layer assigns one).
+    pub priority: u8,
+}
+
+impl Envelope {
+    /// Wraps `msg` for delivery to `dst`'s network interface.
+    pub fn to_core(dst: CoreId, msg: CoherenceMsg) -> Self {
+        Envelope { dst, sink: Sink::NetworkInterface, msg, priority: 0 }
+    }
+
+    /// Wraps `msg` for consumption by the router at `router` (early
+    /// invalidation acknowledgements).
+    pub fn to_router(router: CoreId, msg: CoherenceMsg) -> Self {
+        Envelope { dst: router, sink: Sink::Router, msg, priority: 0 }
+    }
+
+    /// Sets the OCOR priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn getx(lock: bool) -> CoherenceMsg {
+        CoherenceMsg::GetX {
+            addr: Addr::new(0x1000),
+            requester: CoreId::new(3),
+            home: CoreId::new(9),
+            lock,
+            failable: true,
+        }
+    }
+
+    #[test]
+    fn only_lock_getx_is_interceptable() {
+        assert!(getx(true).as_lock_request().is_some());
+        assert!(getx(false).as_lock_request().is_none());
+        let req = getx(true).as_lock_request().unwrap();
+        assert_eq!(req.addr, Addr::new(0x1000));
+        assert_eq!(req.requester, CoreId::new(3));
+        assert_eq!(req.home, CoreId::new(9));
+    }
+
+    #[test]
+    fn forwarded_getx_becomes_relayed() {
+        let fwd = getx(true).forwarded_getx(Cycle::new(17));
+        assert_eq!(
+            fwd,
+            CoherenceMsg::RelayedGetX {
+                addr: Addr::new(0x1000),
+                requester: CoreId::new(3),
+                home: CoreId::new(9),
+                stopped_at: Cycle::new(17),
+                failable: true,
+            }
+        );
+    }
+
+    #[test]
+    fn early_inv_round_trip_through_trait() {
+        let req = getx(true).as_lock_request().unwrap();
+        let router = CoreId::new(10);
+        let inv = CoherenceMsg::early_inv(req, router, Cycle::new(42));
+        let CoherenceMsg::Inv { ack_to, sent_at, home, .. } = inv else {
+            panic!("expected Inv")
+        };
+        assert_eq!(ack_to, AckTarget::Router(router));
+        assert_eq!(sent_at, Cycle::new(42));
+        assert_eq!(home, CoreId::new(9));
+
+        let ack = CoherenceMsg::EarlyInvAck {
+            addr: Addr::new(0x1000),
+            from: CoreId::new(3),
+            home: CoreId::new(9),
+            inv_sent_at: Cycle::new(42),
+        };
+        let extracted = ack.as_early_ack().unwrap();
+        assert_eq!(extracted.inv_sent_at, Cycle::new(42));
+        let relayed = CoherenceMsg::relayed_ack(extracted, Cycle::new(50));
+        let CoherenceMsg::RelayedInvAck { inv_sent_at, relayed_at, .. } = relayed else {
+            panic!("expected RelayedInvAck")
+        };
+        assert_eq!(inv_sent_at, Cycle::new(42));
+        assert_eq!(relayed_at, Cycle::new(50));
+    }
+
+    #[test]
+    fn vnet_classes_are_separated() {
+        assert_eq!(getx(true).vnet(), VirtualNetwork::REQUEST);
+        assert_eq!(
+            CoherenceMsg::Inv {
+                addr: Addr::new(0),
+                ack_to: AckTarget::Core(CoreId::new(0)),
+                home: CoreId::new(0),
+                sent_at: Cycle::ZERO,
+            }
+            .vnet(),
+            VirtualNetwork::FORWARD
+        );
+        assert_eq!(
+            CoherenceMsg::Data {
+                addr: Addr::new(0),
+                value: 0,
+                acks_expected: 0,
+                exclusive: false,
+                needs_unblock: false,
+            }
+            .vnet(),
+            VirtualNetwork::RESPONSE
+        );
+        assert_eq!(
+            CoherenceMsg::OsWakeup { core: CoreId::new(1) }.vnet(),
+            VirtualNetwork::SYSTEM
+        );
+        assert_eq!(
+            CoherenceMsg::UnblockX { addr: Addr::new(0), from: CoreId::new(0) }.vnet(),
+            VirtualNetwork::SYSTEM
+        );
+    }
+
+    #[test]
+    fn data_is_a_block_packet() {
+        let data = CoherenceMsg::Data {
+            addr: Addr::new(0),
+            value: 7,
+            acks_expected: 0,
+            exclusive: false,
+            needs_unblock: false,
+        };
+        assert_eq!(data.flits(), 8);
+        assert_eq!(getx(true).flits(), 1);
+        assert_eq!(CoherenceMsg::AckCount { addr: Addr::new(0), acks_expected: 3 }.flits(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Coherence-level instrumentation: invalidation round trips, lock
+//! transaction occupancy, directory counters.
+
+use inpg_sim::CoreId;
+
+/// Accumulates invalidation–acknowledgement round-trip delays, the metric
+/// of the paper's Figure 10.
+///
+/// For the Original system a round trip runs from the home node
+/// generating an `Inv` to the winner receiving the `InvAck`; under iNPG
+/// an early round trip runs from the big router generating the `Inv` to
+/// the acknowledgement returning to that router. Delays are attributed to
+/// the invalidated core so the per-core delay map can be drawn.
+#[derive(Debug, Clone)]
+pub struct InvAckRoundTrips {
+    sum: Vec<u64>,
+    count: Vec<u64>,
+    max: u64,
+    /// Histogram of delays; bucket `i` counts round trips of exactly `i`
+    /// cycles, with the last bucket saturating.
+    histogram: Vec<u64>,
+}
+
+impl InvAckRoundTrips {
+    /// Creates an accumulator for `cores` cores with `max_bucket`
+    /// histogram buckets.
+    pub fn new(cores: usize, max_bucket: usize) -> Self {
+        InvAckRoundTrips {
+            sum: vec![0; cores],
+            count: vec![0; cores],
+            max: 0,
+            histogram: vec![0; max_bucket + 1],
+        }
+    }
+
+    /// Records one round trip of `delay` cycles for `core`.
+    pub fn record(&mut self, core: CoreId, delay: u64) {
+        if core.index() < self.sum.len() {
+            self.sum[core.index()] += delay;
+            self.count[core.index()] += 1;
+        }
+        self.max = self.max.max(delay);
+        let bucket = (delay as usize).min(self.histogram.len() - 1);
+        self.histogram[bucket] += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &InvAckRoundTrips) {
+        for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+        for (a, b) in self.count.iter_mut().zip(&other.count) {
+            *a += b;
+        }
+        self.max = self.max.max(other.max);
+        for (a, b) in self.histogram.iter_mut().zip(&other.histogram) {
+            *a += b;
+        }
+    }
+
+    /// Mean delay for `core`, or `None` if it was never invalidated.
+    pub fn mean_for(&self, core: CoreId) -> Option<f64> {
+        let i = core.index();
+        if i >= self.count.len() || self.count[i] == 0 {
+            return None;
+        }
+        Some(self.sum[i] as f64 / self.count[i] as f64)
+    }
+
+    /// Mean delay over every recorded round trip.
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.count.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.sum.iter().sum::<u64>() as f64 / total as f64
+    }
+
+    /// Largest recorded delay.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Total recorded round trips.
+    pub fn total_count(&self) -> u64 {
+        self.count.iter().sum()
+    }
+
+    /// The histogram buckets (`bucket[i]` = trips of `i` cycles; last
+    /// bucket saturates).
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+}
+
+/// Per-L1 counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Demand stores and atomic RMWs issued.
+    pub stores: u64,
+    /// Hits served locally.
+    pub hits: u64,
+    /// Misses that produced coherence traffic.
+    pub misses: u64,
+    /// GetX requests issued.
+    pub getx_issued: u64,
+    /// GetS requests issued.
+    pub gets_issued: u64,
+    /// Invalidations received (home- or router-generated).
+    pub invs_received: u64,
+    /// Cycles spent with a lock-variable transaction outstanding — the
+    /// per-core lock coherence overhead (LCO) numerator.
+    pub lock_txn_cycles: u64,
+    /// Number of lock-variable transactions (issue → completion).
+    pub lock_txns: u64,
+    /// Cycles spent with any memory transaction outstanding.
+    pub mem_txn_cycles: u64,
+    /// Conditional lock RMWs completed as demoted failures.
+    pub demoted_fails: u64,
+    /// Demoted RMWs that observed a success value and retried with a
+    /// full exclusive request.
+    pub demote_retries: u64,
+    /// Owner forwards that arrived after ownership moved and were
+    /// bounced back to the home node.
+    pub forwards_bounced: u64,
+    /// Sum and count of read-miss transaction latencies.
+    pub read_miss_lat: u64,
+    /// Read-miss transactions.
+    pub read_misses: u64,
+    /// Sum and count of write/RMW-miss transaction latencies.
+    pub write_miss_lat: u64,
+    /// Write/RMW-miss transactions.
+    pub write_misses: u64,
+}
+
+/// Per-home-bank counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HomeStats {
+    /// Requests processed (GetS + GetX + relayed).
+    pub requests: u64,
+    /// GetX (incl. relayed) processed.
+    pub getx: u64,
+    /// Invalidations the home node itself sent.
+    pub invs_sent: u64,
+    /// Invalidations skipped because a big router performed them early.
+    pub invs_saved_by_early: u64,
+    /// Relayed early acknowledgements forwarded to a winner.
+    pub relays_forwarded: u64,
+    /// Relayed acknowledgements consumed from the early-record store.
+    pub early_acks_consumed: u64,
+    /// Relayed acknowledgements that matched nothing and were parked.
+    pub acks_parked: u64,
+    /// Failable lock requests demoted to shared-copy service.
+    pub demotions: u64,
+    /// Cycles a request spent queued behind a busy block, summed.
+    pub queue_wait_cycles: u64,
+    /// Peak length of any block's request queue.
+    pub max_queue_len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_record_and_mean() {
+        let mut rt = InvAckRoundTrips::new(4, 128);
+        rt.record(CoreId::new(0), 10);
+        rt.record(CoreId::new(0), 20);
+        rt.record(CoreId::new(2), 40);
+        assert_eq!(rt.mean_for(CoreId::new(0)), Some(15.0));
+        assert_eq!(rt.mean_for(CoreId::new(1)), None);
+        assert!((rt.mean() - (70.0 / 3.0)).abs() < 1e-9);
+        assert_eq!(rt.max(), 40);
+        assert_eq!(rt.total_count(), 3);
+        assert_eq!(rt.histogram()[10], 1);
+        assert_eq!(rt.histogram()[40], 1);
+    }
+
+    #[test]
+    fn histogram_saturates() {
+        let mut rt = InvAckRoundTrips::new(1, 16);
+        rt.record(CoreId::new(0), 500);
+        assert_eq!(rt.histogram()[16], 1);
+        assert_eq!(rt.max(), 500);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = InvAckRoundTrips::new(2, 8);
+        let mut b = InvAckRoundTrips::new(2, 8);
+        a.record(CoreId::new(0), 4);
+        b.record(CoreId::new(0), 6);
+        b.record(CoreId::new(1), 2);
+        a.merge(&b);
+        assert_eq!(a.mean_for(CoreId::new(0)), Some(5.0));
+        assert_eq!(a.total_count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_core_still_counts_globally() {
+        let mut rt = InvAckRoundTrips::new(1, 8);
+        rt.record(CoreId::new(9), 3);
+        assert_eq!(rt.total_count(), 0, "per-core table untouched");
+        assert_eq!(rt.histogram()[3], 1, "histogram still sees it");
+    }
+}

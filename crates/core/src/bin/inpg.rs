@@ -1,0 +1,258 @@
+//! `inpg` — command-line front end for the simulator.
+//!
+//! ```text
+//! inpg list                                  list the modelled benchmarks
+//! inpg run <benchmark> [options]             run one experiment
+//! inpg compare <benchmark> [options]         run all four mechanisms
+//! inpg sweep-primitives <benchmark> [opts]   Original vs iNPG × 5 primitives
+//!
+//! options:
+//!   --mechanism original|ocor|inpg|inpg+ocor   (run only; default original)
+//!   --primitive tas|ttl|abql|mcs|qsl           (default qsl)
+//!   --mesh WxH                                 (default 8x8)
+//!   --scale F                                  (default 0.1)
+//!   --big-routers N                            override deployment
+//!   --barrier-entries N                        (default 16)
+//!   --seed N                                   workload seed
+//! ```
+
+use inpg::stats::{pct, speedup, Table};
+use inpg::{Experiment, ExperimentResult, LockPrimitive, Mechanism};
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    mechanism: Mechanism,
+    primitive: LockPrimitive,
+    mesh: (u8, u8),
+    scale: f64,
+    big_routers: Option<usize>,
+    barrier_entries: usize,
+    seed: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            mechanism: Mechanism::Original,
+            primitive: LockPrimitive::Qsl,
+            mesh: (8, 8),
+            scale: 0.1,
+            big_routers: None,
+            barrier_entries: 16,
+            seed: None,
+        }
+    }
+}
+
+fn parse_mesh(s: &str) -> Result<(u8, u8), String> {
+    let (w, h) = s.split_once(['x', 'X']).ok_or_else(|| format!("bad mesh `{s}`"))?;
+    Ok((
+        w.parse().map_err(|_| format!("bad mesh width `{w}`"))?,
+        h.parse().map_err(|_| format!("bad mesh height `{h}`"))?,
+    ))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--mechanism" => options.mechanism = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--primitive" => options.primitive = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--mesh" => options.mesh = parse_mesh(&value()?)?,
+            "--scale" => {
+                options.scale = value()?.parse().map_err(|_| "bad --scale".to_string())?
+            }
+            "--big-routers" => {
+                options.big_routers =
+                    Some(value()?.parse().map_err(|_| "bad --big-routers".to_string())?)
+            }
+            "--barrier-entries" => {
+                options.barrier_entries =
+                    value()?.parse().map_err(|_| "bad --barrier-entries".to_string())?
+            }
+            "--seed" => {
+                options.seed = Some(value()?.parse().map_err(|_| "bad --seed".to_string())?)
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn build(benchmark: &str, options: &Options) -> Experiment {
+    let mut e = Experiment::benchmark(benchmark)
+        .mechanism(options.mechanism)
+        .primitive(options.primitive)
+        .mesh(options.mesh.0, options.mesh.1)
+        .barrier_entries(options.barrier_entries)
+        .scale(options.scale);
+    if let Some(count) = options.big_routers {
+        e = e.big_routers(count);
+    }
+    if let Some(seed) = options.seed {
+        e = e.seed(seed);
+    }
+    e
+}
+
+fn summarize(r: &ExperimentResult) {
+    let (p, c, s) = r.phase_shares();
+    println!("workload:        {} ({} / {})", r.name, r.mechanism, r.primitive);
+    println!("ROI finish time: {} cycles ({} critical sections)", r.roi_cycles, r.cs_count);
+    println!(
+        "phases:          {} parallel, {} COH, {} CSE",
+        pct(p),
+        pct(c),
+        pct(s)
+    );
+    println!(
+        "per CS:          {:.0} COH + {:.0} CSE cycles",
+        r.avg_cs_coh, r.avg_cs_cse
+    );
+    println!(
+        "Inv-Ack:         mean {:.1}, max {} cycles over {} round trips",
+        r.invack.mean, r.invack.max, r.invack.count
+    );
+    if r.barrier.requests_stopped > 0 {
+        println!(
+            "iNPG:            {} requests stopped, {} acks relayed, {} home invalidations saved",
+            r.barrier.requests_stopped, r.barrier.acks_relayed, r.home_invs_saved
+        );
+    }
+}
+
+fn cmd_list() {
+    let mut table = Table::new(vec!["name", "suite", "total CS", "cycles/CS", "locks", "group"]);
+    for spec in &inpg::workloads::BENCHMARKS {
+        table.add_row(vec![
+            spec.name.to_string(),
+            spec.suite.to_string(),
+            spec.total_cs.to_string(),
+            spec.avg_cs_cycles.to_string(),
+            spec.locks.to_string(),
+            inpg::workloads::group_of(spec).to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn cmd_run(benchmark: &str, options: &Options) -> Result<(), String> {
+    let result = build(benchmark, options).run().map_err(|e| e.to_string())?;
+    if !result.completed {
+        return Err("run hit the cycle bound before completing".into());
+    }
+    summarize(&result);
+    Ok(())
+}
+
+fn cmd_compare(benchmark: &str, options: &Options) -> Result<(), String> {
+    let mut table = Table::new(vec![
+        "mechanism",
+        "ROI cycles",
+        "rel. ROI",
+        "CS expedition",
+        "Inv-Ack mean",
+    ]);
+    let mut base: Option<ExperimentResult> = None;
+    for mechanism in Mechanism::ALL {
+        let mut options = options.clone();
+        options.mechanism = mechanism;
+        let r = build(benchmark, &options).run().map_err(|e| e.to_string())?;
+        if !r.completed {
+            return Err(format!("{mechanism} hit the cycle bound"));
+        }
+        let (rel, exp) = match &base {
+            None => (1.0, 1.0),
+            Some(b) => {
+                (r.roi_cycles as f64 / b.roi_cycles as f64, b.cs_access_time() / r.cs_access_time())
+            }
+        };
+        table.add_row(vec![
+            mechanism.to_string(),
+            r.roi_cycles.to_string(),
+            pct(rel),
+            speedup(exp),
+            format!("{:.1}", r.invack.mean),
+        ]);
+        if base.is_none() {
+            base = Some(r);
+        }
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_sweep_primitives(benchmark: &str, options: &Options) -> Result<(), String> {
+    let mut table =
+        Table::new(vec!["primitive", "Original ROI", "iNPG ROI", "iNPG reduction"]);
+    for primitive in LockPrimitive::ALL {
+        let mut opts = options.clone();
+        opts.primitive = primitive;
+        opts.mechanism = Mechanism::Original;
+        let base = build(benchmark, &opts).run().map_err(|e| e.to_string())?;
+        opts.mechanism = Mechanism::Inpg;
+        let inpg = build(benchmark, &opts).run().map_err(|e| e.to_string())?;
+        if !base.completed || !inpg.completed {
+            return Err(format!("{primitive} hit the cycle bound"));
+        }
+        table.add_row(vec![
+            primitive.to_string(),
+            base.roi_cycles.to_string(),
+            inpg.roi_cycles.to_string(),
+            pct(1.0 - inpg.roi_cycles as f64 / base.roi_cycles as f64),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: inpg <list|run|compare|sweep-primitives> [benchmark] [options]\n\
+     try `inpg list` to see the modelled benchmarks"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, _)) if cmd == "list" => {
+            cmd_list();
+            Ok(())
+        }
+        Some((cmd, rest)) => {
+            let (benchmark, rest) = match rest.split_first() {
+                Some((b, r)) if !b.starts_with("--") => (b.clone(), r),
+                _ => return err_exit("missing benchmark name"),
+            };
+            if inpg::workloads::benchmark(&benchmark).is_none() {
+                return err_exit(&format!(
+                    "unknown benchmark `{benchmark}` (see `inpg list`)"
+                ));
+            }
+            match parse_options(rest) {
+                Err(e) => return err_exit(&e),
+                Ok(options) => match cmd.as_str() {
+                    "run" => cmd_run(&benchmark, &options),
+                    "compare" => cmd_compare(&benchmark, &options),
+                    "sweep-primitives" => cmd_sweep_primitives(&benchmark, &options),
+                    other => Err(format!("unknown command `{other}`\n{}", usage())),
+                },
+            }
+        }
+        None => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => err_exit(&e),
+    }
+}
+
+fn err_exit(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

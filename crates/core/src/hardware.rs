@@ -1,0 +1,249 @@
+//! Analytical synthesis/floorplan model reproducing the paper's Figure 7.
+//!
+//! The paper synthesized RTL for normal and big routers in a TSMC 40 nm
+//! flow (Synopsys DC + Cadence SoC Encounter). We cannot run a licensed
+//! flow, so this module reproduces the *derivation* of Figure 7a
+//! bottom-up from the published per-module constants: the packet
+//! generator's cost (dominated by the locking barrier table) is added to
+//! a normal router to give the big router, tiles compose a core with a
+//! router, and the chip composes 64 tiles. All constants at the default
+//! 16-entry table match the paper's numbers exactly; other table sizes
+//! scale the table-proportional share linearly (the paper states the
+//! majority of the generator's 2.5 K gates come from the table).
+
+use inpg_noc::{Coord, NocConfig};
+
+/// Gate/power/area figures for one module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleCost {
+    /// Equivalent NAND gates (thousands).
+    pub kgates: f64,
+    /// Standard cells (thousands).
+    pub kcells: f64,
+    /// Dynamic power, milliwatts.
+    pub dynamic_mw: f64,
+    /// Silicon area, square millimetres.
+    pub area_mm2: f64,
+}
+
+/// Figure 7a constants (TSMC 40 nm LP, typical, 1.1 V, 2.0 GHz).
+mod paper {
+    /// Normal router: 19.9 K gates.
+    pub const ROUTER_KGATES: f64 = 19.9;
+    /// Big router: 22.4 K gates.
+    pub const BIG_ROUTER_KGATES: f64 = 22.4;
+    /// Packet generator at 16 entries: 2.5 K gates.
+    pub const PACKET_GEN_KGATES: f64 = BIG_ROUTER_KGATES - ROUTER_KGATES;
+    /// Share of the generator that is the locking barrier table (the
+    /// paper: "the majority coming from the locking barrier table").
+    pub const TABLE_SHARE: f64 = 0.8;
+    /// Default table entries in the synthesized design.
+    pub const TABLE_ENTRIES: usize = 16;
+    /// Core: 152.5 K gates.
+    pub const CORE_KGATES: f64 = 152.5;
+    /// Standard cells (thousands): core / big router / normal router.
+    pub const CORE_KCELLS: f64 = 23.2;
+    pub const BIG_ROUTER_KCELLS: f64 = 4.0;
+    pub const ROUTER_KCELLS: f64 = 3.6;
+    /// Dynamic power (mW).
+    pub const CORE_MW: f64 = 623.5;
+    pub const ROUTER_MW: f64 = 84.2;
+    pub const PACKET_GEN_MW: f64 = 8.4;
+    /// Areas (mm^2).
+    pub const CORE_AREA: f64 = 2.03;
+    pub const ROUTER_AREA: f64 = 0.21;
+    /// Cell density before filler insertion.
+    pub const CORE_DENSITY: f64 = 0.4826;
+    pub const BIG_ROUTER_DENSITY: f64 = 0.6667;
+    pub const ROUTER_DENSITY: f64 = 0.6190;
+    /// Floorplan layer stack.
+    pub const TOTAL_LAYERS: u32 = 28;
+    pub const METAL_LAYERS: u32 = 10;
+}
+
+/// The packet generator added to a big router, scaled by barrier-table
+/// size.
+pub fn packet_generator(table_entries: usize) -> ModuleCost {
+    let scale = table_entries as f64 / paper::TABLE_ENTRIES as f64;
+    let kgates =
+        paper::PACKET_GEN_KGATES * (1.0 - paper::TABLE_SHARE + paper::TABLE_SHARE * scale);
+    // Power and cells scale with gates; area is absorbed into the router
+    // tile (the paper keeps both router flavours in the same 0.21 mm^2
+    // outline by raising cell density).
+    let gate_ratio = kgates / paper::PACKET_GEN_KGATES;
+    ModuleCost {
+        kgates,
+        kcells: (paper::BIG_ROUTER_KCELLS - paper::ROUTER_KCELLS) * gate_ratio,
+        dynamic_mw: paper::PACKET_GEN_MW * gate_ratio,
+        area_mm2: 0.0,
+    }
+}
+
+/// A normal (transmit-only) router.
+pub fn normal_router() -> ModuleCost {
+    ModuleCost {
+        kgates: paper::ROUTER_KGATES,
+        kcells: paper::ROUTER_KCELLS,
+        dynamic_mw: paper::ROUTER_MW,
+        area_mm2: paper::ROUTER_AREA,
+    }
+}
+
+/// A big router with a `table_entries`-entry locking barrier table.
+pub fn big_router(table_entries: usize) -> ModuleCost {
+    let gen = packet_generator(table_entries);
+    let base = normal_router();
+    ModuleCost {
+        kgates: base.kgates + gen.kgates,
+        kcells: base.kcells + gen.kcells,
+        dynamic_mw: base.dynamic_mw + gen.dynamic_mw,
+        area_mm2: base.area_mm2,
+    }
+}
+
+/// The OpenRISC-class core used for floorplanning.
+pub fn core() -> ModuleCost {
+    ModuleCost {
+        kgates: paper::CORE_KGATES,
+        kcells: paper::CORE_KCELLS,
+        dynamic_mw: paper::CORE_MW,
+        area_mm2: paper::CORE_AREA,
+    }
+}
+
+/// One tile (core + router); `big` selects the router flavour.
+pub fn tile(big: bool, table_entries: usize) -> ModuleCost {
+    let c = core();
+    let r = if big { big_router(table_entries) } else { normal_router() };
+    ModuleCost {
+        kgates: c.kgates + r.kgates,
+        kcells: c.kcells + r.kcells,
+        dynamic_mw: c.dynamic_mw + r.dynamic_mw,
+        area_mm2: c.area_mm2 + r.area_mm2,
+    }
+}
+
+/// Whole-chip totals for a NoC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSummary {
+    /// Tiles on the die.
+    pub tiles: usize,
+    /// Big routers deployed.
+    pub big_routers: usize,
+    /// Total equivalent gates (thousands).
+    pub kgates: f64,
+    /// Total dynamic power (watts).
+    pub dynamic_w: f64,
+    /// Total silicon area (mm^2).
+    pub area_mm2: f64,
+    /// Power overhead of the big-router deployment relative to an
+    /// all-normal chip (fraction).
+    pub power_overhead: f64,
+}
+
+/// Composes the chip of `cfg`: every tile has a core and a router, big
+/// ones per the placement.
+pub fn chip(cfg: &NocConfig) -> ChipSummary {
+    let mut kgates = 0.0;
+    let mut power = 0.0;
+    let mut area = 0.0;
+    let mut big = 0usize;
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            let is_big = cfg.placement.is_big(Coord::new(x, y), cfg.width, cfg.height);
+            big += usize::from(is_big);
+            let t = tile(is_big, cfg.barrier_entries);
+            kgates += t.kgates;
+            power += t.dynamic_mw;
+            area += t.area_mm2;
+        }
+    }
+    let tiles = cfg.nodes();
+    let all_normal_power = tile(false, cfg.barrier_entries).dynamic_mw * tiles as f64;
+    ChipSummary {
+        tiles,
+        big_routers: big,
+        kgates,
+        dynamic_w: power / 1_000.0,
+        area_mm2: area,
+        power_overhead: (power - all_normal_power) / all_normal_power,
+    }
+}
+
+/// Cell density of the router outline (Figure 7a): the big router packs
+/// more cells into the same 460 µm × 460 µm footprint.
+pub fn router_cell_density(big: bool) -> f64 {
+    if big {
+        paper::BIG_ROUTER_DENSITY
+    } else {
+        paper::ROUTER_DENSITY
+    }
+}
+
+/// Core cell density (Figure 7a).
+pub fn core_cell_density() -> f64 {
+    paper::CORE_DENSITY
+}
+
+/// Floorplan layer counts (Figure 7a): `(total, metal)`.
+pub fn floorplan_layers() -> (u32, u32) {
+    (paper::TOTAL_LAYERS, paper::METAL_LAYERS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inpg_noc::NocConfig;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn default_table_matches_figure7_exactly() {
+        assert!(close(normal_router().kgates, 19.9));
+        assert!(close(big_router(16).kgates, 22.4));
+        assert!(close(packet_generator(16).kgates, 2.5));
+        assert!(close(packet_generator(16).dynamic_mw, 8.4));
+        assert!(close(big_router(16).dynamic_mw, 92.6));
+        assert!(close(tile(true, 16).dynamic_mw, 716.1));
+        assert!(close(tile(false, 16).dynamic_mw, 707.7));
+        assert!(close(core().kgates, 152.5));
+    }
+
+    #[test]
+    fn packet_generator_overhead_is_under_ten_percent() {
+        // The paper reports 9.9% power overhead over a normal router.
+        let overhead = packet_generator(16).dynamic_mw / normal_router().dynamic_mw;
+        assert!((overhead - 0.0998).abs() < 0.001, "overhead {overhead}");
+    }
+
+    #[test]
+    fn table_size_scales_generator() {
+        assert!(packet_generator(4).kgates < packet_generator(16).kgates);
+        assert!(packet_generator(64).kgates > packet_generator(16).kgates);
+        // The fixed (non-table) logic never disappears.
+        assert!(packet_generator(1).kgates > 0.4);
+    }
+
+    #[test]
+    fn paper_chip_composition() {
+        let summary = chip(&NocConfig::paper_default());
+        assert_eq!(summary.tiles, 64);
+        assert_eq!(summary.big_routers, 32);
+        // 32 big + 32 normal tiles.
+        let expected_power = (32.0 * 716.1 + 32.0 * 707.7) / 1000.0;
+        assert!(close(summary.dynamic_w, expected_power));
+        // Power overhead of the half-deployment: half of 8.4mW per tile.
+        assert!((summary.power_overhead - 0.5 * 8.4 / 707.7).abs() < 1e-6);
+        // Chip area: 64 tiles of core + router.
+        assert!(close(summary.area_mm2, 64.0 * (2.03 + 0.21)));
+    }
+
+    #[test]
+    fn densities_and_layers() {
+        assert!(router_cell_density(true) > router_cell_density(false));
+        assert!(close(core_cell_density(), 0.4826));
+        assert_eq!(floorplan_layers(), (28, 10));
+    }
+}

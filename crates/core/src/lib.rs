@@ -1,0 +1,60 @@
+//! # iNPG: In-Network Packet Generation for critical-section acceleration
+//!
+//! A from-scratch Rust reproduction of Yao & Lu, *iNPG: Accelerating
+//! Critical Section Access with In-Network Packet Generation for NoC
+//! Based Many-Cores* (HPCA 2018). The crate stacks a flit-level mesh NoC
+//! ([`inpg_noc`]), a directory-MOESI coherence hierarchy
+//! ([`inpg_coherence`]), five lock primitives ([`inpg_locks`]), a
+//! many-core system model ([`inpg_manycore`]) and 24 synthetic benchmark
+//! models ([`inpg_workloads`]) underneath a single experiment API.
+//!
+//! The headline mechanism: *big routers* hold a locking barrier table;
+//! once a lock `GetX` passes through, later competing `GetX`s for the
+//! same lock are stopped in the network. The router generates the
+//! invalidation to the loser's L1 itself, forwards the stopped request
+//! to the home node, and relays the acknowledgement — so losers are
+//! invalidated *on the way to* the home node and the winner collects its
+//! acknowledgements far earlier.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use inpg::{Experiment, Mechanism};
+//!
+//! // Compare the baseline against iNPG on the freqmine model
+//! // (scaled down so the doctest stays quick).
+//! let run = |m: Mechanism| {
+//!     Experiment::benchmark("freq")
+//!         .mechanism(m)
+//!         .mesh(4, 4)
+//!         .scale(0.01)
+//!         .run()
+//! };
+//! let base = run(Mechanism::Original)?;
+//! let inpg = run(Mechanism::Inpg)?;
+//! assert!(base.completed && inpg.completed);
+//! assert!(inpg.barrier.requests_stopped > 0, "early invalidation fired");
+//! # Ok::<(), inpg_sim::ConfigError>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub mod experiment;
+pub mod hardware;
+pub mod mechanism;
+
+pub use experiment::{Experiment, ExperimentResult, InvAckSummary, NocSummary};
+pub use mechanism::Mechanism;
+
+// Re-export the sub-crates so downstream users need a single dependency.
+pub use inpg_coherence as coherence;
+pub use inpg_locks as locks;
+pub use inpg_manycore as manycore;
+pub use inpg_noc as noc;
+pub use inpg_sim as sim;
+pub use inpg_stats as stats;
+pub use inpg_workloads as workloads;
+
+pub use inpg_locks::LockPrimitive;
+pub use inpg_manycore::{Segment, SystemConfig, ThreadProgram};

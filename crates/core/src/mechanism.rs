@@ -1,0 +1,130 @@
+//! The four comparison mechanisms of the paper's evaluation (§5.1).
+
+use inpg_manycore::SystemConfig;
+use inpg_noc::BigRouterPlacement;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which competition-overhead-reduction mechanism is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// Case 1: the baseline architecture (Table 1, no acceleration).
+    Original,
+    /// Case 2: OCOR — retry-count-prioritized lock packets (ISCA'16).
+    Ocor,
+    /// Case 3: iNPG — big routers generating early invalidations.
+    Inpg,
+    /// Case 4: both combined.
+    InpgOcor,
+}
+
+impl Mechanism {
+    /// The four cases in the paper's order.
+    pub const ALL: [Mechanism; 4] =
+        [Mechanism::Original, Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor];
+
+    /// Whether big routers are deployed.
+    pub fn uses_inpg(self) -> bool {
+        matches!(self, Mechanism::Inpg | Mechanism::InpgOcor)
+    }
+
+    /// Whether OCOR prioritization is active.
+    pub fn uses_ocor(self) -> bool {
+        matches!(self, Mechanism::Ocor | Mechanism::InpgOcor)
+    }
+
+    /// Applies the mechanism to a system configuration: sets the big
+    /// router deployment (checkerboard for iNPG unless the config
+    /// already chose one) and the OCOR flags.
+    #[must_use]
+    pub fn apply(self, mut cfg: SystemConfig) -> SystemConfig {
+        cfg.noc.placement = if self.uses_inpg() {
+            match cfg.noc.placement {
+                BigRouterPlacement::None => BigRouterPlacement::Checkerboard,
+                keep => keep,
+            }
+        } else {
+            BigRouterPlacement::None
+        };
+        cfg.with_ocor(self.uses_ocor())
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Mechanism::Original => "Original",
+            Mechanism::Ocor => "OCOR",
+            Mechanism::Inpg => "iNPG",
+            Mechanism::InpgOcor => "iNPG+OCOR",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing an unknown mechanism name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMechanismError(String);
+
+impl fmt::Display for ParseMechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mechanism `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseMechanismError {}
+
+impl FromStr for Mechanism {
+    type Err = ParseMechanismError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "original" | "baseline" => Ok(Mechanism::Original),
+            "ocor" => Ok(Mechanism::Ocor),
+            "inpg" => Ok(Mechanism::Inpg),
+            "inpg+ocor" | "inpgocor" | "both" => Ok(Mechanism::InpgOcor),
+            other => Err(ParseMechanismError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_sets_flags() {
+        let base = SystemConfig::baseline();
+        let cfg = Mechanism::Original.apply(base.clone());
+        assert_eq!(cfg.noc.placement, BigRouterPlacement::None);
+        assert!(!cfg.ocor);
+
+        let cfg = Mechanism::Inpg.apply(base.clone());
+        assert_eq!(cfg.noc.placement, BigRouterPlacement::Checkerboard);
+        assert!(!cfg.ocor);
+
+        let cfg = Mechanism::InpgOcor.apply(base.clone());
+        assert!(cfg.ocor && cfg.noc.ocor_arbitration);
+        assert_eq!(cfg.noc.placement, BigRouterPlacement::Checkerboard);
+
+        let cfg = Mechanism::Ocor.apply(base);
+        assert!(cfg.ocor);
+        assert_eq!(cfg.noc.placement, BigRouterPlacement::None);
+    }
+
+    #[test]
+    fn apply_keeps_explicit_deployment() {
+        let mut base = SystemConfig::baseline();
+        base.noc.placement = BigRouterPlacement::Spread(4);
+        let cfg = Mechanism::Inpg.apply(base);
+        assert_eq!(cfg.noc.placement, BigRouterPlacement::Spread(4));
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for m in Mechanism::ALL {
+            assert_eq!(m.to_string().parse::<Mechanism>().unwrap(), m);
+        }
+        assert!("turbo".parse::<Mechanism>().is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Memory layout of lock data structures.
+//!
+//! Every word a lock protocol touches lives in its own 128-byte cache
+//! block (the standard padding that avoids false sharing), so the system
+//! layer allocates `words_needed` distinct block-aligned addresses per
+//! lock and wraps them in a [`LockLayout`].
+
+use crate::LockPrimitive;
+use inpg_sim::Addr;
+
+/// Byte-wide ABQL slots packed per cache block (the unpadded classic
+/// array layout; the resulting false sharing is part of what iNPG's
+/// evaluation exercises).
+pub const ABQL_SLOTS_PER_BLOCK: usize = 8;
+
+/// The block-aligned words backing one lock instance.
+///
+/// Word meaning depends on the primitive:
+///
+/// | primitive | words |
+/// |---|---|
+/// | TAS / QSL | `[flag]` |
+/// | Ticket | `[packed]` — next_ticket in the high 32 bits, now_serving in the low 32; both counters share one cache block, as in the classic (and Linux) ticket lock |
+/// | ABQL | `[tail, slots_0, slots_1, …]` — 8 byte-wide slots per block (the classic array layout without padding) |
+/// | MCS | `[tail, flag_0, next_0, … flag_{N-1}, next_{N-1}]` — per-thread nodes padded to their own blocks, MCS's design point |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockLayout {
+    primitive: LockPrimitive,
+    threads: usize,
+    words: Vec<Addr>,
+}
+
+impl LockLayout {
+    /// Number of block-aligned words `primitive` needs for `threads`
+    /// competing threads.
+    pub fn words_needed(primitive: LockPrimitive, threads: usize) -> usize {
+        match primitive {
+            LockPrimitive::Tas | LockPrimitive::Qsl => 1,
+            LockPrimitive::Ticket => 1,
+            LockPrimitive::Abql => 1 + threads.div_ceil(ABQL_SLOTS_PER_BLOCK),
+            LockPrimitive::Mcs => 1 + 2 * threads,
+        }
+    }
+
+    /// Wraps allocated word addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word count does not match
+    /// [`words_needed`](Self::words_needed) or any word is not
+    /// block-aligned.
+    pub fn new(primitive: LockPrimitive, threads: usize, words: Vec<Addr>) -> Self {
+        assert_eq!(
+            words.len(),
+            Self::words_needed(primitive, threads),
+            "wrong number of words for {primitive}"
+        );
+        assert!(words.iter().all(|w| w.is_block_aligned()), "lock words must be block-aligned");
+        LockLayout { primitive, threads, words }
+    }
+
+    /// The primitive this layout serves.
+    pub fn primitive(&self) -> LockPrimitive {
+        self.primitive
+    }
+
+    /// Number of competing threads the layout was sized for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The primary (most contended) word: TAS flag, ticket dispenser,
+    /// ABQL/MCS tail. This is the word experiments home at a chosen tile.
+    pub fn primary(&self) -> Addr {
+        self.words[0]
+    }
+
+    /// All words, in layout order.
+    pub fn words(&self) -> &[Addr] {
+        &self.words
+    }
+
+    /// `(address, initial value)` pairs the system must install before
+    /// the workload starts.
+    pub fn initial_values(&self) -> Vec<(Addr, u64)> {
+        let mut init: Vec<(Addr, u64)> = self.words.iter().map(|&w| (w, 0)).collect();
+        if self.primitive == LockPrimitive::Abql {
+            // Slot 0 (byte lane 0 of the first slot block) starts
+            // "open" so the first arrival proceeds.
+            init[1].1 = 1;
+        }
+        init
+    }
+
+    // -- accessors per primitive ------------------------------------------
+
+    /// TAS/QSL: the lock word all threads spin on and CAS.
+    pub fn tas_flag(&self) -> Addr {
+        debug_assert!(matches!(self.primitive, LockPrimitive::Tas | LockPrimitive::Qsl));
+        self.words[0]
+    }
+
+    /// Ticket: the packed counter word (next_ticket high 32 bits,
+    /// now_serving low 32 bits).
+    pub fn ticket_word(&self) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Ticket);
+        self.words[0]
+    }
+
+    /// ABQL: the tail counter.
+    pub fn abql_tail(&self) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Abql);
+        self.words[0]
+    }
+
+    /// ABQL: the block holding slot `i` (8 byte-wide slots per block).
+    pub fn abql_slot_block(&self, i: usize) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Abql);
+        self.words[1 + (i % self.threads) / ABQL_SLOTS_PER_BLOCK]
+    }
+
+    /// ABQL: the byte lane of slot `i` within its block.
+    pub fn abql_slot_lane(&self, i: usize) -> u32 {
+        ((i % self.threads) % ABQL_SLOTS_PER_BLOCK) as u32
+    }
+
+    /// MCS: the tail pointer word.
+    pub fn mcs_tail(&self) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Mcs);
+        self.words[0]
+    }
+
+    /// MCS: thread `t`'s spin flag word.
+    pub fn mcs_flag(&self, t: usize) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Mcs);
+        self.words[1 + 2 * t]
+    }
+
+    /// MCS: thread `t`'s next pointer word.
+    pub fn mcs_next(&self, t: usize) -> Addr {
+        debug_assert_eq!(self.primitive, LockPrimitive::Mcs);
+        self.words[2 + 2 * t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<Addr> {
+        (0..n).map(|i| Addr::new(i as u64 * 128)).collect()
+    }
+
+    #[test]
+    fn words_needed_per_primitive() {
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Tas, 8), 1);
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Ticket, 8), 1);
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Abql, 8), 2);
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Abql, 64), 9);
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Mcs, 8), 17);
+        assert_eq!(LockLayout::words_needed(LockPrimitive::Qsl, 8), 1);
+    }
+
+    #[test]
+    fn accessors_map_correctly() {
+        let layout = LockLayout::new(LockPrimitive::Mcs, 4, words(9));
+        assert_eq!(layout.mcs_tail(), Addr::new(0));
+        assert_eq!(layout.mcs_flag(0), Addr::new(128));
+        assert_eq!(layout.mcs_next(0), Addr::new(256));
+        assert_eq!(layout.mcs_flag(3), Addr::new(7 * 128));
+        assert_eq!(layout.mcs_next(3), Addr::new(8 * 128));
+        assert_eq!(layout.primary(), Addr::new(0));
+    }
+
+    #[test]
+    fn abql_initial_opens_slot_zero() {
+        let layout = LockLayout::new(LockPrimitive::Abql, 3, words(2));
+        let init = layout.initial_values();
+        assert_eq!(init.len(), 2);
+        assert_eq!(init[0], (Addr::new(0), 0), "tail starts at 0");
+        assert_eq!(init[1], (Addr::new(128), 1), "slot 0 (lane 0) open");
+        assert_eq!(
+            layout.abql_slot_block(5),
+            layout.abql_slot_block(2),
+            "slots wrap modulo threads"
+        );
+    }
+
+    #[test]
+    fn abql_slots_pack_eight_per_block() {
+        let layout = LockLayout::new(LockPrimitive::Abql, 16, words(3));
+        assert_eq!(layout.abql_slot_block(0), layout.abql_slot_block(7));
+        assert_ne!(layout.abql_slot_block(7), layout.abql_slot_block(8));
+        assert_eq!(layout.abql_slot_lane(0), 0);
+        assert_eq!(layout.abql_slot_lane(7), 7);
+        assert_eq!(layout.abql_slot_lane(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of words")]
+    fn wrong_word_count_panics() {
+        LockLayout::new(LockPrimitive::Tas, 4, words(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_word_panics() {
+        LockLayout::new(LockPrimitive::Tas, 4, vec![Addr::new(4)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Lock primitives for the iNPG reproduction, modelled as per-thread
+//! state machines over atomic memory operations.
+//!
+//! The paper evaluates five locking primitives (§2.1): test-and-set
+//! (TAS), the ticket lock (TTL), the array-based queuing lock (ABQL),
+//! the Mellor-Crummey & Scott lock (MCS), and the Linux 4.2 queue
+//! spin-lock (QSL, an MCS-style spin phase with a sleep phase after 128
+//! failed retries). Each primitive is a state machine that the core
+//! model drives: [`LockHandle::step`] yields the next [`LockStep`]
+//! (issue a memory operation, pause, sleep, or done), and the driver
+//! feeds results back with [`LockHandle::on_result`].
+//!
+//! The memory operations flow through the simulated L1/directory
+//! protocol, so lock behaviour (GetX races, invalidation storms,
+//! cache-line bouncing) emerges from the coherence model exactly as in
+//! the paper's Figure 4.
+//!
+//! # Example
+//!
+//! ```
+//! use inpg_locks::{LockHandle, LockLayout, LockPrimitive, LockStep};
+//! use inpg_sim::Addr;
+//!
+//! let layout = LockLayout::new(LockPrimitive::Tas, 2, vec![Addr::new(0)]);
+//! let mut lock = LockHandle::new(layout, 0);
+//! lock.begin_acquire();
+//! // First step: spin-load the flag.
+//! let LockStep::Issue(op) = lock.step() else { panic!() };
+//! assert!(!op.kind.is_write());
+//! lock.on_result(0); // flag free
+//! // Second step: the atomic SWAP.
+//! let LockStep::Issue(op) = lock.step() else { panic!() };
+//! assert!(op.kind.is_write() && op.lock);
+//! lock.on_result(0); // swap saw 0: we won
+//! assert_eq!(lock.step(), LockStep::Acquired);
+//! ```
+
+pub mod layout;
+mod machines;
+
+pub use layout::LockLayout;
+pub use machines::LockHandle;
+
+use inpg_coherence::MemOp;
+use std::fmt;
+use std::str::FromStr;
+
+/// The five locking primitives of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockPrimitive {
+    /// Test-and-set spin lock.
+    Tas,
+    /// Ticket lock (TTL in the paper).
+    Ticket,
+    /// Array-based queuing lock.
+    Abql,
+    /// Mellor-Crummey & Scott queue lock.
+    Mcs,
+    /// Queue spin-lock: MCS-style spin phase, sleep after 128 retries
+    /// (the Linux 4.2 default the paper uses).
+    Qsl,
+}
+
+impl LockPrimitive {
+    /// All primitives, in the paper's presentation order.
+    pub const ALL: [LockPrimitive; 5] = [
+        LockPrimitive::Tas,
+        LockPrimitive::Ticket,
+        LockPrimitive::Abql,
+        LockPrimitive::Mcs,
+        LockPrimitive::Qsl,
+    ];
+
+    /// Whether the primitive has a sleep phase (queue spin-lock).
+    pub fn has_sleep_phase(self) -> bool {
+        self == LockPrimitive::Qsl
+    }
+}
+
+impl fmt::Display for LockPrimitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LockPrimitive::Tas => "TAS",
+            LockPrimitive::Ticket => "TTL",
+            LockPrimitive::Abql => "ABQL",
+            LockPrimitive::Mcs => "MCS",
+            LockPrimitive::Qsl => "QSL",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error returned when parsing an unknown primitive name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrimitiveError(String);
+
+impl fmt::Display for ParsePrimitiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown lock primitive `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrimitiveError {}
+
+impl FromStr for LockPrimitive {
+    type Err = ParsePrimitiveError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tas" => Ok(LockPrimitive::Tas),
+            "ttl" | "ticket" => Ok(LockPrimitive::Ticket),
+            "abql" => Ok(LockPrimitive::Abql),
+            "mcs" => Ok(LockPrimitive::Mcs),
+            "qsl" => Ok(LockPrimitive::Qsl),
+            other => Err(ParsePrimitiveError(other.to_string())),
+        }
+    }
+}
+
+/// One step of a lock protocol, returned by [`LockHandle::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockStep {
+    /// Perform this memory operation, then report its value via
+    /// [`LockHandle::on_result`] and call `step` again.
+    Issue(MemOp),
+    /// Busy-wait locally for this many cycles, then call `step` again
+    /// (the instruction overhead of a spin iteration).
+    Pause(u64),
+    /// QSL only: the retry budget is exhausted; deschedule the thread
+    /// until the OS wakes it, then call
+    /// [`LockHandle::on_wakeup`] and `step` again.
+    Sleep,
+    /// QSL only: the releaser must wake thread `thread` if it sleeps on
+    /// this lock; no completion — call `step` again immediately.
+    Notify {
+        /// Thread index of the successor to wake.
+        thread: usize,
+    },
+    /// The lock is held; proceed to the critical section.
+    Acquired,
+    /// The release protocol finished.
+    Released,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_display_and_parse_roundtrip() {
+        for p in LockPrimitive::ALL {
+            let parsed: LockPrimitive = p.to_string().parse().expect("roundtrip");
+            assert_eq!(parsed, p);
+        }
+        assert_eq!("ticket".parse::<LockPrimitive>().unwrap(), LockPrimitive::Ticket);
+        assert!("futex".parse::<LockPrimitive>().is_err());
+        assert_eq!(
+            "futex".parse::<LockPrimitive>().unwrap_err().to_string(),
+            "unknown lock primitive `futex`"
+        );
+    }
+
+    #[test]
+    fn only_qsl_sleeps() {
+        for p in LockPrimitive::ALL {
+            assert_eq!(p.has_sleep_phase(), p == LockPrimitive::Qsl);
+        }
+    }
+}

@@ -1,0 +1,877 @@
+//! The per-thread lock protocol state machines.
+//!
+//! A [`LockHandle`] is one thread's view of one lock instance. The
+//! driver protocol is:
+//!
+//! 1. call [`begin_acquire`](LockHandle::begin_acquire) (or
+//!    [`begin_release`](LockHandle::begin_release));
+//! 2. call [`step`](LockHandle::step); obey the returned [`LockStep`];
+//! 3. after an issued operation completes, call
+//!    [`on_result`](LockHandle::on_result); after a pause elapses or a
+//!    [`LockStep::Notify`] is handled, just call `step` again; after a
+//!    wakeup, call [`on_wakeup`](LockHandle::on_wakeup);
+//! 4. repeat from 2 until `Acquired` / `Released`.
+
+use crate::{LockLayout, LockPrimitive, LockStep};
+use inpg_coherence::{MemOp, MemOpKind};
+use inpg_sim::Addr;
+
+/// Cycles of loop overhead between consecutive spin polls.
+const SPIN_PAUSE: u64 = 1;
+
+/// QSL spin-poll interval: the Linux-style retry loop does real work per
+/// iteration (cpu_relax, re-reads, mixed-size atomics), so one retry is
+/// a couple of dozen cycles; the 128-retry budget then covers a few
+/// thousand cycles of spinning before the thread yields, as in the
+/// paper's OS model.
+const QSL_SPIN_PAUSE: u64 = 24;
+
+/// Default QSL retry budget (Table 1: 128 retry times in the spinning
+/// phase).
+pub const DEFAULT_RETRY_BUDGET: u32 = 128;
+
+/// One thread's handle on one lock.
+#[derive(Debug, Clone)]
+pub struct LockHandle {
+    layout: LockLayout,
+    me: usize,
+    retry_budget: u32,
+    state: State,
+    /// ABQL slot / ticket number memorised between acquire and release.
+    token: u64,
+    /// QSL: remaining retries in the current spin phase.
+    retries_left: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Held,
+    // -- TAS --
+    TasSpin,
+    TasSpinWait,
+    TasPause,
+    TasSwap,
+    TasSwapWait,
+    TasRelease,
+    TasReleaseWait,
+    // -- Ticket --
+    TicketTake,
+    TicketTakeWait,
+    TicketCheck,
+    TicketCheckWait,
+    TicketPause,
+    TicketRelease,
+    TicketReleaseWait,
+    // -- ABQL --
+    AbqlTake,
+    AbqlTakeWait,
+    AbqlCheck,
+    AbqlCheckWait,
+    AbqlPause,
+    AbqlReset,
+    AbqlResetWait,
+    AbqlRelease,
+    AbqlReleaseWait,
+    // -- MCS / QSL --
+    McsClearNext,
+    McsClearNextWait,
+    McsClearFlag,
+    McsClearFlagWait,
+    McsSwapTail,
+    McsSwapTailWait,
+    McsLinkPred { prev: usize },
+    McsLinkPredWait,
+    McsSpin,
+    McsSpinWait,
+    McsPause,
+    McsCasTail,
+    McsCasTailWait,
+    McsLoadNext,
+    McsLoadNextWait,
+    McsNextPause,
+    McsSetSucc { succ: usize },
+    McsSetSuccWait { succ: usize },
+    McsNotify { succ: usize },
+    // -- QSL (queue spin-lock: bounded CAS-retry spin + sleep) --
+    QslSpin,
+    QslSpinWait,
+    QslPause,
+    QslCas,
+    QslCasWait,
+    QslFinalCheck,
+    QslFinalCheckWait,
+    QslGoSleep,
+    QslSleeping,
+    QslRelease,
+    QslReleaseWait,
+    JustAcquired,
+    JustReleased,
+}
+
+impl LockHandle {
+    /// Creates thread `me`'s handle on the lock described by `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is outside the layout's thread count.
+    pub fn new(layout: LockLayout, me: usize) -> Self {
+        Self::with_retry_budget(layout, me, DEFAULT_RETRY_BUDGET)
+    }
+
+    /// Like [`new`](Self::new) with an explicit QSL retry budget.
+    pub fn with_retry_budget(layout: LockLayout, me: usize, retry_budget: u32) -> Self {
+        assert!(me < layout.threads(), "thread index outside layout");
+        assert!(retry_budget > 0, "retry budget must be nonzero");
+        LockHandle {
+            layout,
+            me,
+            retry_budget,
+            state: State::Idle,
+            token: 0,
+            retries_left: retry_budget,
+        }
+    }
+
+    /// The primitive this handle implements.
+    pub fn primitive(&self) -> LockPrimitive {
+        self.layout.primitive()
+    }
+
+    /// The lock's primary (most contended) word.
+    pub fn primary_addr(&self) -> Addr {
+        self.layout.primary()
+    }
+
+    /// QSL: retries left before the thread sleeps; `None` for primitives
+    /// without a sleep phase. OCOR derives packet priorities from this.
+    pub fn remaining_retries(&self) -> Option<u32> {
+        self.primitive().has_sleep_phase().then_some(self.retries_left)
+    }
+
+    /// Whether the handle currently holds the lock.
+    pub fn is_held(&self) -> bool {
+        self.state == State::Held
+    }
+
+    /// Starts an acquire attempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the handle is idle.
+    pub fn begin_acquire(&mut self) {
+        assert_eq!(self.state, State::Idle, "begin_acquire on a non-idle handle");
+        self.retries_left = self.retry_budget;
+        self.state = match self.primitive() {
+            LockPrimitive::Tas => State::TasSpin,
+            LockPrimitive::Ticket => State::TicketTake,
+            LockPrimitive::Abql => State::AbqlTake,
+            LockPrimitive::Mcs => State::McsClearNext,
+            LockPrimitive::Qsl => State::QslSpin,
+        };
+    }
+
+    /// Starts the release protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the handle holds the lock.
+    pub fn begin_release(&mut self) {
+        assert_eq!(self.state, State::Held, "begin_release without holding the lock");
+        self.state = match self.primitive() {
+            LockPrimitive::Tas => State::TasRelease,
+            LockPrimitive::Ticket => State::TicketRelease,
+            LockPrimitive::Abql => State::AbqlRelease,
+            LockPrimitive::Mcs => State::McsCasTail,
+            LockPrimitive::Qsl => State::QslRelease,
+        };
+    }
+
+    /// Computes the next protocol step. See the module docs for the
+    /// driving protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while an issued operation's result is still
+    /// outstanding (the driver must call [`on_result`](Self::on_result)
+    /// first), or on an idle handle.
+    pub fn step(&mut self) -> LockStep {
+        let l = self.layout.clone();
+        let me = self.me;
+        match self.state {
+            State::Idle => panic!("step on an idle lock handle"),
+            State::Held => panic!("step while holding the lock; call begin_release"),
+            State::JustAcquired => {
+                self.state = State::Held;
+                LockStep::Acquired
+            }
+            State::JustReleased => {
+                self.state = State::Idle;
+                LockStep::Released
+            }
+
+            // ---- TAS -------------------------------------------------
+            State::TasSpin => {
+                self.state = State::TasSpinWait;
+                issue_load(l.tas_flag())
+            }
+            State::TasPause => {
+                self.state = State::TasSpin;
+                LockStep::Pause(SPIN_PAUSE)
+            }
+            State::TasSwap => {
+                // Conditional acquire: equivalent to SWAP(1) (writing 1
+                // over 1 is a no-op) but expressible as a conditional RMW
+                // that the home may demote to a failed shared read when
+                // the lock is owned (paper Figure 4 step 4).
+                self.state = State::TasSwapWait;
+                issue(MemOp {
+                    addr: l.tas_flag(),
+                    kind: MemOpKind::CompareSwap { expected: 0, new: 1 },
+                    lock: true,
+                })
+            }
+            State::TasRelease => {
+                self.state = State::TasReleaseWait;
+                issue(MemOp { addr: l.tas_flag(), kind: MemOpKind::Store(0), lock: false })
+            }
+
+            // ---- Ticket ----------------------------------------------
+            State::TicketTake => {
+                // Both counters share one word (classic layout): the
+                // request counter lives in the high 32 bits.
+                self.state = State::TicketTakeWait;
+                issue(MemOp {
+                    addr: l.ticket_word(),
+                    kind: MemOpKind::FetchAdd(1 << 32),
+                    lock: true,
+                })
+            }
+            State::TicketCheck => {
+                self.state = State::TicketCheckWait;
+                issue_load(l.ticket_word())
+            }
+            State::TicketPause => {
+                self.state = State::TicketCheck;
+                LockStep::Pause(SPIN_PAUSE)
+            }
+            State::TicketRelease => {
+                // Atomically bump now_serving (low half); a plain store
+                // would clobber concurrent ticket takers in the high
+                // half of the shared word.
+                self.state = State::TicketReleaseWait;
+                issue(MemOp {
+                    addr: l.ticket_word(),
+                    kind: MemOpKind::FetchAdd(1),
+                    lock: true,
+                })
+            }
+
+            // ---- ABQL ------------------------------------------------
+            State::AbqlTake => {
+                self.state = State::AbqlTakeWait;
+                issue(MemOp { addr: l.abql_tail(), kind: MemOpKind::FetchAdd(1), lock: true })
+            }
+            State::AbqlCheck => {
+                self.state = State::AbqlCheckWait;
+                issue_load(l.abql_slot_block(self.token as usize))
+            }
+            State::AbqlPause => {
+                self.state = State::AbqlCheck;
+                LockStep::Pause(SPIN_PAUSE)
+            }
+            State::AbqlReset => {
+                // Close our byte-wide slot without clobbering the other
+                // seven slots packed into the same block.
+                self.state = State::AbqlResetWait;
+                let lane = l.abql_slot_lane(self.token as usize);
+                issue(MemOp {
+                    addr: l.abql_slot_block(self.token as usize),
+                    kind: MemOpKind::FetchAdd((1u64 << (8 * lane)).wrapping_neg()),
+                    lock: true,
+                })
+            }
+            State::AbqlRelease => {
+                self.state = State::AbqlReleaseWait;
+                let next = self.token as usize + 1;
+                let lane = l.abql_slot_lane(next);
+                issue(MemOp {
+                    addr: l.abql_slot_block(next),
+                    kind: MemOpKind::FetchAdd(1u64 << (8 * lane)),
+                    lock: true,
+                })
+            }
+
+            // ---- MCS / QSL -------------------------------------------
+            State::McsClearNext => {
+                self.state = State::McsClearNextWait;
+                issue(MemOp { addr: l.mcs_next(me), kind: MemOpKind::Store(0), lock: false })
+            }
+            State::McsClearFlag => {
+                self.state = State::McsClearFlagWait;
+                issue(MemOp { addr: l.mcs_flag(me), kind: MemOpKind::Store(0), lock: false })
+            }
+            State::McsSwapTail => {
+                self.state = State::McsSwapTailWait;
+                issue(MemOp {
+                    addr: l.mcs_tail(),
+                    kind: MemOpKind::Swap(me as u64 + 1),
+                    lock: true,
+                })
+            }
+            State::McsLinkPred { prev } => {
+                self.state = State::McsLinkPredWait;
+                issue(MemOp {
+                    addr: l.mcs_next(prev),
+                    kind: MemOpKind::Store(me as u64 + 1),
+                    lock: false,
+                })
+            }
+            State::McsSpin => {
+                self.state = State::McsSpinWait;
+                issue_load(l.mcs_flag(me))
+            }
+            State::McsPause => {
+                self.state = State::McsSpin;
+                LockStep::Pause(SPIN_PAUSE)
+            }
+            State::McsCasTail => {
+                self.state = State::McsCasTailWait;
+                issue(MemOp {
+                    addr: l.mcs_tail(),
+                    kind: MemOpKind::CompareSwap { expected: me as u64 + 1, new: 0 },
+                    lock: true,
+                })
+            }
+            State::McsLoadNext => {
+                self.state = State::McsLoadNextWait;
+                issue_load(l.mcs_next(me))
+            }
+            State::McsNextPause => {
+                self.state = State::McsLoadNext;
+                LockStep::Pause(SPIN_PAUSE)
+            }
+            State::McsSetSucc { succ } => {
+                self.state = State::McsSetSuccWait { succ };
+                issue(MemOp { addr: l.mcs_flag(succ), kind: MemOpKind::Store(1), lock: false })
+            }
+            State::McsNotify { succ } => {
+                // Plain MCS hands off through the successor's flag; no
+                // OS notification is involved.
+                let _ = succ;
+                self.state = State::JustReleased;
+                self.step()
+            }
+
+            // ---- QSL ---------------------------------------------------
+            State::QslSpin => {
+                self.state = State::QslSpinWait;
+                issue_load(l.tas_flag())
+            }
+            State::QslPause => {
+                self.state = State::QslSpin;
+                LockStep::Pause(QSL_SPIN_PAUSE)
+            }
+            State::QslCas => {
+                self.state = State::QslCasWait;
+                issue(MemOp {
+                    addr: l.tas_flag(),
+                    kind: MemOpKind::CompareSwap { expected: 0, new: 1 },
+                    lock: true,
+                })
+            }
+            State::QslFinalCheck => {
+                // Futex-style final check after the budget is exhausted:
+                // re-read the lock word; only sleep if it is still held
+                // (this also guarantees the sleeper holds a registered
+                // shared copy, so the release's invalidation reaches it).
+                self.state = State::QslFinalCheckWait;
+                issue_load(l.tas_flag())
+            }
+            State::QslGoSleep => {
+                self.state = State::QslSleeping;
+                LockStep::Sleep
+            }
+            State::QslRelease => {
+                self.state = State::QslReleaseWait;
+                issue(MemOp { addr: l.tas_flag(), kind: MemOpKind::Store(0), lock: false })
+            }
+
+            // Wait states: an operation's result is outstanding.
+            State::TasSpinWait
+            | State::TasSwapWait
+            | State::TasReleaseWait
+            | State::TicketTakeWait
+            | State::TicketCheckWait
+            | State::TicketReleaseWait
+            | State::AbqlTakeWait
+            | State::AbqlCheckWait
+            | State::AbqlResetWait
+            | State::AbqlReleaseWait
+            | State::McsClearNextWait
+            | State::McsClearFlagWait
+            | State::McsSwapTailWait
+            | State::McsLinkPredWait
+            | State::McsSpinWait
+            | State::McsCasTailWait
+            | State::McsLoadNextWait
+            | State::McsSetSuccWait { .. }
+            | State::QslSpinWait
+            | State::QslCasWait
+            | State::QslFinalCheckWait
+            | State::QslReleaseWait
+            | State::QslSleeping => {
+                panic!("step while an operation or sleep is outstanding ({:?})", self.state)
+            }
+        }
+    }
+
+    /// Reports the value returned by the last issued operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation is outstanding.
+    pub fn on_result(&mut self, value: u64) {
+        self.state = match self.state {
+            // TAS: spin read.
+            State::TasSpinWait => {
+                if value == 0 {
+                    State::TasSwap
+                } else {
+                    State::TasPause
+                }
+            }
+            // The swap itself: 0 means we won.
+            State::TasSwapWait => {
+                if value == 0 {
+                    State::JustAcquired
+                } else {
+                    State::TasSpin
+                }
+            }
+            State::TasReleaseWait => State::JustReleased,
+
+            State::TicketTakeWait => {
+                self.token = value >> 32;
+                // The same word carries now_serving: check it right away.
+                if value & 0xFFFF_FFFF == self.token {
+                    State::JustAcquired
+                } else {
+                    State::TicketCheck
+                }
+            }
+            State::TicketCheckWait => {
+                if value & 0xFFFF_FFFF == self.token {
+                    State::JustAcquired
+                } else {
+                    State::TicketPause
+                }
+            }
+            State::TicketReleaseWait => State::JustReleased,
+
+            State::AbqlTakeWait => {
+                self.token = value % self.layout.threads() as u64;
+                State::AbqlCheck
+            }
+            State::AbqlCheckWait => {
+                let lane = self.layout.abql_slot_lane(self.token as usize);
+                if (value >> (8 * lane)) & 0xFF == 1 {
+                    State::AbqlReset // close the slot behind us
+                } else {
+                    State::AbqlPause
+                }
+            }
+            State::AbqlResetWait => State::JustAcquired,
+            State::AbqlReleaseWait => State::JustReleased,
+
+            State::McsClearNextWait => State::McsClearFlag,
+            State::McsClearFlagWait => State::McsSwapTail,
+            State::McsSwapTailWait => {
+                if value == 0 {
+                    State::JustAcquired
+                } else {
+                    State::McsLinkPred { prev: value as usize - 1 }
+                }
+            }
+            State::McsLinkPredWait => State::McsSpin,
+            State::McsSpinWait => {
+                if value == 1 {
+                    State::JustAcquired
+                } else {
+                    State::McsPause
+                }
+            }
+            State::McsCasTailWait => {
+                if value == self.me as u64 + 1 {
+                    // CAS succeeded: no successor.
+                    State::JustReleased
+                } else {
+                    State::McsLoadNext
+                }
+            }
+            State::McsLoadNextWait => {
+                if value == 0 {
+                    // Successor is mid-enqueue; wait for its link.
+                    State::McsNextPause
+                } else {
+                    State::McsSetSucc { succ: value as usize - 1 }
+                }
+            }
+            State::McsSetSuccWait { succ } => State::McsNotify { succ },
+
+            State::QslSpinWait => {
+                if value == 0 {
+                    State::QslCas
+                } else {
+                    self.spend_retry(State::QslPause)
+                }
+            }
+            State::QslCasWait => {
+                if value == 0 {
+                    State::JustAcquired
+                } else {
+                    self.spend_retry(State::QslPause)
+                }
+            }
+            State::QslFinalCheckWait => {
+                if value == 0 {
+                    // Freed between the last poll and the final check:
+                    // resume with a refilled budget instead of sleeping.
+                    self.retries_left = self.retry_budget;
+                    State::QslCas
+                } else {
+                    State::QslGoSleep
+                }
+            }
+            State::QslReleaseWait => State::JustReleased,
+
+            other => panic!("on_result with no outstanding operation ({other:?})"),
+        };
+    }
+
+    /// Consumes one retry; at zero the thread heads for the final check
+    /// before sleeping.
+    fn spend_retry(&mut self, otherwise: State) -> State {
+        if !self.primitive().has_sleep_phase() {
+            return otherwise;
+        }
+        self.retries_left = self.retries_left.saturating_sub(1);
+        if self.retries_left == 0 {
+            State::QslFinalCheck
+        } else {
+            otherwise
+        }
+    }
+
+    /// QSL: the OS woke the thread (wakeup IPI or invalidation of the
+    /// monitored lock word); the spin budget refills and the spin
+    /// resumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the handle was sleeping.
+    pub fn on_wakeup(&mut self) {
+        assert_eq!(self.state, State::QslSleeping, "wakeup for a thread that is not sleeping");
+        self.retries_left = self.retry_budget;
+        self.state = State::QslSpin;
+    }
+
+    /// Whether the handle is in the QSL sleep phase.
+    pub fn is_sleeping(&self) -> bool {
+        self.state == State::QslSleeping
+    }
+}
+
+fn issue(op: MemOp) -> LockStep {
+    LockStep::Issue(op)
+}
+
+fn issue_load(addr: Addr) -> LockStep {
+    LockStep::Issue(MemOp { addr, kind: MemOpKind::Load, lock: true })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LockPrimitive;
+
+    fn layout(primitive: LockPrimitive, threads: usize) -> LockLayout {
+        let n = LockLayout::words_needed(primitive, threads);
+        LockLayout::new(primitive, threads, (0..n).map(|i| Addr::new(i as u64 * 128)).collect())
+    }
+
+    #[test]
+    fn tas_wins_on_clean_swap() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Tas, 2), 0);
+        h.begin_acquire();
+        assert!(matches!(h.step(), LockStep::Issue(op) if op.kind == MemOpKind::Load));
+        h.on_result(0);
+        assert!(matches!(
+            h.step(),
+            LockStep::Issue(op) if op.kind == MemOpKind::CompareSwap { expected: 0, new: 1 }
+        ));
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Acquired);
+        assert!(h.is_held());
+        h.begin_release();
+        assert!(matches!(h.step(), LockStep::Issue(op) if op.kind == MemOpKind::Store(0)));
+        h.on_result(1);
+        assert_eq!(h.step(), LockStep::Released);
+    }
+
+    #[test]
+    fn tas_spins_while_occupied() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Tas, 2), 0);
+        h.begin_acquire();
+        h.step();
+        h.on_result(1); // occupied
+        assert_eq!(h.step(), LockStep::Pause(SPIN_PAUSE));
+        assert!(matches!(h.step(), LockStep::Issue(_)));
+        h.on_result(0); // now free
+        h.step();
+        h.on_result(1); // but we lost the swap
+        assert!(matches!(h.step(), LockStep::Issue(op) if op.kind == MemOpKind::Load));
+    }
+
+    #[test]
+    fn ticket_waits_for_turn() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Ticket, 4), 1);
+        h.begin_acquire();
+        assert!(matches!(
+            h.step(),
+            LockStep::Issue(op) if op.kind == MemOpKind::FetchAdd(1 << 32)
+        ));
+        h.on_result(2 << 32); // my ticket = 2, now_serving = 0
+        h.step();
+        h.on_result(3_u64 << 32); // still serving 0
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+        h.step();
+        h.on_result((3 << 32) | 2); // my turn
+        assert_eq!(h.step(), LockStep::Acquired);
+        h.begin_release();
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.kind, MemOpKind::FetchAdd(1), "release bumps now_serving atomically");
+        h.on_result((3 << 32) | 2);
+        assert_eq!(h.step(), LockStep::Released);
+    }
+
+    #[test]
+    fn ticket_take_can_acquire_immediately() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Ticket, 4), 0);
+        h.begin_acquire();
+        h.step();
+        // Ticket 0 while now_serving is 0: the take itself acquires.
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Acquired);
+    }
+
+    #[test]
+    fn abql_takes_slot_and_passes_baton() {
+        let threads = 4;
+        let l = layout(LockPrimitive::Abql, threads);
+        let mut h = LockHandle::new(l.clone(), 2);
+        h.begin_acquire();
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.abql_tail());
+        h.on_result(5); // slot = 5 % 4 = 1 (lane 1 of the first block)
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.abql_slot_block(1));
+        h.on_result(1 << 8); // lane 1 open
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(
+            op.kind,
+            MemOpKind::FetchAdd((1u64 << 8).wrapping_neg()),
+            "close our lane without touching the others"
+        );
+        h.on_result(1 << 8);
+        assert_eq!(h.step(), LockStep::Acquired);
+        h.begin_release();
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.abql_slot_block(2), "baton to the next slot");
+        assert_eq!(op.kind, MemOpKind::FetchAdd(1u64 << 16));
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Released);
+    }
+
+    #[test]
+    fn abql_ignores_other_lanes_when_polling() {
+        let l = layout(LockPrimitive::Abql, 4);
+        let mut h = LockHandle::new(l, 0);
+        h.begin_acquire();
+        h.step();
+        h.on_result(0); // slot 0, lane 0
+        h.step();
+        // Lanes 1..3 are set but not ours: keep spinning.
+        h.on_result(0x0001_0100);
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+    }
+
+    #[test]
+    fn mcs_uncontended_fast_path() {
+        let l = layout(LockPrimitive::Mcs, 4);
+        let mut h = LockHandle::new(l.clone(), 3);
+        h.begin_acquire();
+        // clear next, clear flag, swap tail.
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_next(3));
+        h.on_result(0);
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_flag(3));
+        h.on_result(0);
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_tail());
+        assert_eq!(op.kind, MemOpKind::Swap(4));
+        h.on_result(0); // tail was null: acquired
+        assert_eq!(h.step(), LockStep::Acquired);
+        // Release with no successor: CAS succeeds.
+        h.begin_release();
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.kind, MemOpKind::CompareSwap { expected: 4, new: 0 });
+        h.on_result(4);
+        assert_eq!(h.step(), LockStep::Released);
+    }
+
+    #[test]
+    fn mcs_contended_links_and_hands_off() {
+        let l = layout(LockPrimitive::Mcs, 4);
+        let mut h = LockHandle::new(l.clone(), 1);
+        h.begin_acquire();
+        h.step();
+        h.on_result(0); // next cleared
+        h.step();
+        h.on_result(0); // flag cleared
+        h.step();
+        h.on_result(3); // tail held thread 2 (encoded 3)
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_next(2), "link into predecessor's next");
+        assert_eq!(op.kind, MemOpKind::Store(2));
+        h.on_result(0);
+        // Spin on own flag.
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_flag(1));
+        h.on_result(0);
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+        h.step();
+        h.on_result(1); // predecessor handed off
+        assert_eq!(h.step(), LockStep::Acquired);
+
+        // Release with a successor: CAS fails, load next, set its flag.
+        h.begin_release();
+        h.step();
+        h.on_result(4); // tail moved on: CAS failed
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_next(1));
+        h.on_result(0); // successor mid-enqueue
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+        h.step();
+        h.on_result(4); // successor is thread 3
+        let LockStep::Issue(op) = h.step() else { panic!() };
+        assert_eq!(op.addr, l.mcs_flag(3));
+        assert_eq!(op.kind, MemOpKind::Store(1));
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Released, "plain MCS does not notify");
+    }
+
+    #[test]
+    fn qsl_sleeps_after_budget_and_wakes() {
+        let l = layout(LockPrimitive::Qsl, 2);
+        let mut h = LockHandle::with_retry_budget(l, 0, 2);
+        h.begin_acquire();
+        // Two failed polls exhaust the budget.
+        h.step();
+        h.on_result(1);
+        assert_eq!(h.remaining_retries(), Some(1));
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+        h.step();
+        h.on_result(1);
+        assert_eq!(h.remaining_retries(), Some(0));
+        // Final check: still held -> sleep.
+        let LockStep::Issue(op) = h.step() else { panic!("final check load") };
+        assert!(!op.kind.is_write());
+        h.on_result(1);
+        assert_eq!(h.step(), LockStep::Sleep);
+        assert!(h.is_sleeping());
+        // Wakeup refills the budget and resumes the spin.
+        h.on_wakeup();
+        assert_eq!(h.remaining_retries(), Some(2));
+        h.step();
+        h.on_result(0); // freed
+        let LockStep::Issue(op) = h.step() else { panic!("CAS attempt") };
+        assert_eq!(op.kind, MemOpKind::CompareSwap { expected: 0, new: 1 });
+        assert!(op.lock);
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Acquired);
+    }
+
+    #[test]
+    fn qsl_final_check_rescues_a_freed_lock() {
+        let l = layout(LockPrimitive::Qsl, 2);
+        let mut h = LockHandle::with_retry_budget(l, 0, 1);
+        h.begin_acquire();
+        h.step();
+        h.on_result(1); // budget gone
+        h.step(); // final check
+        h.on_result(0); // freed in the meantime
+        assert!(!h.is_sleeping());
+        let LockStep::Issue(op) = h.step() else { panic!("CAS attempt") };
+        assert!(op.kind.is_write());
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Acquired);
+        assert_eq!(h.remaining_retries(), Some(1), "budget refilled");
+    }
+
+    #[test]
+    fn qsl_failed_cas_consumes_a_retry() {
+        let l = layout(LockPrimitive::Qsl, 2);
+        let mut h = LockHandle::with_retry_budget(l, 0, 2);
+        h.begin_acquire();
+        h.step();
+        h.on_result(0); // looks free
+        h.step(); // CAS
+        h.on_result(1); // lost the race
+        assert_eq!(h.remaining_retries(), Some(1));
+        assert!(matches!(h.step(), LockStep::Pause(_)));
+    }
+
+    #[test]
+    fn qsl_release_is_a_plain_store() {
+        let l = layout(LockPrimitive::Qsl, 2);
+        let mut h = LockHandle::new(l, 0);
+        h.begin_acquire();
+        h.step();
+        h.on_result(0);
+        h.step();
+        h.on_result(0);
+        assert_eq!(h.step(), LockStep::Acquired);
+        h.begin_release();
+        let LockStep::Issue(op) = h.step() else { panic!("release store") };
+        assert_eq!(op.kind, MemOpKind::Store(0));
+        assert!(!op.lock, "release store is not interceptable");
+        h.on_result(1);
+        assert_eq!(h.step(), LockStep::Released);
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_acquire on a non-idle handle")]
+    fn double_acquire_panics() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Tas, 2), 0);
+        h.begin_acquire();
+        h.begin_acquire();
+    }
+
+    #[test]
+    #[should_panic(expected = "without holding")]
+    fn release_without_hold_panics() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Tas, 2), 0);
+        h.begin_release();
+    }
+
+    #[test]
+    #[should_panic(expected = "operation or sleep is outstanding")]
+    fn step_before_result_panics() {
+        let mut h = LockHandle::new(layout(LockPrimitive::Tas, 2), 0);
+        h.begin_acquire();
+        h.step();
+        h.step();
+    }
+}

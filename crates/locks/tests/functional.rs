@@ -1,0 +1,271 @@
+//! Functional verification of the lock protocols against a sequentially
+//! consistent toy memory with randomized interleavings: mutual
+//! exclusion, progress, and fairness properties hold for every
+//! primitive, independent of the cycle-accurate coherence model.
+
+use inpg_locks::{LockHandle, LockLayout, LockPrimitive, LockStep};
+use inpg_sim::{Addr, SimRng};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Acquiring,
+    InCs { turns_left: u32 },
+    Releasing,
+    Done,
+}
+
+struct Harness {
+    memory: HashMap<Addr, u64>,
+    handles: Vec<LockHandle>,
+    phases: Vec<Phase>,
+    sleeping: Vec<bool>,
+    /// MWAIT-style monitoring: a sleeping thread wakes when its
+    /// monitored lock word is written (the release invalidates it).
+    monitored: Vec<Option<Addr>>,
+    /// Futex-style pending-wakeup tokens: a Notify that arrives before
+    /// the target actually sleeps must not be lost.
+    wake_pending: Vec<bool>,
+    acquisitions: Vec<u32>,
+    rounds: u32,
+    in_cs: usize,
+    cs_entries: u64,
+}
+
+impl Harness {
+    fn new(primitive: LockPrimitive, threads: usize, rounds: u32) -> Self {
+        let words = LockLayout::words_needed(primitive, threads);
+        let layout = LockLayout::new(
+            primitive,
+            threads,
+            (0..words).map(|i| Addr::new(i as u64 * 128)).collect(),
+        );
+        let mut memory = HashMap::new();
+        for (addr, value) in layout.initial_values() {
+            memory.insert(addr, value);
+        }
+        let mut handles: Vec<LockHandle> = (0..threads)
+            .map(|t| LockHandle::with_retry_budget(layout.clone(), t, 4))
+            .collect();
+        for h in &mut handles {
+            h.begin_acquire();
+        }
+        Harness {
+            memory,
+            handles,
+            phases: vec![Phase::Acquiring; threads],
+            sleeping: vec![false; threads],
+            monitored: vec![None; threads],
+            wake_pending: vec![false; threads],
+            acquisitions: vec![0; threads],
+            rounds,
+            in_cs: 0,
+            cs_entries: 0,
+        }
+    }
+
+    /// Advances thread `t` by one protocol step. Returns false when the
+    /// thread cannot advance (sleeping or finished).
+    fn advance(&mut self, t: usize) -> bool {
+        if self.sleeping[t] || self.phases[t] == Phase::Done {
+            return false;
+        }
+        if let Phase::InCs { turns_left } = self.phases[t] {
+            if turns_left > 0 {
+                self.phases[t] = Phase::InCs { turns_left: turns_left - 1 };
+                return true;
+            }
+            self.in_cs -= 1;
+            self.phases[t] = Phase::Releasing;
+            self.handles[t].begin_release();
+        }
+        match self.handles[t].step() {
+            LockStep::Issue(op) => {
+                let slot = self.memory.entry(op.addr).or_insert(0);
+                let old = *slot;
+                *slot = op.kind.apply(old);
+                self.handles[t].on_result(old);
+                if op.kind.is_write() {
+                    // MWAIT semantics: the write invalidates cached
+                    // copies, waking threads monitoring this word.
+                    for s in 0..self.sleeping.len() {
+                        if self.sleeping[s] && self.monitored[s] == Some(op.addr) {
+                            self.sleeping[s] = false;
+                            self.monitored[s] = None;
+                            self.handles[s].on_wakeup();
+                        }
+                    }
+                }
+            }
+            LockStep::Pause(_) => {}
+            LockStep::Sleep => {
+                let monitored = self.handles[t].primary_addr();
+                let released = self.memory.get(&monitored).copied().unwrap_or(0) == 0;
+                if self.wake_pending[t] || released {
+                    // A wakeup (or the release itself) raced ahead of the
+                    // sleep: consume it and resume spinning instead of
+                    // sleeping forever. This models the atomic
+                    // register-then-final-check of futex/MWAIT.
+                    self.wake_pending[t] = false;
+                    self.handles[t].on_wakeup();
+                } else {
+                    self.sleeping[t] = true;
+                    self.monitored[t] = Some(monitored);
+                }
+            }
+            LockStep::Notify { thread } => {
+                if self.sleeping[thread] {
+                    self.sleeping[thread] = false;
+                    self.monitored[thread] = None;
+                    self.handles[thread].on_wakeup();
+                } else {
+                    self.wake_pending[thread] = true;
+                }
+            }
+            LockStep::Acquired => {
+                self.wake_pending[t] = false;
+                self.in_cs += 1;
+                self.cs_entries += 1;
+                assert_eq!(self.in_cs, 1, "mutual exclusion violated");
+                self.acquisitions[t] += 1;
+                self.phases[t] = Phase::InCs { turns_left: 2 };
+            }
+            LockStep::Released => {
+                if self.acquisitions[t] >= self.rounds {
+                    self.phases[t] = Phase::Done;
+                } else {
+                    self.phases[t] = Phase::Acquiring;
+                    self.handles[t].begin_acquire();
+                }
+            }
+        }
+        true
+    }
+
+    fn all_done(&self) -> bool {
+        self.phases.iter().all(|p| *p == Phase::Done)
+    }
+}
+
+/// Runs `threads` threads through `rounds` acquisitions each under a
+/// random scheduler; asserts mutual exclusion and progress.
+fn run(primitive: LockPrimitive, threads: usize, rounds: u32, seed: u64) {
+    let mut harness = Harness::new(primitive, threads, rounds);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let step_budget = 2_000_000u64;
+    for step in 0..step_budget {
+        if harness.all_done() {
+            assert_eq!(
+                harness.cs_entries,
+                threads as u64 * rounds as u64,
+                "every acquisition entered the critical section exactly once"
+            );
+            for t in 0..threads {
+                assert_eq!(harness.acquisitions[t], rounds, "thread {t} starved");
+            }
+            return;
+        }
+        let t = rng.next_below(threads as u64) as usize;
+        let _ = harness.advance(t);
+        let _ = step;
+    }
+    panic!("{primitive} did not finish: deadlock or livelock under seed {seed}");
+}
+
+#[test]
+fn all_primitives_two_threads() {
+    for primitive in LockPrimitive::ALL {
+        run(primitive, 2, 5, 42);
+    }
+}
+
+#[test]
+fn all_primitives_eight_threads() {
+    for primitive in LockPrimitive::ALL {
+        run(primitive, 8, 3, 7);
+    }
+}
+
+#[test]
+fn qsl_with_tiny_budget_sleeps_and_recovers() {
+    // Budget of 4 in the harness forces frequent sleeps; the notify path
+    // must always wake sleepers.
+    run(LockPrimitive::Qsl, 6, 4, 123);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mutual_exclusion_under_random_schedules(
+        seed in any::<u64>(),
+        threads in 2usize..7,
+        primitive_idx in 0usize..5,
+    ) {
+        run(LockPrimitive::ALL[primitive_idx], threads, 3, seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The packed ABQL slot arithmetic never corrupts neighbouring
+    /// lanes: after any interleaving, the final block value has exactly
+    /// one open lane (the next baton position).
+    #[test]
+    fn abql_packed_lanes_stay_isolated(seed in any::<u64>(), threads in 2usize..9) {
+        run(LockPrimitive::Abql, threads, 3, seed);
+    }
+
+    /// The packed ticket word's two halves never interfere: every
+    /// acquisition gets a unique ticket and the counters end equal.
+    #[test]
+    fn ticket_packed_halves_stay_isolated(seed in any::<u64>(), threads in 2usize..9) {
+        run(LockPrimitive::Ticket, threads, 4, seed);
+    }
+}
+
+/// End-state checks for the packed layouts: exercised through the
+/// scheduler-randomized harness above, verified concretely here.
+#[test]
+fn packed_end_states_are_exact() {
+    let threads = 6;
+    let rounds = 5;
+    // ABQL: tail counts acquisitions; exactly one slot lane open.
+    let mut h = Harness::new(LockPrimitive::Abql, threads, rounds);
+    let mut rng = SimRng::seed_from_u64(77);
+    for _ in 0..2_000_000u64 {
+        if h.all_done() {
+            break;
+        }
+        let t = rng.next_below(threads as u64) as usize;
+        let _ = h.advance(t);
+    }
+    assert!(h.all_done());
+    let total = threads as u64 * u64::from(rounds);
+    let tail = h.memory[&Addr::new(0)];
+    assert_eq!(tail, total);
+    let open_lanes: u32 = h
+        .memory
+        .iter()
+        .filter(|(a, _)| a.as_u64() >= 128)
+        .map(|(_, v)| v.count_ones())
+        .sum();
+    assert_eq!(open_lanes, 1, "exactly one baton slot open");
+
+    // Ticket: both packed halves equal the acquisition count.
+    let mut h = Harness::new(LockPrimitive::Ticket, threads, rounds);
+    let mut rng = SimRng::seed_from_u64(78);
+    for _ in 0..2_000_000u64 {
+        if h.all_done() {
+            break;
+        }
+        let t = rng.next_below(threads as u64) as usize;
+        let _ = h.advance(t);
+    }
+    assert!(h.all_done());
+    let word = h.memory[&Addr::new(0)];
+    assert_eq!(word >> 32, total);
+    assert_eq!(word & 0xFFFF_FFFF, total);
+}

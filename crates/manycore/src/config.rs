@@ -1,0 +1,120 @@
+//! Full-system configuration.
+
+use inpg_locks::LockPrimitive;
+use inpg_noc::NocConfig;
+use inpg_sim::ConfigError;
+
+/// Configuration of the complete many-core system (Table 1 defaults).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// NoC geometry, buffering and big-router deployment.
+    pub noc: NocConfig,
+    /// Lock primitive used by all critical sections.
+    pub primitive: LockPrimitive,
+    /// QSL retry budget before sleeping (Table 1: 128).
+    pub retry_budget: u32,
+    /// Whether OCOR is active: lock request packets carry
+    /// remaining-times-of-retry priorities and routers arbitrate by them.
+    pub ocor: bool,
+    /// L1 hit latency in cycles (Table 1: 2).
+    pub l1_hit_latency: u64,
+    /// L2 bank access latency in cycles (Table 1: 6).
+    pub l2_latency: u64,
+    /// Context-switch cost of entering the QSL sleep phase.
+    pub sleep_entry_cycles: u64,
+    /// Cost of waking a slept thread (context switch back in).
+    pub wakeup_cycles: u64,
+    /// Safety bound on simulated cycles.
+    pub max_cycles: u64,
+    /// Record a full per-thread phase timeline (Figure 9 profiles).
+    pub record_timeline: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table-1 platform with the default iNPG deployment.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            noc: NocConfig::paper_default(),
+            primitive: LockPrimitive::Qsl,
+            retry_budget: 128,
+            ocor: false,
+            l1_hit_latency: 2,
+            l2_latency: 6,
+            sleep_entry_cycles: 1_500,
+            wakeup_cycles: 2_500,
+            max_cycles: 200_000_000,
+            record_timeline: false,
+        }
+    }
+
+    /// The Original baseline: no big routers, no OCOR.
+    pub fn baseline() -> Self {
+        SystemConfig { noc: NocConfig::baseline(), ..Self::paper_default() }
+    }
+
+    /// Number of cores (= mesh nodes).
+    pub fn cores(&self) -> usize {
+        self.noc.nodes()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the NoC config is invalid or the
+    /// retry budget is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.noc.validate()?;
+        if self.retry_budget == 0 {
+            return Err(ConfigError::new("retry budget must be nonzero"));
+        }
+        if self.max_cycles == 0 {
+            return Err(ConfigError::new("max_cycles must be nonzero"));
+        }
+        Ok(())
+    }
+
+    /// When OCOR is enabled, the NoC must arbitrate by priority; this
+    /// returns the config with the two flags consistent.
+    #[must_use]
+    pub fn with_ocor(mut self, enabled: bool) -> Self {
+        self.ocor = enabled;
+        self.noc.ocor_arbitration = enabled;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let cfg = SystemConfig::paper_default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.cores(), 64);
+        assert_eq!(cfg.retry_budget, 128);
+    }
+
+    #[test]
+    fn with_ocor_keeps_flags_consistent() {
+        let cfg = SystemConfig::baseline().with_ocor(true);
+        assert!(cfg.ocor);
+        assert!(cfg.noc.ocor_arbitration);
+        let cfg = cfg.with_ocor(false);
+        assert!(!cfg.noc.ocor_arbitration);
+    }
+
+    #[test]
+    fn invalid_budget_rejected() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.retry_budget = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

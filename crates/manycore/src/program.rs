@@ -1,0 +1,127 @@
+//! Thread programs: the per-thread work descriptions the system executes.
+
+use inpg_sim::LockId;
+
+/// One phase of a thread's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// Parallel computation for this many cycles (no shared data).
+    Compute(u64),
+    /// Enter the critical section guarded by `lock` and hold it for
+    /// `cs_cycles` of work.
+    Critical {
+        /// The guarding lock.
+        lock: LockId,
+        /// Cycles of work inside the critical section.
+        cs_cycles: u64,
+    },
+}
+
+/// The whole life of one thread, as a sequence of segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadProgram {
+    segments: Vec<Segment>,
+}
+
+impl ThreadProgram {
+    /// Creates an empty program (the thread finishes immediately).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: appends a parallel compute segment.
+    #[must_use]
+    pub fn compute(mut self, cycles: u64) -> Self {
+        self.segments.push(Segment::Compute(cycles));
+        self
+    }
+
+    /// Builder: appends a critical section.
+    #[must_use]
+    pub fn critical(mut self, lock: LockId, cs_cycles: u64) -> Self {
+        self.segments.push(Segment::Critical { lock, cs_cycles });
+        self
+    }
+
+    /// Builder: appends `n` repetitions of compute-then-critical.
+    #[must_use]
+    pub fn rounds(mut self, n: usize, compute: u64, lock: LockId, cs_cycles: u64) -> Self {
+        for _ in 0..n {
+            self.segments.push(Segment::Compute(compute));
+            self.segments.push(Segment::Critical { lock, cs_cycles });
+        }
+        self
+    }
+
+    /// The segments in execution order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of critical sections in the program.
+    pub fn cs_count(&self) -> usize {
+        self.segments.iter().filter(|s| matches!(s, Segment::Critical { .. })).count()
+    }
+
+    /// Total parallel compute cycles in the program.
+    pub fn compute_cycles(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Compute(c) => *c,
+                Segment::Critical { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Highest lock id referenced, if any.
+    pub fn max_lock(&self) -> Option<LockId> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Critical { lock, .. } => Some(*lock),
+                Segment::Compute(_) => None,
+            })
+            .max()
+    }
+}
+
+impl FromIterator<Segment> for ThreadProgram {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        ThreadProgram { segments: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let p = ThreadProgram::new()
+            .compute(100)
+            .critical(LockId::new(0), 50)
+            .rounds(2, 10, LockId::new(1), 5);
+        assert_eq!(p.segments().len(), 6);
+        assert_eq!(p.cs_count(), 3);
+        assert_eq!(p.compute_cycles(), 120);
+        assert_eq!(p.max_lock(), Some(LockId::new(1)));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = ThreadProgram::new();
+        assert_eq!(p.cs_count(), 0);
+        assert_eq!(p.max_lock(), None);
+        assert_eq!(p.compute_cycles(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: ThreadProgram =
+            [Segment::Compute(5), Segment::Critical { lock: LockId::new(0), cs_cycles: 3 }]
+                .into_iter()
+                .collect();
+        assert_eq!(p.cs_count(), 1);
+    }
+}

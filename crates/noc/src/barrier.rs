@@ -1,0 +1,359 @@
+//! The locking barrier table inside a big router (paper §4.1, Figure 6).
+//!
+//! Each big router keeps a small table of *lock barriers*. A barrier is
+//! installed for a lock address when the first exclusive lock request
+//! (`GetX`) for that address is transferred through the router. While the
+//! barrier lives, subsequent `GetX` requests for the same address are
+//! *stopped*: an early-invalidation (EI) entry is created to track the
+//! four phases of the interception —
+//!
+//! 1. `Inv` — the early invalidation packet is generated,
+//! 2. `GetXFwd` — the stopped request is converted to a `FwdGetX` and
+//!    forwarded to the home node,
+//! 3. `InvAck` — the acknowledgement for the early invalidation returns
+//!    to this router,
+//! 4. `AckFwd` — the acknowledgement is relayed to the home node.
+//!
+//! A barrier's TTL (128 cycles by default) counts down only while the
+//! barrier has no live EI entries and resets whenever one is created; the
+//! barrier is deleted when the TTL reaches zero. When the table is full,
+//! requests pass through as in a normal router.
+
+use inpg_sim::{Addr, CoreId};
+
+/// Progress of one early invalidation (paper Figure 6's 4-phase entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EiPhase {
+    /// Early `Inv` generated and `FwdGetX` relayed; awaiting the ack.
+    AwaitingAck,
+    /// Ack received and relayed to the home node; entry about to be freed.
+    Complete,
+}
+
+/// One early-invalidation entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EiEntry {
+    /// The core whose stopped `GetX` this entry tracks.
+    pub core: CoreId,
+    /// Current phase.
+    pub phase: EiPhase,
+}
+
+/// One lock barrier.
+#[derive(Debug, Clone)]
+struct Barrier {
+    addr: Addr,
+    ttl: u32,
+    eis: Vec<EiEntry>,
+}
+
+/// Counters the barrier table exposes for evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierStats {
+    /// Barriers installed over the run.
+    pub barriers_installed: u64,
+    /// Barriers that expired via TTL.
+    pub barriers_expired: u64,
+    /// GetX requests stopped (early invalidations generated).
+    pub requests_stopped: u64,
+    /// GetX requests that passed because the table or EI pool was full.
+    pub passes_table_full: u64,
+    /// Early acknowledgements matched and relayed.
+    pub acks_relayed: u64,
+    /// Router-sink packets that matched no EI entry and were dropped.
+    pub stale_acks_dropped: u64,
+}
+
+/// The locking barrier table of one big router.
+///
+/// # Example
+///
+/// ```
+/// use inpg_noc::barrier::LockingBarrierTable;
+/// use inpg_sim::{Addr, CoreId};
+///
+/// let mut table = LockingBarrierTable::new(16, 16, 128);
+/// let lock = Addr::new(0x8000);
+/// // First GetX transfers: installs the barrier, passes through.
+/// assert!(!table.should_stop(lock));
+/// table.observe_transfer(lock);
+/// // Second GetX for the same lock is stopped.
+/// assert!(table.should_stop(lock));
+/// table.stop(lock, CoreId::new(9));
+/// // The loser's ack comes back and is relayed.
+/// assert!(table.take_ack(lock, CoreId::new(9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockingBarrierTable {
+    barriers: Vec<Barrier>,
+    capacity: usize,
+    ei_capacity: usize,
+    ei_in_use: usize,
+    default_ttl: u32,
+    stats: BarrierStats,
+}
+
+impl LockingBarrierTable {
+    /// Creates a table with `capacity` lock barriers, `ei_capacity`
+    /// early-invalidation entries (a pool shared across barriers) and the
+    /// given TTL in cycles.
+    pub fn new(capacity: usize, ei_capacity: usize, default_ttl: u32) -> Self {
+        LockingBarrierTable {
+            barriers: Vec::with_capacity(capacity.min(64)),
+            capacity,
+            ei_capacity,
+            ei_in_use: 0,
+            default_ttl,
+            stats: BarrierStats::default(),
+        }
+    }
+
+    /// Records that a `GetX` for `addr` was transferred through this
+    /// router, installing a barrier if none exists and the table has
+    /// space. Returns `true` if a new barrier was installed.
+    pub fn observe_transfer(&mut self, addr: Addr) -> bool {
+        let addr = addr.block();
+        if self.barrier_index(addr).is_some() {
+            return false;
+        }
+        if self.barriers.len() >= self.capacity {
+            self.stats.passes_table_full += 1;
+            return false;
+        }
+        self.barriers.push(Barrier { addr, ttl: self.default_ttl, eis: Vec::new() });
+        self.stats.barriers_installed += 1;
+        true
+    }
+
+    /// Whether a `GetX` for `addr` arriving now would be stopped: a
+    /// barrier exists and the EI pool has space.
+    pub fn should_stop(&self, addr: Addr) -> bool {
+        self.barrier_index(addr.block()).is_some() && self.ei_in_use < self.ei_capacity
+    }
+
+    /// Whether a barrier for `addr` currently exists (regardless of EI
+    /// pool occupancy).
+    pub fn has_barrier(&self, addr: Addr) -> bool {
+        self.barrier_index(addr.block()).is_some()
+    }
+
+    /// Stops a `GetX` from `core`: creates an EI entry in the
+    /// `AwaitingAck` phase and resets the barrier's TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`should_stop`](Self::should_stop) would return `false`;
+    /// callers must check first.
+    pub fn stop(&mut self, addr: Addr, core: CoreId) {
+        let addr = addr.block();
+        assert!(self.ei_in_use < self.ei_capacity, "EI pool exhausted");
+        let default_ttl = self.default_ttl;
+        let idx = self.barrier_index(addr).expect("no barrier installed for stop");
+        let barrier = &mut self.barriers[idx];
+        barrier.ttl = default_ttl;
+        barrier.eis.push(EiEntry { core, phase: EiPhase::AwaitingAck });
+        self.ei_in_use += 1;
+        self.stats.requests_stopped += 1;
+    }
+
+    /// Records that the table or pool was full and a request passed.
+    pub fn note_pass_full(&mut self) {
+        self.stats.passes_table_full += 1;
+    }
+
+    /// Consumes the early acknowledgement from `core` for `addr`.
+    /// Returns `true` when a matching EI entry existed (the caller relays
+    /// the ack to the home node); `false` for a stale ack.
+    pub fn take_ack(&mut self, addr: Addr, core: CoreId) -> bool {
+        let addr = addr.block();
+        let Some(idx) = self.barrier_index(addr) else {
+            self.stats.stale_acks_dropped += 1;
+            return false;
+        };
+        let barrier = &mut self.barriers[idx];
+        let Some(pos) = barrier
+            .eis
+            .iter()
+            .position(|ei| ei.core == core && ei.phase == EiPhase::AwaitingAck)
+        else {
+            self.stats.stale_acks_dropped += 1;
+            return false;
+        };
+        // The ack is relayed immediately, so the entry completes the
+        // InvAck and AckFwd phases together and is freed.
+        barrier.eis.remove(pos);
+        self.ei_in_use -= 1;
+        self.stats.acks_relayed += 1;
+        true
+    }
+
+    /// Advances one cycle: barriers with no live EI entries count down and
+    /// expire at zero.
+    pub fn tick(&mut self) {
+        let mut expired = 0;
+        self.barriers.retain_mut(|barrier| {
+            if barrier.eis.is_empty() {
+                barrier.ttl = barrier.ttl.saturating_sub(1);
+                if barrier.ttl == 0 {
+                    expired += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        self.stats.barriers_expired += expired;
+    }
+
+    /// Live barrier count.
+    pub fn barrier_count(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Live EI entries across all barriers.
+    pub fn ei_count(&self) -> usize {
+        self.ei_in_use
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> BarrierStats {
+        self.stats
+    }
+
+    fn barrier_index(&self, addr: Addr) -> Option<usize> {
+        self.barriers.iter().position(|b| b.addr == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LockingBarrierTable {
+        LockingBarrierTable::new(4, 4, 8)
+    }
+
+    #[test]
+    fn first_transfer_installs_barrier() {
+        let mut t = table();
+        assert!(t.observe_transfer(Addr::new(0x100)));
+        assert!(!t.observe_transfer(Addr::new(0x100)), "no duplicate barrier");
+        assert_eq!(t.barrier_count(), 1);
+        assert!(t.has_barrier(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn barrier_keys_on_block_address() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0x100));
+        // Same 128-byte block, different word.
+        assert!(t.should_stop(Addr::new(0x108)));
+    }
+
+    #[test]
+    fn stop_requires_barrier() {
+        let mut t = table();
+        assert!(!t.should_stop(Addr::new(0x100)));
+        t.observe_transfer(Addr::new(0x100));
+        assert!(t.should_stop(Addr::new(0x100)));
+        t.stop(Addr::new(0x100), CoreId::new(3));
+        assert_eq!(t.ei_count(), 1);
+    }
+
+    #[test]
+    fn table_capacity_limits_barriers() {
+        let mut t = table();
+        for i in 0..4 {
+            assert!(t.observe_transfer(Addr::new(i * 128)));
+        }
+        assert!(!t.observe_transfer(Addr::new(4 * 128)), "table full");
+        assert_eq!(t.barrier_count(), 4);
+        assert_eq!(t.stats().passes_table_full, 1);
+    }
+
+    #[test]
+    fn ei_pool_limits_stops() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        for core in 0..4 {
+            assert!(t.should_stop(Addr::new(0)));
+            t.stop(Addr::new(0), CoreId::new(core));
+        }
+        assert!(!t.should_stop(Addr::new(0)), "EI pool exhausted");
+    }
+
+    #[test]
+    fn ack_completes_and_frees_entry() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.stop(Addr::new(0), CoreId::new(7));
+        assert!(t.take_ack(Addr::new(0), CoreId::new(7)));
+        assert_eq!(t.ei_count(), 0);
+        assert_eq!(t.stats().acks_relayed, 1);
+    }
+
+    #[test]
+    fn stale_ack_is_dropped() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        assert!(!t.take_ack(Addr::new(0), CoreId::new(9)));
+        assert!(!t.take_ack(Addr::new(0x5000), CoreId::new(9)));
+        assert_eq!(t.stats().stale_acks_dropped, 2);
+    }
+
+    #[test]
+    fn ttl_counts_down_only_without_eis() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.stop(Addr::new(0), CoreId::new(1));
+        for _ in 0..20 {
+            t.tick();
+        }
+        assert_eq!(t.barrier_count(), 1, "live EI entry pins the barrier");
+        assert!(t.take_ack(Addr::new(0), CoreId::new(1)));
+        for _ in 0..7 {
+            t.tick();
+        }
+        assert_eq!(t.barrier_count(), 1, "TTL of 8 not yet expired");
+        t.tick();
+        assert_eq!(t.barrier_count(), 0, "TTL expired");
+        assert_eq!(t.stats().barriers_expired, 1);
+    }
+
+    #[test]
+    fn stop_resets_ttl() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        for _ in 0..7 {
+            t.tick();
+        }
+        t.stop(Addr::new(0), CoreId::new(1));
+        assert!(t.take_ack(Addr::new(0), CoreId::new(1)));
+        for _ in 0..7 {
+            t.tick();
+        }
+        assert_eq!(t.barrier_count(), 1, "TTL was reset by the stop");
+    }
+
+    #[test]
+    fn expired_barrier_can_be_reinstalled() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        for _ in 0..8 {
+            t.tick();
+        }
+        assert_eq!(t.barrier_count(), 0);
+        assert!(t.observe_transfer(Addr::new(0)));
+    }
+
+    #[test]
+    fn duplicate_core_entries_allowed_across_rounds() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.stop(Addr::new(0), CoreId::new(2));
+        t.stop(Addr::new(0), CoreId::new(2));
+        assert_eq!(t.ei_count(), 2);
+        assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
+        assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
+        assert!(!t.take_ack(Addr::new(0), CoreId::new(2)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Mesh coordinates, ports, and dimension-ordered (XY) routing.
+
+use inpg_sim::CoreId;
+use std::fmt;
+
+/// A position on the 2D mesh, `x` growing eastward and `y` southward.
+///
+/// # Example
+///
+/// ```
+/// use inpg_noc::coord::{Coord, Direction};
+/// let a = Coord::new(1, 2);
+/// let b = Coord::new(4, 2);
+/// assert_eq!(a.xy_next_hop(b), Some(Direction::East));
+/// assert_eq!(a.hops_to(b), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    x: u8,
+    y: u8,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    pub const fn new(x: u8, y: u8) -> Self {
+        Coord { x, y }
+    }
+
+    /// Column index (0 = west edge).
+    pub const fn x(self) -> u8 {
+        self.x
+    }
+
+    /// Row index (0 = north edge).
+    pub const fn y(self) -> u8 {
+        self.y
+    }
+
+    /// Maps a row-major core id to its mesh coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is outside the `width × height` mesh.
+    pub fn from_core(core: CoreId, width: u8, height: u8) -> Self {
+        let idx = core.index();
+        assert!(
+            idx < width as usize * height as usize,
+            "core id {idx} outside {width}x{height} mesh"
+        );
+        Coord { x: (idx % width as usize) as u8, y: (idx / width as usize) as u8 }
+    }
+
+    /// Maps this coordinate back to its row-major core id.
+    pub fn to_core(self, width: u8) -> CoreId {
+        CoreId::new(self.y as usize * width as usize + self.x as usize)
+    }
+
+    /// Manhattan distance in hops.
+    pub fn hops_to(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// Next output direction under XY dimension-ordered routing, or
+    /// `None` when already at the destination (eject locally).
+    pub fn xy_next_hop(self, dst: Coord) -> Option<Direction> {
+        if self.x < dst.x {
+            Some(Direction::East)
+        } else if self.x > dst.x {
+            Some(Direction::West)
+        } else if self.y < dst.y {
+            Some(Direction::South)
+        } else if self.y > dst.y {
+            Some(Direction::North)
+        } else {
+            None
+        }
+    }
+
+    /// The neighbouring coordinate in `dir`, or `None` at a mesh edge.
+    pub fn neighbor(self, dir: Direction, width: u8, height: u8) -> Option<Coord> {
+        match dir {
+            Direction::North if self.y > 0 => Some(Coord::new(self.x, self.y - 1)),
+            Direction::South if self.y + 1 < height => Some(Coord::new(self.x, self.y + 1)),
+            Direction::West if self.x > 0 => Some(Coord::new(self.x - 1, self.y)),
+            Direction::East if self.x + 1 < width => Some(Coord::new(self.x + 1, self.y)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// One of the four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Toward row 0.
+    North,
+    /// Toward the last row.
+    South,
+    /// Toward column 0.
+    West,
+    /// Toward the last column.
+    East,
+}
+
+impl Direction {
+    /// All four directions in a fixed iteration order.
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::South, Direction::West, Direction::East];
+
+    /// The direction a flit sent this way arrives *from* at the neighbour.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::East => Direction::West,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::West => "west",
+            Direction::East => "east",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A router port: one of the four neighbour links or the local tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// Link to/from a neighbouring router.
+    Link(Direction),
+    /// The local network interface (injection/ejection).
+    Local,
+}
+
+impl Port {
+    /// All five ports in a fixed iteration order (local first, so that a
+    /// freshly injected packet does not starve behind through traffic in
+    /// the deterministic sweep; actual fairness comes from round-robin).
+    pub const ALL: [Port; 5] = [
+        Port::Local,
+        Port::Link(Direction::North),
+        Port::Link(Direction::South),
+        Port::Link(Direction::West),
+        Port::Link(Direction::East),
+    ];
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            Port::Local => 0,
+            Port::Link(Direction::North) => 1,
+            Port::Link(Direction::South) => 2,
+            Port::Link(Direction::West) => 3,
+            Port::Link(Direction::East) => 4,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Local => f.write_str("local"),
+            Port::Link(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_coord_roundtrip() {
+        let width = 8;
+        let height = 8;
+        for idx in 0..64usize {
+            let c = Coord::from_core(CoreId::new(idx), width, height);
+            assert_eq!(c.to_core(width), CoreId::new(idx));
+        }
+    }
+
+    #[test]
+    fn core_coord_row_major() {
+        let c = Coord::from_core(CoreId::new(8 + 5), 8, 8);
+        assert_eq!((c.x(), c.y()), (5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn core_coord_out_of_range_panics() {
+        Coord::from_core(CoreId::new(64), 8, 8);
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(3, 3);
+        assert_eq!(src.xy_next_hop(dst), Some(Direction::East));
+        let mid = Coord::new(3, 0);
+        assert_eq!(mid.xy_next_hop(dst), Some(Direction::South));
+        assert_eq!(dst.xy_next_hop(dst), None);
+    }
+
+    #[test]
+    fn xy_path_reaches_destination() {
+        let width = 8;
+        let height = 8;
+        let src = Coord::new(7, 0);
+        let dst = Coord::new(1, 6);
+        let mut cur = src;
+        let mut hops = 0;
+        while let Some(dir) = cur.xy_next_hop(dst) {
+            cur = cur.neighbor(dir, width, height).expect("route stays on mesh");
+            hops += 1;
+            assert!(hops <= 32, "routing loop");
+        }
+        assert_eq!(cur, dst);
+        assert_eq!(hops, src.hops_to(dst));
+    }
+
+    #[test]
+    fn neighbor_edges_are_none() {
+        assert_eq!(Coord::new(0, 0).neighbor(Direction::North, 8, 8), None);
+        assert_eq!(Coord::new(0, 0).neighbor(Direction::West, 8, 8), None);
+        assert_eq!(Coord::new(7, 7).neighbor(Direction::South, 8, 8), None);
+        assert_eq!(Coord::new(7, 7).neighbor(Direction::East, 8, 8), None);
+        assert_eq!(
+            Coord::new(3, 3).neighbor(Direction::East, 8, 8),
+            Some(Coord::new(4, 3))
+        );
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for dir in Direction::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+        }
+    }
+
+    #[test]
+    fn port_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for port in Port::ALL {
+            let i = port.index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,227 @@
+//! Packets, flits, virtual networks, and the payload interface through
+//! which big routers understand (and generate) coherence traffic.
+
+use crate::coord::Coord;
+use inpg_sim::{Addr, CoreId, Cycle};
+use std::fmt;
+
+/// A unique packet identity, assigned at injection time by the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet id from a raw sequence number.
+    pub const fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// The raw sequence number.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt {}", self.0)
+    }
+}
+
+/// A virtual network. Different coherence message classes travel on
+/// different virtual networks to break protocol deadlock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualNetwork(u8);
+
+impl VirtualNetwork {
+    /// Coherence requests (GetS / GetX / lock FwdGetX relays).
+    pub const REQUEST: VirtualNetwork = VirtualNetwork(0);
+    /// Directory-initiated forwards and invalidations.
+    pub const FORWARD: VirtualNetwork = VirtualNetwork(1);
+    /// Data and acknowledgement responses (always sinkable).
+    pub const RESPONSE: VirtualNetwork = VirtualNetwork(2);
+    /// OS-level messages (queue-spin-lock wakeup IPIs).
+    pub const SYSTEM: VirtualNetwork = VirtualNetwork(3);
+
+    /// Creates a virtual network from its index.
+    pub const fn new(index: u8) -> Self {
+        VirtualNetwork(index)
+    }
+
+    /// The dense index of this virtual network.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VirtualNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vnet {}", self.0)
+    }
+}
+
+/// Where a packet terminates: the tile's network interface, or the router
+/// itself (used by invalidation acknowledgements answering an *early*
+/// invalidation that a big router generated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sink {
+    /// Deliver to the local network interface (core / cache controller).
+    NetworkInterface,
+    /// Consume inside the router's packet generator.
+    Router,
+}
+
+/// A packet traversing the NoC.
+///
+/// `P` is the payload type; the coherence crate instantiates it with its
+/// protocol message. Control messages occupy one flit, cache-block data
+/// eight (Table 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct Packet<P> {
+    /// Identity assigned at injection.
+    pub id: PacketId,
+    /// Source coordinate (tile or generating router).
+    pub src: Coord,
+    /// Destination coordinate.
+    pub dst: Coord,
+    /// Whether the packet terminates at the NI or inside the router.
+    pub sink: Sink,
+    /// Virtual network class.
+    pub vnet: VirtualNetwork,
+    /// Length in flits (1 for control, 8 for a cache block).
+    pub flits: u8,
+    /// OCOR arbitration priority; higher wins. 0 for non-OCOR traffic.
+    pub priority: u8,
+    /// Cycle the packet entered the network.
+    pub injected_at: Cycle,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Number of flits in this packet.
+    pub fn flit_count(&self) -> u8 {
+        self.flits
+    }
+}
+
+/// Fields a big router extracts from an interceptable exclusive lock
+/// request (a `GetX` produced by an atomic read-modify-write on a lock
+/// variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRequest {
+    /// The lock variable's cache-block address.
+    pub addr: Addr,
+    /// The core whose L1 issued the request (and will be early-invalidated).
+    pub requester: CoreId,
+    /// The home node (L2 bank / directory) of the block.
+    pub home: CoreId,
+}
+
+/// Fields extracted from an invalidation acknowledgement answering an
+/// early invalidation, on its way back to the generating big router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EarlyAck {
+    /// The lock variable's cache-block address.
+    pub addr: Addr,
+    /// The core whose L1 acknowledged.
+    pub from: CoreId,
+    /// The home node of the block (relay destination).
+    pub home: CoreId,
+    /// When the early invalidation was generated; lets the evaluation
+    /// measure the Inv–Ack round trip of Figure 10.
+    pub inv_sent_at: Cycle,
+}
+
+/// The interface big routers use to understand and generate packets.
+///
+/// The NoC crate knows nothing about the coherence protocol; instead the
+/// payload type teaches routers to (1) recognise interceptable lock
+/// requests, (2) recognise acknowledgements to early invalidations, and
+/// (3) fabricate the three packet kinds the paper's packet generator
+/// emits: early `Inv`, converted `FwdGetX`, and the relayed `InvAck`.
+pub trait PacketGenPayload: Clone + fmt::Debug {
+    /// If this payload is an interceptable lock `GetX`, its fields.
+    fn as_lock_request(&self) -> Option<LockRequest>;
+
+    /// If this payload acknowledges an early invalidation, its fields.
+    fn as_early_ack(&self) -> Option<EarlyAck>;
+
+    /// Builds the early-invalidation payload a big router sends to the
+    /// losing requester's L1 at cycle `now`. `ack_router` is the tile id
+    /// of the generating router, to which the L1 must address its
+    /// acknowledgement (with [`Sink::Router`]).
+    fn early_inv(request: LockRequest, ack_router: CoreId, now: Cycle) -> Self;
+
+    /// Converts a stopped lock `GetX` into the `FwdGetX` relayed to the
+    /// home node (which will queue it like the original request and knows
+    /// the requester was early-invalidated). `now` is the stop cycle; the
+    /// home node uses it to match the relayed request with the relayed
+    /// acknowledgement of the same interception.
+    fn forwarded_getx(&self, now: Cycle) -> Self;
+
+    /// Builds the payload relaying a received early acknowledgement to
+    /// the home node (the paper's `AckFwd` phase: destination rewritten
+    /// to the home node's id). `now` is the cycle the acknowledgement
+    /// reached the router, closing the early Inv–Ack round trip.
+    fn relayed_ack(ack: EarlyAck, now: Cycle) -> Self;
+}
+
+/// A payload with no lock semantics; packets of this type are never
+/// intercepted. Handy for NoC-only tests and traffic-pattern benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpaquePayload;
+
+impl PacketGenPayload for OpaquePayload {
+    fn as_lock_request(&self) -> Option<LockRequest> {
+        None
+    }
+
+    fn as_early_ack(&self) -> Option<EarlyAck> {
+        None
+    }
+
+    fn early_inv(_request: LockRequest, _ack_router: CoreId, _now: Cycle) -> Self {
+        OpaquePayload
+    }
+
+    fn forwarded_getx(&self, _now: Cycle) -> Self {
+        OpaquePayload
+    }
+
+    fn relayed_ack(_ack: EarlyAck, _now: Cycle) -> Self {
+        OpaquePayload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vnet_constants_are_distinct() {
+        let all = [
+            VirtualNetwork::REQUEST,
+            VirtualNetwork::FORWARD,
+            VirtualNetwork::RESPONSE,
+            VirtualNetwork::SYSTEM,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+            assert_eq!(all[i].index(), i);
+        }
+    }
+
+    #[test]
+    fn opaque_payload_is_never_intercepted() {
+        assert!(OpaquePayload.as_lock_request().is_none());
+        assert!(OpaquePayload.as_early_ack().is_none());
+    }
+
+    #[test]
+    fn packet_id_display() {
+        assert_eq!(PacketId::new(12).to_string(), "pkt 12");
+        assert_eq!(PacketId::new(12).as_u64(), 12);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests of the NoC: packet conservation, latency lower
+//! bounds, and big-router bookkeeping under randomized traffic.
+
+use inpg_noc::packet::{OpaquePayload, Sink, VirtualNetwork};
+use inpg_noc::{BigRouterPlacement, Coord, Message, Network, NocConfig};
+use inpg_sim::{CoreId, Cycle};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TrafficCase {
+    width: u8,
+    height: u8,
+    vc_depth: u8,
+    big: bool,
+    /// (src, dst, flits, inject_cycle)
+    packets: Vec<(usize, usize, u8, u64)>,
+}
+
+fn traffic_case() -> impl Strategy<Value = TrafficCase> {
+    (2u8..6, 2u8..6, 1u8..5, any::<bool>()).prop_flat_map(|(width, height, vc_depth, big)| {
+        let nodes = width as usize * height as usize;
+        let packet = (0..nodes, 0..nodes, prop_oneof![Just(1u8), Just(8u8)], 0u64..200);
+        proptest::collection::vec(packet, 1..40).prop_map(move |packets| TrafficCase {
+            width,
+            height,
+            vc_depth,
+            big,
+            packets,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every injected packet is delivered exactly once, to the right
+    /// node, no earlier than the zero-load latency bound, and the
+    /// network fully drains.
+    #[test]
+    fn packets_are_conserved_and_respect_latency_bounds(case in traffic_case()) {
+        let cfg = NocConfig {
+            width: case.width,
+            height: case.height,
+            vc_depth: case.vc_depth,
+            placement: if case.big { BigRouterPlacement::Checkerboard } else { BigRouterPlacement::None },
+            ..NocConfig::paper_default()
+        };
+        let mut network: Network<OpaquePayload> = Network::new(cfg).expect("valid config");
+        let mut pending = case.packets.clone();
+        pending.sort_by_key(|p| p.3);
+        let mut expected: std::collections::HashMap<usize, usize> = Default::default();
+        for &(_, dst, _, _) in &pending {
+            *expected.entry(dst).or_default() += 1;
+        }
+
+        let mut now = Cycle::ZERO;
+        let mut sent: Vec<(inpg_noc::PacketId, usize, usize, u64)> = Vec::new();
+        let deadline = 40_000u64;
+        let mut received = 0usize;
+        let total = pending.len();
+        let mut iter = pending.into_iter().peekable();
+        while now.as_u64() < deadline && (received < total) {
+            while iter.peek().is_some_and(|p| p.3 <= now.as_u64()) {
+                let (src, dst, flits, _) = iter.next().expect("peeked");
+                let id = network.send(now, Message {
+                    src: CoreId::new(src),
+                    dst: CoreId::new(dst),
+                    sink: Sink::NetworkInterface,
+                    vnet: VirtualNetwork::REQUEST,
+                    flits,
+                    priority: 0,
+                    payload: OpaquePayload,
+                });
+                sent.push((id, src, dst, now.as_u64()));
+            }
+            network.tick(now);
+            for node in 0..network.config().nodes() {
+                while let Some(packet) = network.pop_delivered(CoreId::new(node)) {
+                    received += 1;
+                    let (_, src, dst, injected) = *sent
+                        .iter()
+                        .find(|(id, ..)| *id == packet.id)
+                        .expect("delivered packet was sent");
+                    prop_assert_eq!(dst, node, "delivered to the wrong node");
+                    // Zero-load bound: at least 2 cycles per hop.
+                    let hops = Coord::from_core(CoreId::new(src), case.width, case.height)
+                        .hops_to(Coord::from_core(CoreId::new(dst), case.width, case.height));
+                    let latency = now.as_u64() - injected;
+                    prop_assert!(
+                        latency >= 2 * hops as u64,
+                        "latency {} below the {}-hop bound",
+                        latency,
+                        hops
+                    );
+                }
+            }
+            now = now.next();
+        }
+        prop_assert_eq!(received, total, "every packet must be delivered");
+        prop_assert_eq!(network.in_flight(), 0, "network must drain");
+        prop_assert_eq!(network.stats().delivered, total as u64);
+    }
+
+    /// With opaque payloads, big routers never generate packets, never
+    /// install barriers, and never stop anything, at any mesh size.
+    #[test]
+    fn opaque_traffic_is_invisible_to_big_routers(case in traffic_case()) {
+        let cfg = NocConfig {
+            width: case.width,
+            height: case.height,
+            vc_depth: case.vc_depth,
+            placement: BigRouterPlacement::All,
+            ..NocConfig::paper_default()
+        };
+        let mut network: Network<OpaquePayload> = Network::new(cfg).expect("valid config");
+        let mut now = Cycle::ZERO;
+        for &(src, dst, flits, _) in &case.packets {
+            network.send(now, Message {
+                src: CoreId::new(src),
+                dst: CoreId::new(dst),
+                sink: Sink::NetworkInterface,
+                vnet: VirtualNetwork::RESPONSE,
+                flits,
+                priority: 0,
+                payload: OpaquePayload,
+            });
+        }
+        for _ in 0..20_000 {
+            if network.in_flight() == 0 {
+                break;
+            }
+            network.tick(now);
+            for node in 0..network.config().nodes() {
+                while network.pop_delivered(CoreId::new(node)).is_some() {}
+            }
+            now = now.next();
+        }
+        prop_assert_eq!(network.in_flight(), 0);
+        prop_assert_eq!(network.stats().generated_packets, 0);
+        let b = network.barrier_stats();
+        prop_assert_eq!(b.barriers_installed, 0);
+        prop_assert_eq!(b.requests_stopped, 0);
+    }
+}
+
+#[test]
+fn credit_conservation_holds_every_cycle() {
+    // Deterministic stress: hotspot + uniform traffic on the paper mesh,
+    // invariants checked after every cycle.
+    let mut network: Network<OpaquePayload> =
+        Network::new(NocConfig::paper_default()).expect("valid config");
+    let mut now = Cycle::ZERO;
+    for cycle in 0..3_000u64 {
+        if cycle % 40 == 0 {
+            for src in 0..64usize {
+                network.send(
+                    now,
+                    Message {
+                        src: CoreId::new(src),
+                        dst: CoreId::new(if src % 2 == 0 { 27 } else { (src * 13) % 64 }),
+                        sink: Sink::NetworkInterface,
+                        vnet: VirtualNetwork::new((src % 4) as u8),
+                        flits: if src % 5 == 0 { 8 } else { 1 },
+                        priority: (src % 9) as u8,
+                        payload: OpaquePayload,
+                    },
+                );
+            }
+        }
+        network.tick(now);
+        network.check_invariants();
+        for node in 0..64usize {
+            while network.pop_delivered(CoreId::new(node)).is_some() {}
+        }
+        now = now.next();
+    }
+    // Drain and re-check.
+    for _ in 0..30_000 {
+        if network.in_flight() == 0 {
+            break;
+        }
+        network.tick(now);
+        for node in 0..64usize {
+            while network.pop_delivered(CoreId::new(node)).is_some() {}
+        }
+        now = now.next();
+    }
+    network.check_invariants();
+    assert_eq!(network.in_flight(), 0);
+}

@@ -1,0 +1,132 @@
+//! A small integer histogram with a saturating final bucket.
+
+/// Histogram over `u64` samples; bucket `i` counts samples of value `i`,
+/// the last bucket saturates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with buckets `0..=cap` (the `cap` bucket
+    /// saturates).
+    pub fn new(cap: usize) -> Self {
+        Histogram { buckets: vec![0; cap + 1], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen (even beyond the saturating bucket).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The smallest value `v` such that at least `pct` (0–100) percent
+    /// of samples are `<= v`; saturated samples report the cap.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * pct / 100.0).ceil() as u64;
+        let mut seen = 0;
+        for (v, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return v as u64;
+            }
+        }
+        (self.buckets.len() - 1) as u64
+    }
+
+    /// Merges another histogram with the same cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram caps differ");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new(16);
+        for v in [1, 2, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.max(), 3);
+        assert_eq!(h.buckets()[2], 2);
+    }
+
+    #[test]
+    fn saturates_at_cap() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        assert_eq!(h.buckets()[4], 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new(100);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(Histogram::new(4).percentile(50.0), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Measurement infrastructure for the iNPG reproduction: per-thread
+//! execution phase accounting (parallel / competition / critical
+//! section), phase timelines for Figure-9-style profiles, generic
+//! histograms, and plain-text table rendering for the benchmark harness.
+
+pub mod histogram;
+pub mod phases;
+pub mod render;
+pub mod table;
+pub mod timeline;
+
+pub use histogram::Histogram;
+pub use phases::{CsRecord, PhaseCounters, ThreadPhase};
+pub use render::{render_timeline, timeline_legend};
+pub use table::{pct, speedup, Table};
+pub use timeline::Timeline;

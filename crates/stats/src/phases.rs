@@ -1,0 +1,155 @@
+//! Execution phase accounting, following the paper's Figure 9 taxonomy.
+
+use inpg_sim::Cycle;
+use std::fmt;
+
+/// The phase a thread is in at a given cycle (paper §5.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadPhase {
+    /// Concurrent computation (no critical section involved).
+    Parallel,
+    /// Competing to enter a critical section (the paper's COH phase,
+    /// including lock spinning, coherence stalls, sleep and wakeup).
+    Competition,
+    /// Executing critical-section code, including the release (CSE).
+    CriticalSection,
+    /// Program finished (excluded from shares).
+    Done,
+}
+
+impl fmt::Display for ThreadPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ThreadPhase::Parallel => "parallel",
+            ThreadPhase::Competition => "COH",
+            ThreadPhase::CriticalSection => "CSE",
+            ThreadPhase::Done => "done",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One completed critical section: how long the thread competed and how
+/// long it executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsRecord {
+    /// Cycles from `begin_acquire` to `Acquired`.
+    pub coh_cycles: u64,
+    /// Cycles from `Acquired` to `Released`.
+    pub cse_cycles: u64,
+    /// Cycle at which the critical section was released.
+    pub finished_at: Cycle,
+}
+
+/// Per-thread cycle accounting.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseCounters {
+    /// Cycles spent in each phase.
+    pub parallel_cycles: u64,
+    /// Competition overhead cycles (COH).
+    pub coh_cycles: u64,
+    /// Critical-section execution cycles (CSE).
+    pub cse_cycles: u64,
+    /// Of the COH cycles, those spent descheduled (QSL sleep + context
+    /// switches).
+    pub sleep_cycles: u64,
+    /// Completed critical sections.
+    pub cs_records: Vec<CsRecord>,
+}
+
+impl PhaseCounters {
+    /// Creates empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to the bucket for `phase`.
+    pub fn add(&mut self, phase: ThreadPhase, cycles: u64) {
+        match phase {
+            ThreadPhase::Parallel => self.parallel_cycles += cycles,
+            ThreadPhase::Competition => self.coh_cycles += cycles,
+            ThreadPhase::CriticalSection => self.cse_cycles += cycles,
+            ThreadPhase::Done => {}
+        }
+    }
+
+    /// Records a completed critical section.
+    pub fn record_cs(&mut self, record: CsRecord) {
+        self.cs_records.push(record);
+    }
+
+    /// Total accounted cycles (excluding `Done`).
+    pub fn total(&self) -> u64 {
+        self.parallel_cycles + self.coh_cycles + self.cse_cycles
+    }
+
+    /// Completed critical sections.
+    pub fn cs_count(&self) -> usize {
+        self.cs_records.len()
+    }
+
+    /// Sum of competition overhead across completed critical sections.
+    pub fn total_cs_coh(&self) -> u64 {
+        self.cs_records.iter().map(|r| r.coh_cycles).sum()
+    }
+
+    /// Sum of execution time across completed critical sections.
+    pub fn total_cs_cse(&self) -> u64 {
+        self.cs_records.iter().map(|r| r.cse_cycles).sum()
+    }
+
+    /// Merges another thread's counters into this one (for aggregates).
+    pub fn merge(&mut self, other: &PhaseCounters) {
+        self.parallel_cycles += other.parallel_cycles;
+        self.coh_cycles += other.coh_cycles;
+        self.cse_cycles += other.cse_cycles;
+        self.sleep_cycles += other.sleep_cycles;
+        self.cs_records.extend(other.cs_records.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_routes_to_buckets() {
+        let mut c = PhaseCounters::new();
+        c.add(ThreadPhase::Parallel, 10);
+        c.add(ThreadPhase::Competition, 20);
+        c.add(ThreadPhase::CriticalSection, 5);
+        c.add(ThreadPhase::Done, 99);
+        assert_eq!(c.parallel_cycles, 10);
+        assert_eq!(c.coh_cycles, 20);
+        assert_eq!(c.cse_cycles, 5);
+        assert_eq!(c.total(), 35);
+    }
+
+    #[test]
+    fn cs_records_accumulate() {
+        let mut c = PhaseCounters::new();
+        c.record_cs(CsRecord { coh_cycles: 100, cse_cycles: 30, finished_at: Cycle::new(500) });
+        c.record_cs(CsRecord { coh_cycles: 50, cse_cycles: 40, finished_at: Cycle::new(900) });
+        assert_eq!(c.cs_count(), 2);
+        assert_eq!(c.total_cs_coh(), 150);
+        assert_eq!(c.total_cs_cse(), 70);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = PhaseCounters::new();
+        a.add(ThreadPhase::Parallel, 1);
+        let mut b = PhaseCounters::new();
+        b.add(ThreadPhase::Parallel, 2);
+        b.record_cs(CsRecord { coh_cycles: 7, cse_cycles: 3, finished_at: Cycle::new(10) });
+        a.merge(&b);
+        assert_eq!(a.parallel_cycles, 3);
+        assert_eq!(a.cs_count(), 1);
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(ThreadPhase::Competition.to_string(), "COH");
+        assert_eq!(ThreadPhase::CriticalSection.to_string(), "CSE");
+    }
+}

@@ -1,0 +1,87 @@
+//! ASCII rendering of phase timelines — the visual form of the paper's
+//! Figure 9 execution profiles.
+
+use crate::phases::ThreadPhase;
+use crate::timeline::Timeline;
+use inpg_sim::Cycle;
+
+/// Renders threads `0..threads` of `timeline` over `[from, to)` as one
+/// text row per thread, `width` characters wide.
+///
+/// Legend: `.` parallel, `#` competition (COH), `$` critical section
+/// (CSE), space = finished.
+///
+/// # Example
+///
+/// ```
+/// use inpg_stats::{render_timeline, ThreadPhase, Timeline};
+/// use inpg_sim::Cycle;
+///
+/// let mut tl = Timeline::new(1);
+/// tl.set_phase(0, Cycle::new(50), ThreadPhase::Competition);
+/// let rows = render_timeline(&tl, Cycle::ZERO, Cycle::new(100), 1, 10);
+/// assert_eq!(rows[0], "t00 .....#####");
+/// ```
+pub fn render_timeline(
+    timeline: &Timeline,
+    from: Cycle,
+    to: Cycle,
+    threads: usize,
+    width: usize,
+) -> Vec<String> {
+    assert!(to > from, "empty window");
+    assert!(width > 0, "zero width");
+    let span = to - from;
+    let threads = threads.min(timeline.threads());
+    let mut rows = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let mut row = format!("t{t:02} ");
+        for col in 0..width {
+            let at = from + (span * col as u64) / width as u64;
+            let glyph = match timeline.phase_at(t, at) {
+                ThreadPhase::Parallel => '.',
+                ThreadPhase::Competition => '#',
+                ThreadPhase::CriticalSection => '$',
+                ThreadPhase::Done => ' ',
+            };
+            row.push(glyph);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// The legend string matching [`render_timeline`].
+pub fn timeline_legend() -> &'static str {
+    ". parallel   # competition (COH)   $ critical section (CSE)"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_phases_at_scale() {
+        let mut tl = Timeline::new(2);
+        tl.set_phase(0, Cycle::new(25), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(75), ThreadPhase::CriticalSection);
+        tl.set_phase(1, Cycle::new(50), ThreadPhase::Done);
+        let rows = render_timeline(&tl, Cycle::ZERO, Cycle::new(100), 2, 20);
+        assert_eq!(rows[0], "t00 .....##########$$$$$");
+        assert_eq!(rows[1], "t01 ..........          ");
+    }
+
+    #[test]
+    fn clamps_thread_count() {
+        let tl = Timeline::new(1);
+        let rows = render_timeline(&tl, Cycle::ZERO, Cycle::new(10), 8, 5);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let tl = Timeline::new(1);
+        render_timeline(&tl, Cycle::new(5), Cycle::new(5), 1, 10);
+    }
+}

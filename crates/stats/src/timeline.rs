@@ -1,0 +1,203 @@
+//! Per-thread phase timelines (the raw material of the paper's Figure 9
+//! execution timing profiles).
+
+use crate::phases::ThreadPhase;
+use inpg_sim::Cycle;
+
+/// Records phase transitions for every thread, supporting windowed
+/// share queries ("of cycles 0–30 000, how many were COH?").
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Per thread: (transition cycle, new phase), in cycle order.
+    transitions: Vec<Vec<(Cycle, ThreadPhase)>>,
+}
+
+impl Timeline {
+    /// Creates a timeline for `threads` threads, all starting in
+    /// [`ThreadPhase::Parallel`] at cycle 0.
+    pub fn new(threads: usize) -> Self {
+        Timeline {
+            transitions: (0..threads)
+                .map(|_| vec![(Cycle::ZERO, ThreadPhase::Parallel)])
+                .collect(),
+        }
+    }
+
+    /// Number of threads tracked.
+    pub fn threads(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Records that `thread` enters `phase` at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` precedes the thread's last transition.
+    pub fn set_phase(&mut self, thread: usize, cycle: Cycle, phase: ThreadPhase) {
+        let log = &mut self.transitions[thread];
+        let (last_cycle, last_phase) = *log.last().expect("timeline starts non-empty");
+        assert!(cycle >= last_cycle, "timeline must move forward");
+        if last_phase == phase {
+            return;
+        }
+        if cycle == last_cycle {
+            // Same-cycle re-transition: replace.
+            log.pop();
+            if log.last().map(|&(_, p)| p) != Some(phase) {
+                log.push((cycle, phase));
+            }
+        } else {
+            log.push((cycle, phase));
+        }
+    }
+
+    /// The phase `thread` is in at `cycle`.
+    pub fn phase_at(&self, thread: usize, cycle: Cycle) -> ThreadPhase {
+        let log = &self.transitions[thread];
+        match log.binary_search_by(|&(c, _)| c.cmp(&cycle)) {
+            Ok(i) => log[i].1,
+            Err(0) => log[0].1,
+            Err(i) => log[i - 1].1,
+        }
+    }
+
+    /// The (phase, duration) segments of `thread` clipped to
+    /// `[from, to)`.
+    pub fn segments(
+        &self,
+        thread: usize,
+        from: Cycle,
+        to: Cycle,
+    ) -> Vec<(ThreadPhase, u64)> {
+        let log = &self.transitions[thread];
+        let mut out: Vec<(ThreadPhase, u64)> = Vec::new();
+        for (i, &(start, phase)) in log.iter().enumerate() {
+            let end = log.get(i + 1).map(|&(c, _)| c).unwrap_or(to);
+            let s = start.max(from);
+            let e = end.min(to);
+            if e > s {
+                let dur = e - s;
+                if let Some(last) = out.last_mut() {
+                    if last.0 == phase {
+                        last.1 += dur;
+                        continue;
+                    }
+                }
+                out.push((phase, dur));
+            }
+        }
+        out
+    }
+
+    /// Cycle shares per phase over `[from, to)` across `threads`
+    /// (defaults to all). Returns `(parallel, coh, cse)` fractions of
+    /// the live (non-done) cycles.
+    pub fn shares(&self, from: Cycle, to: Cycle, threads: Option<usize>) -> (f64, f64, f64) {
+        let n = threads.unwrap_or(self.threads()).min(self.threads());
+        let mut parallel = 0u64;
+        let mut coh = 0u64;
+        let mut cse = 0u64;
+        for t in 0..n {
+            for (phase, dur) in self.segments(t, from, to) {
+                match phase {
+                    ThreadPhase::Parallel => parallel += dur,
+                    ThreadPhase::Competition => coh += dur,
+                    ThreadPhase::CriticalSection => cse += dur,
+                    ThreadPhase::Done => {}
+                }
+            }
+        }
+        let total = (parallel + coh + cse) as f64;
+        if total == 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (parallel as f64 / total, coh as f64 / total, cse as f64 / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_parallel() {
+        let tl = Timeline::new(2);
+        assert_eq!(tl.phase_at(0, Cycle::new(5)), ThreadPhase::Parallel);
+        assert_eq!(tl.threads(), 2);
+    }
+
+    #[test]
+    fn transitions_and_lookup() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(30), ThreadPhase::CriticalSection);
+        assert_eq!(tl.phase_at(0, Cycle::new(9)), ThreadPhase::Parallel);
+        assert_eq!(tl.phase_at(0, Cycle::new(10)), ThreadPhase::Competition);
+        assert_eq!(tl.phase_at(0, Cycle::new(29)), ThreadPhase::Competition);
+        assert_eq!(tl.phase_at(0, Cycle::new(31)), ThreadPhase::CriticalSection);
+    }
+
+    #[test]
+    fn segments_clip_to_window() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(20), ThreadPhase::CriticalSection);
+        let segs = tl.segments(0, Cycle::new(5), Cycle::new(25));
+        assert_eq!(
+            segs,
+            vec![
+                (ThreadPhase::Parallel, 5),
+                (ThreadPhase::Competition, 10),
+                (ThreadPhase::CriticalSection, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_phase_is_coalesced() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(15), ThreadPhase::Competition);
+        let segs = tl.segments(0, Cycle::ZERO, Cycle::new(20));
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn same_cycle_retransition_replaces() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::CriticalSection);
+        assert_eq!(tl.phase_at(0, Cycle::new(10)), ThreadPhase::CriticalSection);
+        let segs = tl.segments(0, Cycle::ZERO, Cycle::new(20));
+        assert_eq!(segs, vec![(ThreadPhase::Parallel, 10), (ThreadPhase::CriticalSection, 10)]);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut tl = Timeline::new(2);
+        tl.set_phase(0, Cycle::new(50), ThreadPhase::Competition);
+        tl.set_phase(1, Cycle::new(25), ThreadPhase::CriticalSection);
+        let (p, c, s) = tl.shares(Cycle::ZERO, Cycle::new(100), None);
+        assert!((p + c + s - 1.0).abs() < 1e-9);
+        assert!((p - (50.0 + 25.0) / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn done_phase_excluded_from_shares() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Done);
+        let (p, c, s) = tl.shares(Cycle::ZERO, Cycle::new(100), None);
+        assert!((p - 1.0).abs() < 1e-9, "only the live 10 cycles count");
+        assert_eq!(c, 0.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "move forward")]
+    fn backwards_transition_panics() {
+        let mut tl = Timeline::new(1);
+        tl.set_phase(0, Cycle::new(10), ThreadPhase::Competition);
+        tl.set_phase(0, Cycle::new(5), ThreadPhase::Parallel);
+    }
+}

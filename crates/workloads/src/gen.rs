@@ -1,0 +1,164 @@
+//! Turns benchmark signatures into per-thread programs.
+
+use crate::spec::BenchmarkSpec;
+use inpg_manycore::ThreadProgram;
+use inpg_sim::{LockId, SimRng};
+
+/// Workload generation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenOptions {
+    /// Threads (= cores) to generate for.
+    pub threads: usize,
+    /// Scales the number of critical sections per thread. 1.0 runs the
+    /// full Figure-8 counts; smaller values keep unit tests and sweeps
+    /// fast while preserving contention structure.
+    pub scale: f64,
+    /// Deterministic seed for compute jitter and lock selection.
+    pub seed: u64,
+}
+
+const DEFAULT_SEED: u64 = 0x16_9e_47_11;
+
+impl GenOptions {
+    /// Full-scale options for `threads` threads with the default seed.
+    pub fn full(threads: usize) -> Self {
+        GenOptions { threads, scale: 1.0, seed: DEFAULT_SEED }
+    }
+
+    /// Scaled-down options (same structure, fewer critical sections).
+    pub fn scaled(threads: usize, scale: f64) -> Self {
+        GenOptions { threads, scale, seed: DEFAULT_SEED }
+    }
+}
+
+/// Generates one program per thread for `spec`.
+///
+/// Every thread executes `ceil(scale * total_cs / threads)` rounds of
+/// jittered parallel compute followed by a critical section; locks are
+/// picked per round from the benchmark's lock set (uniformly, seeded).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or `scale` is not positive.
+pub fn generate(spec: &BenchmarkSpec, options: GenOptions) -> Vec<ThreadProgram> {
+    assert!(options.threads > 0, "at least one thread");
+    assert!(options.scale > 0.0, "scale must be positive");
+    let mut rng = SimRng::seed_from_u64(options.seed ^ hash_name(spec.name));
+    let per_thread =
+        (((spec.total_cs as f64) * options.scale / options.threads as f64).ceil() as u64).max(1);
+    let mut programs = Vec::with_capacity(options.threads);
+    for _ in 0..options.threads {
+        let mut thread_rng = rng.fork();
+        let mut program = ThreadProgram::new();
+        for _ in 0..per_thread {
+            let compute = jitter(&mut thread_rng, spec.compute_per_round, spec.jitter_pct);
+            let cs = jitter(&mut thread_rng, spec.avg_cs_cycles, spec.jitter_pct / 2);
+            let lock = if spec.locks == 1 {
+                0
+            } else {
+                thread_rng.next_below(spec.locks as u64) as usize
+            };
+            program = program.compute(compute).critical(LockId::new(lock), cs);
+        }
+        programs.push(program);
+    }
+    programs
+}
+
+/// Number of locks the generated programs reference.
+pub fn locks_needed(spec: &BenchmarkSpec) -> usize {
+    spec.locks
+}
+
+fn jitter(rng: &mut SimRng, mean: u64, pct: u8) -> u64 {
+    if pct == 0 || mean == 0 {
+        return mean.max(1);
+    }
+    let span = mean * pct as u64 / 100;
+    let lo = mean.saturating_sub(span).max(1);
+    let hi = mean + span;
+    rng.next_range(lo, hi)
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a over the name, so each benchmark gets a distinct stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+
+    fn opts(threads: usize, scale: f64) -> GenOptions {
+        GenOptions { threads, scale, seed: DEFAULT_SEED }
+    }
+
+    #[test]
+    fn generates_one_program_per_thread() {
+        let spec = benchmark("fluid").unwrap();
+        let programs = generate(spec, opts(16, 0.1));
+        assert_eq!(programs.len(), 16);
+        let per_thread = (10_240.0_f64 * 0.1 / 16.0).ceil() as usize;
+        for p in &programs {
+            assert_eq!(p.cs_count(), per_thread);
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_figure8_counts() {
+        let spec = benchmark("imag").unwrap();
+        let programs = generate(spec, GenOptions { threads: 64, scale: 1.0, seed: 1 });
+        let total: usize = programs.iter().map(|p| p.cs_count()).sum();
+        // ceil(4000/64)*64 = 4032; within one round per thread of spec.
+        assert!((4_000..=4_000 + 64).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = benchmark("freq").unwrap();
+        let a = generate(spec, opts(8, 0.05));
+        let b = generate(spec, opts(8, 0.05));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = benchmark("freq").unwrap();
+        let a = generate(spec, GenOptions { threads: 8, scale: 0.05, seed: 1 });
+        let b = generate(spec, GenOptions { threads: 8, scale: 0.05, seed: 2 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lock_ids_stay_in_range() {
+        let spec = benchmark("can").unwrap();
+        let programs = generate(spec, opts(8, 0.2));
+        for p in &programs {
+            if let Some(max) = p.max_lock() {
+                assert!(max.index() < spec.locks);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = jitter(&mut rng, 100, 30);
+            assert!((70..=130).contains(&v));
+        }
+        assert_eq!(jitter(&mut rng, 0, 30), 1, "zero mean clamps to one cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        generate(benchmark("fluid").unwrap(), opts(4, 0.0));
+    }
+}

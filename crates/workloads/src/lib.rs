@@ -1,0 +1,27 @@
+//! Synthetic workload models of the paper's 24 evaluation programs
+//! (10 PARSEC + 14 SPEC OMP2012), plus microbenchmarks.
+//!
+//! The real programs cannot run here (they need a full-system Gem5
+//! stack); instead each program is reduced to its *critical-section
+//! signature* — total CS count, mean cycles per CS, lock count, and
+//! inter-CS compute — which is exactly the structure the paper's
+//! evaluation depends on (Figure 8). `DESIGN.md` documents the
+//! substitution and the anchor numbers taken from the paper's text.
+//!
+//! # Example
+//!
+//! ```
+//! use inpg_workloads::{benchmark, generate, GenOptions};
+//!
+//! let spec = benchmark("freq").expect("freqmine is modelled");
+//! let programs = generate(spec, GenOptions::scaled(16, 0.05));
+//! assert_eq!(programs.len(), 16);
+//! assert!(programs[0].cs_count() > 0);
+//! ```
+
+pub mod gen;
+pub mod micro;
+pub mod spec;
+
+pub use gen::{generate, locks_needed, GenOptions};
+pub use spec::{benchmark, benchmarks_in, group_of, BenchmarkSpec, CsGroup, Suite, BENCHMARKS};

@@ -1,0 +1,95 @@
+//! Microbenchmark workloads: minimal, fully-controlled contention
+//! patterns used by examples, tests and the Figure-10 experiment.
+
+use inpg_manycore::ThreadProgram;
+use inpg_sim::LockId;
+
+/// Every thread hammers one lock: `rounds` iterations of
+/// `compute`-cycle parallel work followed by a `cs_cycles` critical
+/// section. This is the all-64-threads-compete scenario of Figure 10.
+pub fn hot_lock(threads: usize, rounds: usize, compute: u64, cs_cycles: u64) -> Vec<ThreadProgram> {
+    (0..threads)
+        .map(|_| ThreadProgram::new().rounds(rounds, compute, LockId::new(0), cs_cycles))
+        .collect()
+}
+
+/// Threads are split evenly over `locks` independent locks — low
+/// contention per lock, used to check that iNPG does not hurt
+/// uncontended synchronization.
+pub fn partitioned(
+    threads: usize,
+    locks: usize,
+    rounds: usize,
+    compute: u64,
+    cs_cycles: u64,
+) -> Vec<ThreadProgram> {
+    assert!(locks > 0, "at least one lock");
+    (0..threads)
+        .map(|t| {
+            ThreadProgram::new().rounds(rounds, compute, LockId::new(t % locks), cs_cycles)
+        })
+        .collect()
+}
+
+/// A staggered start: thread `t` computes `t * stagger` cycles before
+/// its first critical section, producing a steady arrival stream rather
+/// than a thundering herd.
+pub fn staggered(
+    threads: usize,
+    stagger: u64,
+    rounds: usize,
+    compute: u64,
+    cs_cycles: u64,
+) -> Vec<ThreadProgram> {
+    (0..threads)
+        .map(|t| {
+            ThreadProgram::new()
+                .compute(stagger * t as u64 + 1)
+                .rounds(rounds, compute, LockId::new(0), cs_cycles)
+        })
+        .collect()
+}
+
+/// Pure parallel compute with no synchronization at all (the sanity
+/// baseline: every mechanism must leave it untouched).
+pub fn embarrassingly_parallel(threads: usize, compute: u64) -> Vec<ThreadProgram> {
+    (0..threads).map(|_| ThreadProgram::new().compute(compute)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_lock_shapes() {
+        let programs = hot_lock(8, 3, 100, 10);
+        assert_eq!(programs.len(), 8);
+        assert!(programs.iter().all(|p| p.cs_count() == 3));
+        assert!(programs.iter().all(|p| p.max_lock() == Some(LockId::new(0))));
+    }
+
+    #[test]
+    fn partitioned_spreads_locks() {
+        let programs = partitioned(8, 4, 2, 50, 5);
+        let locks: std::collections::HashSet<_> =
+            programs.iter().filter_map(|p| p.max_lock()).collect();
+        assert_eq!(locks.len(), 4);
+    }
+
+    #[test]
+    fn staggered_prefixes_grow() {
+        let programs = staggered(4, 100, 1, 10, 5);
+        let first_compute = |p: &ThreadProgram| match p.segments()[0] {
+            inpg_manycore::Segment::Compute(c) => c,
+            _ => panic!("first segment is compute"),
+        };
+        assert_eq!(first_compute(&programs[0]), 1);
+        assert_eq!(first_compute(&programs[3]), 301);
+    }
+
+    #[test]
+    fn parallel_has_no_locks() {
+        let programs = embarrassingly_parallel(4, 1000);
+        assert!(programs.iter().all(|p| p.max_lock().is_none()));
+    }
+}

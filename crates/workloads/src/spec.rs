@@ -1,0 +1,188 @@
+//! The 24 benchmark models: 10 PARSEC + 14 SPEC OMP2012 programs,
+//! parameterized by their critical-section signatures.
+//!
+//! The paper's evaluation depends on each program's CS signature — how
+//! many critical sections it executes, how long each takes, and how much
+//! parallel work separates them (Figure 8). We cannot run the real
+//! binaries (no Gem5 full-system stack here), so each program is modelled
+//! by a synthetic signature chosen to be consistent with every number the
+//! paper's text reports:
+//!
+//! * `fluidanimate`: 10 240 critical sections of ~81 cycles (§5.2.1);
+//! * `imagick`: 4 000 critical sections of ~179 cycles (§5.2.1);
+//! * group sizes 6 / 12 / 6 when sorted by total CS time (Figure 8b);
+//! * `kdtree`, `facesim`, `fluidanimate` are the high-LCO programs of
+//!   Figure 2; `freqmine` shows ~28% COH in the Original profile
+//!   (Figure 9); `nab`, `bt331`, `dedup` are the benchmarks where the
+//!   various mechanisms peak (Figures 11–12).
+
+use std::fmt;
+
+/// Benchmark suite a program belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PARSEC (10 programs, large inputs; blackscholes and swaptions are
+    /// excluded as in the paper).
+    Parsec,
+    /// SPEC OMP2012 (all 14 programs).
+    Omp2012,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Suite::Parsec => f.write_str("PARSEC"),
+            Suite::Omp2012 => f.write_str("SPEC OMP2012"),
+        }
+    }
+}
+
+/// The CS-time group of Figure 8b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CsGroup {
+    /// Lowest total CS execution time (6 programs).
+    Low,
+    /// Medium (12 programs).
+    Medium,
+    /// Highest (6 programs).
+    High,
+}
+
+impl fmt::Display for CsGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsGroup::Low => f.write_str("Group 1"),
+            CsGroup::Medium => f.write_str("Group 2"),
+            CsGroup::High => f.write_str("Group 3"),
+        }
+    }
+}
+
+/// One benchmark's synthetic signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Program name (short form where the paper abbreviates).
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Total critical sections across all threads (Figure 8a).
+    pub total_cs: u64,
+    /// Mean CPU cycles per critical section (Figure 8a).
+    pub avg_cs_cycles: u64,
+    /// Distinct lock variables protecting the critical sections.
+    pub locks: usize,
+    /// Mean parallel compute cycles between consecutive CS entries of
+    /// one thread.
+    pub compute_per_round: u64,
+    /// Compute jitter in percent (uniform +/-).
+    pub jitter_pct: u8,
+}
+
+impl BenchmarkSpec {
+    /// Total CS execution time proxy (count x mean cycles), the sorting
+    /// key of Figure 8b.
+    pub fn total_cs_time(&self) -> u64 {
+        self.total_cs * self.avg_cs_cycles
+    }
+}
+
+/// All 24 programs. Order: PARSEC then OMP2012, as in the paper's plots.
+pub const BENCHMARKS: [BenchmarkSpec; 24] = [
+    // ---- PARSEC (10) --------------------------------------------------
+    BenchmarkSpec { name: "body", suite: Suite::Parsec, total_cs: 2_560, avg_cs_cycles: 95, locks: 4, compute_per_round: 3590, jitter_pct: 30 },
+    BenchmarkSpec { name: "can", suite: Suite::Parsec, total_cs: 2176, avg_cs_cycles: 110, locks: 8, compute_per_round: 2100, jitter_pct: 40 },
+    BenchmarkSpec { name: "dedup", suite: Suite::Parsec, total_cs: 4_480, avg_cs_cycles: 120, locks: 4, compute_per_round: 3850, jitter_pct: 30 },
+    BenchmarkSpec { name: "face", suite: Suite::Parsec, total_cs: 8_320, avg_cs_cycles: 105, locks: 1, compute_per_round: 10220, jitter_pct: 20 },
+    BenchmarkSpec { name: "ferret", suite: Suite::Parsec, total_cs: 2304, avg_cs_cycles: 90, locks: 8, compute_per_round: 2000, jitter_pct: 40 },
+    BenchmarkSpec { name: "fluid", suite: Suite::Parsec, total_cs: 10_240, avg_cs_cycles: 81, locks: 2, compute_per_round: 4770, jitter_pct: 20 },
+    BenchmarkSpec { name: "freq", suite: Suite::Parsec, total_cs: 5_760, avg_cs_cycles: 130, locks: 2, compute_per_round: 9000, jitter_pct: 25 },
+    BenchmarkSpec { name: "stream", suite: Suite::Parsec, total_cs: 3_200, avg_cs_cycles: 100, locks: 4, compute_per_round: 3640, jitter_pct: 30 },
+    BenchmarkSpec { name: "vips", suite: Suite::Parsec, total_cs: 1920, avg_cs_cycles: 85, locks: 8, compute_per_round: 2000, jitter_pct: 40 },
+    BenchmarkSpec { name: "x264", suite: Suite::Parsec, total_cs: 2176, avg_cs_cycles: 95, locks: 8, compute_per_round: 2050, jitter_pct: 40 },
+    // ---- SPEC OMP2012 (14) --------------------------------------------
+    BenchmarkSpec { name: "md", suite: Suite::Omp2012, total_cs: 3_840, avg_cs_cycles: 140, locks: 2, compute_per_round: 8110, jitter_pct: 25 },
+    BenchmarkSpec { name: "bwaves", suite: Suite::Omp2012, total_cs: 2_880, avg_cs_cycles: 125, locks: 4, compute_per_round: 3900, jitter_pct: 30 },
+    BenchmarkSpec { name: "nab", suite: Suite::Omp2012, total_cs: 9_600, avg_cs_cycles: 115, locks: 1, compute_per_round: 10510, jitter_pct: 20 },
+    BenchmarkSpec { name: "bt331", suite: Suite::Omp2012, total_cs: 8_960, avg_cs_cycles: 102, locks: 1, compute_per_round: 10140, jitter_pct: 20 },
+    BenchmarkSpec { name: "botsalgn", suite: Suite::Omp2012, total_cs: 2048, avg_cs_cycles: 100, locks: 8, compute_per_round: 2100, jitter_pct: 40 },
+    BenchmarkSpec { name: "botsspar", suite: Suite::Omp2012, total_cs: 3_520, avg_cs_cycles: 118, locks: 4, compute_per_round: 3830, jitter_pct: 30 },
+    BenchmarkSpec { name: "ilbdc", suite: Suite::Omp2012, total_cs: 2_560, avg_cs_cycles: 135, locks: 4, compute_per_round: 4000, jitter_pct: 30 },
+    BenchmarkSpec { name: "fma3d", suite: Suite::Omp2012, total_cs: 4_160, avg_cs_cycles: 128, locks: 2, compute_per_round: 7860, jitter_pct: 25 },
+    BenchmarkSpec { name: "swim", suite: Suite::Omp2012, total_cs: 1792, avg_cs_cycles: 105, locks: 8, compute_per_round: 2150, jitter_pct: 40 },
+    BenchmarkSpec { name: "imag", suite: Suite::Omp2012, total_cs: 4_000, avg_cs_cycles: 179, locks: 2, compute_per_round: 8920, jitter_pct: 25 },
+    BenchmarkSpec { name: "mgrid331", suite: Suite::Omp2012, total_cs: 3_072, avg_cs_cycles: 122, locks: 4, compute_per_round: 3870, jitter_pct: 30 },
+    BenchmarkSpec { name: "applu331", suite: Suite::Omp2012, total_cs: 2_688, avg_cs_cycles: 130, locks: 4, compute_per_round: 3950, jitter_pct: 30 },
+    BenchmarkSpec { name: "smithwa", suite: Suite::Omp2012, total_cs: 4_224, avg_cs_cycles: 112, locks: 2, compute_per_round: 7530, jitter_pct: 25 },
+    BenchmarkSpec { name: "kdtree", suite: Suite::Omp2012, total_cs: 7_680, avg_cs_cycles: 98, locks: 1, compute_per_round: 10020, jitter_pct: 20 },
+];
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static BenchmarkSpec> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// The Figure 8b grouping: benchmarks sorted ascending by total CS time,
+/// split 6 / 12 / 6.
+pub fn group_of(spec: &BenchmarkSpec) -> CsGroup {
+    let mut order: Vec<&BenchmarkSpec> = BENCHMARKS.iter().collect();
+    order.sort_by_key(|b| (b.total_cs_time(), b.name));
+    let rank = order
+        .iter()
+        .position(|b| b.name == spec.name)
+        .expect("spec comes from BENCHMARKS");
+    match rank {
+        0..=5 => CsGroup::Low,
+        6..=17 => CsGroup::Medium,
+        _ => CsGroup::High,
+    }
+}
+
+/// Benchmarks in a given group.
+pub fn benchmarks_in(group: CsGroup) -> Vec<&'static BenchmarkSpec> {
+    BENCHMARKS.iter().filter(|b| group_of(b) == group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_unique_programs() {
+        let mut names: Vec<&str> = BENCHMARKS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+        assert_eq!(BENCHMARKS.iter().filter(|b| b.suite == Suite::Parsec).count(), 10);
+        assert_eq!(BENCHMARKS.iter().filter(|b| b.suite == Suite::Omp2012).count(), 14);
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        let fluid = benchmark("fluid").unwrap();
+        assert_eq!(fluid.total_cs, 10_240);
+        assert_eq!(fluid.avg_cs_cycles, 81);
+        let imag = benchmark("imag").unwrap();
+        assert_eq!(imag.total_cs, 4_000);
+        assert_eq!(imag.avg_cs_cycles, 179);
+    }
+
+    #[test]
+    fn groups_are_6_12_6() {
+        assert_eq!(benchmarks_in(CsGroup::Low).len(), 6);
+        assert_eq!(benchmarks_in(CsGroup::Medium).len(), 12);
+        assert_eq!(benchmarks_in(CsGroup::High).len(), 6);
+    }
+
+    #[test]
+    fn high_contention_benchmarks_are_group_three() {
+        for name in ["fluid", "face", "kdtree", "nab", "bt331", "freq"] {
+            let spec = benchmark(name).unwrap();
+            assert_eq!(group_of(spec), CsGroup::High, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        assert!(benchmark("blackscholes").is_none(), "excluded in the paper");
+    }
+}

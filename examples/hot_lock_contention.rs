@@ -1,0 +1,60 @@
+//! Hot-lock contention microbenchmark: all 64 threads hammer one lock
+//! homed at tile (5, 6), reproducing the Figure-10 scenario. Prints the
+//! per-core invalidation–acknowledgement delay map for Original vs iNPG
+//! so the "distance-dependent long tail vs flat" contrast is visible.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p inpg --example hot_lock_contention
+//! ```
+
+use inpg::{Experiment, LockPrimitive, Mechanism, ThreadProgram};
+use inpg_sim::{CoreId, LockId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let home = CoreId::new(6 * 8 + 5); // tile (5, 6)
+    let programs: Vec<ThreadProgram> = (0..64)
+        .map(|_| ThreadProgram::new().rounds(20, 500, LockId::new(0), 100))
+        .collect();
+
+    for mechanism in [Mechanism::Original, Mechanism::Inpg] {
+        let result = Experiment::custom("hot-lock", programs.clone(), 1)
+            .mechanism(mechanism)
+            .primitive(LockPrimitive::Tas)
+            .lock_home(home)
+            .run()?;
+        assert!(result.completed);
+
+        println!("== {mechanism} ==");
+        println!(
+            "ROI {} cycles | Inv-Ack mean {:.1}, max {} over {} round trips | {} early invalidations",
+            result.roi_cycles,
+            result.invack.mean,
+            result.invack.max,
+            result.invack.count,
+            result.noc.early_invs,
+        );
+        println!("per-core mean Inv-Ack delay ('-' = never invalidated, H = home):");
+        for y in 0..8 {
+            let mut row = String::from("  ");
+            for x in 0..8 {
+                let idx = y * 8 + x;
+                if idx == home.index() {
+                    row.push_str("    H ");
+                    continue;
+                }
+                match result.invack.per_core_mean[idx] {
+                    Some(v) => row.push_str(&format!("{v:5.1} ")),
+                    None => row.push_str("    - "),
+                }
+            }
+            println!("{row}");
+        }
+        println!();
+    }
+    println!("Paper shape: Original delays grow with distance from (5,6) and show a");
+    println!("long tail; iNPG delays are flat and small (invalidation happens at the");
+    println!("nearest big router instead of the home node).");
+    Ok(())
+}

@@ -209,6 +209,15 @@ impl HomeBank {
             && self.entries.values().all(|e| e.busy.is_none() && e.queue.is_empty())
     }
 
+    /// Whether the bank still holds undelivered messages (inbox entries
+    /// or delayed responses). Unlike [`is_idle`](Self::is_idle) this
+    /// ignores busy/queued directory entries: an entry can legitimately
+    /// stay busy forever when the transaction it waits on is wedged,
+    /// while a nonempty message queue always implies forward progress.
+    pub fn messages_pending(&self) -> bool {
+        !self.inbox.is_empty() || !self.fast_inbox.is_empty() || !self.delayed.is_empty()
+    }
+
     /// Accepts one delivered message (any cycle).
     pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle) {
         match msg {

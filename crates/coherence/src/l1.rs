@@ -214,6 +214,36 @@ impl L1Cache {
         })
     }
 
+    /// All cached lines as `(block address, state letter)` pairs, for
+    /// invariant checking (e.g. the single-writer rule across cores).
+    pub fn lines_snapshot(&self) -> Vec<(Addr, &'static str)> {
+        self.lines
+            .iter()
+            .map(|(addr, line)| {
+                let s = match line.state {
+                    State::Modified => "M",
+                    State::Owned => "O",
+                    State::Exclusive => "E",
+                    State::Shared => "S",
+                };
+                (*addr, s)
+            })
+            .collect()
+    }
+
+    /// If this core is blocked collecting invalidation acknowledgements,
+    /// returns `(addr, expected, received, issued_at)` for the stalled
+    /// transaction. `None` when idle or not yet told an ack count.
+    pub fn pending_ack_wait(&self) -> Option<(Addr, u16, u16, Cycle)> {
+        let pending = self.pending.as_ref()?;
+        let expected = pending.acks_expected?;
+        if pending.acks_received < expected {
+            Some((pending.op.addr, expected, pending.acks_received, pending.issued_at))
+        } else {
+            None
+        }
+    }
+
     /// The cached state of `addr` as a debug string (testing aid).
     pub fn probe_state(&self, addr: Addr) -> &'static str {
         match self.lines.get(&addr.block()).map(|l| l.state) {

@@ -252,6 +252,15 @@ impl PacketGenPayload for CoherenceMsg {
         }
     }
 
+    fn is_inv_ack(&self) -> bool {
+        matches!(
+            self,
+            CoherenceMsg::InvAck { .. }
+                | CoherenceMsg::EarlyInvAck { .. }
+                | CoherenceMsg::RelayedInvAck { .. }
+        )
+    }
+
     fn as_early_ack(&self) -> Option<EarlyAck> {
         match *self {
             CoherenceMsg::EarlyInvAck { addr, from, home, inv_sent_at } => {

@@ -14,11 +14,46 @@
 //!   --big-routers N                            override deployment
 //!   --barrier-entries N                        (default 16)
 //!   --seed N                                   workload seed
+//!   --watchdog-cycles N                        abort after N stalled cycles
+//!   --check-invariants N                       check protocol invariants every N cycles
+//!   --fault KIND:VALUE                         inject a fault (repeatable); kinds:
+//!                                              jitter:N barrier-off:C ttl-storm:C
+//!                                              ei-exhaust:N drop-ack:N
+//!   --fault-seed N                             fault-injection RNG seed
 //! ```
 
 use inpg::stats::{pct, speedup, Table};
-use inpg::{Experiment, ExperimentResult, LockPrimitive, Mechanism};
+use inpg::{Experiment, ExperimentResult, FaultKind, FaultPlan, LockPrimitive, Mechanism, SimError};
+use std::fmt;
 use std::process::ExitCode;
+
+/// Everything the CLI can fail with, so `main` can pick exit text and
+/// code from one place.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown flag, malformed value, missing operand).
+    Usage(String),
+    /// The simulation itself failed: bad configuration, watchdog stall,
+    /// or invariant violation.
+    Sim(SimError),
+    /// A run hit the cycle bound without completing.
+    Incomplete(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Incomplete(msg) => f.write_str(msg),
+            CliError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -29,6 +64,9 @@ struct Options {
     big_routers: Option<usize>,
     barrier_entries: usize,
     seed: Option<u64>,
+    watchdog_cycles: Option<u64>,
+    check_invariants: Option<u64>,
+    faults: FaultPlan,
 }
 
 impl Default for Options {
@@ -41,6 +79,9 @@ impl Default for Options {
             big_routers: None,
             barrier_entries: 16,
             seed: None,
+            watchdog_cycles: None,
+            check_invariants: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,6 +119,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 options.seed = Some(value()?.parse().map_err(|_| "bad --seed".to_string())?)
             }
+            "--watchdog-cycles" => {
+                options.watchdog_cycles =
+                    Some(value()?.parse().map_err(|_| "bad --watchdog-cycles".to_string())?)
+            }
+            "--check-invariants" => {
+                options.check_invariants =
+                    Some(value()?.parse().map_err(|_| "bad --check-invariants".to_string())?)
+            }
+            "--fault" => {
+                let kind = FaultKind::parse(&value()?).map_err(|e| format!("bad --fault: {e}"))?;
+                options.faults = options.faults.clone().with(kind);
+            }
+            "--fault-seed" => {
+                let seed = value()?.parse().map_err(|_| "bad --fault-seed".to_string())?;
+                options.faults = options.faults.clone().seeded(seed);
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -96,6 +153,15 @@ fn build(benchmark: &str, options: &Options) -> Experiment {
     }
     if let Some(seed) = options.seed {
         e = e.seed(seed);
+    }
+    if let Some(window) = options.watchdog_cycles {
+        e = e.watchdog_cycles(window);
+    }
+    if let Some(interval) = options.check_invariants {
+        e = e.check_invariants(interval);
+    }
+    if !options.faults.is_empty() {
+        e = e.faults(options.faults.clone());
     }
     e
 }
@@ -141,16 +207,18 @@ fn cmd_list() {
     println!("{table}");
 }
 
-fn cmd_run(benchmark: &str, options: &Options) -> Result<(), String> {
-    let result = build(benchmark, options).run().map_err(|e| e.to_string())?;
+fn cmd_run(benchmark: &str, options: &Options) -> Result<(), CliError> {
+    let result = build(benchmark, options).run()?;
     if !result.completed {
-        return Err("run hit the cycle bound before completing".into());
+        return Err(CliError::Incomplete(
+            "run hit the cycle bound before completing".into(),
+        ));
     }
     summarize(&result);
     Ok(())
 }
 
-fn cmd_compare(benchmark: &str, options: &Options) -> Result<(), String> {
+fn cmd_compare(benchmark: &str, options: &Options) -> Result<(), CliError> {
     let mut table = Table::new(vec![
         "mechanism",
         "ROI cycles",
@@ -162,9 +230,9 @@ fn cmd_compare(benchmark: &str, options: &Options) -> Result<(), String> {
     for mechanism in Mechanism::ALL {
         let mut options = options.clone();
         options.mechanism = mechanism;
-        let r = build(benchmark, &options).run().map_err(|e| e.to_string())?;
+        let r = build(benchmark, &options).run()?;
         if !r.completed {
-            return Err(format!("{mechanism} hit the cycle bound"));
+            return Err(CliError::Incomplete(format!("{mechanism} hit the cycle bound")));
         }
         let (rel, exp) = match &base {
             None => (1.0, 1.0),
@@ -187,18 +255,18 @@ fn cmd_compare(benchmark: &str, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep_primitives(benchmark: &str, options: &Options) -> Result<(), String> {
+fn cmd_sweep_primitives(benchmark: &str, options: &Options) -> Result<(), CliError> {
     let mut table =
         Table::new(vec!["primitive", "Original ROI", "iNPG ROI", "iNPG reduction"]);
     for primitive in LockPrimitive::ALL {
         let mut opts = options.clone();
         opts.primitive = primitive;
         opts.mechanism = Mechanism::Original;
-        let base = build(benchmark, &opts).run().map_err(|e| e.to_string())?;
+        let base = build(benchmark, &opts).run()?;
         opts.mechanism = Mechanism::Inpg;
-        let inpg = build(benchmark, &opts).run().map_err(|e| e.to_string())?;
+        let inpg = build(benchmark, &opts).run()?;
         if !base.completed || !inpg.completed {
-            return Err(format!("{primitive} hit the cycle bound"));
+            return Err(CliError::Incomplete(format!("{primitive} hit the cycle bound")));
         }
         table.add_row(vec![
             primitive.to_string(),
@@ -227,24 +295,26 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => {
             let (benchmark, rest) = match rest.split_first() {
                 Some((b, r)) if !b.starts_with("--") => (b.clone(), r),
-                _ => return err_exit("missing benchmark name"),
+                _ => return err_exit(&CliError::Usage("missing benchmark name".into())),
             };
             if inpg::workloads::benchmark(&benchmark).is_none() {
-                return err_exit(&format!(
+                return err_exit(&CliError::Usage(format!(
                     "unknown benchmark `{benchmark}` (see `inpg list`)"
-                ));
+                )));
             }
             match parse_options(rest) {
-                Err(e) => return err_exit(&e),
+                Err(e) => return err_exit(&CliError::Usage(e)),
                 Ok(options) => match cmd.as_str() {
                     "run" => cmd_run(&benchmark, &options),
                     "compare" => cmd_compare(&benchmark, &options),
                     "sweep-primitives" => cmd_sweep_primitives(&benchmark, &options),
-                    other => Err(format!("unknown command `{other}`\n{}", usage())),
+                    other => {
+                        Err(CliError::Usage(format!("unknown command `{other}`\n{}", usage())))
+                    }
                 },
             }
         }
-        None => Err(usage()),
+        None => Err(CliError::Usage(usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -252,7 +322,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn err_exit(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}");
+fn err_exit(err: &CliError) -> ExitCode {
+    eprintln!("error: {err}");
     ExitCode::FAILURE
 }

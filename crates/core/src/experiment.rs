@@ -4,9 +4,9 @@
 
 use crate::mechanism::Mechanism;
 use inpg_locks::LockPrimitive;
-use inpg_manycore::{LockPlacement, System, SystemConfig, ThreadProgram};
-use inpg_noc::{barrier::BarrierStats, BigRouterPlacement};
-use inpg_sim::{ConfigError, CoreId, Cycle};
+use inpg_manycore::{LockPlacement, SimError, System, SystemConfig, ThreadProgram};
+use inpg_noc::{barrier::BarrierStats, BigRouterPlacement, FaultPlan};
+use inpg_sim::{CoreId, Cycle};
 use inpg_stats::{PhaseCounters, Timeline};
 use inpg_workloads::{generate, BenchmarkSpec, GenOptions};
 
@@ -33,7 +33,7 @@ enum Workload {
 ///     .run()?;
 /// assert!(result.completed);
 /// assert!(result.cs_count > 0);
-/// # Ok::<(), inpg_sim::ConfigError>(())
+/// # Ok::<(), inpg::manycore::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -50,6 +50,9 @@ pub struct Experiment {
     record_timeline: bool,
     lock_home: Option<CoreId>,
     max_cycles: u64,
+    watchdog_cycles: Option<u64>,
+    check_invariants: Option<u64>,
+    faults: FaultPlan,
 }
 
 impl Experiment {
@@ -95,6 +98,9 @@ impl Experiment {
             record_timeline: false,
             lock_home: None,
             max_cycles: 400_000_000,
+            watchdog_cycles: None,
+            check_invariants: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -179,12 +185,41 @@ impl Experiment {
         self
     }
 
+    /// Arms the forward-progress watchdog: the run aborts with a
+    /// structured [`inpg_manycore::StallReport`] if no event retires for
+    /// `cycles` consecutive cycles (default: disabled).
+    #[must_use]
+    pub fn watchdog_cycles(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// Runs the protocol invariant checker every `interval` cycles
+    /// (default: disabled). The run aborts with a typed
+    /// [`inpg_manycore::InvariantViolation`] on the first failure.
+    #[must_use]
+    pub fn check_invariants(mut self, interval: u64) -> Self {
+        self.check_invariants = Some(interval);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan on the NoC
+    /// (default: none).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Builds the system and runs it to completion.
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] for inconsistent configurations.
-    pub fn run(self) -> Result<ExperimentResult, ConfigError> {
+    /// Returns [`SimError::Config`] for inconsistent configurations,
+    /// [`SimError::Stall`] when an armed watchdog fires, and
+    /// [`SimError::Invariant`] when the invariant checker finds the
+    /// protocol in an impossible state.
+    pub fn run(self) -> Result<ExperimentResult, SimError> {
         let mut cfg = SystemConfig::baseline();
         cfg.noc.width = self.width;
         cfg.noc.height = self.height;
@@ -193,6 +228,9 @@ impl Experiment {
         cfg.retry_budget = self.retry_budget;
         cfg.record_timeline = self.record_timeline;
         cfg.max_cycles = self.max_cycles;
+        cfg.watchdog_cycles = self.watchdog_cycles;
+        cfg.invariant_check_interval = self.check_invariants;
+        cfg.noc.faults = self.faults.clone();
         let mut cfg = self.mechanism.apply(cfg);
         if let Some(count) = self.big_routers {
             cfg.noc.placement = if count == 0 {
@@ -220,7 +258,7 @@ impl Experiment {
         };
 
         let mut system = System::new(cfg, programs, locks, placement)?;
-        let run = system.run();
+        let run = system.run_checked()?;
         Ok(ExperimentResult::collect(
             name,
             self.mechanism,
@@ -544,8 +582,8 @@ mod tests {
             count: 10,
             histogram: {
                 let mut h = vec![0u64; 16];
-                for v in 0..10 {
-                    h[v] += 1;
+                for slot in h.iter_mut().take(10) {
+                    *slot += 1;
                 }
                 h
             },

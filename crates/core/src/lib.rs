@@ -34,7 +34,7 @@
 //! let inpg = run(Mechanism::Inpg)?;
 //! assert!(base.completed && inpg.completed);
 //! assert!(inpg.barrier.requests_stopped > 0, "early invalidation fired");
-//! # Ok::<(), inpg_sim::ConfigError>(())
+//! # Ok::<(), inpg::SimError>(())
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -57,4 +57,7 @@ pub use inpg_stats as stats;
 pub use inpg_workloads as workloads;
 
 pub use inpg_locks::LockPrimitive;
-pub use inpg_manycore::{Segment, SystemConfig, ThreadProgram};
+pub use inpg_manycore::{
+    InvariantViolation, Segment, SimError, StallReport, SystemConfig, ThreadProgram,
+};
+pub use inpg_noc::{FaultKind, FaultPlan};

@@ -28,6 +28,15 @@ pub struct SystemConfig {
     pub max_cycles: u64,
     /// Record a full per-thread phase timeline (Figure 9 profiles).
     pub record_timeline: bool,
+    /// Forward-progress watchdog: abort with a structured stall report
+    /// when no event retires for this many consecutive cycles. `None`
+    /// disables the watchdog. Only honoured by
+    /// [`System::run_checked`](crate::System::run_checked).
+    pub watchdog_cycles: Option<u64>,
+    /// Run the protocol invariant checker every this many cycles.
+    /// `None` disables checking. Only honoured by
+    /// [`System::run_checked`](crate::System::run_checked).
+    pub invariant_check_interval: Option<u64>,
 }
 
 impl SystemConfig {
@@ -44,6 +53,8 @@ impl SystemConfig {
             wakeup_cycles: 2_500,
             max_cycles: 200_000_000,
             record_timeline: false,
+            watchdog_cycles: None,
+            invariant_check_interval: None,
         }
     }
 
@@ -70,6 +81,12 @@ impl SystemConfig {
         }
         if self.max_cycles == 0 {
             return Err(ConfigError::new("max_cycles must be nonzero"));
+        }
+        if self.watchdog_cycles == Some(0) {
+            return Err(ConfigError::new("watchdog window must be nonzero"));
+        }
+        if self.invariant_check_interval == Some(0) {
+            return Err(ConfigError::new("invariant check interval must be nonzero"));
         }
         Ok(())
     }
@@ -116,5 +133,19 @@ mod tests {
         let mut cfg = SystemConfig::paper_default();
         cfg.retry_budget = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_watchdog_and_interval_rejected() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.watchdog_cycles = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.watchdog_cycles = Some(10_000);
+        assert!(cfg.validate().is_ok());
+
+        cfg.invariant_check_interval = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.invariant_check_interval = Some(512);
+        assert!(cfg.validate().is_ok());
     }
 }

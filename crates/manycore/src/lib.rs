@@ -25,9 +25,11 @@
 
 pub mod config;
 mod core_model;
+pub mod error;
 pub mod program;
 pub mod system;
 
 pub use config::SystemConfig;
+pub use error::{InvariantViolation, SimError, StallReport};
 pub use program::{Segment, ThreadProgram};
 pub use system::{LockPlacement, RunResult, System};

@@ -3,12 +3,14 @@
 
 use crate::config::SystemConfig;
 use crate::core_model::{CoreModel, CoreParams};
+use crate::error::{InvariantViolation, SimError, StallReport};
 use crate::program::ThreadProgram;
 use inpg_coherence::{CoherenceMsg, Envelope, HomeBank, HomeMap, InvAckRoundTrips, L1Cache};
 use inpg_locks::{LockHandle, LockLayout, LockPrimitive};
 use inpg_noc::{Message, Network, NocStats};
-use inpg_sim::{Addr, ConfigError, CoreId, Cycle, LockId};
+use inpg_sim::{Addr, ConfigError, CoreId, Cycle, LockId, Watchdog};
 use inpg_stats::{PhaseCounters, Timeline};
+use std::collections::HashMap;
 
 /// Where a lock's primary (contended) word should live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -284,6 +286,123 @@ impl System {
             self.tick();
         }
         RunResult { cycles: self.now.as_u64(), completed: self.all_done() }
+    }
+
+    /// Runs like [`run`](Self::run) but with the robustness subsystem
+    /// armed per the configuration: the forward-progress watchdog
+    /// ([`SystemConfig::watchdog_cycles`]) aborts a wedged run with a
+    /// structured [`StallReport`], and the protocol invariant checker
+    /// ([`SystemConfig::invariant_check_interval`]) aborts on the first
+    /// [`InvariantViolation`] naming the culprit line and cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stall`] when the progress metric freezes for a
+    /// full watchdog window, or [`SimError::Invariant`] when a periodic
+    /// check finds the machine in an impossible state.
+    pub fn run_checked(&mut self) -> Result<RunResult, SimError> {
+        let mut watchdog = self.cfg.watchdog_cycles.map(Watchdog::new);
+        let interval = self.cfg.invariant_check_interval;
+        while !self.all_done() && self.now.as_u64() < self.cfg.max_cycles {
+            self.tick();
+            if let Some(dog) = watchdog.as_mut() {
+                if dog.observe(self.now, self.progress_metric()) {
+                    return Err(SimError::Stall(self.stall_report(dog.window())));
+                }
+            }
+            if let Some(k) = interval {
+                if self.now.as_u64().is_multiple_of(k) {
+                    self.check_protocol_invariants().map_err(SimError::Invariant)?;
+                }
+            }
+        }
+        Ok(RunResult { cycles: self.now.as_u64(), completed: self.all_done() })
+    }
+
+    /// The watchdog's forward-progress metric: any flit moving, any
+    /// packet arriving, or any critical section completing counts.
+    /// Monotonically non-decreasing; a frozen value means the machine is
+    /// wedged (quiet sleep phases are bounded by the sleep/wakeup
+    /// context-switch costs, well under any sane watchdog window).
+    pub fn progress_metric(&self) -> u64 {
+        let noc = self.network.stats();
+        noc.flit_hops + noc.delivered + noc.consumed + self.cs_completed() as u64
+    }
+
+    /// Builds the structured stall report the watchdog attaches to
+    /// [`SimError::Stall`]: unfinished cores with their L1 transactions,
+    /// busy home banks, per-router buffer/credit occupancy, live barrier
+    /// entries, and the oldest in-flight packet's position.
+    pub fn stall_report(&self, window: u64) -> StallReport {
+        let mut detail = self.stuck_report();
+        detail.push_str(&self.network.congestion_report(self.now));
+        StallReport {
+            cycle: self.now,
+            window,
+            progress: self.progress_metric(),
+            detail,
+        }
+    }
+
+    /// Checks protocol-level invariants, returning the first violation.
+    ///
+    /// Checked here (beyond the network-level conservation checks):
+    ///
+    /// * **Single-writer** — at most one L1 holds any block in a
+    ///   writable (M/E) state;
+    /// * **Ack conservation at quiescence** — with nothing in flight and
+    ///   every home bank idle, no core may still be short of promised
+    ///   invalidation acknowledgements (a lost `InvAck` wedges the
+    ///   winner forever, the failure mode iNPG's ack relaying must
+    ///   avoid).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] found, naming the cycle
+    /// and the culprit block/cores.
+    pub fn check_protocol_invariants(&self) -> Result<(), InvariantViolation> {
+        let now = self.now;
+        self.network
+            .try_check_invariants()
+            .map_err(|violation| InvariantViolation::Noc { cycle: now, violation })?;
+
+        let mut owners: HashMap<Addr, Vec<CoreId>> = HashMap::new();
+        for l1 in &self.l1s {
+            for (addr, state) in l1.lines_snapshot() {
+                if matches!(state, "M" | "E") {
+                    owners.entry(addr).or_default().push(l1.core());
+                }
+            }
+        }
+        for (addr, mut owners) in owners {
+            if owners.len() > 1 {
+                owners.sort();
+                return Err(InvariantViolation::MultipleOwners { cycle: now, addr, owners });
+            }
+        }
+
+        // Quiescence-aware: envelopes are flushed into the network within
+        // the tick that produces them, L1s acknowledge invalidations in
+        // the same tick they receive them, and L1 timers cannot emit
+        // messages — so once the network is empty and no home bank holds
+        // an undelivered message, no missing acknowledgement can ever
+        // arrive. (Home entries may legitimately sit busy behind the
+        // wedged transaction itself, so busy entries don't gate this.)
+        if self.network.in_flight() == 0 && !self.homes.iter().any(HomeBank::messages_pending) {
+            for l1 in &self.l1s {
+                if let Some((addr, expected, received, issued_at)) = l1.pending_ack_wait() {
+                    return Err(InvariantViolation::AckConservation {
+                        cycle: now,
+                        core: l1.core(),
+                        addr,
+                        expected,
+                        received,
+                        issued_at,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Multi-line report of anything unfinished, for debugging stuck

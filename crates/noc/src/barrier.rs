@@ -21,6 +21,10 @@
 
 use inpg_sim::{Addr, CoreId};
 
+/// One barrier table's live entries, as reported by
+/// [`LockingBarrierTable::snapshot`]: `(lock address, ttl, live EIs)`.
+pub type BarrierSnapshot = Vec<(Addr, u32, usize)>;
+
 /// Progress of one early invalidation (paper Figure 6's 4-phase entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EiPhase {
@@ -219,6 +223,42 @@ impl LockingBarrierTable {
         self.stats
     }
 
+    /// The TTL barriers are installed (and refreshed) with.
+    pub fn default_ttl(&self) -> u32 {
+        self.default_ttl
+    }
+
+    /// Snapshot of the live barriers: `(lock block, ttl, live EI entries)`
+    /// per entry. Used by invariant checks and stall reports.
+    pub fn snapshot(&self) -> BarrierSnapshot {
+        self.barriers.iter().map(|b| (b.addr, b.ttl, b.eis.len())).collect()
+    }
+
+    /// Discards every barrier and EI entry (fault injection: the table
+    /// loses its state mid-run). Outstanding early-inv acks arriving later
+    /// are treated as stale — and still relayed to the home node, which
+    /// deduplicates them, so the protocol degrades instead of wedging.
+    pub fn flush(&mut self) {
+        self.barriers.clear();
+        self.ei_in_use = 0;
+    }
+
+    /// Forces every live barrier's TTL to `ttl` cycles (fault injection:
+    /// a TTL-expiry storm). Barriers with live EI entries still wait for
+    /// their acks before counting down.
+    pub fn set_all_ttls(&mut self, ttl: u32) {
+        for barrier in &mut self.barriers {
+            barrier.ttl = ttl.max(1);
+        }
+    }
+
+    /// Clamps the shared EI pool to at most `capacity` entries (fault
+    /// injection: pool exhaustion). With a full pool every competing
+    /// request passes through to the home node as in a normal router.
+    pub fn clamp_ei_capacity(&mut self, capacity: usize) {
+        self.ei_capacity = self.ei_capacity.min(capacity);
+    }
+
     fn barrier_index(&self, addr: Addr) -> Option<usize> {
         self.barriers.iter().position(|b| b.addr == addr)
     }
@@ -343,6 +383,53 @@ mod tests {
         }
         assert_eq!(t.barrier_count(), 0);
         assert!(t.observe_transfer(Addr::new(0)));
+    }
+
+    #[test]
+    fn flush_drops_barriers_and_frees_the_pool() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.stop(Addr::new(0), CoreId::new(1));
+        t.flush();
+        assert_eq!(t.barrier_count(), 0);
+        assert_eq!(t.ei_count(), 0);
+        // The in-flight ack now looks stale but is still accounted.
+        assert!(!t.take_ack(Addr::new(0), CoreId::new(1)));
+        assert_eq!(t.stats().stale_acks_dropped, 1);
+    }
+
+    #[test]
+    fn ttl_storm_expires_idle_barriers_next_tick() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.observe_transfer(Addr::new(0x100));
+        t.stop(Addr::new(0), CoreId::new(1));
+        t.set_all_ttls(1);
+        t.tick();
+        assert_eq!(t.barrier_count(), 1, "barrier with a live EI survives");
+        assert!(t.take_ack(Addr::new(0), CoreId::new(1)));
+        t.tick();
+        assert_eq!(t.barrier_count(), 0, "drained barrier expires at once");
+        assert_eq!(t.stats().barriers_expired, 2);
+    }
+
+    #[test]
+    fn clamped_pool_passes_requests_through() {
+        let mut t = table();
+        t.clamp_ei_capacity(0);
+        t.observe_transfer(Addr::new(0));
+        assert!(t.has_barrier(Addr::new(0)));
+        assert!(!t.should_stop(Addr::new(0)), "no pool space: pass through");
+    }
+
+    #[test]
+    fn snapshot_reports_live_entries() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0x100));
+        t.stop(Addr::new(0x100), CoreId::new(2));
+        let snap = t.snapshot();
+        assert_eq!(snap, vec![(Addr::new(0x100), 8, 1)]);
+        assert_eq!(t.default_ttl(), 8);
     }
 
     #[test]

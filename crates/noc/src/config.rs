@@ -1,6 +1,7 @@
 //! NoC configuration: mesh geometry, buffering, and big-router deployment.
 
 use crate::coord::Coord;
+use crate::fault::FaultPlan;
 use inpg_sim::ConfigError;
 
 /// How big routers are distributed over the mesh.
@@ -92,6 +93,8 @@ pub struct NocConfig {
     pub barrier_ttl: u32,
     /// Whether routers arbitrate by OCOR packet priority.
     pub ocor_arbitration: bool,
+    /// Deterministic fault-injection schedule (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl NocConfig {
@@ -108,6 +111,7 @@ impl NocConfig {
             barrier_entries: 16,
             barrier_ttl: 128,
             ocor_arbitration: false,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -152,6 +156,9 @@ impl NocConfig {
             return Err(ConfigError::new(
                 "big routers require at least one locking barrier entry",
             ));
+        }
+        if self.barrier_ttl == 0 && self.placement != BigRouterPlacement::None {
+            return Err(ConfigError::new("barrier TTL must be nonzero"));
         }
         Ok(())
     }

@@ -121,17 +121,21 @@ impl Direction {
             Direction::East => Direction::West,
         }
     }
-}
 
-impl fmt::Display for Direction {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The lowercase direction name.
+    pub fn name(self) -> &'static str {
+        match self {
             Direction::North => "north",
             Direction::South => "south",
             Direction::West => "west",
             Direction::East => "east",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

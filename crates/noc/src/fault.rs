@@ -1,0 +1,225 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] rides inside [`NocConfig`](crate::NocConfig) and tells
+//! the network to misbehave in controlled, reproducible ways: delay
+//! jitter on injected packets, disabling or flushing the locking barrier
+//! tables mid-run, forcing TTL-expiry storms, shrinking the shared EI
+//! pool, or dropping relayed early-invalidation acknowledgements. The
+//! watchdog / invariant-checker layers and the graceful-degradation tests
+//! use these to prove the simulator fails loudly (or degrades to
+//! pass-through) instead of hanging silently.
+//!
+//! All randomness is derived from the plan's seed with a SplitMix64
+//! stream, so a faulty run replays cycle for cycle.
+
+use std::fmt;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Adds a pseudo-random `0..=max_extra` cycle delay to every injected
+    /// packet's first switch-allocation eligibility.
+    DelayJitter {
+        /// Largest extra delay, in cycles.
+        max_extra: u64,
+    },
+    /// At `at_cycle`, flushes every locking barrier table and disables
+    /// interception for the rest of the run. Outstanding early-inv acks
+    /// are still consumed and relayed (the tables degrade to
+    /// pass-through; they must not leak router-sink packets).
+    BarrierOff {
+        /// Cycle the tables go dark.
+        at_cycle: u64,
+    },
+    /// At `at_cycle`, forces every live barrier's TTL to one cycle so the
+    /// whole population expires as soon as its EI entries drain.
+    TtlStorm {
+        /// Cycle the storm hits.
+        at_cycle: u64,
+    },
+    /// Clamps every barrier table's early-invalidation pool to at most
+    /// `capacity` entries from the start of the run (0 = no EI entries at
+    /// all: every competing request passes through).
+    EiExhaust {
+        /// Pool size ceiling.
+        capacity: usize,
+    },
+    /// Silently drops the `nth` (1-based) invalidation acknowledgement
+    /// the network observes: early acks consumed by big routers and
+    /// `InvAck`/`RelayedInvAck` packets arriving at their destination
+    /// both count. Losing an ack wedges the lock winner — the invariant
+    /// checker and watchdog must catch it.
+    DropAck {
+        /// Which observed ack to drop, counting from 1.
+        nth: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::DelayJitter { max_extra } => write!(f, "jitter:{max_extra}"),
+            FaultKind::BarrierOff { at_cycle } => write!(f, "barrier-off:{at_cycle}"),
+            FaultKind::TtlStorm { at_cycle } => write!(f, "ttl-storm:{at_cycle}"),
+            FaultKind::EiExhaust { capacity } => write!(f, "ei-exhaust:{capacity}"),
+            FaultKind::DropAck { nth } => write!(f, "drop-ack:{nth}"),
+        }
+    }
+}
+
+impl FaultKind {
+    /// Parses one `kind:value` fault specification (the `--fault` CLI
+    /// syntax): `jitter:<max>`, `barrier-off:<cycle>`, `ttl-storm:<cycle>`,
+    /// `ei-exhaust:<capacity>`, `drop-ack:<nth>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad spec.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, value) =
+            spec.split_once(':').ok_or_else(|| format!("fault spec `{spec}` needs `kind:value`"))?;
+        let number = |what: &str| -> Result<u64, String> {
+            value.parse::<u64>().map_err(|_| format!("bad {what} `{value}` in fault `{spec}`"))
+        };
+        match kind {
+            "jitter" => Ok(FaultKind::DelayJitter { max_extra: number("max delay")? }),
+            "barrier-off" => Ok(FaultKind::BarrierOff { at_cycle: number("cycle")? }),
+            "ttl-storm" => Ok(FaultKind::TtlStorm { at_cycle: number("cycle")? }),
+            "ei-exhaust" => Ok(FaultKind::EiExhaust { capacity: number("capacity")? as usize }),
+            "drop-ack" => {
+                let nth = number("ack index")?;
+                if nth == 0 {
+                    return Err(format!("drop-ack index is 1-based, got 0 in `{spec}`"));
+                }
+                Ok(FaultKind::DropAck { nth })
+            }
+            other => Err(format!("unknown fault kind `{other}` in `{spec}`")),
+        }
+    }
+}
+
+/// A deterministic fault-injection schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the jitter stream.
+    pub seed: u64,
+    /// The faults to inject.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; the network behaves normally).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds one fault to the plan (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Sets the jitter seed (builder style).
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured jitter bound, if any.
+    pub fn jitter_max(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::DelayJitter { max_extra } => Some(*max_extra),
+            _ => None,
+        })
+    }
+
+    /// The configured barrier-off cycle, if any.
+    pub fn barrier_off_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::BarrierOff { at_cycle } => Some(*at_cycle),
+            _ => None,
+        })
+    }
+
+    /// The configured TTL-storm cycle, if any.
+    pub fn ttl_storm_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::TtlStorm { at_cycle } => Some(*at_cycle),
+            _ => None,
+        })
+    }
+
+    /// The configured EI-pool ceiling, if any.
+    pub fn ei_capacity_clamp(&self) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::EiExhaust { capacity } => Some(*capacity),
+            _ => None,
+        })
+    }
+
+    /// The configured dropped-ack ordinal, if any.
+    pub fn drop_ack_nth(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::DropAck { nth } => Some(*nth),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_kind() {
+        for spec in ["jitter:8", "barrier-off:5000", "ttl-storm:300", "ei-exhaust:0", "drop-ack:3"]
+        {
+            let fault = FaultKind::parse(spec).expect(spec);
+            assert_eq!(fault.to_string(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(FaultKind::parse("jitter").is_err(), "missing value");
+        assert!(FaultKind::parse("jitter:lots").is_err(), "non-numeric");
+        assert!(FaultKind::parse("gamma-ray:1").is_err(), "unknown kind");
+        assert!(FaultKind::parse("drop-ack:0").is_err(), "1-based ordinal");
+    }
+
+    #[test]
+    fn plan_accessors_find_their_kind() {
+        let plan = FaultPlan::none()
+            .seeded(42)
+            .with(FaultKind::DelayJitter { max_extra: 6 })
+            .with(FaultKind::DropAck { nth: 2 });
+        assert_eq!(plan.jitter_max(), Some(6));
+        assert_eq!(plan.drop_ack_nth(), Some(2));
+        assert_eq!(plan.barrier_off_at(), None);
+        assert_eq!(plan.to_string(), "jitter:6,drop-ack:2");
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().to_string(), "none");
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed invariant violations the network's self-checks can report.
+
+use crate::coord::Coord;
+use inpg_sim::Addr;
+use std::fmt;
+
+/// One violated network invariant, with enough identity to find the
+/// culprit (router coordinate, VC, packet counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NocViolation {
+    /// The number of packets actually present in the network (inject
+    /// queues, VC buffers, generator queues, ejection reassembly) does not
+    /// match `injected + generated - delivered - consumed`.
+    PacketConservation {
+        /// Packets counted by walking every buffer.
+        counted: u64,
+        /// Packets the counters say should be in flight.
+        expected: u64,
+    },
+    /// A router's cached buffered-flit counter disagrees with its buffers.
+    BufferAccounting {
+        /// Router coordinate.
+        router: Coord,
+        /// The cached counter.
+        counter: usize,
+        /// Flits actually buffered.
+        actual: usize,
+    },
+    /// Credits plus downstream occupancy no longer equal the VC depth.
+    CreditConservation {
+        /// Upstream router coordinate.
+        router: Coord,
+        /// Output port direction name.
+        port: &'static str,
+        /// Virtual channel index.
+        vc: usize,
+        /// Credits held upstream.
+        credits: usize,
+        /// Flits buffered downstream.
+        occupancy: usize,
+        /// Configured VC depth.
+        depth: usize,
+    },
+    /// A live barrier-table entry has an out-of-range TTL (zero, or above
+    /// the configured default — entries must expire, and must never be
+    /// refreshed beyond the reset value).
+    BarrierTtl {
+        /// Big router coordinate.
+        router: Coord,
+        /// Lock block address of the barrier.
+        addr: Addr,
+        /// The entry's TTL.
+        ttl: u32,
+        /// The configured reset TTL.
+        max: u32,
+    },
+}
+
+impl fmt::Display for NocViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocViolation::PacketConservation { counted, expected } => write!(
+                f,
+                "packet conservation: {counted} packets found in buffers but counters \
+                 imply {expected} in flight"
+            ),
+            NocViolation::BufferAccounting { router, counter, actual } => write!(
+                f,
+                "router {router}: buffered counter {counter} != {actual} flits actually buffered"
+            ),
+            NocViolation::CreditConservation { router, port, vc, credits, occupancy, depth } => {
+                write!(
+                    f,
+                    "credit leak at router {router} port {port} vc {vc}: {credits} credits + \
+                     {occupancy} buffered != depth {depth}"
+                )
+            }
+            NocViolation::BarrierTtl { router, addr, ttl, max } => write!(
+                f,
+                "barrier TTL out of range at big router {router}: lock {addr} has ttl {ttl} \
+                 (valid range 1..={max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NocViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_culprit() {
+        let v = NocViolation::BarrierTtl {
+            router: Coord::new(2, 3),
+            addr: Addr::new(0x400),
+            ttl: 0,
+            max: 128,
+        };
+        let text = v.to_string();
+        assert!(text.contains("(2, 3)") || text.contains("2,3") || text.contains("2, 3"));
+        assert!(text.contains("ttl 0"));
+    }
+}

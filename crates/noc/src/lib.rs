@@ -54,6 +54,8 @@
 pub mod barrier;
 pub mod config;
 pub mod coord;
+pub mod fault;
+pub mod invariant;
 pub mod network;
 pub mod packet;
 mod router;
@@ -62,6 +64,8 @@ pub mod stats;
 pub use barrier::LockingBarrierTable;
 pub use config::{BigRouterPlacement, NocConfig};
 pub use coord::{Coord, Direction, Port};
+pub use fault::{FaultKind, FaultPlan};
+pub use invariant::NocViolation;
 pub use network::{Message, Network};
 pub use packet::{
     EarlyAck, LockRequest, Packet, PacketGenPayload, PacketId, Sink, VirtualNetwork,

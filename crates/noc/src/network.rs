@@ -1,14 +1,25 @@
 //! The mesh network: injection, per-cycle switching, big-router
 //! interception, and delivery.
 
-use crate::barrier::{BarrierStats, LockingBarrierTable};
+use crate::barrier::{BarrierSnapshot, BarrierStats, LockingBarrierTable};
 use crate::config::NocConfig;
 use crate::coord::{Coord, Direction, Port};
+use crate::invariant::NocViolation;
 use crate::packet::{Packet, PacketGenPayload, PacketId, Sink, VirtualNetwork};
 use crate::router::{Candidate, EjectSlot, Flit, FlitSource, OutRoute, Router};
 use crate::stats::NocStats;
 use inpg_sim::{ConfigError, CoreId, Cycle};
 use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// SplitMix64 step for the fault-injection jitter stream.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Everything needed to inject one packet.
 #[derive(Debug, Clone)]
@@ -68,6 +79,17 @@ pub struct Network<P> {
     delivered: Vec<VecDeque<Packet<P>>>,
     next_packet_id: u64,
     stats: NocStats,
+    /// Fault-injection jitter stream state.
+    fault_rng: u64,
+    /// Invalidation acknowledgements observed so far — early acks
+    /// consumed at big routers plus ack packets ejected at their NI
+    /// (the drop-ack fault's 1-based ordinal).
+    acks_observed: u64,
+    /// The barrier-off fault has fired: tables are flushed and
+    /// interception is off, but router-sink acks are still consumed.
+    barrier_disabled: bool,
+    /// The TTL-storm fault has fired.
+    ttl_storm_fired: bool,
 }
 
 impl<P: PacketGenPayload> Network<P> {
@@ -86,7 +108,17 @@ impl<P: PacketGenPayload> Network<P> {
             let barrier = cfg
                 .placement
                 .is_big(coord, cfg.width, cfg.height)
-                .then(|| LockingBarrierTable::new(cfg.barrier_entries, cfg.barrier_entries, cfg.barrier_ttl));
+                .then(|| {
+                    let mut table = LockingBarrierTable::new(
+                        cfg.barrier_entries,
+                        cfg.barrier_entries,
+                        cfg.barrier_ttl,
+                    );
+                    if let Some(cap) = cfg.faults.ei_capacity_clamp() {
+                        table.clamp_ei_capacity(cap);
+                    }
+                    table
+                });
             routers.push(Router::new(coord, vcs, cfg.vc_depth, barrier));
         }
         Ok(Network {
@@ -96,6 +128,10 @@ impl<P: PacketGenPayload> Network<P> {
             delivered: (0..nodes).map(|_| VecDeque::new()).collect(),
             next_packet_id: 0,
             stats: NocStats::default(),
+            fault_rng: cfg.faults.seed ^ 0x6a09_e667_f3bc_c908,
+            acks_observed: 0,
+            barrier_disabled: false,
+            ttl_storm_fired: false,
             routers,
             cfg,
         })
@@ -175,22 +211,42 @@ impl<P: PacketGenPayload> Network<P> {
         total
     }
 
-    /// Verifies internal conservation invariants (test support):
-    /// credits plus downstream buffer occupancy always equal the buffer
-    /// depth, and the per-router flit counters match the buffers.
+    /// Verifies internal conservation invariants (test support). See
+    /// [`try_check_invariants`](Self::try_check_invariants) for the
+    /// non-panicking form.
     ///
     /// # Panics
     ///
     /// Panics with a description of the first violated invariant.
     pub fn check_invariants(&self) {
+        if let Err(violation) = self.try_check_invariants() {
+            panic!("{violation}");
+        }
+    }
+
+    /// Verifies internal conservation invariants, reporting the first
+    /// violation as a typed value instead of panicking:
+    ///
+    /// * every router's cached flit counter matches its buffers,
+    /// * credits plus downstream buffer occupancy equal the VC depth,
+    /// * every live barrier entry's TTL is in `1..=default`,
+    /// * packets found by walking every queue and buffer equal
+    ///   `injected + generated - delivered - consumed` (conservation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NocViolation`] found.
+    pub fn try_check_invariants(&self) -> Result<(), NocViolation> {
         let vcs = self.cfg.vcs_per_port();
-        for (node, router) in self.routers.iter().enumerate() {
+        for router in &self.routers {
             let total: usize = router.inputs.iter().flatten().map(|vc| vc.occupancy()).sum();
-            assert_eq!(
-                total, router.buffered,
-                "router {node}: buffered counter {} != actual {total}",
-                router.buffered
-            );
+            if total != router.buffered {
+                return Err(NocViolation::BufferAccounting {
+                    router: router.coord,
+                    counter: router.buffered,
+                    actual: total,
+                });
+            }
             for dir in Direction::ALL {
                 let Some(neighbor) = router.coord.neighbor(dir, self.cfg.width, self.cfg.height)
                 else {
@@ -202,23 +258,235 @@ impl<P: PacketGenPayload> Network<P> {
                 for vc in 0..vcs {
                     let credits = router.out_credits[out_port][vc] as usize;
                     let occupancy = self.routers[n_node].inputs[in_port][vc].occupancy();
-                    assert_eq!(
-                        credits + occupancy,
-                        self.cfg.vc_depth as usize,
-                        "credit leak: router {node} port {dir} vc {vc}: {credits} credits + {occupancy} buffered != depth {}",
-                        self.cfg.vc_depth
+                    if credits + occupancy != self.cfg.vc_depth as usize {
+                        return Err(NocViolation::CreditConservation {
+                            router: router.coord,
+                            port: dir.name(),
+                            vc,
+                            credits,
+                            occupancy,
+                            depth: self.cfg.vc_depth as usize,
+                        });
+                    }
+                }
+            }
+            if let Some(barrier) = &router.barrier {
+                for (addr, ttl, _eis) in barrier.snapshot() {
+                    if ttl == 0 || ttl > barrier.default_ttl() {
+                        return Err(NocViolation::BarrierTtl {
+                            router: router.coord,
+                            addr,
+                            ttl,
+                            max: barrier.default_ttl(),
+                        });
+                    }
+                }
+            }
+        }
+        let counted = self.count_resident_packets();
+        let expected = self.stats.in_flight;
+        if counted != expected {
+            return Err(NocViolation::PacketConservation { counted, expected });
+        }
+        Ok(())
+    }
+
+    /// Counts the packets physically present in the network by walking
+    /// every injection queue, input-VC head flit, generator queue and
+    /// ejection-reassembly slot. Each in-flight packet appears in exactly
+    /// one of those places.
+    fn count_resident_packets(&self) -> u64 {
+        let mut n = 0u64;
+        for queues in &self.inject {
+            for q in queues {
+                n += q.len() as u64;
+            }
+        }
+        for router in &self.routers {
+            n += router.gen_queue.len() as u64;
+            n += router.eject.len() as u64;
+            for port in &router.inputs {
+                for vc in port {
+                    n += vc.flits.iter().filter(|f| f.head.is_some()).count() as u64;
+                }
+            }
+        }
+        n
+    }
+
+    /// Snapshot of every non-empty barrier table:
+    /// `(big router tile, entries)` with each entry `(lock, ttl, live EIs)`.
+    pub fn barrier_snapshots(&self) -> Vec<(CoreId, BarrierSnapshot)> {
+        self.routers
+            .iter()
+            .filter_map(|r| {
+                let snap = r.barrier.as_ref()?.snapshot();
+                (!snap.is_empty()).then(|| (r.coord.to_core(self.cfg.width), snap))
+            })
+            .collect()
+    }
+
+    /// Multi-line occupancy report for stall diagnostics: per-router
+    /// buffered flits, VC occupancy and credits, generator backlogs, live
+    /// barrier entries, and the oldest in-flight packet's identity and
+    /// position.
+    pub fn congestion_report(&self, now: Cycle) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "noc: {} in flight ({} injected, {} generated, {} delivered, {} consumed)",
+            self.stats.in_flight,
+            self.stats.injected,
+            self.stats.generated_packets,
+            self.stats.delivered,
+            self.stats.consumed,
+        );
+        for (node, router) in self.routers.iter().enumerate() {
+            let pending_inject: usize = self.inject[node].iter().map(VecDeque::len).sum();
+            if router.buffered == 0 && router.gen_queue.is_empty() && pending_inject == 0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                "  router {} ({}): {} flits buffered",
+                router.coord,
+                if router.is_big() { "big" } else { "normal" },
+                router.buffered,
+            );
+            if pending_inject > 0 {
+                let _ = write!(out, ", {pending_inject} awaiting injection");
+            }
+            if !router.gen_queue.is_empty() {
+                let _ = write!(out, ", {} in generator queue", router.gen_queue.len());
+            }
+            let _ = writeln!(out);
+            for (port, vcs) in router.inputs.iter().enumerate() {
+                for (vc, input) in vcs.iter().enumerate() {
+                    if input.occupancy() == 0 {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "    in port {port} vc {vc}: {} flits (credits out {:?})",
+                        input.occupancy(),
+                        router.out_credits[port][vc],
+                    );
+                }
+            }
+            if let Some(barrier) = &router.barrier {
+                for (addr, ttl, eis) in barrier.snapshot() {
+                    let _ = writeln!(
+                        out,
+                        "    barrier {addr}: ttl {ttl}, {eis} live EI entr{}",
+                        if eis == 1 { "y" } else { "ies" },
                     );
                 }
             }
         }
+        if let Some(line) = self.oldest_in_flight_line(now) {
+            let _ = writeln!(out, "  oldest in flight: {line}");
+        }
+        out
+    }
+
+    /// Describes the oldest packet still inside the network: id, age,
+    /// endpoints, and where it is stuck.
+    fn oldest_in_flight_line(&self, now: Cycle) -> Option<String> {
+        let mut best: Option<(Cycle, String)> = None;
+        let mut note = |injected_at: Cycle, line: String| {
+            if best.as_ref().is_none_or(|(t, _)| injected_at < *t) {
+                best = Some((injected_at, line));
+            }
+        };
+        for (node, queues) in self.inject.iter().enumerate() {
+            for q in queues {
+                for p in q {
+                    note(
+                        p.injected_at,
+                        format!(
+                            "{} {} {}->{} awaiting injection at node {node}",
+                            p.id, p.vnet, p.src, p.dst
+                        ),
+                    );
+                }
+            }
+        }
+        for router in &self.routers {
+            for p in &router.gen_queue {
+                note(
+                    p.injected_at,
+                    format!(
+                        "{} {} {}->{} in generator queue at {}",
+                        p.id, p.vnet, p.src, p.dst, router.coord
+                    ),
+                );
+            }
+            for slot in router.eject.values() {
+                let p = &slot.packet;
+                note(
+                    p.injected_at,
+                    format!(
+                        "{} {} {}->{} reassembling at {} ({}/{} flits)",
+                        p.id, p.vnet, p.src, p.dst, router.coord, slot.flits_seen, p.flits
+                    ),
+                );
+            }
+            for (port, vcs) in router.inputs.iter().enumerate() {
+                for (vc, input) in vcs.iter().enumerate() {
+                    for flit in &input.flits {
+                        if let Some(p) = flit.head.as_deref() {
+                            note(
+                                p.injected_at,
+                                format!(
+                                    "{} {} {}->{} buffered at {} port {port} vc {vc}",
+                                    p.id, p.vnet, p.src, p.dst, router.coord
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(injected_at, line)| {
+            format!("{line} (age {} cycles)", now.saturating_since(injected_at))
+        })
     }
 
     /// Advances the network one cycle.
     pub fn tick(&mut self, now: Cycle) {
+        self.apply_scheduled_faults(now);
         self.intercept_phase(now);
         self.barrier_tick_phase();
         self.switch_phase(now);
         self.inject_phase(now);
+    }
+
+    /// Fires cycle-triggered faults from the configured plan.
+    fn apply_scheduled_faults(&mut self, now: Cycle) {
+        if !self.barrier_disabled {
+            if let Some(at) = self.cfg.faults.barrier_off_at() {
+                if now.as_u64() >= at {
+                    self.barrier_disabled = true;
+                    for router in &mut self.routers {
+                        if let Some(barrier) = router.barrier.as_mut() {
+                            barrier.flush();
+                        }
+                    }
+                }
+            }
+        }
+        if !self.ttl_storm_fired {
+            if let Some(at) = self.cfg.faults.ttl_storm_at() {
+                if now.as_u64() >= at {
+                    self.ttl_storm_fired = true;
+                    for router in &mut self.routers {
+                        if let Some(barrier) = router.barrier.as_mut() {
+                            barrier.set_all_ttls(1);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ---- interception (big-router packet generation) ------------------
@@ -255,6 +523,10 @@ impl<P: PacketGenPayload> Network<P> {
             let Some(packet) = flit.head.as_deref() else { return };
             if packet.sink == Sink::Router && packet.dst == router.coord {
                 Action::ConsumeAck
+            } else if self.barrier_disabled {
+                // Barrier-off fault: interception is dark, lock requests
+                // pass through like in a normal router.
+                return;
             } else if let Some(barrier) = &router.barrier {
                 let ejecting = packet.dst == router.coord;
                 match packet.payload.as_lock_request() {
@@ -281,6 +553,7 @@ impl<P: PacketGenPayload> Network<P> {
             Action::ConsumeAck => {
                 let packet = self.pop_head_packet(node, port, vc);
                 self.stats.in_flight -= 1;
+                self.stats.consumed += 1;
                 let coord = self.routers[node].coord;
                 match packet.payload.as_early_ack() {
                     Some(ack) => {
@@ -290,6 +563,15 @@ impl<P: PacketGenPayload> Network<P> {
                             // protocol-level deduplicator and losing an
                             // InvAck would wedge the winner.
                             let _ = barrier.take_ack(ack.addr, ack.from);
+                        }
+                        self.acks_observed += 1;
+                        if self.cfg.faults.drop_ack_nth() == Some(self.acks_observed) {
+                            // Fault injection: lose this ack instead of
+                            // relaying it. The home never learns the
+                            // loser's copy died — exactly the coherence
+                            // bug the invariant checker must catch.
+                            self.stats.acks_dropped_by_fault += 1;
+                            return;
                         }
                         let relay = Packet {
                             id: self.alloc_id(),
@@ -313,6 +595,7 @@ impl<P: PacketGenPayload> Network<P> {
                 let packet = self.pop_head_packet(node, port, vc);
                 debug_assert_eq!(packet.flits, 1, "lock GetX must be single-flit");
                 self.stats.in_flight -= 1;
+                self.stats.consumed += 1;
                 let coord = self.routers[node].coord;
                 let req = packet.payload.as_lock_request().expect("checked above");
                 self.routers[node]
@@ -639,6 +922,18 @@ impl<P: PacketGenPayload> Network<P> {
             debug_assert_eq!(slot.flits_seen, slot.packet.flits, "all flits ejected");
             let packet = *slot.packet;
             debug_assert_eq!(packet.sink, Sink::NetworkInterface, "router-sink packets are consumed by interception");
+            if self.cfg.faults.drop_ack_nth().is_some() && packet.payload.is_inv_ack() {
+                self.acks_observed += 1;
+                if self.cfg.faults.drop_ack_nth() == Some(self.acks_observed) {
+                    // Fault injection: the acknowledgement vanishes at the
+                    // last hop. Counted as consumed so packet conservation
+                    // still balances; the *protocol* is what breaks.
+                    self.stats.in_flight -= 1;
+                    self.stats.consumed += 1;
+                    self.stats.acks_dropped_by_fault += 1;
+                    return;
+                }
+            }
             let latency = now.saturating_since(packet.injected_at);
             self.stats.record_delivery(packet.vnet, latency);
             self.stats.in_flight -= 1;
@@ -706,11 +1001,24 @@ impl<P: PacketGenPayload> Network<P> {
         let id = packet.id;
         let total = packet.flits;
         let tail = total == 1;
+        // Jitter fault: delay this packet's first switch eligibility by a
+        // seeded pseudo-random amount. Body flits queue behind the head in
+        // the same VC, so per-packet flit order is unaffected.
+        let mut eligible_at = now + 1;
+        if let Some(max_extra) = self.cfg.faults.jitter_max() {
+            if max_extra > 0 {
+                let extra = splitmix_next(&mut self.fault_rng) % (max_extra + 1);
+                if extra > 0 {
+                    self.stats.jitter_delays += 1;
+                    eligible_at = now + 1 + extra;
+                }
+            }
+        }
         self.routers[node].inputs[local][vc].flits.push_back(Flit {
             packet_id: id,
             head: Some(Box::new(packet)),
             tail,
-            eligible_at: now + 1,
+            eligible_at,
         });
         self.routers[node].buffered += 1;
         if !tail {

@@ -143,6 +143,14 @@ pub trait PacketGenPayload: Clone + fmt::Debug {
     /// If this payload is an interceptable lock `GetX`, its fields.
     fn as_lock_request(&self) -> Option<LockRequest>;
 
+    /// True when this payload carries an invalidation acknowledgement of
+    /// any kind (direct, forwarded via the home node, or router-relayed).
+    /// Routing never consults this; only the fault-injection harness
+    /// does, to target ack traffic.
+    fn is_inv_ack(&self) -> bool {
+        false
+    }
+
     /// If this payload acknowledges an early invalidation, its fields.
     fn as_early_ack(&self) -> Option<EarlyAck>;
 

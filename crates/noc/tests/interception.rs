@@ -2,7 +2,7 @@
 //! lock-aware payload, independent of the real coherence protocol.
 
 use inpg_noc::packet::{EarlyAck, LockRequest, PacketGenPayload, Sink, VirtualNetwork};
-use inpg_noc::{BigRouterPlacement, Message, Network, NocConfig};
+use inpg_noc::{BigRouterPlacement, FaultKind, FaultPlan, Message, Network, NocConfig};
 use inpg_sim::{Addr, CoreId, Cycle};
 
 /// A toy protocol: lock GetX requests, invalidations, and acks.
@@ -260,6 +260,211 @@ fn barrier_table_size_one_still_works() {
         })
         .count();
     assert_eq!(at_home, 4);
+}
+
+#[test]
+fn ei_pool_exhaustion_fault_degrades_to_pass_through() {
+    // With the EI pool clamped to zero, barriers install but can never
+    // stop anything: every request must pass through to the home node
+    // exactly as in a normal router.
+    let cfg = NocConfig {
+        placement: BigRouterPlacement::All,
+        faults: FaultPlan::none().with(FaultKind::EiExhaust { capacity: 0 }),
+        ..NocConfig::paper_default()
+    };
+    let mut network = Network::new(cfg).unwrap();
+    let home = 7;
+    network.send(Cycle::ZERO, getx(0, home, 0x2000));
+    network.send(Cycle::ZERO, getx(2, home, 0x2000));
+    let delivered = run(&mut network, 400);
+
+    let getx_count = delivered
+        .iter()
+        .filter(|(_, node, p)| *node == home && matches!(p, TestMsg::LockGetx { .. }))
+        .count();
+    assert_eq!(getx_count, 2, "both GetX pass through untouched: {delivered:?}");
+    assert!(!delivered.iter().any(|(_, _, p)| matches!(p, TestMsg::EarlyInv { .. })));
+    assert_eq!(network.barrier_stats().requests_stopped, 0);
+    assert!(network.barrier_stats().barriers_installed > 0, "barriers still install");
+    assert_eq!(network.in_flight(), 0, "network drains");
+    network.check_invariants();
+}
+
+#[test]
+fn drop_ack_fault_swallows_the_relay() {
+    // The first observed invalidation acknowledgement is the loser's
+    // early ack consumed at the big router: the drop-ack fault must
+    // swallow it after bookkeeping, so no relay ever reaches the home
+    // node and nothing leaks in the network.
+    let cfg = NocConfig {
+        placement: BigRouterPlacement::All,
+        faults: FaultPlan::none().with(FaultKind::DropAck { nth: 1 }),
+        ..NocConfig::paper_default()
+    };
+    let mut network = Network::new(cfg).unwrap();
+    let home = 7;
+    network.send(Cycle::ZERO, getx(0, home, 0x2000));
+    network.send(Cycle::ZERO, getx(2, home, 0x2000));
+
+    let mut now = Cycle::ZERO;
+    let mut relayed = 0;
+    for _ in 0..600 {
+        network.tick(now);
+        for node in 0..64 {
+            while let Some(p) = network.pop_delivered(CoreId::new(node)) {
+                match p.payload {
+                    TestMsg::EarlyInv { addr, target, home, ack_router } => {
+                        network.send(
+                            now,
+                            Message {
+                                src: target,
+                                dst: ack_router,
+                                sink: Sink::Router,
+                                vnet: VirtualNetwork::RESPONSE,
+                                flits: 1,
+                                priority: 0,
+                                payload: TestMsg::EarlyInvAck {
+                                    addr,
+                                    from: target,
+                                    home,
+                                    inv_sent_at: now,
+                                },
+                            },
+                        );
+                    }
+                    TestMsg::RelayedAck { .. } => relayed += 1,
+                    _ => {}
+                }
+            }
+        }
+        now = now.next();
+    }
+    assert_eq!(relayed, 0, "the dropped ack must never be relayed");
+    assert_eq!(network.stats().acks_dropped_by_fault, 1);
+    assert_eq!(network.in_flight(), 0, "the drop must not leak flits");
+    network.check_invariants();
+}
+
+#[test]
+fn barrier_off_fault_mid_run_still_relays_outstanding_acks() {
+    // Disable and flush every barrier table *after* an interception is in
+    // flight. The returning early-inv ack must still be consumed and
+    // relayed to the home node (which deduplicates), not leaked —
+    // otherwise the winner would wait forever.
+    let cfg = NocConfig {
+        placement: BigRouterPlacement::All,
+        faults: FaultPlan::none().with(FaultKind::BarrierOff { at_cycle: 60 }),
+        ..NocConfig::paper_default()
+    };
+    let mut network = Network::new(cfg).unwrap();
+    let home = 7;
+    network.send(Cycle::ZERO, getx(0, home, 0x2000));
+    network.send(Cycle::ZERO, getx(2, home, 0x2000));
+
+    let mut now = Cycle::ZERO;
+    let mut relayed = 0;
+    let mut pending_ack: Option<Message<TestMsg>> = None;
+    for _ in 0..600 {
+        // Hold the loser's ack until after the fault has fired, so the
+        // table state it matched is guaranteed gone.
+        if now.as_u64() == 100 {
+            if let Some(ack) = pending_ack.take() {
+                network.send(now, ack);
+            }
+        }
+        network.tick(now);
+        for node in 0..64 {
+            while let Some(p) = network.pop_delivered(CoreId::new(node)) {
+                match p.payload {
+                    TestMsg::EarlyInv { addr, target, home, ack_router } => {
+                        pending_ack = Some(Message {
+                            src: target,
+                            dst: ack_router,
+                            sink: Sink::Router,
+                            vnet: VirtualNetwork::RESPONSE,
+                            flits: 1,
+                            priority: 0,
+                            payload: TestMsg::EarlyInvAck {
+                                addr,
+                                from: target,
+                                home,
+                                inv_sent_at: now,
+                            },
+                        });
+                    }
+                    TestMsg::RelayedAck { .. } => relayed += 1,
+                    _ => {}
+                }
+            }
+        }
+        now = now.next();
+    }
+    assert_eq!(relayed, 1, "stale ack still relayed to the home node");
+    assert_eq!(network.barrier_stats().stale_acks_dropped, 1);
+    assert_eq!(network.in_flight(), 0, "no packet leaked by the flush");
+    network.check_invariants();
+}
+
+#[test]
+fn ttl_storm_while_ei_live_preserves_the_ack_relay() {
+    // A TTL-expiry storm must not kill barriers that are pinned by a live
+    // early-invalidation entry: the loser's ack is still matched and
+    // relayed, and only afterwards does the barrier expire.
+    let cfg = NocConfig {
+        placement: BigRouterPlacement::All,
+        faults: FaultPlan::none().with(FaultKind::TtlStorm { at_cycle: 50 }),
+        ..NocConfig::paper_default()
+    };
+    let mut network = Network::new(cfg).unwrap();
+    let home = 7;
+    network.send(Cycle::ZERO, getx(0, home, 0x2000));
+    network.send(Cycle::ZERO, getx(2, home, 0x2000));
+
+    let mut now = Cycle::ZERO;
+    let mut relayed = 0;
+    let mut pending_ack: Option<Message<TestMsg>> = None;
+    for _ in 0..600 {
+        // The ack returns at cycle 120, well after the storm at 50: the
+        // EI entry alone keeps the barrier alive in between.
+        if now.as_u64() == 120 {
+            if let Some(ack) = pending_ack.take() {
+                network.send(now, ack);
+            }
+        }
+        network.tick(now);
+        for node in 0..64 {
+            while let Some(p) = network.pop_delivered(CoreId::new(node)) {
+                match p.payload {
+                    TestMsg::EarlyInv { addr, target, home, ack_router } => {
+                        pending_ack = Some(Message {
+                            src: target,
+                            dst: ack_router,
+                            sink: Sink::Router,
+                            vnet: VirtualNetwork::RESPONSE,
+                            flits: 1,
+                            priority: 0,
+                            payload: TestMsg::EarlyInvAck {
+                                addr,
+                                from: target,
+                                home,
+                                inv_sent_at: now,
+                            },
+                        });
+                    }
+                    TestMsg::RelayedAck { .. } => relayed += 1,
+                    _ => {}
+                }
+            }
+        }
+        now = now.next();
+    }
+    assert_eq!(relayed, 1, "EI-pinned barrier matched and relayed the ack");
+    assert_eq!(network.barrier_stats().acks_relayed, 1);
+    assert_eq!(network.barrier_stats().stale_acks_dropped, 0);
+    // After the ack drained the entry, the 1-cycle TTL expired the tables.
+    assert!(network.barrier_stats().barriers_expired > 0);
+    assert_eq!(network.in_flight(), 0);
+    network.check_invariants();
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! bounds, and big-router bookkeeping under randomized traffic.
 
 use inpg_noc::packet::{OpaquePayload, Sink, VirtualNetwork};
-use inpg_noc::{BigRouterPlacement, Coord, Message, Network, NocConfig};
+use inpg_noc::{BigRouterPlacement, Coord, FaultKind, FaultPlan, Message, Network, NocConfig};
 use inpg_sim::{CoreId, Cycle};
 use proptest::prelude::*;
 
@@ -99,6 +99,74 @@ proptest! {
         prop_assert_eq!(received, total, "every packet must be delivered");
         prop_assert_eq!(network.in_flight(), 0, "network must drain");
         prop_assert_eq!(network.stats().delivered, total as u64);
+    }
+
+    /// Packet conservation survives seeded jitter fault injection: every
+    /// packet is still delivered exactly once and every periodic
+    /// invariant check passes, for any traffic pattern and any fault
+    /// seed. Jitter only delays injection eligibility, so the network
+    /// must degrade in latency, never in correctness.
+    #[test]
+    fn packets_conserved_under_random_jitter_faults(
+        case in traffic_case(),
+        fault_seed in any::<u64>(),
+        max_extra in 1u64..48,
+    ) {
+        let cfg = NocConfig {
+            width: case.width,
+            height: case.height,
+            vc_depth: case.vc_depth,
+            placement: if case.big { BigRouterPlacement::Checkerboard } else { BigRouterPlacement::None },
+            faults: FaultPlan::none()
+                .seeded(fault_seed)
+                .with(FaultKind::DelayJitter { max_extra }),
+            ..NocConfig::paper_default()
+        };
+        let mut network: Network<OpaquePayload> = Network::new(cfg).expect("valid config");
+        let mut pending = case.packets.clone();
+        pending.sort_by_key(|p| p.3);
+        let total = pending.len();
+        let mut iter = pending.into_iter().peekable();
+        let mut received = 0usize;
+        let mut now = Cycle::ZERO;
+        while now.as_u64() < 60_000 && received < total {
+            while iter.peek().is_some_and(|p| p.3 <= now.as_u64()) {
+                let (src, dst, flits, _) = iter.next().expect("peeked");
+                network.send(now, Message {
+                    src: CoreId::new(src),
+                    dst: CoreId::new(dst),
+                    sink: Sink::NetworkInterface,
+                    vnet: VirtualNetwork::REQUEST,
+                    flits,
+                    priority: 0,
+                    payload: OpaquePayload,
+                });
+            }
+            network.tick(now);
+            if now.as_u64().is_multiple_of(64) {
+                if let Err(violation) = network.try_check_invariants() {
+                    prop_assert!(false, "cycle {}: {violation}", now.as_u64());
+                }
+            }
+            for node in 0..network.config().nodes() {
+                while network.pop_delivered(CoreId::new(node)).is_some() {
+                    received += 1;
+                }
+            }
+            now = now.next();
+        }
+        prop_assert_eq!(received, total, "every packet delivered despite jitter");
+        prop_assert_eq!(network.in_flight(), 0, "network must drain");
+        if max_extra > 0 && total >= 10 {
+            // With dozens of injections and nonzero jitter range, at
+            // least one packet should statistically have been delayed.
+            // (Not guaranteed per-seed, so only sanity-check the counter
+            // is wired: it must never exceed the injection count.)
+            prop_assert!(network.stats().jitter_delays <= network.stats().injected);
+        }
+        if let Err(violation) = network.try_check_invariants() {
+            prop_assert!(false, "after drain: {violation}");
+        }
     }
 
     /// With opaque payloads, big routers never generate packets, never

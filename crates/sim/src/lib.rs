@@ -30,10 +30,12 @@
 pub mod event;
 pub mod ids;
 pub mod rng;
+pub mod watchdog;
 
 pub use event::EventWheel;
 pub use ids::{Addr, CoreId, Cycle, LockId, ThreadId};
 pub use rng::SimRng;
+pub use watchdog::Watchdog;
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,98 @@
+//! A forward-progress watchdog for cycle-driven simulations.
+//!
+//! The simulator feeds the watchdog a monotonically non-decreasing
+//! *progress* metric (retired events, ejected packets, completed critical
+//! sections — anything that only moves when real work happens). The
+//! watchdog slices time into fixed windows; a window that closes without
+//! the metric moving means the simulation is wedged and the caller should
+//! abort with a diagnostic instead of spinning to the cycle bound.
+
+use crate::ids::Cycle;
+
+/// Forward-progress monitor over fixed cycle windows.
+///
+/// # Example
+///
+/// ```
+/// use inpg_sim::{Cycle, Watchdog};
+///
+/// let mut dog = Watchdog::new(100);
+/// assert!(!dog.observe(Cycle::new(50), 7), "window still open");
+/// assert!(!dog.observe(Cycle::new(100), 8), "progress moved");
+/// assert!(dog.observe(Cycle::new(200), 8), "a full window with no progress");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    window: u64,
+    window_started: Cycle,
+    progress_at_start: u64,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that trips after `window` cycles without
+    /// progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "watchdog window must be nonzero");
+        Watchdog { window, window_started: Cycle::ZERO, progress_at_start: 0 }
+    }
+
+    /// The configured window length in cycles.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Feeds the current cycle and progress metric. Returns `true` when a
+    /// full window has elapsed with no change in `progress` (a stall);
+    /// otherwise rolls the window forward as needed and returns `false`.
+    pub fn observe(&mut self, now: Cycle, progress: u64) -> bool {
+        if progress != self.progress_at_start {
+            self.window_started = now;
+            self.progress_at_start = progress;
+            return false;
+        }
+        if now.saturating_since(self.window_started) >= self.window {
+            return true;
+        }
+        false
+    }
+
+    /// Progress value at the start of the currently open window.
+    pub fn last_progress(&self) -> u64 {
+        self.progress_at_start
+    }
+
+    /// Cycle the currently open window started at.
+    pub fn window_started(&self) -> Cycle {
+        self.window_started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_resets_the_window() {
+        let mut dog = Watchdog::new(10);
+        assert!(!dog.observe(Cycle::new(9), 0));
+        assert!(!dog.observe(Cycle::new(12), 1), "progress at 12 reopens");
+        assert!(!dog.observe(Cycle::new(21), 1), "only 9 cycles stalled");
+        assert!(dog.observe(Cycle::new(22), 1), "10 cycles without progress");
+    }
+
+    #[test]
+    fn immediate_stall_without_any_progress() {
+        let mut dog = Watchdog::new(5);
+        assert!(dog.observe(Cycle::new(5), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_rejected() {
+        let _ = Watchdog::new(0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Exhaustive (Murphi-style) model checking of the iNPG protocol state
+//! machines, plus the supporting bounded-configuration world model.
+//!
+//! The simulator's protocol logic lives in three **pure, timing-free
+//! cores** — [`L1Core`](inpg_coherence::L1Core) (private cache MOESI),
+//! [`HomeCore`](inpg_coherence::HomeCore) (directory + L2 bank) and
+//! [`BarrierFsm`](inpg_noc::BarrierFsm) (the big router's locking
+//! barrier table). This crate closes the loop: it wires bounded
+//! instances of those exact state machines into a [`World`], then
+//! breadth-first enumerates **every reachable interleaving** of message
+//! deliveries, operation issues and barrier TTL expiries, checking
+//! safety properties in each state.
+//!
+//! # World model
+//!
+//! * `N` cores (2–4 are tractable), each running a tiny lock loop per
+//!   cache line: `CAS(0 -> my_tag)` until it wins, then `Store(0)` to
+//!   release. The CAS is lock-flagged and failable, so it exercises the
+//!   paper's full demotion / retry / interception surface.
+//! * `L` lines (1–2), block-interleaved over the home banks exactly as
+//!   [`HomeMap`](inpg_coherence::HomeMap) places them.
+//! * One **abstract big router** on the path of every lock `GetX` and
+//!   every router-sunk `EarlyInvAck` (the `--barrier on` mode). Its
+//!   interception decision replicates `inpg-noc`'s `decide_action`:
+//!   stop when a barrier is armed and EI space remains, install at
+//!   first sight, pass through when the EI pool is full. Barrier TTL
+//!   expiry is a nondeterministic transition
+//!   ([`BarrierFsm::force_expire`](inpg_noc::BarrierFsm::force_expire))
+//!   so the checker covers every expiry timing without modelling clocks.
+//! * The network is an unordered in-flight **message multiset** (the
+//!   mesh does not preserve cross-pair ordering), kept sorted so world
+//!   states are canonical. Its size is bounded; transitions that would
+//!   overflow the bound are pruned **and counted**. Some bound is
+//!   inherent — failable-CAS retry laps can park unboundedly many stale
+//!   acknowledgements in flight — so the verdict is exhaustive
+//!   *relative to the bound*: every execution whose in-flight count
+//!   stays within it is covered.
+//!
+//! # Checked properties
+//!
+//! 1. **SWMR** — at most one writable (M/E) copy of a block, and no
+//!    other valid copy while one exists.
+//! 2. **Data-value integrity** — every cached value and every observed
+//!    load/RMW value is one the program could legally have written.
+//! 3. **Mutual exclusion** — at most one core between CAS-success and
+//!    release-store per lock (a lost or duplicated invalidation
+//!    acknowledgement breaks this or deadlocks).
+//! 4. **Inv/ack conservation** — surplus acknowledgements surface as
+//!    typed [`CoherenceError`](inpg_coherence::CoherenceError)s from
+//!    the pure step functions; any such error is a counterexample.
+//! 5. **Deadlock freedom** — every non-final state has at least one
+//!    enabled transition. A lost wakeup or lost acknowledgement shows
+//!    up here: the network drains while a core still waits.
+//!
+//! On a violation the checker reports the **shortest** trace (BFS order
+//! guarantees minimality) from the initial state to the violation, one
+//! labelled transition per line.
+//!
+//! # Seeded bugs
+//!
+//! [`BugSeed`] mutates one transition class to demonstrate the checker
+//! catches real protocol-level faults:
+//!
+//! * [`BugSeed::DropRelayedAck`] — an `EarlyInvAck` vanishes in
+//!   transit before the big router sees it (the exact bug class the
+//!   simulator's fault-injection `DropAck` plants at the NoC level).
+//!   The run quiesces with the barrier's EI entry still waiting for an
+//!   acknowledgement that no longer exists: inv/ack conservation.
+//! * [`BugSeed::DupInvAck`] — an `InvAck` delivery leaves a duplicate
+//!   in flight; the surplus acknowledgement trips the typed
+//!   `SurplusInvAck`/`ResponseWithoutTxn` protocol errors.
+
+pub mod checker;
+pub mod world;
+
+pub use checker::{check, Counterexample, Report, Verdict};
+pub use world::{BugSeed, Config, Label, Property, World};

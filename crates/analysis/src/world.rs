@@ -1,0 +1,688 @@
+//! The bounded world the model checker enumerates: the pure protocol
+//! cores wired together through an unordered in-flight message multiset,
+//! plus the tiny per-core lock-loop program that drives them.
+
+use inpg_coherence::l1::{L1Outcome, Line};
+use inpg_coherence::{CoherenceError, CoherenceMsg, HomeCore, HomeMap, L1Core, MemOp, MemOpKind};
+use inpg_noc::packet::{PacketGenPayload, Sink};
+use inpg_noc::BarrierFsm;
+use inpg_sim::{ids::BLOCK_BYTES, Addr, CoreId, Cycle};
+use std::fmt;
+
+/// The tile the single abstract big router sits on. Every lock `GetX`
+/// and every router-sunk acknowledgement passes it; the concrete mesh
+/// position is irrelevant to the protocol, so tile 0 serves.
+pub const ROUTER: CoreId = CoreId::new(0);
+
+/// One protocol fault deliberately planted into a transition class, to
+/// demonstrate the checker catches it with a counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugSeed {
+    /// No seeded bug: the checker verifies the protocol as implemented.
+    None,
+    /// An `EarlyInvAck` vanishes in transit before reaching the big
+    /// router: no EI-table bookkeeping, no relay to the home. The run
+    /// quiesces with the barrier's EI entry still waiting — inv/ack
+    /// conservation is violated.
+    DropRelayedAck,
+    /// Delivering an `InvAck` leaves a duplicate copy in flight — the
+    /// surplus acknowledgement trips the typed protocol errors.
+    DupInvAck,
+}
+
+impl BugSeed {
+    /// Parses the CLI spelling of a seed.
+    pub fn parse(s: &str) -> Option<BugSeed> {
+        match s {
+            "none" => Some(BugSeed::None),
+            "drop-relayed-ack" => Some(BugSeed::DropRelayedAck),
+            "dup-inv-ack" => Some(BugSeed::DupInvAck),
+            _ => None,
+        }
+    }
+}
+
+/// Bounds of one exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cores (and home banks). 2–4 are tractable.
+    pub cores: usize,
+    /// Number of contended lock lines (1–2 are tractable).
+    pub lines: usize,
+    /// Acquire/release rounds each core performs per line.
+    pub rounds: usize,
+    /// Whether the abstract big router (iNPG interception) is active.
+    pub barrier: bool,
+    /// The planted fault, if any.
+    pub bug: BugSeed,
+    /// In-flight message bound; transitions that would exceed it are
+    /// pruned and counted (the verdict is relative to this bound).
+    pub net_cap: usize,
+    /// Wire-issue (retry) bound per core per lock-loop phase: a
+    /// failable CAS can lose and retry forever, so the enumeration
+    /// explores up to this many network round trips per acquire or
+    /// release attempt. States cut off by the bound are counted as
+    /// horizon states, never misreported as deadlocks.
+    pub max_issues: u8,
+    /// Hard bound on discovered states before the search reports a
+    /// truncated (inconclusive) result.
+    pub max_states: usize,
+}
+
+impl Config {
+    /// A tractable default: `cores` cores, one line, one round each.
+    ///
+    /// The retry budget scales down with the core count: two cores
+    /// close with three issues per phase in well under a second, but
+    /// at three cores that space exceeds five million states (about
+    /// ninety seconds in a release build). The three-and-four-core
+    /// defaults keep one issue per phase — every protocol path is
+    /// still reached, only repeated CAS-retry laps are cut — and stay
+    /// in the low hundreds of thousands of states. Raise
+    /// `--max-issues` (with `--max-states`) to widen the horizon.
+    pub fn bounded(cores: usize, lines: usize, barrier: bool) -> Config {
+        Config {
+            cores,
+            lines,
+            rounds: 1,
+            barrier,
+            bug: BugSeed::None,
+            net_cap: 4 * cores + 4,
+            max_issues: if cores >= 3 { 1 } else { 3 },
+            max_states: 4_000_000,
+        }
+    }
+
+    /// The lock tag core `c` CASes into a lock word (nonzero, unique).
+    pub fn tag(core: usize) -> u64 {
+        core as u64 + 1
+    }
+
+    /// Block address of contended line `i` (block-interleaved homes).
+    pub fn line_addr(line: usize) -> Addr {
+        Addr::new(line as u64 * BLOCK_BYTES)
+    }
+}
+
+/// Where a core is in its acquire/release loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Spinning: issue `CAS(0 -> tag)` until it observes 0.
+    Acquire,
+    /// Holding the lock: issue `Store(0)` to release.
+    Release,
+}
+
+/// One core's program counter over the lock loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Script {
+    /// Current contended line index.
+    pub line: u8,
+    /// Completed rounds on the current line.
+    pub round: u8,
+    /// Acquiring or releasing.
+    pub phase: Phase,
+    /// Wire issues (network round trips) spent on the current phase;
+    /// reset whenever the phase advances. Bounded by
+    /// [`Config::max_issues`].
+    pub issues: u8,
+    /// All lines and rounds finished.
+    pub done: bool,
+}
+
+impl Script {
+    fn start() -> Script {
+        Script { line: 0, round: 0, phase: Phase::Acquire, issues: 0, done: false }
+    }
+
+    /// The next operation this core issues.
+    pub fn op(&self, core: usize) -> MemOp {
+        let addr = Config::line_addr(self.line as usize);
+        match self.phase {
+            Phase::Acquire => MemOp {
+                addr,
+                kind: MemOpKind::CompareSwap { expected: 0, new: Config::tag(core) },
+                lock: true,
+            },
+            Phase::Release => MemOp { addr, kind: MemOpKind::Store(0), lock: true },
+        }
+    }
+}
+
+/// One in-flight protocol message: destination tile, whether the
+/// router's packet generator (rather than the network interface)
+/// consumes it, and the payload. Kept sorted inside [`World::net`] so
+/// equal multisets hash equally.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetMsg {
+    /// Destination tile.
+    pub dst: CoreId,
+    /// `true` for router-sunk messages (`EarlyInvAck`).
+    pub to_router: bool,
+    /// The protocol message.
+    pub msg: CoherenceMsg,
+}
+
+/// A labelled transition out of a world state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label {
+    /// Core `core` issues its next script operation.
+    Issue {
+        /// The issuing core.
+        core: usize,
+    },
+    /// One in-flight message is delivered (and possibly intercepted).
+    Deliver {
+        /// The delivered message.
+        msg: NetMsg,
+    },
+    /// The barrier on `addr` expires (nondeterministic TTL stand-in;
+    /// only enabled while the barrier has no live EI entries).
+    Expire {
+        /// The barrier's lock line.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Issue { core } => write!(f, "core {core} issues its next op"),
+            Label::Deliver { msg } => {
+                let sink = if msg.to_router { "router" } else { "NI" };
+                write!(f, "deliver to {} ({sink}): {:?}", msg.dst, msg.msg)
+            }
+            Label::Expire { addr } => write!(f, "barrier on {addr} expires"),
+        }
+    }
+}
+
+/// A violated property, the payload of a counterexample.
+#[derive(Debug, Clone)]
+pub enum Property {
+    /// Two valid copies coexist with a writable one.
+    Swmr {
+        /// The multiply-cached block.
+        addr: Addr,
+        /// Every core holding a valid copy.
+        holders: Vec<usize>,
+    },
+    /// A cached or observed value no program step could have written.
+    ValueIntegrity {
+        /// The corrupted block.
+        addr: Addr,
+        /// The impossible value.
+        value: u64,
+    },
+    /// Two cores hold the same lock at once.
+    MutualExclusion {
+        /// The lock line.
+        addr: Addr,
+        /// The simultaneous holders.
+        holders: Vec<usize>,
+    },
+    /// A pure step function rejected a message: lost, duplicated or
+    /// misrouted traffic upstream (includes surplus-ack conservation
+    /// violations).
+    Protocol(CoherenceError),
+    /// The run quiesced with early-invalidation entries still waiting
+    /// for acknowledgements in the big router's barrier table: an
+    /// `EarlyInvAck` was lost somewhere upstream.
+    AckConservation {
+        /// The barrier's lock line.
+        addr: Addr,
+        /// Cores whose early-invalidation acknowledgement never arrived.
+        leaked: Vec<usize>,
+    },
+    /// A non-final state with no enabled transition: the network
+    /// drained while a core still waits (lost ack / lost wakeup).
+    Deadlock,
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::Swmr { addr, holders } => write!(
+                f,
+                "SWMR violated at {addr}: cores {holders:?} hold valid copies alongside a \
+                 writable one"
+            ),
+            Property::ValueIntegrity { addr, value } => {
+                write!(f, "value integrity violated at {addr}: impossible value {value}")
+            }
+            Property::MutualExclusion { addr, holders } => {
+                write!(f, "mutual exclusion violated at {addr}: cores {holders:?} hold the lock")
+            }
+            Property::Protocol(e) => write!(f, "protocol violation: {e}"),
+            Property::AckConservation { addr, leaked } => write!(
+                f,
+                "inv/ack conservation violated at {addr}: quiesced with early-invalidation \
+                 entries for cores {leaked:?} still awaiting acknowledgement"
+            ),
+            Property::Deadlock => {
+                write!(f, "deadlock: no transition enabled in a non-final state")
+            }
+        }
+    }
+}
+
+/// One global protocol state: every pure core, the abstract big
+/// router's barrier table, the in-flight message multiset and the
+/// per-core program counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct World {
+    /// The pure L1 controllers.
+    pub l1s: Vec<L1Core>,
+    /// The pure home directories.
+    pub homes: Vec<HomeCore>,
+    /// The abstract big router's barrier FSM (`None` = iNPG off).
+    pub router: Option<BarrierFsm>,
+    /// In-flight messages, kept sorted (canonical multiset).
+    pub net: Vec<NetMsg>,
+    /// Per-core lock-loop program counters.
+    pub scripts: Vec<Script>,
+}
+
+impl World {
+    /// The initial state of a bounded configuration.
+    pub fn init(cfg: &Config) -> World {
+        let map = HomeMap::new(cfg.cores);
+        let mut homes: Vec<HomeCore> =
+            (0..cfg.cores).map(|c| HomeCore::new(CoreId::new(c), 0)).collect();
+        for line in 0..cfg.lines {
+            let addr = Config::line_addr(line);
+            homes[map.home_of(addr).index()].init_block(addr, 0);
+        }
+        World {
+            l1s: (0..cfg.cores).map(|c| L1Core::new(CoreId::new(c), map)).collect(),
+            homes,
+            router: cfg
+                .barrier
+                .then(|| BarrierFsm::new(cfg.lines.max(1), cfg.cores, 1)),
+            net: Vec::new(),
+            scripts: vec![Script::start(); cfg.cores],
+        }
+    }
+
+    /// Whether this is a legal final state: programs finished, network
+    /// drained, no transaction outstanding anywhere.
+    pub fn is_goal(&self) -> bool {
+        self.net.is_empty()
+            && self.scripts.iter().all(|s| s.done)
+            && self.l1s.iter().all(|l1| !l1.is_busy())
+            && self.homes.iter().all(HomeCore::is_quiet)
+    }
+
+    /// Every transition enabled in this state.
+    pub fn enabled(&self, cfg: &Config) -> Vec<Label> {
+        let mut out = Vec::new();
+        for (core, script) in self.scripts.iter().enumerate() {
+            if !script.done && !self.l1s[core].is_busy() && script.issues < cfg.max_issues {
+                out.push(Label::Issue { core });
+            }
+        }
+        // `net` is sorted, so equal messages are adjacent: one Deliver
+        // label per distinct message avoids symmetric duplicates.
+        let mut prev: Option<&NetMsg> = None;
+        for msg in &self.net {
+            if prev != Some(msg) {
+                out.push(Label::Deliver { msg: msg.clone() });
+            }
+            prev = Some(msg);
+        }
+        if let Some(fsm) = &self.router {
+            for barrier in &fsm.barriers {
+                if barrier.eis.is_empty() {
+                    out.push(Label::Expire { addr: barrier.addr });
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one transition in place. The caller re-sorts `net` (via
+    /// [`World::canon`]) and runs [`World::check_safety`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// The violated [`Property`] when the transition itself exposes one
+    /// (a typed protocol error or an impossible observed value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not enabled in this state (checker-internal
+    /// misuse, not a protocol property).
+    pub fn apply(&mut self, cfg: &Config, label: &Label) -> Result<(), Property> {
+        match label {
+            Label::Issue { core } => {
+                let op = self.scripts[*core].op(*core);
+                let out = self.l1s[*core].issue(op, 0).map_err(Property::Protocol)?;
+                if !out.msgs.is_empty() {
+                    // A wire issue spends retry budget; a locally-failing
+                    // CAS does not (it leaves the state unchanged).
+                    let s = &mut self.scripts[*core];
+                    s.issues = s.issues.saturating_add(1);
+                }
+                self.absorb_l1(cfg, *core, out)
+            }
+            Label::Deliver { msg } => {
+                let Some(pos) = self.net.iter().position(|m| m == msg) else {
+                    panic!("deliver of a message not in flight: {msg:?}");
+                };
+                self.net.remove(pos);
+                if msg.to_router {
+                    self.router_ack(cfg, &msg.msg)
+                } else {
+                    let keep_duplicate = cfg.bug == BugSeed::DupInvAck
+                        && matches!(msg.msg, CoherenceMsg::InvAck { .. });
+                    if keep_duplicate {
+                        self.net.push(msg.clone());
+                    }
+                    self.deliver_ni(cfg, msg.dst, msg.msg.clone())
+                }
+            }
+            Label::Expire { addr } => {
+                if let Some(fsm) = self.router.as_mut() {
+                    let expired = fsm.force_expire(*addr);
+                    assert!(expired, "expire of a barrier that is not expirable: {addr}");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Restores the sorted-multiset canonical form after [`World::apply`].
+    pub fn canon(&mut self) {
+        self.net.sort_unstable();
+    }
+
+    /// Checks the state-predicate safety properties (SWMR, value
+    /// integrity, mutual exclusion), returning the first violation.
+    pub fn check_safety(&self, cfg: &Config) -> Option<Property> {
+        let max_legal = cfg.cores as u64;
+        for line in 0..cfg.lines {
+            let addr = Config::line_addr(line);
+            let mut valid = Vec::new();
+            let mut writable = 0usize;
+            for (core, l1) in self.l1s.iter().enumerate() {
+                if let Some(&Line { state, value }) = l1.lines.get(&addr) {
+                    valid.push(core);
+                    if state.is_writable() {
+                        writable += 1;
+                    }
+                    if value > max_legal {
+                        return Some(Property::ValueIntegrity { addr, value });
+                    }
+                }
+            }
+            if writable > 0 && valid.len() > 1 {
+                return Some(Property::Swmr { addr, holders: valid });
+            }
+            let holders: Vec<usize> = self
+                .scripts
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done && s.phase == Phase::Release && s.line as usize == line)
+                .map(|(core, _)| core)
+                .collect();
+            if holders.len() > 1 {
+                return Some(Property::MutualExclusion { addr, holders });
+            }
+        }
+        None
+    }
+
+    /// Inv/ack conservation at quiescence: a goal state (network
+    /// drained, every program finished) must hold no live
+    /// early-invalidation entry — each one is a router-generated `Inv`
+    /// whose acknowledgement never came back.
+    pub fn check_quiescence(&self) -> Option<Property> {
+        let fsm = self.router.as_ref()?;
+        for barrier in &fsm.barriers {
+            if !barrier.eis.is_empty() {
+                return Some(Property::AckConservation {
+                    addr: barrier.addr,
+                    leaked: barrier.eis.iter().map(|e| e.core.index()).collect(),
+                });
+            }
+        }
+        None
+    }
+
+    /// One compact line of state for counterexample rendering.
+    pub fn summary(&self, cfg: &Config) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for line in 0..cfg.lines {
+            let addr = Config::line_addr(line);
+            let _ = write!(s, "L{line}:[");
+            for l1 in &self.l1s {
+                let _ = write!(s, "{}", l1.state_letter(addr));
+            }
+            let _ = write!(s, "] ");
+        }
+        let _ = write!(s, "pc:[");
+        for (core, script) in self.scripts.iter().enumerate() {
+            let phase = if script.done {
+                "done"
+            } else {
+                match script.phase {
+                    Phase::Acquire => "acq",
+                    Phase::Release => "rel",
+                }
+            };
+            let busy = if self.l1s[core].is_busy() { "*" } else { "" };
+            let sep = if core == 0 { "" } else { " " };
+            let _ = write!(s, "{sep}{phase}{busy}");
+        }
+        let _ = write!(s, "] in-flight:{}", self.net.len());
+        if let Some(fsm) = &self.router {
+            let _ = write!(s, " barriers:{} eis:{}", fsm.barrier_count(), fsm.ei_count());
+        }
+        s
+    }
+
+    fn route_out(&mut self, env: inpg_coherence::Envelope) {
+        self.net.push(NetMsg {
+            dst: env.dst,
+            to_router: matches!(env.sink, Sink::Router),
+            msg: env.msg,
+        });
+    }
+
+    /// The abstract big router consumes a router-sunk `EarlyInvAck`:
+    /// bookkeeping in the barrier FSM, then relay to the home node
+    /// (even a stale ack is relayed — the home is the deduplicator).
+    fn router_ack(&mut self, cfg: &Config, msg: &CoherenceMsg) -> Result<(), Property> {
+        let Some(ack) = msg.as_early_ack() else {
+            panic!("router-sunk message that is not an early ack: {msg:?}");
+        };
+        if cfg.bug == BugSeed::DropRelayedAck {
+            // The ack dies in transit: the EI entry it would have
+            // retired stays live forever.
+            return Ok(());
+        }
+        if let Some(fsm) = self.router.as_mut() {
+            let _ = fsm.take_ack(ack.addr, ack.from);
+        }
+        let relayed = CoherenceMsg::relayed_ack(ack, Cycle::ZERO);
+        self.net.push(NetMsg { dst: ack.home, to_router: false, msg: relayed });
+        Ok(())
+    }
+
+    /// Delivers a network-interface message, replicating the system
+    /// layer's dispatch and the big router's interception decision
+    /// (`inpg-noc`'s `decide_action`): stop when a barrier is armed and
+    /// EI space remains, install at first sight, pass through when the
+    /// EI pool is full.
+    fn deliver_ni(
+        &mut self,
+        cfg: &Config,
+        dst: CoreId,
+        msg: CoherenceMsg,
+    ) -> Result<(), Property> {
+        if let Some(req) = msg.as_lock_request() {
+            if let Some(fsm) = self.router.as_mut() {
+                if fsm.should_stop(req.addr) {
+                    let stopped = fsm.stop(req.addr, req.requester);
+                    assert!(stopped, "should_stop approved a stop that failed");
+                    let inv = CoherenceMsg::early_inv(req, ROUTER, Cycle::ZERO);
+                    let fwd = msg.forwarded_getx(Cycle::ZERO);
+                    self.net.push(NetMsg { dst: req.home, to_router: false, msg: fwd });
+                    // Ordering assumption (the premise of in-network
+                    // generation): the early Inv's path, big router →
+                    // requester, is strictly shorter than any downstream
+                    // effect of the relayed request (big router → home →
+                    // owner → requester, plus directory latency), so the
+                    // Inv always lands first. An unordered in-flight Inv
+                    // would let the checker deliver it *after* the home's
+                    // Data response — an interleaving the mesh cannot
+                    // produce, which would falsely destroy the winner's
+                    // fresh line. Delivering it atomically with the stop
+                    // encodes the ordering; the acknowledgement it
+                    // triggers still travels (and races) asynchronously.
+                    let requester = req.requester;
+                    return self.deliver_ni(cfg, requester, inv);
+                }
+                if !fsm.has_barrier(req.addr) {
+                    let _ = fsm.observe_transfer(req.addr);
+                }
+                // Barrier armed but EI pool full: pass through.
+            }
+        }
+        match msg {
+            CoherenceMsg::GetS { .. }
+            | CoherenceMsg::GetX { .. }
+            | CoherenceMsg::RelayedGetX { .. }
+            | CoherenceMsg::RelayedInvAck { .. }
+            | CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. } => {
+                let out = self.homes[dst.index()]
+                    .process(msg, Cycle::ZERO, Cycle::ZERO)
+                    .map_err(Property::Protocol)?;
+                for emit in out.emits {
+                    self.route_out(emit.env);
+                }
+                Ok(())
+            }
+            // The pure layers never emit OS wakeups (they belong to the
+            // manycore thread scheduler); absorbing one keeps the
+            // dispatch total.
+            CoherenceMsg::OsWakeup { .. } => Ok(()),
+            CoherenceMsg::FwdGetS { .. }
+            | CoherenceMsg::FwdGetX { .. }
+            | CoherenceMsg::Inv { .. }
+            | CoherenceMsg::Data { .. }
+            | CoherenceMsg::AckCount { .. }
+            | CoherenceMsg::InvAck { .. }
+            | CoherenceMsg::EarlyInvAck { .. } => {
+                let core = dst.index();
+                let out = self.l1s[core].handle(msg).map_err(Property::Protocol)?;
+                self.absorb_l1(cfg, core, out)
+            }
+        }
+    }
+
+    /// Routes an L1 step's messages and advances the issuing core's
+    /// script on completion.
+    fn absorb_l1(&mut self, cfg: &Config, core: usize, out: L1Outcome) -> Result<(), Property> {
+        for env in out.msgs {
+            self.route_out(env);
+        }
+        if let Some(done) = out.completion {
+            if done.value > cfg.cores as u64 {
+                return Err(Property::ValueIntegrity {
+                    addr: done.op.addr.block(),
+                    value: done.value,
+                });
+            }
+            let script = &mut self.scripts[core];
+            match script.phase {
+                Phase::Acquire => {
+                    // The CAS observed the old value; 0 means the swap
+                    // happened and the lock is held.
+                    if done.value == 0 {
+                        script.phase = Phase::Release;
+                        script.issues = 0;
+                    }
+                }
+                Phase::Release => {
+                    script.phase = Phase::Acquire;
+                    script.issues = 0;
+                    script.round += 1;
+                    if script.round as usize >= cfg.rounds {
+                        script.round = 0;
+                        script.line += 1;
+                        if script.line as usize >= cfg.lines {
+                            script.done = true;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_worlds_are_canonical_and_goalless() {
+        let cfg = Config::bounded(2, 1, true);
+        let w = World::init(&cfg);
+        assert!(!w.is_goal(), "fresh scripts still have work");
+        assert!(w.check_safety(&cfg).is_none());
+        // Only issues are enabled: nothing is in flight yet.
+        let labels = w.enabled(&cfg);
+        assert_eq!(labels.len(), 2);
+        assert!(labels.iter().all(|l| matches!(l, Label::Issue { .. })));
+    }
+
+    #[test]
+    fn issue_produces_an_interceptable_lock_getx() {
+        let cfg = Config::bounded(2, 1, true);
+        let mut w = World::init(&cfg);
+        w.apply(&cfg, &Label::Issue { core: 1 }).expect("clean issue");
+        w.canon();
+        assert_eq!(w.net.len(), 1);
+        assert!(w.net[0].msg.as_lock_request().is_some(), "CAS must emit a lock GetX");
+    }
+
+    #[test]
+    fn first_lock_getx_installs_the_barrier_and_second_is_stopped() {
+        let cfg = Config::bounded(2, 1, true);
+        let mut w = World::init(&cfg);
+        w.apply(&cfg, &Label::Issue { core: 0 }).expect("issue 0");
+        w.canon();
+        let getx0 = w.net[0].clone();
+        w.apply(&cfg, &Label::Deliver { msg: getx0 }).expect("deliver installs");
+        w.canon();
+        let fsm = w.router.as_ref().expect("barrier on");
+        assert_eq!(fsm.barrier_count(), 1, "first transfer installs the barrier");
+        assert_eq!(fsm.ei_count(), 0);
+
+        w.apply(&cfg, &Label::Issue { core: 1 }).expect("issue 1");
+        w.canon();
+        let getx1 = w
+            .net
+            .iter()
+            .find(|m| m.msg.as_lock_request().is_some())
+            .expect("lock GetX in flight")
+            .clone();
+        w.apply(&cfg, &Label::Deliver { msg: getx1 }).expect("deliver stops");
+        w.canon();
+        let fsm = w.router.as_ref().expect("barrier on");
+        assert_eq!(fsm.ei_count(), 1, "second lock GetX is stopped");
+        assert!(
+            w.net.iter().any(|m| m.to_router
+                && matches!(m.msg, CoherenceMsg::EarlyInvAck { .. })),
+            "the early Inv lands atomically; its router-sunk ack is in flight"
+        );
+        assert!(
+            w.net.iter().any(|m| matches!(m.msg, CoherenceMsg::RelayedGetX { .. })),
+            "stop relays the request to the home"
+        );
+    }
+}

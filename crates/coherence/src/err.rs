@@ -1,0 +1,201 @@
+//! Typed protocol errors raised by the pure L1/home step functions.
+//!
+//! The timed controllers treat every variant as a fatal protocol bug
+//! (they abort the simulation through `SimError`); the `inpg-analysis`
+//! model checker treats them as property violations and reports the
+//! message interleaving that produced them.
+
+use crate::msg::CoherenceMsg;
+use inpg_sim::{Addr, CoreId};
+use std::fmt;
+
+/// A protocol-level violation detected by a pure step function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoherenceError {
+    /// An operation was issued while another is still outstanding.
+    IssueWhileBusy {
+        /// The offending core.
+        core: CoreId,
+    },
+    /// A response arrived at an L1 with no matching transaction.
+    ResponseWithoutTxn {
+        /// The receiving core.
+        core: CoreId,
+        /// The orphaned message.
+        msg: CoherenceMsg,
+    },
+    /// A response arrived for a different block than the outstanding
+    /// transaction's.
+    ResponseAddrMismatch {
+        /// The receiving core.
+        core: CoreId,
+        /// The block the response names.
+        got: Addr,
+        /// The block the transaction is for.
+        want: Addr,
+    },
+    /// More invalidation acknowledgements arrived than the home node
+    /// announced.
+    SurplusInvAck {
+        /// The collecting core.
+        core: CoreId,
+        /// The contended block.
+        addr: Addr,
+        /// Acknowledgements announced by the home node.
+        expected: u16,
+        /// Acknowledgements actually received.
+        received: u16,
+    },
+    /// An `AckCount` (data-less grant) arrived at a core that does not
+    /// hold the authoritative value.
+    AckCountWithoutOwnership {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// The home demoted a request that never declared itself failable.
+    NonFailableDemoted {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// A demoted service reached a transaction that is not a
+    /// compare-and-swap (only conditional RMWs may be demoted).
+    DemotedNotConditional {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// An exclusive transaction was granted shared data outside the
+    /// demotion path.
+    SharedGrantForExclusive {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// An ownership-transfer forward reached a core that is neither an
+    /// owner nor an upgrading owner — home serialization was violated.
+    ForwardToNonOwner {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// An ownership-transfer forward arrived after the transaction was
+    /// already granted.
+    ForwardAfterGrant {
+        /// The receiving core.
+        core: CoreId,
+        /// The block address.
+        addr: Addr,
+    },
+    /// A message class the L1 never receives was delivered to an L1.
+    UnexpectedAtL1 {
+        /// The receiving core.
+        core: CoreId,
+        /// The misrouted message.
+        msg: CoherenceMsg,
+    },
+    /// A message class the home node never receives was delivered to a
+    /// home node.
+    UnexpectedAtHome {
+        /// The misrouted message.
+        msg: CoherenceMsg,
+    },
+    /// An unblock notice arrived for a block with no open transaction.
+    UnblockIdleBlock {
+        /// The block address.
+        addr: Addr,
+        /// The core that sent the notice.
+        from: CoreId,
+    },
+    /// An unblock notice arrived from a core that is not the transaction
+    /// holder.
+    UnblockWrongCore {
+        /// The block address.
+        addr: Addr,
+        /// The core that sent the notice.
+        from: CoreId,
+        /// The core actually holding the transaction.
+        holder: CoreId,
+    },
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::IssueWhileBusy { core } => {
+                write!(f, "{core}: demand operation issued while another is outstanding")
+            }
+            CoherenceError::ResponseWithoutTxn { core, msg } => {
+                write!(f, "{core}: response {msg:?} with no outstanding transaction")
+            }
+            CoherenceError::ResponseAddrMismatch { core, got, want } => {
+                write!(f, "{core}: response for {got} but transaction is for {want}")
+            }
+            CoherenceError::SurplusInvAck { core, addr, expected, received } => {
+                write!(
+                    f,
+                    "{core}: surplus InvAck on {addr}: {received} received, {expected} expected"
+                )
+            }
+            CoherenceError::AckCountWithoutOwnership { core, addr } => {
+                write!(f, "{core}: AckCount for {addr} but the core owns no authoritative value")
+            }
+            CoherenceError::NonFailableDemoted { core, addr } => {
+                write!(f, "{core}: non-failable exclusive request for {addr} was demoted")
+            }
+            CoherenceError::DemotedNotConditional { core, addr } => {
+                write!(f, "{core}: demoted service for {addr} on a non-conditional RMW")
+            }
+            CoherenceError::SharedGrantForExclusive { core, addr } => {
+                write!(f, "{core}: shared data granted to an exclusive transaction on {addr}")
+            }
+            CoherenceError::ForwardToNonOwner { core, addr } => {
+                write!(f, "{core}: FwdGetX for {addr} reached a non-owner")
+            }
+            CoherenceError::ForwardAfterGrant { core, addr } => {
+                write!(f, "{core}: FwdGetX for {addr} arrived after the grant")
+            }
+            CoherenceError::UnexpectedAtL1 { core, msg } => {
+                write!(f, "{core}: L1 received unexpected message {msg:?}")
+            }
+            CoherenceError::UnexpectedAtHome { msg } => {
+                write!(f, "home node received unexpected message {msg:?}")
+            }
+            CoherenceError::UnblockIdleBlock { addr, from } => {
+                write!(f, "unblock for an idle block {addr} from {from}")
+            }
+            CoherenceError::UnblockWrongCore { addr, from, holder } => {
+                write!(f, "unblock for {addr} from {from} but {holder} holds the transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoherenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_culprits() {
+        let e = CoherenceError::SurplusInvAck {
+            core: CoreId::new(3),
+            addr: Addr::new(0x80),
+            expected: 2,
+            received: 3,
+        };
+        let text = e.to_string();
+        assert!(text.contains("core 3"), "{text}");
+        assert!(text.contains("3 received, 2 expected"), "{text}");
+
+        let e = CoherenceError::UnblockIdleBlock { addr: Addr::new(0), from: CoreId::new(1) };
+        assert!(e.to_string().contains("idle block"));
+    }
+}

@@ -7,6 +7,14 @@
 //! serialization the paper identifies as the source of lock coherence
 //! overhead.
 //!
+//! Like the L1 (see [`l1`](crate::l1)), the home node is split into the
+//! **pure, timing-free directory state machine** [`HomeCore`] — whose
+//! step function [`HomeCore::process`] maps one message to state updates
+//! plus an [`HomeOutcome`] of emissions and bookkeeping notes — and the
+//! timed wrapper [`HomeBank`] that owns the inboxes, the delayed-response
+//! wheel and the statistics. The `inpg-analysis` model checker enumerates
+//! `HomeCore` directly.
+//!
 //! # iNPG support
 //!
 //! Big routers convert stopped lock `GetX` requests into
@@ -26,14 +34,15 @@
 //!   duplicate (the loser also answered a home `Inv` directly) can never
 //!   satisfy a later invalidation wrongly.
 
+use crate::err::CoherenceError;
 use crate::msg::{AckTarget, CoherenceMsg, Envelope};
 use crate::stats::{HomeStats, InvAckRoundTrips};
 use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Directory state of one block.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum DirState {
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DirState {
     /// No cached copies; the L2 value is authoritative.
     Unowned,
     /// Clean copies at the listed cores; the L2 value is current.
@@ -43,46 +52,66 @@ enum DirState {
     /// always has an owner, so this state is only reachable if a future
     /// extension adds owner write-back/downgrade. Kept for protocol
     /// totality.
-    #[allow(dead_code)]
     Shared(BTreeSet<CoreId>),
     /// `owner` holds the (possibly dirty) block; `sharers` hold copies.
-    Owned { owner: CoreId, sharers: BTreeSet<CoreId> },
+    Owned {
+        /// The forwarding owner (MOESI O).
+        owner: CoreId,
+        /// Cores holding clean copies.
+        sharers: BTreeSet<CoreId>,
+    },
     /// `owner` holds the block exclusively (E or M).
-    Exclusive { owner: CoreId },
+    Exclusive {
+        /// The exclusive owner.
+        owner: CoreId,
+    },
 }
 
 /// Early-invalidation knowledge about one core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EarlyRec {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EarlyRec {
     /// The `RelayedGetX` notification arrived; the acknowledgement is in
     /// flight to us.
-    Notified { stopped_at: Cycle },
+    Notified {
+        /// Interception cycle, the matching key.
+        stopped_at: Cycle,
+    },
     /// Both the notification and the relayed acknowledgement arrived.
-    AckArrived { stopped_at: Cycle },
+    AckArrived {
+        /// Interception cycle, the matching key.
+        stopped_at: Cycle,
+    },
 }
 
 /// A queued request waiting for the block to become free.
-#[derive(Debug, Clone, Copy)]
-struct QueuedReq {
-    requester: CoreId,
-    exclusive: bool,
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueuedReq {
+    /// The requesting core.
+    pub requester: CoreId,
+    /// Exclusive (GetX) or read (GetS).
+    pub exclusive: bool,
     /// Exclusive requests that may be demoted to a shared-copy service
     /// when the block is owned (conditional lock RMWs).
-    failable: bool,
+    pub failable: bool,
     /// Stopped by a big router: the request provably lost an in-network
     /// race, so it is demote-eligible even if the block is idle when it
     /// is finally processed.
-    relayed: bool,
-    queued_at: Cycle,
+    pub relayed: bool,
+    /// When the request arrived (queue-wait accounting).
+    pub queued_at: Cycle,
 }
 
 /// The in-flight transaction blocking a block.
-#[derive(Debug, Clone)]
-enum BusyTxn {
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BusyTxn {
     /// A read being served by an owner forward or an E grant.
-    Read { requester: CoreId },
+    Read {
+        /// The reader the home waits on.
+        requester: CoreId,
+    },
     /// An exclusive access: `winner` is collecting data + acks.
     Exclusive {
+        /// The core collecting data and acknowledgements.
         winner: CoreId,
         /// Sharers whose acknowledgement will arrive as a relayed early
         /// ack; maps to the interception cycle for matching.
@@ -93,58 +122,124 @@ enum BusyTxn {
     },
 }
 
-#[derive(Debug, Default)]
-struct DirEntry {
-    state: Option<DirState>,
-    busy: Option<BusyTxn>,
-    queue: VecDeque<QueuedReq>,
+/// Directory entry of one block: stable state, in-flight transaction,
+/// serialization queue and early-invalidation records.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+pub struct DirEntry {
+    /// Stable directory state (`None` = never touched = Unowned).
+    pub state: Option<DirState>,
+    /// The transaction currently blocking the block.
+    pub busy: Option<BusyTxn>,
+    /// FIFO of requests waiting for the block.
+    pub queue: VecDeque<QueuedReq>,
     /// Early-invalidation records per core.
-    early: BTreeMap<CoreId, EarlyRec>,
+    pub early: BTreeMap<CoreId, EarlyRec>,
     /// Relayed acknowledgements that matched no record yet: they wait for
     /// their `RelayedGetX` notification (never satisfy invalidations
     /// directly).
-    parked_acks: Vec<(CoreId, Cycle)>,
+    pub parked_acks: Vec<(CoreId, Cycle)>,
 }
 
 impl DirEntry {
-    fn state(&self) -> &DirState {
+    /// The stable state, defaulting to Unowned.
+    pub fn state(&self) -> &DirState {
         self.state.as_ref().unwrap_or(&DirState::Unowned)
     }
 }
 
-/// One home node: L2 bank, directory, and request serialization queue.
-#[derive(Debug)]
-pub struct HomeBank {
-    core: CoreId,
-    entries: HashMap<Addr, DirEntry>,
-    data: HashMap<Addr, u64>,
-    inbox: VecDeque<(CoherenceMsg, Cycle)>,
-    /// Acknowledgements and completion notices: cheap directory
-    /// bookkeeping processed out of band (they do not occupy the
-    /// request-serialization slot).
-    fast_inbox: VecDeque<(CoherenceMsg, Cycle)>,
-    delayed: EventWheel<Envelope>,
-    l2_latency: u64,
-    stats: HomeStats,
-    roundtrips: InvAckRoundTrips,
+/// When an emitted message leaves the home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitAt {
+    /// This cycle (control messages, forwards, aggregated acks).
+    Now,
+    /// At the given cycle (L2-latency data responses, the staggered
+    /// invalidation walk).
+    At(Cycle),
 }
 
-impl HomeBank {
-    /// Creates the bank for `core`. `l2_latency` is Table 1's 6-cycle L2
-    /// access latency (applied to data responses); `cores` sizes the
-    /// round-trip accounting.
-    pub fn new(core: CoreId, cores: usize, l2_latency: u64) -> Self {
-        HomeBank {
-            core,
-            entries: HashMap::new(),
-            data: HashMap::new(),
-            inbox: VecDeque::new(),
-            fast_inbox: VecDeque::new(),
-            delayed: EventWheel::new(),
-            l2_latency,
-            stats: HomeStats::default(),
-            roundtrips: InvAckRoundTrips::new(cores, 256),
-        }
+/// One outgoing message plus its departure schedule.
+#[derive(Debug, Clone)]
+pub struct Emit {
+    /// The message and destination.
+    pub env: Envelope,
+    /// When it leaves.
+    pub at: EmitAt,
+}
+
+/// Bookkeeping events the pure directory reports; the timed wrapper maps
+/// them onto [`HomeStats`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeNote {
+    /// A request (GetS/GetX/RelayedGetX) was accepted for processing.
+    Request,
+    /// The request was a GetX (plain or relayed).
+    GetXSeen,
+    /// The home sent its own invalidation.
+    InvSent,
+    /// An invalidation was skipped because a big router performed it
+    /// early.
+    InvSavedEarly,
+    /// An already-arrived early acknowledgement was consumed.
+    EarlyAckConsumed,
+    /// A relayed acknowledgement was forwarded to the winner.
+    RelayForwarded,
+    /// A relayed acknowledgement matched nothing and was parked.
+    AckParked,
+    /// A failable lock request was demoted to shared-copy service.
+    Demotion,
+    /// A request left the queue after waiting this many cycles.
+    QueueWait(u64),
+    /// The block's queue reached this length.
+    QueueLen(u64),
+    /// An early-invalidation round trip (router Inv generation to router
+    /// ack arrival) completed.
+    RelayRoundTrip {
+        /// The invalidated core.
+        from: CoreId,
+        /// Round-trip delay in cycles.
+        delay: u64,
+    },
+}
+
+/// Everything one pure directory step produced.
+#[derive(Debug, Default)]
+pub struct HomeOutcome {
+    /// Messages to emit, each with its departure schedule.
+    pub emits: Vec<Emit>,
+    /// Statistics events.
+    pub notes: Vec<HomeNote>,
+}
+
+impl HomeOutcome {
+    fn now(&mut self, env: Envelope) {
+        self.emits.push(Emit { env, at: EmitAt::Now });
+    }
+
+    fn at(&mut self, when: Cycle, env: Envelope) {
+        self.emits.push(Emit { env, at: EmitAt::At(when) });
+    }
+}
+
+/// The pure, timing-free directory state machine of one home bank.
+///
+/// `l2_latency` is configuration, not state: the pure step functions
+/// stamp it onto data emissions so the timed wrapper (and the model
+/// checker, which sets it to 0) need no latency knowledge of their own.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HomeCore {
+    core: CoreId,
+    l2_latency: u64,
+    /// Directory entries by block address (deterministic iteration:
+    /// replay and fault-seeded runs must not depend on hash order).
+    pub entries: BTreeMap<Addr, DirEntry>,
+    /// L2-resident block values.
+    pub data: BTreeMap<Addr, u64>,
+}
+
+impl HomeCore {
+    /// Creates the pure directory for the bank on `core`.
+    pub fn new(core: CoreId, l2_latency: u64) -> Self {
+        HomeCore { core, l2_latency, entries: BTreeMap::new(), data: BTreeMap::new() }
     }
 
     /// The tile this bank lives on.
@@ -162,104 +257,46 @@ impl HomeBank {
         self.data.get(&addr.block()).copied().unwrap_or(0)
     }
 
-    /// Counters.
-    pub fn stats(&self) -> &HomeStats {
-        &self.stats
+    /// Whether no block is busy or holding queued requests.
+    pub fn is_quiet(&self) -> bool {
+        self.entries.values().all(|e| e.busy.is_none() && e.queue.is_empty())
     }
 
-    /// Early invalidation round trips recorded at this home (relayed
-    /// acknowledgements: router Inv generation to router ack arrival).
-    pub fn roundtrips(&self) -> &InvAckRoundTrips {
-        &self.roundtrips
-    }
-
-    /// Busy or queue-holding blocks, for stuck-run diagnostics.
-    pub fn busy_report(&self) -> Vec<String> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.busy.is_some() || !e.queue.is_empty())
-            .map(|(addr, e)| {
-                format!(
-                    "{addr}: busy={:?} queue={} early={:?} parked={}",
-                    e.busy,
-                    e.queue.len(),
-                    e.early,
-                    e.parked_acks.len()
-                )
-            })
-            .collect()
-    }
-
-    /// Directory view of one block, for diagnostics.
-    pub fn dir_report(&self, addr: Addr) -> String {
-        match self.entries.get(&addr.block()) {
-            Some(e) => format!(
-                "state={:?} busy={:?} queue={} early={:?} l2_value={:?}",
-                e.state, e.busy, e.queue.len(), e.early, self.data.get(&addr.block())
-            ),
-            None => "no entry".to_string(),
-        }
-    }
-
-    /// Whether the bank has no queued or in-flight work.
-    pub fn is_idle(&self) -> bool {
-        self.inbox.is_empty()
-            && self.fast_inbox.is_empty()
-            && self.delayed.is_empty()
-            && self.entries.values().all(|e| e.busy.is_none() && e.queue.is_empty())
-    }
-
-    /// Whether the bank still holds undelivered messages (inbox entries
-    /// or delayed responses). Unlike [`is_idle`](Self::is_idle) this
-    /// ignores busy/queued directory entries: an entry can legitimately
-    /// stay busy forever when the transaction it waits on is wedged,
-    /// while a nonempty message queue always implies forward progress.
-    pub fn messages_pending(&self) -> bool {
-        !self.inbox.is_empty() || !self.fast_inbox.is_empty() || !self.delayed.is_empty()
-    }
-
-    /// Accepts one delivered message (any cycle).
-    pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle) {
-        match msg {
-            CoherenceMsg::RelayedInvAck { .. }
-            | CoherenceMsg::UnblockS { .. }
-            | CoherenceMsg::UnblockX { .. } => self.fast_inbox.push_back((msg, now)),
-            _ => self.inbox.push_back((msg, now)),
-        }
-    }
-
-    /// Advances one cycle: releases delayed responses and processes one
-    /// inbox message (the directory's serialization bottleneck).
-    pub fn tick(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
-        while let Some(env) = self.delayed.pop_due(now) {
-            out.push(env);
-        }
-        while let Some((msg, arrived)) = self.fast_inbox.pop_front() {
-            self.process(msg, arrived, now, out);
-        }
-        if let Some((msg, arrived)) = self.inbox.pop_front() {
-            self.process(msg, arrived, now, out);
-        }
-        // Emit responses that were scheduled with zero latency this cycle.
-        while let Some(env) = self.delayed.pop_due(now) {
-            out.push(env);
-        }
-    }
-
-    fn process(&mut self, msg: CoherenceMsg, arrived: Cycle, now: Cycle, out: &mut Vec<Envelope>) {
+    /// Processes one message. `arrived` is when it reached the bank
+    /// (queue-wait accounting); `now` is the processing cycle. The model
+    /// checker passes [`Cycle::ZERO`] for both — cycles inside the pure
+    /// state are correlation tags, never compared against wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError`] when the message is impossible at a home node
+    /// in the current directory state.
+    pub fn process(
+        &mut self,
+        msg: CoherenceMsg,
+        arrived: Cycle,
+        now: Cycle,
+    ) -> Result<HomeOutcome, CoherenceError> {
+        let mut o = HomeOutcome::default();
         match msg {
             CoherenceMsg::GetS { addr, requester } => {
-                self.stats.requests += 1;
+                o.notes.push(HomeNote::Request);
                 self.admit(
                     addr,
-                    QueuedReq { requester, exclusive: false, failable: false, relayed: false, queued_at: arrived },
+                    QueuedReq {
+                        requester,
+                        exclusive: false,
+                        failable: false,
+                        relayed: false,
+                        queued_at: arrived,
+                    },
                     now,
-                    out,
+                    &mut o,
                 );
             }
             CoherenceMsg::GetX { addr, requester, failable, .. } => {
-                self.stats.requests += 1;
-                self.stats.getx += 1;
+                o.notes.push(HomeNote::Request);
+                o.notes.push(HomeNote::GetXSeen);
                 self.admit(
                     addr,
                     QueuedReq {
@@ -270,13 +307,13 @@ impl HomeBank {
                         queued_at: arrived,
                     },
                     now,
-                    out,
+                    &mut o,
                 );
             }
             CoherenceMsg::RelayedGetX { addr, requester, stopped_at, failable, .. } => {
-                self.stats.requests += 1;
-                self.stats.getx += 1;
-                self.note_early_inv(addr, requester, stopped_at, now, out);
+                o.notes.push(HomeNote::Request);
+                o.notes.push(HomeNote::GetXSeen);
+                self.note_early_inv(addr, requester, stopped_at);
                 self.admit(
                     addr,
                     QueuedReq {
@@ -287,32 +324,45 @@ impl HomeBank {
                         queued_at: arrived,
                     },
                     now,
-                    out,
+                    &mut o,
                 );
             }
             CoherenceMsg::RelayedInvAck { addr, from, inv_sent_at, relayed_at } => {
                 // Figure 10 metric for iNPG: router Inv -> router ack.
-                self.roundtrips.record(from, relayed_at.saturating_since(inv_sent_at));
-                self.on_relayed_ack(addr, from, inv_sent_at, out);
+                o.notes.push(HomeNote::RelayRoundTrip {
+                    from,
+                    delay: relayed_at.saturating_since(inv_sent_at),
+                });
+                self.on_relayed_ack(addr, from, inv_sent_at, &mut o);
             }
             CoherenceMsg::UnblockS { addr, from } | CoherenceMsg::UnblockX { addr, from } => {
-                self.on_unblock(addr, from, now, out);
+                self.on_unblock(addr, from, now, &mut o)?;
             }
-            other => panic!("home node received unexpected message {other:?}"),
+            other @ (CoherenceMsg::FwdGetS { .. }
+            | CoherenceMsg::FwdGetX { .. }
+            | CoherenceMsg::Inv { .. }
+            | CoherenceMsg::Data { .. }
+            | CoherenceMsg::AckCount { .. }
+            | CoherenceMsg::InvAck { .. }
+            | CoherenceMsg::EarlyInvAck { .. }
+            | CoherenceMsg::OsWakeup { .. }) => {
+                return Err(CoherenceError::UnexpectedAtHome { msg: other });
+            }
         }
+        Ok(o)
     }
 
     /// Queues or immediately processes a request.
-    fn admit(&mut self, addr: Addr, req: QueuedReq, now: Cycle, out: &mut Vec<Envelope>) {
+    fn admit(&mut self, addr: Addr, req: QueuedReq, now: Cycle, o: &mut HomeOutcome) {
         let entry = self.entries.entry(addr).or_default();
         if entry.busy.is_some() {
             entry.queue.push_back(req);
-            self.stats.max_queue_len = self.stats.max_queue_len.max(entry.queue.len() as u64);
+            o.notes.push(HomeNote::QueueLen(entry.queue.len() as u64));
         } else {
             debug_assert!(entry.queue.is_empty(), "idle block must have an empty queue");
             // A request admitted to an idle block never lost a race: it
             // gets the full service (it may be the next winner).
-            self.start_request(addr, req, false, now, out);
+            self.start_request(addr, req, false, now, o);
         }
     }
 
@@ -325,9 +375,9 @@ impl HomeBank {
         req: QueuedReq,
         lost_race: bool,
         now: Cycle,
-        out: &mut Vec<Envelope>,
+        o: &mut HomeOutcome,
     ) {
-        self.stats.queue_wait_cycles += now.saturating_since(req.queued_at);
+        o.notes.push(HomeNote::QueueWait(now.saturating_since(req.queued_at)));
         if req.exclusive {
             // A failable (conditional lock RMW) request that *lost the
             // race* to a concurrent winner is demoted: the winner sends
@@ -340,7 +390,7 @@ impl HomeBank {
                 let owner = match entry.state() {
                     DirState::Exclusive { owner } => Some(*owner),
                     DirState::Owned { owner, .. } => Some(*owner),
-                    _ => None,
+                    DirState::Unowned | DirState::Shared(_) => None,
                 };
                 if let Some(owner) = owner {
                     if owner != req.requester {
@@ -350,33 +400,33 @@ impl HomeBank {
                         // so a leftover record must never suppress a
                         // future invalidation of that fresh copy.
                         entry.early.remove(&req.requester);
-                        self.stats.demotions += 1;
-                        self.forward_read(addr, owner, req.requester, out);
+                        o.notes.push(HomeNote::Demotion);
+                        self.forward_read(addr, owner, req.requester, o);
                         return;
                     }
                 }
             }
-            self.start_exclusive(addr, req.requester, now, out);
+            self.start_exclusive(addr, req.requester, now, o);
         } else {
-            self.start_read(addr, req.requester, now, out);
+            self.start_read(addr, req.requester, now, o);
         }
     }
 
     /// Non-blocking shared-copy service from the current owner: the
     /// requester joins the sharer set and the owner forwards the data;
     /// the home does not enter a busy state.
-    fn forward_read(&mut self, addr: Addr, owner: CoreId, requester: CoreId, out: &mut Vec<Envelope>) {
+    fn forward_read(&mut self, addr: Addr, owner: CoreId, requester: CoreId, o: &mut HomeOutcome) {
         let entry = self.entries.entry(addr).or_default();
         let mut sharers = match entry.state().clone() {
             DirState::Owned { sharers, .. } => sharers,
-            _ => BTreeSet::new(),
+            DirState::Unowned | DirState::Shared(_) | DirState::Exclusive { .. } => BTreeSet::new(),
         };
         sharers.insert(requester);
         entry.state = Some(DirState::Owned { owner, sharers });
-        out.push(Envelope::to_core(owner, CoherenceMsg::FwdGetS { addr, requester }));
+        o.now(Envelope::to_core(owner, CoherenceMsg::FwdGetS { addr, requester }));
     }
 
-    fn start_read(&mut self, addr: Addr, requester: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+    fn start_read(&mut self, addr: Addr, requester: CoreId, now: Cycle, o: &mut HomeOutcome) {
         let value = *self.data.entry(addr).or_insert(0);
         let l2_latency = self.l2_latency;
         let entry = self.entries.entry(addr).or_default();
@@ -386,7 +436,7 @@ impl HomeBank {
                 // an owner now exists.
                 entry.state = Some(DirState::Exclusive { owner: requester });
                 entry.busy = Some(BusyTxn::Read { requester });
-                self.delayed.schedule(
+                o.at(
                     now + l2_latency,
                     Envelope::to_core(
                         requester,
@@ -404,7 +454,7 @@ impl HomeBank {
                 // Clean data straight from the L2; no transaction needed.
                 sharers.insert(requester);
                 entry.state = Some(DirState::Shared(sharers));
-                self.delayed.schedule(
+                o.at(
                     now + l2_latency,
                     Envelope::to_core(
                         requester,
@@ -423,12 +473,12 @@ impl HomeBank {
                 // Owner-forwarded reads do not block the home: spin-read
                 // storms are served by the owner in parallel with other
                 // directory work.
-                self.forward_read(addr, owner, requester, out);
+                self.forward_read(addr, owner, requester, o);
             }
         }
     }
 
-    fn start_exclusive(&mut self, addr: Addr, winner: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+    fn start_exclusive(&mut self, addr: Addr, winner: CoreId, now: Cycle, o: &mut HomeOutcome) {
         let value = *self.data.entry(addr).or_insert(0);
         let l2_latency = self.l2_latency;
         let home = self.core;
@@ -458,14 +508,14 @@ impl HomeBank {
                 Some(EarlyRec::AckArrived { .. }) => {
                     // The early ack already reached us: it is batched
                     // into a single aggregated acknowledgement below.
-                    self.stats.invs_saved_by_early += 1;
-                    self.stats.early_acks_consumed += 1;
+                    o.notes.push(HomeNote::InvSavedEarly);
+                    o.notes.push(HomeNote::EarlyAckConsumed);
                     prearrived += 1;
                     prearrived_rep = s;
                 }
                 Some(EarlyRec::Notified { stopped_at }) => {
                     // Ack in flight to us; forward when it arrives.
-                    self.stats.invs_saved_by_early += 1;
+                    o.notes.push(HomeNote::InvSavedEarly);
                     pending_relay.insert(s, stopped_at);
                 }
                 None => {
@@ -474,11 +524,11 @@ impl HomeBank {
                     // (the serialization the paper identifies as a major
                     // LCO source; early invalidation removes sharers
                     // from this walk entirely).
-                    self.stats.invs_sent += 1;
+                    o.notes.push(HomeNote::InvSent);
                     let nth = direct_inv.len() as u64;
                     direct_inv.insert(s);
                     let sent_at = now + nth;
-                    self.delayed.schedule(
+                    o.at(
                         sent_at,
                         Envelope::to_core(
                             s,
@@ -497,7 +547,7 @@ impl HomeBank {
             // One aggregated acknowledgement covers every sharer whose
             // early ack had already arrived: the winner is freed from
             // collecting them one by one.
-            out.push(Envelope::to_core(
+            o.now(Envelope::to_core(
                 winner,
                 CoherenceMsg::InvAck {
                     addr,
@@ -510,22 +560,19 @@ impl HomeBank {
         }
 
         match owner {
-            Some(o) if o != winner => {
-                out.push(Envelope::to_core(
-                    o,
+            Some(owner) if owner != winner => {
+                o.now(Envelope::to_core(
+                    owner,
                     CoherenceMsg::FwdGetX { addr, requester: winner, acks_expected },
                 ));
             }
             Some(_) => {
                 // The winner is the O-state owner upgrading in place: no
                 // data moves, only the ack count.
-                out.push(Envelope::to_core(
-                    winner,
-                    CoherenceMsg::AckCount { addr, acks_expected },
-                ));
+                o.now(Envelope::to_core(winner, CoherenceMsg::AckCount { addr, acks_expected }));
             }
             None => {
-                self.delayed.schedule(
+                o.at(
                     now + l2_latency,
                     Envelope::to_core(
                         winner,
@@ -548,14 +595,7 @@ impl HomeBank {
     /// Records the early-invalidation notification carried by a
     /// `RelayedGetX`, merging any parked acknowledgement of the same
     /// interception.
-    fn note_early_inv(
-        &mut self,
-        addr: Addr,
-        core: CoreId,
-        stopped_at: Cycle,
-        _now: Cycle,
-        out: &mut Vec<Envelope>,
-    ) {
+    fn note_early_inv(&mut self, addr: Addr, core: CoreId, stopped_at: Cycle) {
         let entry = self.entries.entry(addr).or_default();
         // If the current transaction is already waiting on this core via
         // pending_relay or direct_inv, the notification is informational.
@@ -572,23 +612,16 @@ impl HomeBank {
         } else {
             entry.early.insert(core, EarlyRec::Notified { stopped_at });
         }
-        let _ = out;
     }
 
-    fn on_relayed_ack(
-        &mut self,
-        addr: Addr,
-        from: CoreId,
-        inv_sent_at: Cycle,
-        out: &mut Vec<Envelope>,
-    ) {
+    fn on_relayed_ack(&mut self, addr: Addr, from: CoreId, inv_sent_at: Cycle, o: &mut HomeOutcome) {
         let entry = self.entries.entry(addr).or_default();
         // Current transaction waiting on this relay?
         if let Some(BusyTxn::Exclusive { winner, pending_relay, direct_inv }) = &mut entry.busy {
             if pending_relay.get(&from) == Some(&inv_sent_at) {
                 pending_relay.remove(&from);
-                self.stats.relays_forwarded += 1;
-                out.push(Envelope::to_core(
+                o.notes.push(HomeNote::RelayForwarded);
+                o.now(Envelope::to_core(
                     *winner,
                     CoherenceMsg::InvAck { addr, from, inv_sent_at, via_home: true, count: 1 },
                 ));
@@ -604,11 +637,18 @@ impl HomeBank {
             Some(EarlyRec::Notified { stopped_at }) if *stopped_at == inv_sent_at => {
                 entry.early.insert(from, EarlyRec::AckArrived { stopped_at: inv_sent_at });
             }
-            _ => {
+            Some(EarlyRec::Notified { .. }) | Some(EarlyRec::AckArrived { .. }) | None => {
                 // Park until the matching notification arrives; parked
-                // acks never satisfy invalidations on their own.
-                self.stats.acks_parked += 1;
-                entry.parked_acks.push((from, inv_sent_at));
+                // acks never satisfy invalidations on their own. An ack
+                // identical in both origin and interception cycle is a
+                // duplicate of one already parked and is absorbed — the
+                // home is the protocol's ack deduplicator.
+                o.notes.push(HomeNote::AckParked);
+                let dup =
+                    entry.parked_acks.iter().any(|(c, ts)| *c == from && *ts == inv_sent_at);
+                if !dup {
+                    entry.parked_acks.push((from, inv_sent_at));
+                }
                 if entry.parked_acks.len() > 64 {
                     entry.parked_acks.remove(0);
                 }
@@ -616,39 +656,252 @@ impl HomeBank {
         }
     }
 
-    fn on_unblock(&mut self, addr: Addr, from: CoreId, now: Cycle, out: &mut Vec<Envelope>) {
+    fn on_unblock(
+        &mut self,
+        addr: Addr,
+        from: CoreId,
+        now: Cycle,
+        o: &mut HomeOutcome,
+    ) -> Result<(), CoherenceError> {
         let entry = self.entries.entry(addr).or_default();
         let was_exclusive = match entry.busy.take() {
             Some(BusyTxn::Read { requester }) => {
-                debug_assert_eq!(requester, from);
+                if requester != from {
+                    return Err(CoherenceError::UnblockWrongCore { addr, from, holder: requester });
+                }
                 false
             }
             Some(BusyTxn::Exclusive { winner, pending_relay, .. }) => {
-                debug_assert_eq!(winner, from);
+                if winner != from {
+                    return Err(CoherenceError::UnblockWrongCore { addr, from, holder: winner });
+                }
                 debug_assert!(
                     pending_relay.is_empty(),
                     "winner unblocked with relays outstanding"
                 );
                 true
             }
-            None => panic!("unblock for an idle block"),
+            None => return Err(CoherenceError::UnblockIdleBlock { addr, from }),
         };
         // Drain queued requests until one blocks the line again: demoted
         // losers are all served in this burst (the winner multicasts
         // valid copies, Figure 4 step 4). Whether they lost a race
         // depends on the transaction they queued behind.
-        let mut lost_race = was_exclusive;
+        let lost_race = was_exclusive;
         loop {
             let entry = self.entries.entry(addr).or_default();
             if entry.busy.is_some() {
                 break;
             }
             let Some(next) = entry.queue.pop_front() else { break };
-            self.start_request(addr, next, lost_race, now, out);
+            self.start_request(addr, next, lost_race, now, o);
             // Anything still queued after a new exclusive txn starts
             // will drain on its unblock with lost_race = true.
-            let _ = &mut lost_race;
         }
+        Ok(())
+    }
+}
+
+/// One home node: L2 bank, directory, and request serialization queue —
+/// the timed wrapper around [`HomeCore`].
+#[derive(Debug)]
+pub struct HomeBank {
+    inner: HomeCore,
+    inbox: VecDeque<(CoherenceMsg, Cycle)>,
+    /// Acknowledgements and completion notices: cheap directory
+    /// bookkeeping processed out of band (they do not occupy the
+    /// request-serialization slot).
+    fast_inbox: VecDeque<(CoherenceMsg, Cycle)>,
+    delayed: EventWheel<Envelope>,
+    stats: HomeStats,
+    roundtrips: InvAckRoundTrips,
+}
+
+impl HomeBank {
+    /// Creates the bank for `core`. `l2_latency` is Table 1's 6-cycle L2
+    /// access latency (applied to data responses); `cores` sizes the
+    /// round-trip accounting.
+    pub fn new(core: CoreId, cores: usize, l2_latency: u64) -> Self {
+        HomeBank {
+            inner: HomeCore::new(core, l2_latency),
+            inbox: VecDeque::new(),
+            fast_inbox: VecDeque::new(),
+            delayed: EventWheel::new(),
+            stats: HomeStats::default(),
+            roundtrips: InvAckRoundTrips::new(cores, 256),
+        }
+    }
+
+    /// The tile this bank lives on.
+    pub fn core(&self) -> CoreId {
+        self.inner.core()
+    }
+
+    /// The pure directory state (for invariant checks and diagnostics).
+    pub fn directory(&self) -> &HomeCore {
+        &self.inner
+    }
+
+    /// Initializes the L2-resident value of a block (warm start).
+    pub fn init_block(&mut self, addr: Addr, value: u64) {
+        self.inner.init_block(addr, value);
+    }
+
+    /// The L2-resident value of a block (stale while an L1 owns it).
+    pub fn l2_value(&self, addr: Addr) -> u64 {
+        self.inner.l2_value(addr)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &HomeStats {
+        &self.stats
+    }
+
+    /// Early invalidation round trips recorded at this home (relayed
+    /// acknowledgements: router Inv generation to router ack arrival).
+    pub fn roundtrips(&self) -> &InvAckRoundTrips {
+        &self.roundtrips
+    }
+
+    /// Busy or queue-holding blocks, for stuck-run diagnostics.
+    pub fn busy_report(&self) -> Vec<String> {
+        self.inner
+            .entries
+            .iter()
+            .filter(|(_, e)| e.busy.is_some() || !e.queue.is_empty())
+            .map(|(addr, e)| {
+                format!(
+                    "{addr}: busy={:?} queue={} early={:?} parked={}",
+                    e.busy,
+                    e.queue.len(),
+                    e.early,
+                    e.parked_acks.len()
+                )
+            })
+            .collect()
+    }
+
+    /// Directory view of one block, for diagnostics.
+    pub fn dir_report(&self, addr: Addr) -> String {
+        match self.inner.entries.get(&addr.block()) {
+            Some(e) => format!(
+                "state={:?} busy={:?} queue={} early={:?} l2_value={:?}",
+                e.state,
+                e.busy,
+                e.queue.len(),
+                e.early,
+                self.inner.data.get(&addr.block())
+            ),
+            None => "no entry".to_string(),
+        }
+    }
+
+    /// Whether the bank has no queued or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.inbox.is_empty()
+            && self.fast_inbox.is_empty()
+            && self.delayed.is_empty()
+            && self.inner.is_quiet()
+    }
+
+    /// Whether the bank still holds undelivered messages (inbox entries
+    /// or delayed responses). Unlike [`is_idle`](Self::is_idle) this
+    /// ignores busy/queued directory entries: an entry can legitimately
+    /// stay busy forever when the transaction it waits on is wedged,
+    /// while a nonempty message queue always implies forward progress.
+    pub fn messages_pending(&self) -> bool {
+        !self.inbox.is_empty() || !self.fast_inbox.is_empty() || !self.delayed.is_empty()
+    }
+
+    /// Accepts one delivered message (any cycle).
+    pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle) {
+        match msg {
+            CoherenceMsg::RelayedInvAck { .. }
+            | CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. } => self.fast_inbox.push_back((msg, now)),
+            CoherenceMsg::GetS { .. }
+            | CoherenceMsg::GetX { .. }
+            | CoherenceMsg::RelayedGetX { .. }
+            | CoherenceMsg::FwdGetS { .. }
+            | CoherenceMsg::FwdGetX { .. }
+            | CoherenceMsg::Inv { .. }
+            | CoherenceMsg::Data { .. }
+            | CoherenceMsg::AckCount { .. }
+            | CoherenceMsg::InvAck { .. }
+            | CoherenceMsg::EarlyInvAck { .. }
+            | CoherenceMsg::OsWakeup { .. } => self.inbox.push_back((msg, now)),
+        }
+    }
+
+    /// Advances one cycle: releases delayed responses and processes one
+    /// inbox message (the directory's serialization bottleneck), turning
+    /// protocol violations into typed errors.
+    ///
+    /// # Errors
+    ///
+    /// The [`CoherenceError`] raised by the pure directory when a
+    /// delivered message is impossible in the current state.
+    pub fn try_tick(&mut self, now: Cycle, out: &mut Vec<Envelope>) -> Result<(), CoherenceError> {
+        while let Some(env) = self.delayed.pop_due(now) {
+            out.push(env);
+        }
+        while let Some((msg, arrived)) = self.fast_inbox.pop_front() {
+            self.process(msg, arrived, now, out)?;
+        }
+        if let Some((msg, arrived)) = self.inbox.pop_front() {
+            self.process(msg, arrived, now, out)?;
+        }
+        // Emit responses that were scheduled with zero latency this cycle.
+        while let Some(env) = self.delayed.pop_due(now) {
+            out.push(env);
+        }
+        Ok(())
+    }
+
+    /// Advances one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation; the simulator's checked run path
+    /// uses [`try_tick`](Self::try_tick) instead.
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
+        if let Err(e) = self.try_tick(now, out) {
+            panic!("{e}");
+        }
+    }
+
+    fn process(
+        &mut self,
+        msg: CoherenceMsg,
+        arrived: Cycle,
+        now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) -> Result<(), CoherenceError> {
+        let outcome = self.inner.process(msg, arrived, now)?;
+        for note in outcome.notes {
+            match note {
+                HomeNote::Request => self.stats.requests += 1,
+                HomeNote::GetXSeen => self.stats.getx += 1,
+                HomeNote::InvSent => self.stats.invs_sent += 1,
+                HomeNote::InvSavedEarly => self.stats.invs_saved_by_early += 1,
+                HomeNote::EarlyAckConsumed => self.stats.early_acks_consumed += 1,
+                HomeNote::RelayForwarded => self.stats.relays_forwarded += 1,
+                HomeNote::AckParked => self.stats.acks_parked += 1,
+                HomeNote::Demotion => self.stats.demotions += 1,
+                HomeNote::QueueWait(cycles) => self.stats.queue_wait_cycles += cycles,
+                HomeNote::QueueLen(len) => {
+                    self.stats.max_queue_len = self.stats.max_queue_len.max(len)
+                }
+                HomeNote::RelayRoundTrip { from, delay } => self.roundtrips.record(from, delay),
+            }
+        }
+        for emit in outcome.emits {
+            match emit.at {
+                EmitAt::Now => out.push(emit.env),
+                EmitAt::At(when) => self.delayed.schedule(when, emit.env),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -951,6 +1204,15 @@ mod tests {
         let mut bank = home();
         bank.handle(CoherenceMsg::UnblockX { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::ZERO);
         run_one(&mut bank, 0);
+    }
+
+    #[test]
+    fn stray_unblock_is_a_typed_error_on_the_checked_path() {
+        let mut bank = home();
+        bank.handle(CoherenceMsg::UnblockX { addr: Addr::new(0), from: CoreId::new(1) }, Cycle::ZERO);
+        let mut out = Vec::new();
+        let err = bank.try_tick(Cycle::ZERO, &mut out).expect_err("stray unblock");
+        assert!(matches!(err, CoherenceError::UnblockIdleBlock { .. }), "{err}");
     }
 
     #[test]

@@ -1,6 +1,20 @@
 //! The private L1 cache controller: MOESI stable states plus the
 //! transient transactions the lock workloads exercise.
 //!
+//! The controller is split in two layers:
+//!
+//! * [`L1Core`] — the **pure, timing-free protocol state machine**: cache
+//!   lines, the in-flight transaction, and step functions
+//!   ([`L1Core::issue`], [`L1Core::handle`]) that map one input to state
+//!   updates plus an [`L1Outcome`] (messages to send, a completed
+//!   operation, bookkeeping notes). Protocol violations surface as typed
+//!   [`CoherenceError`]s. The `inpg-analysis` model checker enumerates
+//!   exactly these step functions over all bounded interleavings.
+//! * [`L1Cache`] — the timed wrapper the simulator drives: it owns the
+//!   hit/completion latencies, the statistics counters and the
+//!   invalidation round-trip accounting, and delegates every protocol
+//!   decision to the pure core.
+//!
 //! Each core owns one [`L1Cache`]. The core model issues at most one
 //! demand operation at a time (cores block on memory in the
 //! lock/critical-section code paths); the controller turns misses into
@@ -19,14 +33,15 @@
 //!   always goes through an exclusive transaction, so lock correctness is
 //!   unaffected (a stale spin read just retries).
 
+use crate::err::CoherenceError;
 use crate::map::HomeMap;
 use crate::msg::{AckTarget, CoherenceMsg, Envelope};
 use crate::stats::{InvAckRoundTrips, L1Stats};
 use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One memory operation a core can issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MemOpKind {
     /// Read a word.
     Load,
@@ -72,7 +87,7 @@ impl MemOpKind {
 }
 
 /// A memory operation plus the address it targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MemOp {
     /// Target address (word granularity; coherence is per block).
     pub addr: Addr,
@@ -99,52 +114,574 @@ pub struct Completion {
 }
 
 /// MOESI stable states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum State {
+    /// Dirty exclusive copy.
     Modified,
+    /// Dirty copy with sharers; this core answers forwards.
     Owned,
+    /// Clean exclusive copy (silent upgrade to M allowed).
     Exclusive,
+    /// Clean copy, other copies may exist.
     Shared,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    state: State,
-    value: u64,
+impl State {
+    /// One-letter display form (`M`/`O`/`E`/`S`).
+    pub fn letter(self) -> &'static str {
+        match self {
+            State::Modified => "M",
+            State::Owned => "O",
+            State::Exclusive => "E",
+            State::Shared => "S",
+        }
+    }
+
+    /// Whether the state permits writing without a directory transaction.
+    pub fn is_writable(self) -> bool {
+        matches!(self, State::Modified | State::Exclusive)
+    }
 }
 
-/// An in-flight directory transaction.
-#[derive(Debug, Clone, Copy)]
-struct PendingTxn {
-    op: MemOp,
-    issued_at: Cycle,
-    exclusive: bool,
+/// One cached line: stable state plus the single data word the model
+/// carries per block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Line {
+    /// MOESI stable state.
+    pub state: State,
+    /// Cached word value.
+    pub value: u64,
+}
+
+/// An in-flight directory transaction (timing-free view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PendingTxn {
+    /// The operation that started the transaction.
+    pub op: MemOp,
+    /// Whether the transaction requests exclusive access.
+    pub exclusive: bool,
     /// Data (or AckCount) received yet?
-    granted: bool,
+    pub granted: bool,
     /// Value delivered by Data (exclusive path) or kept from an O-state
     /// upgrade (AckCount path).
-    value: u64,
+    pub value: u64,
     /// Whether `value` is authoritative even if Data arrives (O upgrade).
-    own_value: bool,
-    acks_expected: Option<u16>,
-    acks_received: u16,
+    pub own_value: bool,
+    /// Invalidation acknowledgements announced by the home node (`None`
+    /// until the grant arrives).
+    pub acks_expected: Option<u16>,
+    /// Invalidation acknowledgements collected so far.
+    pub acks_received: u16,
     /// Whether the request may be demoted to a failed shared-copy
     /// service (conditional lock RMWs).
-    failable: bool,
+    pub failable: bool,
     /// An invalidation raced this transaction: any shared copy received
     /// is potentially stale and must not be cached.
-    poisoned: bool,
+    pub poisoned: bool,
     /// OCOR priority (kept for reissues).
-    priority: u8,
+    pub priority: u8,
 }
 
-/// The private L1 cache + controller of one core.
-#[derive(Debug)]
-pub struct L1Cache {
+/// A finished operation as reported by the pure core; the timed wrapper
+/// turns it into a [`Completion`] with issue/finish cycles attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Completion {
+    /// The finished operation.
+    pub op: MemOp,
+    /// The value observed (load value / RMW old value).
+    pub value: u64,
+    /// True when the operation hit in the cache (no transaction ran).
+    pub hit: bool,
+}
+
+/// Bookkeeping events the pure core reports alongside its state changes;
+/// the timed wrapper maps them onto statistics counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Note {
+    /// A read miss issued a `GetS`.
+    MissGetS,
+    /// A write miss (or S/O upgrade) issued a `GetX`.
+    MissGetX,
+    /// The operation hit in the cache.
+    Hit,
+    /// A `FwdGetS` found neither a line nor an upgrading transaction and
+    /// was bounced back to the home node.
+    ForwardBounced,
+    /// A demoted conditional RMW observed the expected value and reissued
+    /// itself as a non-failable `GetX`.
+    DemoteRetry,
+    /// A demoted conditional RMW failed without writing.
+    DemotedFail,
+}
+
+/// Everything one pure step produced: messages to send, an optional
+/// finished operation, and bookkeeping notes.
+#[derive(Debug, Default)]
+pub struct L1Outcome {
+    /// Protocol messages to hand to the network.
+    pub msgs: Vec<Envelope>,
+    /// The operation finished by this step, if any.
+    pub completion: Option<L1Completion>,
+    /// Statistics events.
+    pub notes: Vec<L1Note>,
+}
+
+impl L1Outcome {
+    fn note(mut self, n: L1Note) -> Self {
+        self.notes.push(n);
+        self
+    }
+}
+
+/// The pure, timing-free L1 protocol state machine.
+///
+/// All timing (hit latency, completion scheduling, cycle-stamped
+/// statistics) lives in [`L1Cache`]; `L1Core` is a deterministic function
+/// of its inputs, which is what lets the model checker enumerate its
+/// reachable states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct L1Core {
     core: CoreId,
     home_map: HomeMap,
-    lines: HashMap<Addr, Line>,
-    pending: Option<PendingTxn>,
+    /// Cached lines by block address.
+    pub lines: BTreeMap<Addr, Line>,
+    /// The in-flight directory transaction, if any.
+    pub pending: Option<PendingTxn>,
+}
+
+impl L1Core {
+    /// Creates the pure core state for `core`.
+    pub fn new(core: CoreId, home_map: HomeMap) -> Self {
+        L1Core { core, home_map, lines: BTreeMap::new(), pending: None }
+    }
+
+    /// The owning core.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Whether a demand operation is outstanding at the protocol level.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The cached state of `addr` as a one-letter string (`I` when the
+    /// line is absent).
+    pub fn state_letter(&self, addr: Addr) -> &'static str {
+        match self.lines.get(&addr.block()) {
+            Some(line) => line.state.letter(),
+            None => "I",
+        }
+    }
+
+    /// Issues a demand operation, returning the messages to send and, on
+    /// a hit, the finished operation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::IssueWhileBusy`] if a transaction is already
+    /// outstanding.
+    pub fn issue(&mut self, op: MemOp, priority: u8) -> Result<L1Outcome, CoherenceError> {
+        if self.pending.is_some() {
+            return Err(CoherenceError::IssueWhileBusy { core: self.core });
+        }
+        let block = op.addr.block();
+        let mut outcome = L1Outcome::default();
+
+        match self.lines.get_mut(&block) {
+            // Load hits in any valid state.
+            Some(line) if !op.kind.is_write() => {
+                outcome.completion = Some(L1Completion { op, value: line.value, hit: true });
+                return Ok(outcome.note(L1Note::Hit));
+            }
+            // Writes hit in M and E (E upgrades silently).
+            Some(line) if line.state.is_writable() => {
+                let old = line.value;
+                line.value = op.kind.apply(old);
+                line.state = State::Modified;
+                outcome.completion = Some(L1Completion { op, value: old, hit: true });
+                return Ok(outcome.note(L1Note::Hit));
+            }
+            _ => {}
+        }
+
+        // Write in S/O, or any miss: directory transaction.
+        let home = self.home_map.home_of(block);
+        if op.kind.is_write() {
+            // S/O copies are dropped; an O owner keeps its value as the
+            // authoritative one (the home copy is stale).
+            let own = self.lines.get(&block).map(|l| (l.state, l.value));
+            let (own_value, value) = match own {
+                Some((State::Owned | State::Modified, v)) => (true, v),
+                Some((State::Exclusive | State::Shared, _)) | None => (false, 0),
+            };
+            self.lines.remove(&block);
+            // An O-state owner upgrading in place must never be
+            // intercepted by a big router: its copy is the only
+            // up-to-date one and the directory will forward other
+            // requesters to it. Clear the interceptable flag on the wire
+            // (LCO accounting still uses `op.lock`).
+            let interceptable = op.lock && !own_value;
+            // Conditional RMWs (compare-and-swap) may be demoted to a
+            // failed shared-copy service by the home node.
+            let failable = matches!(op.kind, MemOpKind::CompareSwap { .. }) && !own_value;
+            self.pending = Some(PendingTxn {
+                op,
+                exclusive: true,
+                granted: false,
+                value,
+                own_value,
+                acks_expected: None,
+                acks_received: 0,
+                failable,
+                poisoned: false,
+                priority,
+            });
+            outcome.msgs.push(
+                Envelope::to_core(
+                    home,
+                    CoherenceMsg::GetX {
+                        addr: block,
+                        requester: self.core,
+                        home,
+                        lock: interceptable,
+                        failable,
+                    },
+                )
+                .with_priority(priority),
+            );
+            Ok(outcome.note(L1Note::MissGetX))
+        } else {
+            self.pending = Some(PendingTxn {
+                op,
+                exclusive: false,
+                granted: false,
+                value: 0,
+                own_value: false,
+                acks_expected: Some(0),
+                acks_received: 0,
+                failable: false,
+                poisoned: false,
+                priority,
+            });
+            outcome.msgs.push(
+                Envelope::to_core(
+                    home,
+                    CoherenceMsg::GetS { addr: block, requester: self.core },
+                )
+                .with_priority(priority),
+            );
+            Ok(outcome.note(L1Note::MissGetS))
+        }
+    }
+
+    /// Handles one protocol message delivered to this core.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoherenceError`] variant describing the protocol violation
+    /// when the message is impossible in the current state.
+    pub fn handle(&mut self, msg: CoherenceMsg) -> Result<L1Outcome, CoherenceError> {
+        match msg {
+            CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock } => {
+                self.on_data(addr, value, acks_expected, exclusive, needs_unblock)
+            }
+            CoherenceMsg::AckCount { addr, acks_expected } => {
+                let core = self.core;
+                let pending = self.pending.as_mut().ok_or(
+                    CoherenceError::ResponseWithoutTxn { core, msg: msg.clone() },
+                )?;
+                check_addr(core, addr, pending.op.addr.block())?;
+                if !(pending.exclusive && pending.own_value) {
+                    return Err(CoherenceError::AckCountWithoutOwnership { core, addr });
+                }
+                pending.granted = true;
+                pending.acks_expected = Some(acks_expected);
+                self.try_complete_exclusive()
+            }
+            CoherenceMsg::InvAck { addr, count, .. } => {
+                let core = self.core;
+                let pending = self.pending.as_mut().ok_or(
+                    CoherenceError::ResponseWithoutTxn { core, msg: msg.clone() },
+                )?;
+                check_addr(core, addr, pending.op.addr.block())?;
+                pending.acks_received += count;
+                if let Some(expected) = pending.acks_expected {
+                    if pending.acks_received > expected {
+                        return Err(CoherenceError::SurplusInvAck {
+                            core,
+                            addr,
+                            expected,
+                            received: pending.acks_received,
+                        });
+                    }
+                }
+                self.try_complete_exclusive()
+            }
+            CoherenceMsg::Inv { addr, ack_to, home, sent_at } => {
+                let mut outcome = L1Outcome::default();
+                self.lines.remove(&addr);
+                if let Some(pending) = self.pending.as_mut() {
+                    if pending.op.addr.block() == addr {
+                        // A racing invalidation: any *shared* data this
+                        // transaction later receives may be stale and
+                        // must not be cached.
+                        pending.poisoned = true;
+                    }
+                }
+                match ack_to {
+                    AckTarget::Core(winner) => outcome.msgs.push(Envelope::to_core(
+                        winner,
+                        CoherenceMsg::InvAck {
+                            addr,
+                            from: self.core,
+                            inv_sent_at: sent_at,
+                            via_home: false,
+                            count: 1,
+                        },
+                    )),
+                    AckTarget::Router(router) => outcome.msgs.push(Envelope::to_router(
+                        router,
+                        CoherenceMsg::EarlyInvAck {
+                            addr,
+                            from: self.core,
+                            home,
+                            inv_sent_at: sent_at,
+                        },
+                    )),
+                }
+                Ok(outcome)
+            }
+            CoherenceMsg::FwdGetS { addr, requester } => {
+                let mut outcome = L1Outcome::default();
+                // An owner that issued an upgrade GetX has dropped its
+                // line but is still the logical owner until the home
+                // processes its (queued) request: serve the forward from
+                // the transaction's saved value (the MOESI "OM" state).
+                let value = if let Some(line) = self.lines.get_mut(&addr) {
+                    debug_assert!(matches!(
+                        line.state,
+                        State::Modified | State::Exclusive | State::Owned
+                    ));
+                    line.state = State::Owned;
+                    line.value
+                } else if let Some(pending) = self
+                    .pending
+                    .as_ref()
+                    .filter(|p| p.op.addr.block() == addr && p.own_value)
+                {
+                    pending.value
+                } else {
+                    // Ownership moved on before the forward arrived (the
+                    // non-blocking read path allows this): bounce the
+                    // request back to the home, which re-resolves the
+                    // current owner.
+                    let home = self.home_map.home_of(addr);
+                    outcome.msgs.push(Envelope::to_core(
+                        home,
+                        CoherenceMsg::GetS { addr, requester },
+                    ));
+                    return Ok(outcome.note(L1Note::ForwardBounced));
+                };
+                outcome.msgs.push(Envelope::to_core(
+                    requester,
+                    CoherenceMsg::Data {
+                        addr,
+                        value,
+                        acks_expected: 0,
+                        exclusive: false,
+                        needs_unblock: false,
+                    },
+                ));
+                Ok(outcome)
+            }
+            CoherenceMsg::FwdGetX { addr, requester, acks_expected } => {
+                let core = self.core;
+                let mut outcome = L1Outcome::default();
+                let value = if let Some(line) = self.lines.remove(&addr) {
+                    debug_assert!(matches!(
+                        line.state,
+                        State::Modified | State::Exclusive | State::Owned
+                    ));
+                    line.value
+                } else {
+                    // Ownership is taken away while our own upgrade GetX
+                    // is still queued at the home: hand the dirty value
+                    // over and demote our transaction to an ordinary
+                    // miss (the home will route fresh data to us when
+                    // our turn comes).
+                    let pending = self
+                        .pending
+                        .as_mut()
+                        .filter(|p| p.op.addr.block() == addr && p.own_value)
+                        .ok_or(CoherenceError::ForwardToNonOwner { core, addr })?;
+                    if pending.granted {
+                        return Err(CoherenceError::ForwardAfterGrant { core, addr });
+                    }
+                    pending.own_value = false;
+                    let value = pending.value;
+                    pending.value = 0;
+                    value
+                };
+                outcome.msgs.push(Envelope::to_core(
+                    requester,
+                    CoherenceMsg::Data {
+                        addr,
+                        value,
+                        acks_expected,
+                        exclusive: true,
+                        needs_unblock: true,
+                    },
+                ));
+                Ok(outcome)
+            }
+            other @ (CoherenceMsg::GetS { .. }
+            | CoherenceMsg::GetX { .. }
+            | CoherenceMsg::RelayedGetX { .. }
+            | CoherenceMsg::EarlyInvAck { .. }
+            | CoherenceMsg::RelayedInvAck { .. }
+            | CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. }
+            | CoherenceMsg::OsWakeup { .. }) => {
+                Err(CoherenceError::UnexpectedAtL1 { core: self.core, msg: other })
+            }
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        addr: Addr,
+        value: u64,
+        acks_expected: u16,
+        exclusive: bool,
+        needs_unblock: bool,
+    ) -> Result<L1Outcome, CoherenceError> {
+        let core = self.core;
+        let mut outcome = L1Outcome::default();
+        let pending =
+            self.pending.as_mut().ok_or(CoherenceError::ResponseWithoutTxn {
+                core,
+                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+            })?;
+        check_addr(core, addr, pending.op.addr.block())?;
+        if pending.exclusive && !exclusive {
+            // Demoted: the home answered a failable lock RMW with a
+            // shared copy because the block is owned elsewhere (paper
+            // Figure 4 step 4). The conditional op fails without
+            // writing — unless the observed value would have let it
+            // succeed, in which case contend properly with a
+            // non-demotable retry.
+            if !pending.failable {
+                return Err(CoherenceError::NonFailableDemoted { core, addr });
+            }
+            let MemOpKind::CompareSwap { expected, .. } = pending.op.kind else {
+                return Err(CoherenceError::DemotedNotConditional { core, addr });
+            };
+            if value == expected {
+                pending.failable = false;
+                pending.poisoned = false;
+                let priority = pending.priority;
+                let lock = pending.op.lock;
+                let home = self.home_map.home_of(addr);
+                outcome.msgs.push(
+                    Envelope::to_core(
+                        home,
+                        CoherenceMsg::GetX {
+                            addr,
+                            requester: self.core,
+                            home,
+                            lock,
+                            failable: false,
+                        },
+                    )
+                    .with_priority(priority),
+                );
+                return Ok(outcome.note(L1Note::DemoteRetry));
+            }
+            let pending = self.pending.take().ok_or(CoherenceError::ResponseWithoutTxn {
+                core,
+                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+            })?;
+            if !pending.poisoned {
+                self.lines.insert(addr, Line { state: State::Shared, value });
+            }
+            debug_assert!(!needs_unblock, "demoted service must not block the home");
+            outcome.completion = Some(L1Completion { op: pending.op, value, hit: false });
+            return Ok(outcome.note(L1Note::DemotedFail));
+        }
+        if pending.exclusive {
+            if !exclusive {
+                return Err(CoherenceError::SharedGrantForExclusive { core, addr });
+            }
+            pending.granted = true;
+            pending.acks_expected = Some(acks_expected);
+            if !pending.own_value {
+                pending.value = value;
+            }
+            self.try_complete_exclusive()
+        } else {
+            // Read transaction completes on data.
+            let pending = self.pending.take().ok_or(CoherenceError::ResponseWithoutTxn {
+                core,
+                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+            })?;
+            if exclusive || !pending.poisoned {
+                let state = if exclusive { State::Exclusive } else { State::Shared };
+                self.lines.insert(addr, Line { state, value });
+            }
+            if needs_unblock {
+                let home = self.home_map.home_of(addr);
+                outcome.msgs.push(Envelope::to_core(
+                    home,
+                    CoherenceMsg::UnblockS { addr, from: self.core },
+                ));
+            }
+            outcome.completion = Some(L1Completion { op: pending.op, value, hit: false });
+            Ok(outcome)
+        }
+    }
+
+    fn try_complete_exclusive(&mut self) -> Result<L1Outcome, CoherenceError> {
+        let mut outcome = L1Outcome::default();
+        let Some(pending) = self.pending.as_ref() else { return Ok(outcome) };
+        let Some(expected) = pending.acks_expected else { return Ok(outcome) };
+        if !pending.granted || pending.acks_received < expected {
+            return Ok(outcome);
+        }
+        let pending = match self.pending.take() {
+            Some(p) => p,
+            // Unreachable: checked as_ref above; keep total anyway.
+            None => return Ok(outcome),
+        };
+        let block = pending.op.addr.block();
+        let old = pending.value;
+        let new = pending.op.kind.apply(old);
+        self.lines.insert(block, Line { state: State::Modified, value: new });
+        let home = self.home_map.home_of(block);
+        outcome
+            .msgs
+            .push(Envelope::to_core(home, CoherenceMsg::UnblockX { addr: block, from: self.core }));
+        outcome.completion = Some(L1Completion { op: pending.op, value: old, hit: false });
+        Ok(outcome)
+    }
+}
+
+fn check_addr(core: CoreId, got: Addr, want: Addr) -> Result<(), CoherenceError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(CoherenceError::ResponseAddrMismatch { core, got, want })
+    }
+}
+
+/// The private L1 cache + controller of one core: the timed wrapper
+/// around [`L1Core`].
+#[derive(Debug)]
+pub struct L1Cache {
+    inner: L1Core,
+    /// When the outstanding transaction was issued (timing bookkeeping
+    /// the pure core does not carry).
+    issued_at: Option<Cycle>,
     done: EventWheel<Completion>,
     completed: Option<Completion>,
     hit_latency: u64,
@@ -156,27 +693,31 @@ impl L1Cache {
     /// Creates the L1 for `core`. `hit_latency` is Table 1's 2-cycle L1
     /// latency.
     pub fn new(core: CoreId, home_map: HomeMap, hit_latency: u64) -> Self {
+        let cores = home_map.cores();
         L1Cache {
-            core,
-            home_map,
-            lines: HashMap::new(),
-            pending: None,
+            inner: L1Core::new(core, home_map),
+            issued_at: None,
             done: EventWheel::new(),
             completed: None,
             hit_latency,
             stats: L1Stats::default(),
-            roundtrips: InvAckRoundTrips::new(home_map.cores(), 256),
+            roundtrips: InvAckRoundTrips::new(cores, 256),
         }
     }
 
     /// The owning core.
     pub fn core(&self) -> CoreId {
-        self.core
+        self.inner.core()
+    }
+
+    /// The pure protocol state (for invariant checks and diagnostics).
+    pub fn protocol_state(&self) -> &L1Core {
+        &self.inner
     }
 
     /// Whether a demand operation is outstanding.
     pub fn is_busy(&self) -> bool {
-        self.pending.is_some() || !self.done.is_empty() || self.completed.is_some()
+        self.inner.is_busy() || !self.done.is_empty() || self.completed.is_some()
     }
 
     /// Counters.
@@ -194,7 +735,7 @@ impl L1Cache {
     pub fn pending_report(&self) -> Option<String> {
         Some(format!(
             "pending={:?} done_queue={} completed={:?} busy={}",
-            self.pending,
+            self.inner.pending,
             self.done.len(),
             self.completed,
             self.is_busy()
@@ -203,42 +744,24 @@ impl L1Cache {
 
     /// The cached line (state, value) of `addr`, for diagnostics.
     pub fn probe_line(&self, addr: Addr) -> Option<(&'static str, u64)> {
-        self.lines.get(&addr.block()).map(|l| {
-            let s = match l.state {
-                State::Modified => "M",
-                State::Owned => "O",
-                State::Exclusive => "E",
-                State::Shared => "S",
-            };
-            (s, l.value)
-        })
+        self.inner.lines.get(&addr.block()).map(|l| (l.state.letter(), l.value))
     }
 
     /// All cached lines as `(block address, state letter)` pairs, for
     /// invariant checking (e.g. the single-writer rule across cores).
     pub fn lines_snapshot(&self) -> Vec<(Addr, &'static str)> {
-        self.lines
-            .iter()
-            .map(|(addr, line)| {
-                let s = match line.state {
-                    State::Modified => "M",
-                    State::Owned => "O",
-                    State::Exclusive => "E",
-                    State::Shared => "S",
-                };
-                (*addr, s)
-            })
-            .collect()
+        self.inner.lines.iter().map(|(addr, line)| (*addr, line.state.letter())).collect()
     }
 
     /// If this core is blocked collecting invalidation acknowledgements,
     /// returns `(addr, expected, received, issued_at)` for the stalled
     /// transaction. `None` when idle or not yet told an ack count.
     pub fn pending_ack_wait(&self) -> Option<(Addr, u16, u16, Cycle)> {
-        let pending = self.pending.as_ref()?;
+        let pending = self.inner.pending.as_ref()?;
         let expected = pending.acks_expected?;
         if pending.acks_received < expected {
-            Some((pending.op.addr, expected, pending.acks_received, pending.issued_at))
+            let issued_at = self.issued_at.unwrap_or(Cycle::ZERO);
+            Some((pending.op.addr, expected, pending.acks_received, issued_at))
         } else {
             None
         }
@@ -246,13 +769,7 @@ impl L1Cache {
 
     /// The cached state of `addr` as a debug string (testing aid).
     pub fn probe_state(&self, addr: Addr) -> &'static str {
-        match self.lines.get(&addr.block()).map(|l| l.state) {
-            Some(State::Modified) => "M",
-            Some(State::Owned) => "O",
-            Some(State::Exclusive) => "E",
-            Some(State::Shared) => "S",
-            None => "I",
-        }
+        self.inner.state_letter(addr)
     }
 
     /// Issues a demand operation.
@@ -279,370 +796,102 @@ impl L1Cache {
         out: &mut Vec<Envelope>,
     ) {
         assert!(!self.is_busy(), "L1 supports one outstanding demand op");
-        let block = op.addr.block();
         if op.kind.is_write() {
             self.stats.stores += 1;
         } else {
             self.stats.loads += 1;
         }
+        let outcome = match self.inner.issue(op, priority) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("L1 issue rejected: {e}"),
+        };
+        self.issued_at = Some(now);
+        self.apply(outcome, now, out);
+    }
 
-        let line = self.lines.get_mut(&block);
-        match line {
-            // Load hits in any valid state.
-            Some(line) if !op.kind.is_write() => {
-                self.stats.hits += 1;
-                let value = line.value;
-                self.done.schedule(
-                    now + self.hit_latency,
-                    Completion { op, value, issued_at: now, completed_at: now + self.hit_latency },
-                );
+    /// Handles one protocol message delivered to this core, surfacing
+    /// protocol violations as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// The [`CoherenceError`] describing the violation when the message
+    /// is impossible in the current protocol state (a lost, duplicated or
+    /// misrouted message upstream).
+    pub fn try_handle(
+        &mut self,
+        msg: CoherenceMsg,
+        now: Cycle,
+        out: &mut Vec<Envelope>,
+    ) -> Result<(), CoherenceError> {
+        // lint: allow(wildcard) — a stats-only pre-pass; the exhaustive
+        // dispatch over every message variant is `inner.handle` below.
+        match &msg {
+            CoherenceMsg::Inv { .. } => self.stats.invs_received += 1,
+            CoherenceMsg::InvAck { from, inv_sent_at, via_home: false, .. } => {
+                self.roundtrips.record(*from, now.saturating_since(*inv_sent_at));
             }
-            // Writes hit in M and E (E upgrades silently).
-            Some(line)
-                if matches!(line.state, State::Modified | State::Exclusive) =>
-            {
-                self.stats.hits += 1;
-                let old = line.value;
-                line.value = op.kind.apply(old);
-                line.state = State::Modified;
-                self.done.schedule(
-                    now + self.hit_latency,
-                    Completion {
-                        op,
-                        value: old,
-                        issued_at: now,
-                        completed_at: now + self.hit_latency,
-                    },
-                );
-            }
-            // Write in S/O, or any miss: directory transaction.
-            other => {
-                self.stats.misses += 1;
-                let home = self.home_map.home_of(block);
-                if op.kind.is_write() {
-                    // S/O copies are dropped; an O owner keeps its value
-                    // as the authoritative one (the home copy is stale).
-                    let own = other.map(|l| (l.state, l.value));
-                    let (own_value, value) = match own {
-                        Some((State::Owned, v)) | Some((State::Modified, v)) => (true, v),
-                        _ => (false, 0),
-                    };
-                    self.lines.remove(&block);
-                    self.stats.getx_issued += 1;
-                    // An O-state owner upgrading in place must never be
-                    // intercepted by a big router: its copy is the only
-                    // up-to-date one and the directory will forward other
-                    // requesters to it. Clear the interceptable flag on
-                    // the wire (LCO accounting still uses `op.lock`).
-                    let interceptable = op.lock && !own_value;
-                    // Conditional RMWs (compare-and-swap) may be demoted
-                    // to a failed shared-copy service by the home node.
-                    let failable = matches!(op.kind, MemOpKind::CompareSwap { .. }) && !own_value;
-                    self.pending = Some(PendingTxn {
-                        op,
-                        issued_at: now,
-                        exclusive: true,
-                        granted: false,
-                        value,
-                        own_value,
-                        acks_expected: None,
-                        acks_received: 0,
-                        failable,
-                        poisoned: false,
-                        priority,
-                    });
-                    out.push(
-                        Envelope::to_core(
-                            home,
-                            CoherenceMsg::GetX {
-                                addr: block,
-                                requester: self.core,
-                                home,
-                                lock: interceptable,
-                                failable,
-                            },
-                        )
-                        .with_priority(priority),
-                    );
-                } else {
-                    self.stats.gets_issued += 1;
-                    self.pending = Some(PendingTxn {
-                        op,
-                        issued_at: now,
-                        exclusive: false,
-                        granted: false,
-                        value: 0,
-                        own_value: false,
-                        acks_expected: Some(0),
-                        acks_received: 0,
-                        failable: false,
-                        poisoned: false,
-                        priority,
-                    });
-                    out.push(
-                        Envelope::to_core(
-                            home,
-                            CoherenceMsg::GetS { addr: block, requester: self.core },
-                        )
-                        .with_priority(priority),
-                    );
-                }
-            }
+            _ => {}
         }
+        let outcome = self.inner.handle(msg)?;
+        self.apply(outcome, now, out);
+        Ok(())
     }
 
     /// Handles one protocol message delivered to this core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation; the simulator's checked run path
+    /// uses [`try_handle`](Self::try_handle) instead.
     pub fn handle(&mut self, msg: CoherenceMsg, now: Cycle, out: &mut Vec<Envelope>) {
-        match msg {
-            CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock } => {
-                self.on_data(addr, value, acks_expected, exclusive, needs_unblock, now, out);
-            }
-            CoherenceMsg::AckCount { addr, acks_expected } => {
-                let pending = self.pending.as_mut().expect("AckCount without transaction");
-                debug_assert_eq!(pending.op.addr.block(), addr);
-                debug_assert!(pending.exclusive && pending.own_value);
-                pending.granted = true;
-                pending.acks_expected = Some(acks_expected);
-                self.try_complete_exclusive(now, out);
-            }
-            CoherenceMsg::InvAck { addr, from, inv_sent_at, via_home, count } => {
-                let pending = self.pending.as_mut().expect("InvAck without transaction");
-                debug_assert_eq!(pending.op.addr.block(), addr);
-                pending.acks_received += count;
-                if !via_home {
-                    self.roundtrips.record(from, now.saturating_since(inv_sent_at));
+        if let Err(e) = self.try_handle(msg, now, out) {
+            panic!("{e}");
+        }
+    }
+
+    /// Maps a pure-core outcome onto the timed world: messages out,
+    /// completion scheduling, statistics.
+    fn apply(&mut self, outcome: L1Outcome, now: Cycle, out: &mut Vec<Envelope>) {
+        for note in &outcome.notes {
+            match note {
+                L1Note::Hit => self.stats.hits += 1,
+                L1Note::MissGetS => {
+                    self.stats.misses += 1;
+                    self.stats.gets_issued += 1;
                 }
-                self.try_complete_exclusive(now, out);
-            }
-            CoherenceMsg::Inv { addr, ack_to, home, sent_at } => {
-                self.stats.invs_received += 1;
-                self.lines.remove(&addr);
-                if let Some(pending) = self.pending.as_mut() {
-                    if pending.op.addr.block() == addr {
-                        // A racing invalidation: any *shared* data this
-                        // transaction later receives may be stale and
-                        // must not be cached.
-                        pending.poisoned = true;
-                    }
+                L1Note::MissGetX => {
+                    self.stats.misses += 1;
+                    self.stats.getx_issued += 1;
                 }
-                match ack_to {
-                    AckTarget::Core(winner) => out.push(Envelope::to_core(
-                        winner,
-                        CoherenceMsg::InvAck {
-                            addr,
-                            from: self.core,
-                            inv_sent_at: sent_at,
-                            via_home: false,
-                            count: 1,
-                        },
-                    )),
-                    AckTarget::Router(router) => out.push(Envelope::to_router(
-                        router,
-                        CoherenceMsg::EarlyInvAck {
-                            addr,
-                            from: self.core,
-                            home,
-                            inv_sent_at: sent_at,
-                        },
-                    )),
-                }
+                L1Note::ForwardBounced => self.stats.forwards_bounced += 1,
+                L1Note::DemoteRetry => self.stats.demote_retries += 1,
+                L1Note::DemotedFail => self.stats.demoted_fails += 1,
             }
-            CoherenceMsg::FwdGetS { addr, requester } => {
-                // An owner that issued an upgrade GetX has dropped its
-                // line but is still the logical owner until the home
-                // processes its (queued) request: serve the forward from
-                // the transaction's saved value (the MOESI "OM" state).
-                let value = if let Some(line) = self.lines.get_mut(&addr) {
-                    debug_assert!(matches!(
-                        line.state,
-                        State::Modified | State::Exclusive | State::Owned
-                    ));
-                    line.state = State::Owned;
-                    line.value
-                } else if let Some(pending) = self
-                    .pending
-                    .as_ref()
-                    .filter(|p| p.op.addr.block() == addr && p.own_value)
-                {
-                    pending.value
+        }
+        out.extend(outcome.msgs);
+        if let Some(c) = outcome.completion {
+            let issued_at = self.issued_at.take().unwrap_or(now);
+            let latency = if c.hit { self.hit_latency } else { 1 };
+            if !c.hit {
+                let busy = now.saturating_since(issued_at);
+                self.stats.mem_txn_cycles += busy;
+                if c.op.kind.is_write() {
+                    self.stats.write_miss_lat += busy;
+                    self.stats.write_misses += 1;
                 } else {
-                    // Ownership moved on before the forward arrived (the
-                    // non-blocking read path allows this): bounce the
-                    // request back to the home, which re-resolves the
-                    // current owner.
-                    self.stats.forwards_bounced += 1;
-                    let home = self.home_map.home_of(addr);
-                    out.push(Envelope::to_core(
-                        home,
-                        CoherenceMsg::GetS { addr, requester },
-                    ));
-                    return;
-                };
-                out.push(Envelope::to_core(
-                    requester,
-                    CoherenceMsg::Data {
-                        addr,
-                        value,
-                        acks_expected: 0,
-                        exclusive: false,
-                        needs_unblock: false,
-                    },
-                ));
+                    self.stats.read_miss_lat += busy;
+                    self.stats.read_misses += 1;
+                }
+                if c.op.lock {
+                    self.stats.lock_txn_cycles += busy;
+                    self.stats.lock_txns += 1;
+                }
             }
-            CoherenceMsg::FwdGetX { addr, requester, acks_expected } => {
-                let value = if let Some(line) = self.lines.remove(&addr) {
-                    debug_assert!(matches!(
-                        line.state,
-                        State::Modified | State::Exclusive | State::Owned
-                    ));
-                    line.value
-                } else {
-                    // Ownership is taken away while our own upgrade GetX
-                    // is still queued at the home: hand the dirty value
-                    // over and demote our transaction to an ordinary
-                    // miss (the home will route fresh data to us when
-                    // our turn comes).
-                    let pending = self
-                        .pending
-                        .as_mut()
-                        .filter(|p| p.op.addr.block() == addr && p.own_value)
-                        .expect("FwdGetX to a non-owner: home serialization violated");
-                    debug_assert!(!pending.granted, "forward after grant");
-                    pending.own_value = false;
-                    let value = pending.value;
-                    pending.value = 0;
-                    value
-                };
-                out.push(Envelope::to_core(
-                    requester,
-                    CoherenceMsg::Data {
-                        addr,
-                        value,
-                        acks_expected,
-                        exclusive: true,
-                        needs_unblock: true,
-                    },
-                ));
-            }
-            other => panic!("L1 received unexpected message {other:?}"),
+            self.done.schedule(
+                now + latency,
+                Completion { op: c.op, value: c.value, issued_at, completed_at: now + latency },
+            );
         }
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the Data message fields
-    fn on_data(
-        &mut self,
-        addr: Addr,
-        value: u64,
-        acks_expected: u16,
-        exclusive: bool,
-        needs_unblock: bool,
-        now: Cycle,
-        out: &mut Vec<Envelope>,
-    ) {
-        let pending = self.pending.as_mut().expect("Data without transaction");
-        debug_assert_eq!(pending.op.addr.block(), addr);
-        if pending.exclusive && !exclusive {
-            // Demoted: the home answered a failable lock RMW with a
-            // shared copy because the block is owned elsewhere (paper
-            // Figure 4 step 4). The conditional op fails without
-            // writing — unless the observed value would have let it
-            // succeed, in which case contend properly with a
-            // non-demotable retry.
-            assert!(pending.failable, "non-failable exclusive granted shared data");
-            let MemOpKind::CompareSwap { expected, .. } = pending.op.kind else {
-                panic!("failable transaction must be a compare-and-swap")
-            };
-            if value == expected {
-                self.stats.demote_retries += 1;
-                let pending = self.pending.as_mut().expect("checked above");
-                pending.failable = false;
-                pending.poisoned = false;
-                let home = self.home_map.home_of(addr);
-                out.push(
-                    Envelope::to_core(
-                        home,
-                        CoherenceMsg::GetX {
-                            addr,
-                            requester: self.core,
-                            home,
-                            lock: pending.op.lock,
-                            failable: false,
-                        },
-                    )
-                    .with_priority(pending.priority),
-                );
-                return;
-            }
-            self.stats.demoted_fails += 1;
-            let pending = self.pending.take().expect("checked above");
-            if !pending.poisoned {
-                self.lines.insert(addr, Line { state: State::Shared, value });
-            }
-            debug_assert!(!needs_unblock, "demoted service must not block the home");
-            self.finish(pending, value, now);
-            return;
-        }
-        if pending.exclusive {
-            debug_assert!(exclusive, "exclusive transaction granted shared data");
-            pending.granted = true;
-            pending.acks_expected = Some(acks_expected);
-            if !pending.own_value {
-                pending.value = value;
-            }
-            self.try_complete_exclusive(now, out);
-        } else {
-            // Read transaction completes on data.
-            let pending = self.pending.take().expect("checked above");
-            if exclusive || !pending.poisoned {
-                let state = if exclusive { State::Exclusive } else { State::Shared };
-                self.lines.insert(addr, Line { state, value });
-            }
-            if needs_unblock {
-                let home = self.home_map.home_of(addr);
-                out.push(Envelope::to_core(
-                    home,
-                    CoherenceMsg::UnblockS { addr, from: self.core },
-                ));
-            }
-            self.finish(pending, value, now);
-        }
-    }
-
-    fn try_complete_exclusive(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
-        let Some(pending) = self.pending.as_ref() else { return };
-        let Some(expected) = pending.acks_expected else { return };
-        if !pending.granted || pending.acks_received < expected {
-            return;
-        }
-        debug_assert!(pending.acks_received == expected, "surplus InvAcks");
-        let pending = self.pending.take().expect("checked above");
-        let block = pending.op.addr.block();
-        let old = pending.value;
-        let new = pending.op.kind.apply(old);
-        self.lines.insert(block, Line { state: State::Modified, value: new });
-        let home = self.home_map.home_of(block);
-        out.push(Envelope::to_core(home, CoherenceMsg::UnblockX { addr: block, from: self.core }));
-        self.finish(pending, old, now);
-    }
-
-    fn finish(&mut self, pending: PendingTxn, value: u64, now: Cycle) {
-        let busy = now.saturating_since(pending.issued_at);
-        self.stats.mem_txn_cycles += busy;
-        if pending.exclusive {
-            self.stats.write_miss_lat += busy;
-            self.stats.write_misses += 1;
-        } else {
-            self.stats.read_miss_lat += busy;
-            self.stats.read_misses += 1;
-        }
-        if pending.op.lock {
-            self.stats.lock_txn_cycles += busy;
-            self.stats.lock_txns += 1;
-        }
-        self.done.schedule(
-            now + 1,
-            Completion { op: pending.op, value, issued_at: pending.issued_at, completed_at: now + 1 },
-        );
     }
 
     /// Advances internal timers (hit-latency and completion events).
@@ -654,7 +903,9 @@ impl L1Cache {
             if now.saturating_since(due) > 100_000 {
                 panic!(
                     "L1 {} completion stuck: due {due:?} now {now:?} completed {:?} pending {:?}",
-                    self.core.index(), self.completed, self.pending
+                    self.inner.core().index(),
+                    self.completed,
+                    self.inner.pending
                 );
             }
         }
@@ -842,7 +1093,7 @@ mod tests {
             &mut out,
         );
         assert_eq!(l1.probe_state(addr), "I");
-        let ack = out.last().unwrap();
+        let ack = out.last().expect("ack sent");
         assert_eq!(ack.dst, CoreId::new(3));
         assert!(matches!(
             ack.msg,
@@ -865,7 +1116,7 @@ mod tests {
             Cycle::new(8),
             &mut out,
         );
-        let ack = out.last().unwrap();
+        let ack = out.last().expect("ack sent");
         assert_eq!(ack.dst, CoreId::new(9));
         assert!(matches!(
             ack.msg,
@@ -985,5 +1236,35 @@ mod tests {
         let (c, when) = drive_until_complete(&mut l1, Cycle::new(20));
         assert_eq!(when, Cycle::new(22));
         assert_eq!(c.completed_at, Cycle::new(22));
+    }
+
+    #[test]
+    fn surplus_inv_ack_is_a_typed_error() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        l1.handle(data(addr, 0, 1, true), Cycle::new(5), &mut out);
+        // The single expected ack completes the transaction; a duplicate
+        // ack then finds no transaction at all.
+        let ack = CoherenceMsg::InvAck {
+            addr,
+            from: CoreId::new(1),
+            inv_sent_at: Cycle::ZERO,
+            via_home: false,
+            count: 1,
+        };
+        l1.handle(ack.clone(), Cycle::new(6), &mut out);
+        let err = l1.try_handle(ack, Cycle::new(7), &mut out).expect_err("duplicate ack");
+        assert!(matches!(err, CoherenceError::ResponseWithoutTxn { .. }), "{err}");
+    }
+
+    #[test]
+    fn misrouted_request_is_a_typed_error() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let msg = CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) };
+        let err = l1.try_handle(msg, Cycle::ZERO, &mut out).expect_err("misrouted");
+        assert!(matches!(err, CoherenceError::UnexpectedAtL1 { .. }), "{err}");
     }
 }

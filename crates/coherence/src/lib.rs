@@ -16,14 +16,16 @@
 //! machines, and `DESIGN.md` at the repository root for the documented
 //! simplifications.
 
+pub mod err;
 pub mod home;
 pub mod l1;
 pub mod map;
 pub mod msg;
 pub mod stats;
 
-pub use home::HomeBank;
-pub use l1::{Completion, L1Cache, MemOp, MemOpKind};
+pub use err::CoherenceError;
+pub use home::{HomeBank, HomeCore};
+pub use l1::{Completion, L1Cache, L1Core, MemOp, MemOpKind};
 pub use map::HomeMap;
 pub use msg::{AckTarget, CoherenceMsg, Envelope};
 pub use stats::{HomeStats, InvAckRoundTrips, L1Stats};

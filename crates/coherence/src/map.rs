@@ -19,7 +19,7 @@ use inpg_sim::{Addr, CoreId};
 /// assert_eq!(map.home_of(Addr::new(128)).index(), 1);
 /// assert_eq!(map.home_of(Addr::new(64 * 128)).index(), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HomeMap {
     cores: usize,
 }

@@ -4,7 +4,7 @@ use inpg_noc::packet::{EarlyAck, LockRequest, PacketGenPayload, Sink, VirtualNet
 use inpg_sim::{Addr, CoreId, Cycle};
 
 /// Where an invalidation's acknowledgement must be sent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AckTarget {
     /// To the core winning the exclusive access (normal directory flow:
     /// the winner collects acknowledgements, paper Figure 4 step 3).
@@ -20,7 +20,7 @@ pub enum AckTarget {
 /// a cache block (8 flits). The `lock` flag on `GetX` marks requests
 /// produced by atomic read-modify-write instructions on lock variables —
 /// the requests big routers may intercept.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CoherenceMsg {
     // ---- requests: core -> home (vnet 0) -----------------------------
     /// Read request.
@@ -217,7 +217,19 @@ impl CoherenceMsg {
     pub fn flits(&self) -> u8 {
         match self {
             CoherenceMsg::Data { .. } => 8,
-            _ => 1,
+            CoherenceMsg::GetS { .. }
+            | CoherenceMsg::GetX { .. }
+            | CoherenceMsg::RelayedGetX { .. }
+            | CoherenceMsg::FwdGetS { .. }
+            | CoherenceMsg::FwdGetX { .. }
+            | CoherenceMsg::Inv { .. }
+            | CoherenceMsg::AckCount { .. }
+            | CoherenceMsg::InvAck { .. }
+            | CoherenceMsg::EarlyInvAck { .. }
+            | CoherenceMsg::RelayedInvAck { .. }
+            | CoherenceMsg::UnblockS { .. }
+            | CoherenceMsg::UnblockX { .. }
+            | CoherenceMsg::OsWakeup { .. } => 1,
         }
     }
 
@@ -244,11 +256,10 @@ impl CoherenceMsg {
 
 impl PacketGenPayload for CoherenceMsg {
     fn as_lock_request(&self) -> Option<LockRequest> {
-        match *self {
-            CoherenceMsg::GetX { addr, requester, home, lock: true, .. } => {
-                Some(LockRequest { addr, requester, home })
-            }
-            _ => None,
+        if let CoherenceMsg::GetX { addr, requester, home, lock: true, .. } = *self {
+            Some(LockRequest { addr, requester, home })
+        } else {
+            None
         }
     }
 
@@ -262,11 +273,10 @@ impl PacketGenPayload for CoherenceMsg {
     }
 
     fn as_early_ack(&self) -> Option<EarlyAck> {
-        match *self {
-            CoherenceMsg::EarlyInvAck { addr, from, home, inv_sent_at } => {
-                Some(EarlyAck { addr, from, home, inv_sent_at })
-            }
-            _ => None,
+        if let CoherenceMsg::EarlyInvAck { addr, from, home, inv_sent_at } = *self {
+            Some(EarlyAck { addr, from, home, inv_sent_at })
+        } else {
+            None
         }
     }
 

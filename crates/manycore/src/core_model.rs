@@ -173,6 +173,8 @@ impl CoreModel {
     ) {
         if self.state == CoreState::MemWait {
             if let Some(completion) = l1.take_completion() {
+                // lint: allow(unwrap) — only drive_lock enters MemWait, and it
+                // requires current_lock; the lock clears only after release.
                 let lock = self.current_lock.expect("MemWait implies an active lock");
                 self.handles[lock].on_result(completion.value);
                 self.drive_lock(now, l1, out, timeline.as_deref_mut());
@@ -208,6 +210,8 @@ impl CoreModel {
                     self.counters.sleep_cycles += now.saturating_since(self.sleep_started);
                     self.monitored = None;
                     self.woken_recently = true;
+                    // lint: allow(unwrap) — cores only sleep inside an
+                    // acquire, which keeps current_lock set.
                     let lock = self.current_lock.expect("waking implies an active lock");
                     self.handles[lock].on_wakeup();
                     self.drive_lock(now, l1, out, timeline.as_deref_mut());
@@ -215,6 +219,8 @@ impl CoreModel {
                 }
                 CoreState::CsBody { until } if now >= until => {
                     // The release protocol is part of the CSE phase.
+                    // lint: allow(unwrap) — the CS body starts from a
+                    // successful acquire of current_lock.
                     let lock = self.current_lock.expect("CS body implies an active lock");
                     self.handles[lock].begin_release();
                     self.drive_lock(now, l1, out, timeline.as_deref_mut());
@@ -271,6 +277,7 @@ impl CoreModel {
         out: &mut Vec<Envelope>,
         mut timeline: Option<&mut Timeline>,
     ) {
+        // lint: allow(unwrap) — every caller sets or checks current_lock first.
         let lock = self.current_lock.expect("drive_lock without an active lock");
         loop {
             match self.handles[lock].step() {

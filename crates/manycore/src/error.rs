@@ -6,6 +6,7 @@
 //! so a coherence bug (say, a lost `InvAck`) surfaces as a structured
 //! report naming the culprit line and cycle rather than as a hung run.
 
+use inpg_coherence::CoherenceError;
 use inpg_noc::NocViolation;
 use inpg_sim::{Addr, ConfigError, CoreId, Cycle};
 use std::fmt;
@@ -125,6 +126,14 @@ pub enum SimError {
     Stall(StallReport),
     /// The invariant checker caught a protocol violation.
     Invariant(InvariantViolation),
+    /// A pure protocol state machine rejected a delivered message — a
+    /// lost, duplicated or misrouted packet upstream.
+    Protocol {
+        /// Cycle the offending message was processed.
+        cycle: Cycle,
+        /// The violation raised by the L1 or home step function.
+        error: CoherenceError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -133,6 +142,9 @@ impl fmt::Display for SimError {
             SimError::Config(e) => write!(f, "configuration error: {}", e.message()),
             SimError::Stall(report) => write!(f, "{report}"),
             SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
+            SimError::Protocol { cycle, error } => {
+                write!(f, "cycle {}: protocol violation: {error}", cycle.as_u64())
+            }
         }
     }
 }

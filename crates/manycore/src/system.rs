@@ -10,7 +10,7 @@ use inpg_locks::{LockHandle, LockLayout, LockPrimitive};
 use inpg_noc::{Message, Network, NocStats};
 use inpg_sim::{Addr, ConfigError, CoreId, Cycle, LockId, Watchdog};
 use inpg_stats::{PhaseCounters, Timeline};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Where a lock's primary (contended) word should live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -182,7 +182,26 @@ impl System {
     }
 
     /// Advances the machine one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation; the checked run path uses
+    /// [`try_tick`](Self::try_tick) and surfaces it as a
+    /// [`SimError::Protocol`] instead.
     pub fn tick(&mut self) {
+        if let Err(e) = self.try_tick() {
+            panic!("{e}");
+        }
+    }
+
+    /// Advances the machine one cycle, surfacing protocol violations
+    /// (a pure L1 or home step function rejecting a delivered message)
+    /// as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] naming the violation and the cycle.
+    pub fn try_tick(&mut self) -> Result<(), SimError> {
         let now = self.now;
         let cores = self.cfg.cores();
 
@@ -207,22 +226,31 @@ impl System {
                     CoherenceMsg::OsWakeup { .. } => {
                         self.cores[c].on_wakeup_ipi(now);
                     }
-                    msg => {
+                    msg @ (CoherenceMsg::FwdGetS { .. }
+                    | CoherenceMsg::FwdGetX { .. }
+                    | CoherenceMsg::Inv { .. }
+                    | CoherenceMsg::Data { .. }
+                    | CoherenceMsg::AckCount { .. }
+                    | CoherenceMsg::InvAck { .. }
+                    | CoherenceMsg::EarlyInvAck { .. }) => {
                         // MWAIT-style wake: losing the monitored line —
                         // by invalidation or by an exclusive-ownership
                         // transfer — wakes the sleeping thread (the word
                         // is being, or is about to be, written).
-                        let lost = match &msg {
-                            CoherenceMsg::Inv { addr, .. }
-                            | CoherenceMsg::FwdGetX { addr, .. } => Some(addr.block()),
-                            _ => None,
+                        let lost = if let CoherenceMsg::Inv { addr, .. }
+                        | CoherenceMsg::FwdGetX { addr, .. } = &msg
+                        {
+                            Some(addr.block())
+                        } else {
+                            None
                         };
                         if lost.is_some() && self.cores[c].monitored_block() == lost {
                             self.cores[c].on_wakeup_ipi(now);
                         }
                         let mut outbox = std::mem::take(&mut self.outbox);
-                        self.l1s[c].handle(msg, now, &mut outbox);
+                        let handled = self.l1s[c].try_handle(msg, now, &mut outbox);
                         self.flush(c, outbox);
+                        handled.map_err(|error| SimError::Protocol { cycle: now, error })?;
                     }
                 }
             }
@@ -231,8 +259,9 @@ impl System {
         // 3. Home banks process one request each.
         for c in 0..cores {
             let mut outbox = std::mem::take(&mut self.outbox);
-            self.homes[c].tick(now, &mut outbox);
+            let ticked = self.homes[c].try_tick(now, &mut outbox);
             self.flush(c, outbox);
+            ticked.map_err(|error| SimError::Protocol { cycle: now, error })?;
         }
 
         // 4. L1 timers.
@@ -248,6 +277,7 @@ impl System {
         }
 
         self.now = now.next();
+        Ok(())
     }
 
     /// Sends every envelope produced by tile `c`, reusing the buffer.
@@ -304,7 +334,7 @@ impl System {
         let mut watchdog = self.cfg.watchdog_cycles.map(Watchdog::new);
         let interval = self.cfg.invariant_check_interval;
         while !self.all_done() && self.now.as_u64() < self.cfg.max_cycles {
-            self.tick();
+            self.try_tick()?;
             if let Some(dog) = watchdog.as_mut() {
                 if dog.observe(self.now, self.progress_metric()) {
                     return Err(SimError::Stall(self.stall_report(dog.window())));
@@ -366,7 +396,7 @@ impl System {
             .try_check_invariants()
             .map_err(|violation| InvariantViolation::Noc { cycle: now, violation })?;
 
-        let mut owners: HashMap<Addr, Vec<CoreId>> = HashMap::new();
+        let mut owners: BTreeMap<Addr, Vec<CoreId>> = BTreeMap::new();
         for l1 in &self.l1s {
             for (addr, state) in l1.lines_snapshot() {
                 if matches!(state, "M" | "E") {

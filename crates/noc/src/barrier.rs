@@ -18,6 +18,12 @@
 //! barrier has no live EI entries and resets whenever one is created; the
 //! barrier is deleted when the TTL reaches zero. When the table is full,
 //! requests pass through as in a normal router.
+//!
+//! The protocol-relevant state lives in the pure [`BarrierFsm`]; the
+//! [`LockingBarrierTable`] wraps it with the [`BarrierStats`] counters.
+//! The `inpg-analysis` model checker drives `BarrierFsm` directly,
+//! treating TTL expiry as a nondeterministic transition
+//! ([`BarrierFsm::force_expire`]) instead of counting cycles.
 
 use inpg_sim::{Addr, CoreId};
 
@@ -26,7 +32,7 @@ use inpg_sim::{Addr, CoreId};
 pub type BarrierSnapshot = Vec<(Addr, u32, usize)>;
 
 /// Progress of one early invalidation (paper Figure 6's 4-phase entry).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EiPhase {
     /// Early `Inv` generated and `FwdGetX` relayed; awaiting the ack.
     AwaitingAck,
@@ -35,7 +41,7 @@ pub enum EiPhase {
 }
 
 /// One early-invalidation entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EiEntry {
     /// The core whose stopped `GetX` this entry tracks.
     pub core: CoreId,
@@ -44,11 +50,204 @@ pub struct EiEntry {
 }
 
 /// One lock barrier.
-#[derive(Debug, Clone)]
-struct Barrier {
-    addr: Addr,
-    ttl: u32,
-    eis: Vec<EiEntry>,
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Barrier {
+    /// The lock's block address.
+    pub addr: Addr,
+    /// Remaining TTL in cycles.
+    pub ttl: u32,
+    /// Live early-invalidation entries.
+    pub eis: Vec<EiEntry>,
+}
+
+/// What [`BarrierFsm::observe_transfer`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observe {
+    /// A new barrier was installed.
+    Installed,
+    /// A barrier for the block already exists.
+    AlreadyPresent,
+    /// The table is full; the request passes through.
+    TableFull,
+}
+
+/// What [`BarrierFsm::take_ack`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeAck {
+    /// A matching EI entry completed; the caller relays the ack.
+    Relayed,
+    /// No matching entry: the ack is stale and dropped.
+    Stale,
+}
+
+/// The pure, timing-free barrier state machine: barriers, EI entries and
+/// the pool bound — everything the interception protocol depends on,
+/// with no statistics and no wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BarrierFsm {
+    /// Live barriers in installation order.
+    pub barriers: Vec<Barrier>,
+    capacity: usize,
+    ei_capacity: usize,
+    ei_in_use: usize,
+    default_ttl: u32,
+}
+
+impl BarrierFsm {
+    /// Creates the state machine with `capacity` lock barriers, a shared
+    /// pool of `ei_capacity` EI entries and the given TTL in cycles.
+    pub fn new(capacity: usize, ei_capacity: usize, default_ttl: u32) -> Self {
+        BarrierFsm {
+            barriers: Vec::with_capacity(capacity.min(64)),
+            capacity,
+            ei_capacity,
+            ei_in_use: 0,
+            default_ttl,
+        }
+    }
+
+    /// Records that a `GetX` for `addr` was transferred through this
+    /// router, installing a barrier if none exists and the table has
+    /// space.
+    pub fn observe_transfer(&mut self, addr: Addr) -> Observe {
+        let addr = addr.block();
+        if self.barrier_index(addr).is_some() {
+            return Observe::AlreadyPresent;
+        }
+        if self.barriers.len() >= self.capacity {
+            return Observe::TableFull;
+        }
+        self.barriers.push(Barrier { addr, ttl: self.default_ttl, eis: Vec::new() });
+        Observe::Installed
+    }
+
+    /// Whether a `GetX` for `addr` arriving now would be stopped: a
+    /// barrier exists and the EI pool has space.
+    pub fn should_stop(&self, addr: Addr) -> bool {
+        self.barrier_index(addr.block()).is_some() && self.ei_in_use < self.ei_capacity
+    }
+
+    /// Whether a barrier for `addr` currently exists (regardless of EI
+    /// pool occupancy).
+    pub fn has_barrier(&self, addr: Addr) -> bool {
+        self.barrier_index(addr.block()).is_some()
+    }
+
+    /// Stops a `GetX` from `core`: creates an EI entry in the
+    /// `AwaitingAck` phase and resets the barrier's TTL. Returns `false`
+    /// (without changing state) when no barrier exists or the EI pool is
+    /// exhausted — callers gate on [`should_stop`](Self::should_stop).
+    #[must_use]
+    pub fn stop(&mut self, addr: Addr, core: CoreId) -> bool {
+        let addr = addr.block();
+        if self.ei_in_use >= self.ei_capacity {
+            return false;
+        }
+        let default_ttl = self.default_ttl;
+        let Some(idx) = self.barrier_index(addr) else { return false };
+        let barrier = &mut self.barriers[idx];
+        barrier.ttl = default_ttl;
+        barrier.eis.push(EiEntry { core, phase: EiPhase::AwaitingAck });
+        self.ei_in_use += 1;
+        true
+    }
+
+    /// Consumes the early acknowledgement from `core` for `addr`: a
+    /// matching `AwaitingAck` entry completes the `InvAck` and `AckFwd`
+    /// phases together and is freed.
+    pub fn take_ack(&mut self, addr: Addr, core: CoreId) -> TakeAck {
+        let addr = addr.block();
+        let Some(idx) = self.barrier_index(addr) else {
+            return TakeAck::Stale;
+        };
+        let barrier = &mut self.barriers[idx];
+        let Some(pos) = barrier
+            .eis
+            .iter()
+            .position(|ei| ei.core == core && ei.phase == EiPhase::AwaitingAck)
+        else {
+            return TakeAck::Stale;
+        };
+        barrier.eis.remove(pos);
+        self.ei_in_use -= 1;
+        TakeAck::Relayed
+    }
+
+    /// Advances one cycle: barriers with no live EI entries count down
+    /// and expire at zero. Returns the number of expired barriers.
+    pub fn tick(&mut self) -> u64 {
+        let mut expired = 0;
+        self.barriers.retain_mut(|barrier| {
+            if barrier.eis.is_empty() {
+                barrier.ttl = barrier.ttl.saturating_sub(1);
+                if barrier.ttl == 0 {
+                    expired += 1;
+                    return false;
+                }
+            }
+            true
+        });
+        expired
+    }
+
+    /// Expires the barrier for `addr` immediately if it exists and has no
+    /// live EI entries — the model checker's nondeterministic stand-in
+    /// for TTL countdown (a barrier without live EIs may expire at *any*
+    /// time, so every such state must tolerate expiry).
+    pub fn force_expire(&mut self, addr: Addr) -> bool {
+        let addr = addr.block();
+        let Some(idx) = self.barrier_index(addr) else { return false };
+        if !self.barriers[idx].eis.is_empty() {
+            return false;
+        }
+        self.barriers.remove(idx);
+        true
+    }
+
+    /// Live barrier count.
+    pub fn barrier_count(&self) -> usize {
+        self.barriers.len()
+    }
+
+    /// Live EI entries across all barriers.
+    pub fn ei_count(&self) -> usize {
+        self.ei_in_use
+    }
+
+    /// The TTL barriers are installed (and refreshed) with.
+    pub fn default_ttl(&self) -> u32 {
+        self.default_ttl
+    }
+
+    /// Snapshot of the live barriers: `(lock block, ttl, live EI
+    /// entries)` per entry.
+    pub fn snapshot(&self) -> BarrierSnapshot {
+        self.barriers.iter().map(|b| (b.addr, b.ttl, b.eis.len())).collect()
+    }
+
+    /// Discards every barrier and EI entry (fault injection: the table
+    /// loses its state mid-run).
+    pub fn flush(&mut self) {
+        self.barriers.clear();
+        self.ei_in_use = 0;
+    }
+
+    /// Forces every live barrier's TTL to `ttl` cycles (fault injection).
+    pub fn set_all_ttls(&mut self, ttl: u32) {
+        for barrier in &mut self.barriers {
+            barrier.ttl = ttl.max(1);
+        }
+    }
+
+    /// Clamps the shared EI pool to at most `capacity` entries (fault
+    /// injection: pool exhaustion).
+    pub fn clamp_ei_capacity(&mut self, capacity: usize) {
+        self.ei_capacity = self.ei_capacity.min(capacity);
+    }
+
+    fn barrier_index(&self, addr: Addr) -> Option<usize> {
+        self.barriers.iter().position(|b| b.addr == addr)
+    }
 }
 
 /// Counters the barrier table exposes for evaluation.
@@ -68,7 +267,8 @@ pub struct BarrierStats {
     pub stale_acks_dropped: u64,
 }
 
-/// The locking barrier table of one big router.
+/// The locking barrier table of one big router: the [`BarrierFsm`] plus
+/// its statistics.
 ///
 /// # Example
 ///
@@ -89,11 +289,7 @@ pub struct BarrierStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LockingBarrierTable {
-    barriers: Vec<Barrier>,
-    capacity: usize,
-    ei_capacity: usize,
-    ei_in_use: usize,
-    default_ttl: u32,
+    fsm: BarrierFsm,
     stats: BarrierStats,
 }
 
@@ -103,42 +299,43 @@ impl LockingBarrierTable {
     /// given TTL in cycles.
     pub fn new(capacity: usize, ei_capacity: usize, default_ttl: u32) -> Self {
         LockingBarrierTable {
-            barriers: Vec::with_capacity(capacity.min(64)),
-            capacity,
-            ei_capacity,
-            ei_in_use: 0,
-            default_ttl,
+            fsm: BarrierFsm::new(capacity, ei_capacity, default_ttl),
             stats: BarrierStats::default(),
         }
+    }
+
+    /// The pure protocol state (for invariant checks and diagnostics).
+    pub fn fsm(&self) -> &BarrierFsm {
+        &self.fsm
     }
 
     /// Records that a `GetX` for `addr` was transferred through this
     /// router, installing a barrier if none exists and the table has
     /// space. Returns `true` if a new barrier was installed.
     pub fn observe_transfer(&mut self, addr: Addr) -> bool {
-        let addr = addr.block();
-        if self.barrier_index(addr).is_some() {
-            return false;
+        match self.fsm.observe_transfer(addr) {
+            Observe::Installed => {
+                self.stats.barriers_installed += 1;
+                true
+            }
+            Observe::AlreadyPresent => false,
+            Observe::TableFull => {
+                self.stats.passes_table_full += 1;
+                false
+            }
         }
-        if self.barriers.len() >= self.capacity {
-            self.stats.passes_table_full += 1;
-            return false;
-        }
-        self.barriers.push(Barrier { addr, ttl: self.default_ttl, eis: Vec::new() });
-        self.stats.barriers_installed += 1;
-        true
     }
 
     /// Whether a `GetX` for `addr` arriving now would be stopped: a
     /// barrier exists and the EI pool has space.
     pub fn should_stop(&self, addr: Addr) -> bool {
-        self.barrier_index(addr.block()).is_some() && self.ei_in_use < self.ei_capacity
+        self.fsm.should_stop(addr)
     }
 
     /// Whether a barrier for `addr` currently exists (regardless of EI
     /// pool occupancy).
     pub fn has_barrier(&self, addr: Addr) -> bool {
-        self.barrier_index(addr.block()).is_some()
+        self.fsm.has_barrier(addr)
     }
 
     /// Stops a `GetX` from `core`: creates an EI entry in the
@@ -149,14 +346,7 @@ impl LockingBarrierTable {
     /// Panics if [`should_stop`](Self::should_stop) would return `false`;
     /// callers must check first.
     pub fn stop(&mut self, addr: Addr, core: CoreId) {
-        let addr = addr.block();
-        assert!(self.ei_in_use < self.ei_capacity, "EI pool exhausted");
-        let default_ttl = self.default_ttl;
-        let idx = self.barrier_index(addr).expect("no barrier installed for stop");
-        let barrier = &mut self.barriers[idx];
-        barrier.ttl = default_ttl;
-        barrier.eis.push(EiEntry { core, phase: EiPhase::AwaitingAck });
-        self.ei_in_use += 1;
+        assert!(self.fsm.stop(addr, core), "stop without a barrier or EI pool space");
         self.stats.requests_stopped += 1;
     }
 
@@ -169,53 +359,32 @@ impl LockingBarrierTable {
     /// Returns `true` when a matching EI entry existed (the caller relays
     /// the ack to the home node); `false` for a stale ack.
     pub fn take_ack(&mut self, addr: Addr, core: CoreId) -> bool {
-        let addr = addr.block();
-        let Some(idx) = self.barrier_index(addr) else {
-            self.stats.stale_acks_dropped += 1;
-            return false;
-        };
-        let barrier = &mut self.barriers[idx];
-        let Some(pos) = barrier
-            .eis
-            .iter()
-            .position(|ei| ei.core == core && ei.phase == EiPhase::AwaitingAck)
-        else {
-            self.stats.stale_acks_dropped += 1;
-            return false;
-        };
-        // The ack is relayed immediately, so the entry completes the
-        // InvAck and AckFwd phases together and is freed.
-        barrier.eis.remove(pos);
-        self.ei_in_use -= 1;
-        self.stats.acks_relayed += 1;
-        true
+        match self.fsm.take_ack(addr, core) {
+            TakeAck::Relayed => {
+                self.stats.acks_relayed += 1;
+                true
+            }
+            TakeAck::Stale => {
+                self.stats.stale_acks_dropped += 1;
+                false
+            }
+        }
     }
 
     /// Advances one cycle: barriers with no live EI entries count down and
     /// expire at zero.
     pub fn tick(&mut self) {
-        let mut expired = 0;
-        self.barriers.retain_mut(|barrier| {
-            if barrier.eis.is_empty() {
-                barrier.ttl = barrier.ttl.saturating_sub(1);
-                if barrier.ttl == 0 {
-                    expired += 1;
-                    return false;
-                }
-            }
-            true
-        });
-        self.stats.barriers_expired += expired;
+        self.stats.barriers_expired += self.fsm.tick();
     }
 
     /// Live barrier count.
     pub fn barrier_count(&self) -> usize {
-        self.barriers.len()
+        self.fsm.barrier_count()
     }
 
     /// Live EI entries across all barriers.
     pub fn ei_count(&self) -> usize {
-        self.ei_in_use
+        self.fsm.ei_count()
     }
 
     /// Accumulated counters.
@@ -225,13 +394,13 @@ impl LockingBarrierTable {
 
     /// The TTL barriers are installed (and refreshed) with.
     pub fn default_ttl(&self) -> u32 {
-        self.default_ttl
+        self.fsm.default_ttl()
     }
 
     /// Snapshot of the live barriers: `(lock block, ttl, live EI entries)`
     /// per entry. Used by invariant checks and stall reports.
     pub fn snapshot(&self) -> BarrierSnapshot {
-        self.barriers.iter().map(|b| (b.addr, b.ttl, b.eis.len())).collect()
+        self.fsm.snapshot()
     }
 
     /// Discards every barrier and EI entry (fault injection: the table
@@ -239,28 +408,21 @@ impl LockingBarrierTable {
     /// are treated as stale — and still relayed to the home node, which
     /// deduplicates them, so the protocol degrades instead of wedging.
     pub fn flush(&mut self) {
-        self.barriers.clear();
-        self.ei_in_use = 0;
+        self.fsm.flush();
     }
 
     /// Forces every live barrier's TTL to `ttl` cycles (fault injection:
     /// a TTL-expiry storm). Barriers with live EI entries still wait for
     /// their acks before counting down.
     pub fn set_all_ttls(&mut self, ttl: u32) {
-        for barrier in &mut self.barriers {
-            barrier.ttl = ttl.max(1);
-        }
+        self.fsm.set_all_ttls(ttl);
     }
 
     /// Clamps the shared EI pool to at most `capacity` entries (fault
     /// injection: pool exhaustion). With a full pool every competing
     /// request passes through to the home node as in a normal router.
     pub fn clamp_ei_capacity(&mut self, capacity: usize) {
-        self.ei_capacity = self.ei_capacity.min(capacity);
-    }
-
-    fn barrier_index(&self, addr: Addr) -> Option<usize> {
-        self.barriers.iter().position(|b| b.addr == addr)
+        self.fsm.clamp_ei_capacity(capacity);
     }
 }
 
@@ -442,5 +604,16 @@ mod tests {
         assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
         assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
         assert!(!t.take_ack(Addr::new(0), CoreId::new(2)));
+    }
+
+    #[test]
+    fn force_expire_skips_barriers_with_live_eis() {
+        let mut fsm = BarrierFsm::new(4, 4, 8);
+        assert_eq!(fsm.observe_transfer(Addr::new(0)), Observe::Installed);
+        assert!(fsm.stop(Addr::new(0), CoreId::new(1)));
+        assert!(!fsm.force_expire(Addr::new(0)), "live EI pins the barrier");
+        assert_eq!(fsm.take_ack(Addr::new(0), CoreId::new(1)), TakeAck::Relayed);
+        assert!(fsm.force_expire(Addr::new(0)));
+        assert!(!fsm.has_barrier(Addr::new(0)));
     }
 }

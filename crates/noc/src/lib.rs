@@ -61,7 +61,7 @@ pub mod packet;
 mod router;
 pub mod stats;
 
-pub use barrier::LockingBarrierTable;
+pub use barrier::{BarrierFsm, LockingBarrierTable};
 pub use config::{BigRouterPlacement, NocConfig};
 pub use coord::{Coord, Direction, Port};
 pub use fault::{FaultKind, FaultPlan};

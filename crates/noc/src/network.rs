@@ -597,10 +597,14 @@ impl<P: PacketGenPayload> Network<P> {
                 self.stats.in_flight -= 1;
                 self.stats.consumed += 1;
                 let coord = self.routers[node].coord;
+                // lint: allow(unwrap) — Action::StopGetx is only chosen after
+                // as_lock_request() returned Some for this very flit.
                 let req = packet.payload.as_lock_request().expect("checked above");
                 self.routers[node]
                     .barrier
                     .as_mut()
+                    // lint: allow(unwrap) — decide_action emits StopGetx only
+                    // when the router has a barrier table (is_big()).
                     .expect("stop only on big routers")
                     .stop(req.addr, req.requester);
                 self.stats.early_invs_generated += 1;
@@ -642,7 +646,10 @@ impl<P: PacketGenPayload> Network<P> {
                     .front()
                     .and_then(|f| f.head.as_deref())
                     .and_then(|p| p.payload.as_lock_request())
+                    // lint: allow(unwrap) — InstallBarrier is only chosen after
+                    // the same chain returned Some in decide_action.
                     .expect("checked above");
+                // lint: allow(unwrap) — InstallBarrier only fires on big routers.
                 router.barrier.as_mut().expect("big router").observe_transfer(req.addr);
             }
         }
@@ -666,11 +673,15 @@ impl<P: PacketGenPayload> Network<P> {
         let flit = self.routers[node].inputs[port][vc]
             .flits
             .pop_front()
+            // lint: allow(unwrap) — interception actions are decided while
+            // inspecting this VC's front flit, which stays put until here.
             .expect("caller checked the flit exists");
         self.routers[node].buffered -= 1;
         debug_assert!(flit.tail, "interception only consumes single-flit packets");
         self.routers[node].inputs[port][vc].route = None;
         self.return_credit(node, port, vc);
+        // lint: allow(unwrap) — only head flits carry a lock request, and
+        // decide_action matched on one.
         *flit.head.expect("caller checked this is a head flit")
     }
 
@@ -690,6 +701,8 @@ impl<P: PacketGenPayload> Network<P> {
         let coord = self.routers[node].coord;
         let upstream = coord
             .neighbor(dir, self.cfg.width, self.cfg.height)
+            // lint: allow(unwrap) — a flit can only have arrived on a link
+            // port if a neighbour exists in that direction.
             .expect("link ports always have a neighbour");
         let upstream_node = upstream.to_core(self.cfg.width).index();
         // The upstream router's output toward us is the opposite port.
@@ -847,6 +860,8 @@ impl<P: PacketGenPayload> Network<P> {
         let flit = match winner.source {
             FlitSource::Vc(port, vc) => {
                 let input = &mut self.routers[node].inputs[port][vc];
+                // lint: allow(unwrap) — the candidate was built from this
+                // VC's front flit in the same cycle; nothing drains between.
                 let flit = input.flits.pop_front().expect("candidate flit exists");
                 if flit.head.is_some() {
                     input.route = Some(winner.out);
@@ -860,6 +875,8 @@ impl<P: PacketGenPayload> Network<P> {
             }
             FlitSource::Generator => {
                 let packet =
+                    // lint: allow(unwrap) — a Generator candidate is only
+                    // emitted when gen_queue has a front packet.
                     self.routers[node].gen_queue.pop_front().expect("candidate packet exists");
                 debug_assert_eq!(packet.flits, 1, "generated packets are single-flit");
                 Flit {
@@ -889,6 +906,8 @@ impl<P: PacketGenPayload> Network<P> {
                 let coord = router.coord;
                 let neighbor = coord
                     .neighbor(dir, self.cfg.width, self.cfg.height)
+                    // lint: allow(unwrap) — XY route computation only picks a
+                    // direction with an in-mesh neighbour.
                     .expect("route stays on mesh");
                 let n_node = neighbor.to_core(self.cfg.width).index();
                 let in_port = Port::Link(dir.opposite()).index();
@@ -914,10 +933,13 @@ impl<P: PacketGenPayload> Network<P> {
             router
                 .eject
                 .get_mut(&id)
+                // lint: allow(unwrap) — wormhole switching keeps a packet's
+                // flits in order, so the head opened this slot already.
                 .expect("body flit follows its head at ejection")
                 .flits_seen += 1;
         }
         if flit.tail {
+            // lint: allow(unwrap) — inserted or incremented a few lines up.
             let slot = router.eject.remove(&id).expect("slot just touched");
             debug_assert_eq!(slot.flits_seen, slot.packet.flits, "all flits ejected");
             let packet = *slot.packet;
@@ -985,7 +1007,7 @@ impl<P: PacketGenPayload> Network<P> {
             return true;
         }
 
-        if self.inject[node][vnet].front().is_none() {
+        if self.inject[node][vnet].is_empty() {
             return false;
         }
         // Pick a local input VC in this vnet's partition with space. The
@@ -997,7 +1019,7 @@ impl<P: PacketGenPayload> Network<P> {
         let vc = (base..base + vcs_per_vnet)
             .find(|&vc| self.routers[node].inputs[local][vc].occupancy() < vc_depth);
         let Some(vc) = vc else { return false };
-        let packet = self.inject[node][vnet].pop_front().expect("front checked");
+        let Some(packet) = self.inject[node][vnet].pop_front() else { return false };
         let id = packet.id;
         let total = packet.flits;
         let tail = total == 1;

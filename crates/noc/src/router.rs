@@ -14,7 +14,7 @@ use crate::barrier::LockingBarrierTable;
 use crate::coord::{Coord, Port};
 use crate::packet::{Packet, PacketGenPayload, PacketId};
 use inpg_sim::Cycle;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One flit in a buffer. The head flit carries the packet; body flits
 /// carry only the packet identity for reassembly.
@@ -99,8 +99,9 @@ pub(crate) struct Router<P> {
     pub barrier: Option<LockingBarrierTable>,
     /// Round-robin pointer per output port.
     pub rr: [usize; 5],
-    /// In-progress ejection reassembly.
-    pub eject: HashMap<PacketId, EjectSlot<P>>,
+    /// In-progress ejection reassembly. Ordered so router state stays
+    /// canonical — iteration order must not depend on hash seeds.
+    pub eject: BTreeMap<PacketId, EjectSlot<P>>,
     /// Total flits buffered across all input VCs (fast-path check so the
     /// per-cycle sweep can skip idle routers).
     pub buffered: usize,
@@ -123,7 +124,7 @@ impl<P: PacketGenPayload> Router<P> {
             gen_queue: VecDeque::new(),
             barrier,
             rr: [0; 5],
-            eject: HashMap::new(),
+            eject: BTreeMap::new(),
             buffered: 0,
         }
     }
@@ -157,26 +158,19 @@ impl<P: PacketGenPayload> Router<P> {
         candidates: &[Candidate],
         by_priority: bool,
     ) -> Option<Candidate> {
-        if candidates.is_empty() {
-            return None;
-        }
-        let top = if by_priority {
-            let max = candidates.iter().map(|c| c.priority).max().expect("nonempty");
-            candidates.iter().filter(|c| c.priority == max).copied().collect::<Vec<_>>()
-        } else {
-            candidates.to_vec()
-        };
         let p = out_port.index();
         let ptr = self.rr[p];
-        let winner = top
-            .iter()
-            .copied()
-            .min_by_key(|c| {
-                // Cyclic distance from the round-robin pointer.
-                let k = c.order_key;
-                if k >= ptr { k - ptr } else { k + 1_000_000 - ptr }
-            })
-            .expect("nonempty");
+        // Cyclic distance from the round-robin pointer.
+        let distance = |c: &Candidate| {
+            let k = c.order_key;
+            if k >= ptr { k - ptr } else { k + 1_000_000 - ptr }
+        };
+        let winner = if by_priority {
+            let max = candidates.iter().map(|c| c.priority).max()?;
+            candidates.iter().filter(|c| c.priority == max).copied().min_by_key(distance)?
+        } else {
+            candidates.iter().copied().min_by_key(distance)?
+        };
         self.rr[p] = winner.order_key + 1;
         Some(winner)
     }

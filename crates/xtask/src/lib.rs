@@ -1,0 +1,5 @@
+//! Library surface of the workspace automation tool, so the lint
+//! engine is testable from integration tests. The `xtask` binary is a
+//! thin CLI over this.
+
+pub mod lint;

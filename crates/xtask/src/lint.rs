@@ -1,0 +1,542 @@
+//! The protocol-crate lint engine: a hand-rolled token scanner (the
+//! build environment has no registry access, so `syn` is not an
+//! option) enforcing the invariants the simulator's correctness
+//! arguments lean on.
+//!
+//! Three rules, scoped to the protocol crates (`coherence`, `noc`,
+//! `manycore`), skipping `#[cfg(test)]` regions and `tests/`/`benches/`
+//! trees:
+//!
+//! 1. **unwrap** — no `.unwrap()` / `.expect(` in protocol code. A
+//!    protocol-level surprise must surface as a typed
+//!    `CoherenceError`/`SimError`, not a panic that takes the whole
+//!    simulated machine down with a generic message.
+//! 2. **wildcard** — no bare `_` arm in a `match` whose patterns name a
+//!    protocol enum (`CoherenceMsg`, `State`, `DirState`, `EiPhase`).
+//!    Adding a message or state variant must break the build at every
+//!    handler, not silently fall through an old catch-all.
+//! 3. **hash** — no `HashMap`/`HashSet` in simulation state. Iteration
+//!    order feeds the event order, and hash iteration order is
+//!    unspecified; deterministic replay needs `BTreeMap`/`BTreeSet`.
+//!
+//! A violation can be waived in place with a justification marker on
+//! the same line or an immediately preceding comment line:
+//!
+//! ```text
+//! // lint: allow(unwrap) — <why this cannot fail>
+//! ```
+//!
+//! (kinds: `unwrap`, `wildcard`, `hash`).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates the rules apply to (directory names under `crates/`).
+pub const PROTOCOL_CRATES: &[&str] = &["coherence", "noc", "manycore"];
+
+/// Enums whose matches must not hide behind a catch-all.
+pub const PROTOCOL_ENUMS: &[&str] = &["CoherenceMsg", "State", "DirState", "EiPhase"];
+
+/// Which rule a finding belongs to (and which `allow(...)` kind waives it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    Unwrap,
+    Wildcard,
+    Hash,
+}
+
+impl Rule {
+    fn kind(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Wildcard => "wildcard",
+            Rule::Hash => "hash",
+        }
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: Rule,
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.kind(),
+            self.detail
+        )
+    }
+}
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces (newlines kept), so the token scans below cannot be fooled by
+/// `".unwrap()"` inside a doc string. Returns a byte vector of the same
+/// length as the input.
+fn mask(source: &str) -> Vec<u8> {
+    let b = source.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for x in &mut out[from..to] {
+            if *x != b'\n' {
+                *x = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = source[i..].find('\n').map_or(b.len(), |p| i + p);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i, j);
+                i = j;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, i + 1, j.saturating_sub(1).max(i + 1));
+                i = j;
+            }
+            b'r' | b'b' if (i == 0 || !is_ident(b[i - 1])) && raw_string_len(&b[i..]) > 0 => {
+                // Raw (and raw-byte) strings: r"...", r#"..."#, br#"..."#.
+                let len = raw_string_len(&b[i..]);
+                blank(&mut out, i + 1, i + len);
+                i += len;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is 'ident not
+                // followed by a closing quote.
+                let rest = &b[i + 1..];
+                let is_lifetime = rest
+                    .first()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                    && rest.get(1) != Some(&b'\'');
+                if is_lifetime {
+                    i += 1;
+                } else {
+                    let mut j = i + 1;
+                    while j < b.len() {
+                        match b[j] {
+                            b'\\' => j += 2,
+                            b'\'' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => break, // stray quote, give up
+                            _ => j += 1,
+                        }
+                    }
+                    blank(&mut out, i + 1, j.saturating_sub(1).max(i + 1));
+                    i = j;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Length in bytes of the raw string literal starting at `b[0]`
+/// (`r"…"`, `r#"…"#`, `br##"…"##`), or 0 when `b` does not start one.
+fn raw_string_len(b: &[u8]) -> usize {
+    let mut k = 0;
+    if b.get(k) == Some(&b'b') {
+        k += 1;
+    }
+    if b.get(k) != Some(&b'r') {
+        return 0;
+    }
+    k += 1;
+    let hashes = b[k..].iter().take_while(|c| **c == b'#').count();
+    k += hashes;
+    if b.get(k) != Some(&b'"') {
+        return 0;
+    }
+    k += 1;
+    while k < b.len() {
+        if b[k] == b'"' && b[k + 1..].iter().take_while(|c| **c == b'#').count() >= hashes {
+            return k + 1 + hashes;
+        }
+        k += 1;
+    }
+    b.len()
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items (the attribute through
+/// the end of the braced item it decorates).
+fn test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
+    let text = std::str::from_utf8(masked).unwrap_or_default();
+    let mut ranges = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find("#[cfg(test)]") {
+        let at = from + p;
+        // The attribute decorates the next braced item (a mod, fn or
+        // impl); an un-braced target (e.g. `use`) ends at `;`.
+        let mut j = at;
+        let mut end = masked.len();
+        while j < masked.len() {
+            match masked[j] {
+                b'{' => {
+                    let mut depth = 1usize;
+                    let mut k = j + 1;
+                    while k < masked.len() && depth > 0 {
+                        match masked[k] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end = k;
+                    break;
+                }
+                b';' => {
+                    end = j + 1;
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        ranges.push((at, end));
+        from = end.max(at + 1);
+    }
+    ranges
+}
+
+fn in_ranges(pos: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|(a, b)| (*a..*b).contains(&pos))
+}
+
+fn line_of(source: &str, pos: usize) -> usize {
+    source.as_bytes()[..pos].iter().filter(|c| **c == b'\n').count() + 1
+}
+
+/// Is a `lint: allow(<kind>)` marker present on `line` or the block of
+/// comment-only lines immediately above it?
+fn waived(lines: &[&str], line: usize, kind: &str) -> bool {
+    let marker = format!("lint: allow({kind})");
+    if lines.get(line - 1).is_some_and(|l| l.contains(&marker)) {
+        return true;
+    }
+    let mut n = line - 1; // 0-based index of the line above
+    while n > 0 {
+        let above = lines[n - 1].trim_start();
+        if !above.starts_with("//") {
+            return false;
+        }
+        if above.contains(&marker) {
+            return true;
+        }
+        n -= 1;
+    }
+    false
+}
+
+/// Scans masked text for a needle, reporting byte offsets of matches
+/// outside the given ranges.
+fn occurrences<'a>(
+    masked: &'a [u8],
+    needle: &'a str,
+    skip: &'a [(usize, usize)],
+) -> impl Iterator<Item = usize> + 'a {
+    let text = std::str::from_utf8(masked).unwrap_or_default();
+    let mut from = 0;
+    std::iter::from_fn(move || {
+        while let Some(p) = text[from..].find(needle) {
+            let at = from + p;
+            from = at + 1;
+            if !in_ranges(at, skip) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// One parsed `match` arm: the pattern text and the 1-based line its
+/// pattern starts on.
+struct Arm {
+    pattern: String,
+    line: usize,
+}
+
+/// Parses the arms of the `match` whose keyword starts at `kw` in the
+/// masked text. Returns `None` when the construct cannot be parsed
+/// (macro-generated or exotic code) — such matches are skipped rather
+/// than guessed at.
+fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Option<Vec<Arm>> {
+    // Find the `{` opening the match block: first brace at
+    // paren/bracket depth zero after the scrutinee expression.
+    let mut i = kw + "match".len();
+    let mut depth = 0i32;
+    let open = loop {
+        if i >= masked.len() {
+            return None;
+        }
+        match masked[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => break i,
+            b';' if depth == 0 => return None, // `match` used as an identifier?
+            _ => {}
+        }
+        i += 1;
+    };
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    loop {
+        // Skip whitespace to the start of the next pattern.
+        while i < masked.len() && masked[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= masked.len() {
+            return None;
+        }
+        if masked[i] == b'}' {
+            return Some(arms); // end of the match block
+        }
+        let pat_start = i;
+        // Pattern runs to the `=>` at nesting depth zero (struct
+        // patterns like `Inv { .. }` nest and un-nest before it).
+        let mut depth = 0i32;
+        let arrow = loop {
+            if i >= masked.len() {
+                return None;
+            }
+            match masked[i] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'=' if depth == 0 && masked.get(i + 1) == Some(&b'>') => break i,
+                _ => {}
+            }
+            i += 1;
+        };
+        arms.push(Arm {
+            pattern: source[pat_start..arrow].trim().to_string(),
+            line: line_of(source, pat_start),
+        });
+        // Skip the arm body: a block (to its matching brace) or an
+        // expression (to the `,` or closing `}` at depth zero).
+        i = arrow + 2;
+        while i < masked.len() && masked[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < masked.len() && masked[i] == b'{' {
+            let mut depth = 1i32;
+            i += 1;
+            while i < masked.len() && depth > 0 {
+                match masked[i] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            if masked.get(i) == Some(&b',') {
+                i += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            loop {
+                if i >= masked.len() {
+                    return None;
+                }
+                match masked[i] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'}' if depth == 0 => break, // end of match block
+                    b'}' => depth -= 1,
+                    b',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Does `pattern` name one of the protocol enums as a path segment
+/// (`State::…` but not `CoreState::…`)?
+fn mentions_protocol_enum(pattern: &str) -> Option<&'static str> {
+    let b = pattern.as_bytes();
+    for name in PROTOCOL_ENUMS {
+        let mut from = 0;
+        while let Some(p) = pattern[from..].find(name) {
+            let at = from + p;
+            from = at + 1;
+            let bounded_left = at == 0 || !is_ident(b[at - 1]);
+            let qualified = pattern[at + name.len()..].starts_with("::");
+            if bounded_left && qualified {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+fn is_bare_wildcard(pattern: &str) -> bool {
+    let p = pattern.trim_start_matches('|').trim();
+    p == "_" || p.starts_with("_ if ") || p.starts_with("_ if(")
+}
+
+/// Lints one source file. `path` is used only for reporting.
+pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    let masked = mask(source);
+    let skip = test_ranges(&masked);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+
+    // Rule 1: unwrap/expect.
+    for (needle, what) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
+        for at in occurrences(&masked, needle, &skip) {
+            let line = line_of(source, at);
+            if waived(&lines, line, "unwrap") {
+                continue;
+            }
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line,
+                rule: Rule::Unwrap,
+                detail: format!(
+                    "{what} in protocol code — return a typed error, or waive with \
+                     `// lint: allow(unwrap) — <why this cannot fail>`"
+                ),
+            });
+        }
+    }
+
+    // Rule 2: wildcard arms over protocol enums.
+    for at in occurrences(&masked, "match", &skip) {
+        let b = source.as_bytes();
+        let bounded = (at == 0 || !is_ident(b[at - 1]))
+            && b.get(at + 5).is_none_or(|c| !is_ident(*c) && *c != b'!');
+        if !bounded {
+            continue; // `rematch`, `match_flit`, `matches!`…
+        }
+        let Some(arms) = parse_match_arms(source, &masked, at) else {
+            continue;
+        };
+        let Some(enum_name) = arms.iter().find_map(|a| mentions_protocol_enum(&a.pattern))
+        else {
+            continue;
+        };
+        for arm in arms.iter().filter(|a| is_bare_wildcard(&a.pattern)) {
+            if waived(&lines, arm.line, "wildcard") || waived(&lines, line_of(source, at), "wildcard")
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: arm.line,
+                rule: Rule::Wildcard,
+                detail: format!(
+                    "wildcard `_` arm in a match over `{enum_name}` — list the variants \
+                     so new ones break the build, or waive with \
+                     `// lint: allow(wildcard) — <why the fallback is safe>`"
+                ),
+            });
+        }
+    }
+
+    // Rule 3: hash collections in simulation state.
+    for name in ["HashMap", "HashSet"] {
+        for at in occurrences(&masked, name, &skip) {
+            let b = source.as_bytes();
+            let bounded = (at == 0 || !is_ident(b[at - 1]))
+                && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
+            if !bounded {
+                continue;
+            }
+            let line = line_of(source, at);
+            if waived(&lines, line, "hash") {
+                continue;
+            }
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line,
+                rule: Rule::Hash,
+                detail: format!(
+                    "{name} in protocol code — iteration order feeds event order; \
+                     use BTreeMap/BTreeSet for deterministic replay, or waive with \
+                     `// lint: allow(hash) — <why the order cannot leak>`"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every protocol crate's `src/` tree under `root` (the
+/// workspace root). `tests/` and `benches/` trees are exempt by
+/// construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in PROTOCOL_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_sources(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file);
+            findings.extend(lint_source(rel, &source));
+        }
+    }
+    Ok(findings)
+}

@@ -1,0 +1,45 @@
+//! Workspace automation. `cargo xtask lint` runs the protocol-crate
+//! lint pass (see [`lint`]); the alias lives in `.cargo/config.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::lint;
+
+fn workspace_root() -> PathBuf {
+    // xtask sits at <root>/crates/xtask.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = workspace_root();
+            let findings = match lint::lint_workspace(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot walk {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if findings.is_empty() {
+                println!(
+                    "xtask lint: clean — {} protocol crates, rules: unwrap, wildcard, hash",
+                    lint::PROTOCOL_CRATES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("xtask lint: {} violation(s)", findings.len());
+                ExitCode::from(1)
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}

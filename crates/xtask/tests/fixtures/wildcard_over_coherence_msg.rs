@@ -1,0 +1,20 @@
+// Lint fixture (never compiled): a handler that hides protocol-enum
+// variants behind a catch-all. `cargo xtask lint` must flag the bare
+// `_` arm in the match over `CoherenceMsg`.
+
+fn classify(msg: &CoherenceMsg) -> &'static str {
+    match msg {
+        CoherenceMsg::GetS { .. } => "read",
+        CoherenceMsg::GetX { .. } => "write",
+        _ => "other",
+    }
+}
+
+fn letter(state: State) -> char {
+    match state {
+        State::Modified => 'M',
+        // lint: allow(wildcard) — fixture: this one is waived and must
+        // NOT be reported.
+        _ => '?',
+    }
+}

@@ -1,0 +1,97 @@
+//! Acceptance tests for the protocol-crate lint pass: the workspace
+//! itself must be clean, and the fixture with a wildcard arm over
+//! `CoherenceMsg` must fail.
+
+use std::path::{Path, PathBuf};
+use xtask::lint::{lint_source, lint_workspace, Rule};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+#[test]
+fn the_workspace_protocol_crates_are_clean() {
+    let findings = lint_workspace(&workspace_root()).unwrap();
+    assert!(
+        findings.is_empty(),
+        "lint violations in the workspace:\n{}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn the_wildcard_fixture_fails_on_the_coherence_msg_match_only() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/wildcard_over_coherence_msg.rs");
+    let source = std::fs::read_to_string(&path).unwrap();
+    let findings = lint_source(&path, &source);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::Wildcard);
+    assert!(findings[0].detail.contains("CoherenceMsg"), "{}", findings[0].detail);
+    // The waived match over `State` must not be reported.
+    assert_eq!(findings[0].line, 9, "must point at the `_ => \"other\"` arm");
+}
+
+#[test]
+fn unwrap_and_expect_are_flagged_outside_tests_only() {
+    let src = r#"
+fn a(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+fn b(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+#[cfg(test)]
+mod tests {
+    fn c(x: Option<u8>) -> u8 {
+        x.unwrap()
+    }
+}
+"#;
+    let findings = lint_source(Path::new("f.rs"), src);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Unwrap));
+    assert_eq!(findings[0].line, 3);
+    assert_eq!(findings[1].line, 6);
+}
+
+#[test]
+fn waiver_markers_and_masked_text_are_honored() {
+    let src = r#"
+fn a(x: Option<u8>) -> u8 {
+    // lint: allow(unwrap) — checked by the caller.
+    x.unwrap()
+}
+fn b() -> &'static str {
+    // A doc string mentioning .unwrap() or HashMap must not trip.
+    "call .unwrap() on a HashMap"
+}
+"#;
+    assert!(lint_source(Path::new("f.rs"), src).is_empty());
+}
+
+#[test]
+fn hash_collections_are_flagged_in_simulation_state() {
+    let src = r#"
+use std::collections::HashMap;
+struct Directory {
+    sharers: HashMap<u64, u8>,
+}
+"#;
+    let findings = lint_source(Path::new("f.rs"), src);
+    assert_eq!(findings.len(), 2, "{findings:?}"); // the use and the field
+    assert!(findings.iter().all(|f| f.rule == Rule::Hash));
+}
+
+#[test]
+fn wildcards_over_non_protocol_enums_are_ignored() {
+    let src = r#"
+fn f(s: CoreState) -> u8 {
+    match s {
+        CoreState::Sleeping => 1,
+        _ => 0,
+    }
+}
+"#;
+    assert!(lint_source(Path::new("f.rs"), src).is_empty());
+}

@@ -4,65 +4,54 @@
 //! fixed router count.
 
 use inpg::stats::{pct, Table};
-use inpg::{Experiment, Mechanism};
-use inpg_bench::{mean, scale_from_env};
-use inpg_locks::LockPrimitive;
+use inpg_bench::{figure_report, mean, scale_from_env};
+use inpg_campaign::engine::CampaignReport;
+use inpg_campaign::suites::{self, ABLATION_BUDGETS, ABLATION_ENTRIES, ABLATION_SUBJECTS};
 
-const SUBJECTS: [&str; 3] = ["kdtree", "fluid", "dedup"];
-
-fn roi_reduction(subject: &str, configure: impl Fn(Experiment) -> Experiment, scale: f64) -> f64 {
-    let base = Experiment::benchmark(subject)
-        .mechanism(Mechanism::Original)
-        .primitive(LockPrimitive::Qsl)
-        .scale(scale)
-        .run()
-        .expect("baseline");
-    let exp = configure(
-        Experiment::benchmark(subject)
-            .mechanism(Mechanism::Inpg)
-            .primitive(LockPrimitive::Qsl)
-            .scale(scale),
-    )
-    .run()
-    .expect("experiment");
-    assert!(base.completed && exp.completed, "{subject}");
-    1.0 - exp.roi_cycles as f64 / base.roi_cycles as f64
+/// Average iNPG ROI reduction over the subjects for one knob setting,
+/// from the campaign's records.
+fn avg_reduction(report: &CampaignReport, cell: &str) -> f64 {
+    let reductions: Vec<f64> = ABLATION_SUBJECTS
+        .iter()
+        .map(|subject| {
+            let base = report.record(&format!("{subject}/base")).roi_cycles as f64;
+            let exp = report.record(&format!("{subject}/{cell}")).roi_cycles as f64;
+            1.0 - exp / base
+        })
+        .collect();
+    mean(&reductions)
 }
 
 fn main() {
     let scale = scale_from_env(0.1);
-    println!("Ablations (QSL, scale {scale}, subjects: {SUBJECTS:?})\n");
+    println!("Ablations (QSL, scale {scale}, subjects: {ABLATION_SUBJECTS:?})\n");
+
+    let report = figure_report(&suites::ablation(scale));
 
     // Retry budget: how the QSL sleep threshold interacts with iNPG.
     let mut table = Table::new(vec!["QSL retry budget", "iNPG ROI reduction (avg)"]);
-    for budget in [16u32, 64, 128, 512] {
-        let reductions: Vec<f64> = SUBJECTS
-            .iter()
-            .map(|s| roi_reduction(s, |e| e.retry_budget(budget), scale))
-            .collect();
-        table.add_row(vec![budget.to_string(), pct(mean(&reductions))]);
+    for budget in ABLATION_BUDGETS {
+        table.add_row(vec![
+            budget.to_string(),
+            pct(avg_reduction(&report, &format!("budget{budget}"))),
+        ]);
     }
     println!("{table}");
 
-    // Deployment pattern at 32 big routers: checkerboard (paper default)
-    // vs row-major spread.
+    // Deployment pattern at 32 big routers: checkerboard (paper default,
+    // the plain-iNPG cell) vs row-major spread.
     let mut table = Table::new(vec!["deployment (32 big routers)", "iNPG ROI reduction (avg)"]);
-    let checker: Vec<f64> =
-        SUBJECTS.iter().map(|s| roi_reduction(s, |e| e, scale)).collect();
-    let spread: Vec<f64> =
-        SUBJECTS.iter().map(|s| roi_reduction(s, |e| e.big_routers(32), scale)).collect();
-    table.add_row(vec!["checkerboard".into(), pct(mean(&checker))]);
-    table.add_row(vec!["spread (row-major)".into(), pct(mean(&spread))]);
+    table.add_row(vec!["checkerboard".into(), pct(avg_reduction(&report, "budget128"))]);
+    table.add_row(vec!["spread (row-major)".into(), pct(avg_reduction(&report, "spread32"))]);
     println!("{table}");
 
     // Barrier table size beyond the paper's 4/16/64 points.
     let mut table = Table::new(vec!["barrier entries", "iNPG ROI reduction (avg)"]);
-    for entries in [1usize, 2, 8, 16, 32] {
-        let reductions: Vec<f64> = SUBJECTS
-            .iter()
-            .map(|s| roi_reduction(s, |e| e.barrier_entries(entries), scale))
-            .collect();
-        table.add_row(vec![entries.to_string(), pct(mean(&reductions))]);
+    for entries in ABLATION_ENTRIES {
+        table.add_row(vec![
+            entries.to_string(),
+            pct(avg_reduction(&report, &format!("entries{entries}"))),
+        ]);
     }
     println!("{table}");
 }

@@ -5,25 +5,26 @@
 //! Paper shape: TAS highest (up to ~90% on facesim), then TTL ≈ ABQL,
 //! with MCS and QSL lowest.
 
-use inpg::stats::{pct, Table};
-use inpg::Mechanism;
-use inpg_bench::{run_point, scale_from_env};
+use inpg::stats::pct;
+use inpg_bench::{figure_report, scale_from_env, FigureMatrix};
+use inpg_campaign::suites;
 use inpg_locks::LockPrimitive;
 
 fn main() {
     let scale = scale_from_env(0.2);
     println!("Figure 2: LCO share of application running time (scale {scale})\n");
 
-    let mut table = Table::new(vec!["benchmark", "TAS", "TTL", "ABQL", "MCS", "QSL"]);
+    let report = figure_report(&suites::fig02(scale));
+    let mut matrix =
+        FigureMatrix::new("benchmark", &["TAS", "TTL", "ABQL", "MCS", "QSL"]);
     for benchmark in ["kdtree", "face", "fluid"] {
-        let mut row = vec![benchmark.to_string()];
-        for primitive in LockPrimitive::ALL {
-            let r = run_point(benchmark, Mechanism::Original, primitive, scale);
-            row.push(pct(r.lco_share()));
-        }
-        table.add_row(row);
+        let values = LockPrimitive::ALL
+            .into_iter()
+            .map(|primitive| report.record(&format!("{benchmark}/{primitive}")).lco_share())
+            .collect();
+        matrix.add_row(benchmark, None, values);
     }
-    println!("{table}");
+    println!("{}", matrix.main_table(pct));
     println!("(LCO = cycles with a lock-variable coherence transaction outstanding,");
     println!(" averaged over threads, relative to ROI runtime.)");
 }

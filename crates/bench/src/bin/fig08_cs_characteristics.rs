@@ -3,9 +3,8 @@
 //! and the three benchmark groups.
 
 use inpg::stats::{pct, Table};
-use inpg::Mechanism;
-use inpg_bench::{run_point, scale_from_env};
-use inpg_locks::LockPrimitive;
+use inpg_bench::{figure_report, scale_from_env};
+use inpg_campaign::suites;
 use inpg_workloads::{group_of, BENCHMARKS};
 
 fn main() {
@@ -29,6 +28,7 @@ fn main() {
     println!("{table}");
 
     println!("Figure 8b: measured COH vs CSE breakdown (Original, QSL, scale {scale})\n");
+    let report = figure_report(&suites::fig08(scale));
     let mut table = Table::new(vec![
         "benchmark",
         "group",
@@ -38,7 +38,7 @@ fn main() {
         "avg CSE/CS",
     ]);
     for spec in &ordered {
-        let r = run_point(spec.name, Mechanism::Original, LockPrimitive::Qsl, scale);
+        let r = report.record(spec.name);
         let total = r.avg_cs_coh + r.avg_cs_cse;
         table.add_row(vec![
             spec.name.to_string(),

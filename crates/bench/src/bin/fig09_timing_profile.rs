@@ -4,18 +4,23 @@
 //! in that window.
 
 use inpg::stats::{pct, render_timeline, timeline_legend, Table};
-use inpg::{Experiment, Mechanism};
-use inpg_bench::scale_from_env;
+use inpg::Mechanism;
+use inpg_bench::{figure_report, scale_from_env};
+use inpg_campaign::suites;
 use inpg_sim::Cycle;
 
 const WINDOW: u64 = 30_000;
 const THREADS_SHOWN: usize = 8;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let scale = scale_from_env(0.2);
     println!(
         "Figure 9: freqmine timing profile, first {THREADS_SHOWN} threads, a {WINDOW}-cycle steady-state window (QSL, scale {scale})\n"
     );
+
+    // Timeline cells are uncacheable, so the campaign always hands back
+    // fresh in-process results carrying the full timeline.
+    let report = figure_report(&suites::fig09(scale));
 
     let mut table = Table::new(vec![
         "mechanism",
@@ -28,12 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base_cs = None;
     let mut window_start = None;
     for mechanism in Mechanism::ALL {
-        let r = Experiment::benchmark("freq")
-            .mechanism(mechanism)
-            .scale(scale)
-            .record_timeline(true)
-            .run()?;
-        assert!(r.completed, "{mechanism}");
+        let outcome = report
+            .outcome(&mechanism.to_string())
+            .expect("fig09 cell per mechanism");
+        let r = outcome.fresh.as_ref().expect("timeline cells run fresh");
         let timeline = r.timeline.as_ref().expect("timeline recorded");
         // The paper profiles a mid-execution slice; we anchor the window
         // at 25% of the Original run's ROI so every mechanism is
@@ -74,5 +77,4 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{table}");
     println!("(Paper: Original 62.1/28.3/9.6 with 78 CS; OCOR 69.8/19.8/10.4 with 92;");
     println!(" iNPG 73.0/17.0/10.0 with 96; iNPG+OCOR 80.1/9.0/10.9 with 104.)");
-    Ok(())
 }

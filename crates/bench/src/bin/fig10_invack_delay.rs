@@ -7,34 +7,15 @@
 //! node (mean 39.2, max 97, long tail); with iNPG the delay is flat and
 //! short (mean 9.5, max 15).
 
-use inpg::{Experiment, ExperimentResult, Mechanism};
-use inpg_bench::scale_from_env;
-use inpg_locks::LockPrimitive;
-use inpg::ThreadProgram;
-use inpg_sim::{CoreId, LockId};
+use inpg::Mechanism;
+use inpg_bench::{figure_report, scale_from_env};
+use inpg_campaign::{suites, CellRecord};
 
-/// Tile (x=5, y=6) on the 8×8 mesh, as in the paper.
-const HOME: usize = 6 * 8 + 5;
-
-fn run(mechanism: Mechanism, rounds: usize) -> ExperimentResult {
-    // All 64 threads hammer one lock; spin-lock competition (the paper
-    // measures the scenario where every thread competes for the lock
-    // variable, which is the TAS-style shared-word race).
-    let programs: Vec<ThreadProgram> = (0..64)
-        .map(|_| ThreadProgram::new().rounds(rounds, 500, LockId::new(0), 100))
-        .collect();
-    let r = Experiment::custom("hot-lock", programs, 1)
-        .mechanism(mechanism)
-        .primitive(LockPrimitive::Tas)
-        .lock_home(CoreId::new(HOME))
-        .run()
-        .expect("valid experiment");
-    assert!(r.completed, "{mechanism} did not complete");
-    r
-}
-
-fn print_map(label: &str, r: &ExperimentResult) {
-    println!("{label}: mean {:.1} cycles, max {} cycles, {} round trips", r.invack.mean, r.invack.max, r.invack.count);
+fn print_map(label: &str, r: &CellRecord) {
+    println!(
+        "{label}: mean {:.1} cycles, max {} cycles, {} round trips",
+        r.invack.mean, r.invack.max, r.invack.count
+    );
     println!("per-core mean Inv-Ack round-trip delay (8x8 map, '-' = never invalidated):");
     for y in 0..8 {
         let mut row = String::new();
@@ -64,12 +45,13 @@ fn print_map(label: &str, r: &ExperimentResult) {
 }
 
 fn main() {
-    let rounds = (scale_from_env(0.1) * 160.0).ceil().max(4.0) as usize;
+    let scale = scale_from_env(0.1);
     println!("Figure 10: Inv-Ack round-trip delay, 64 threads competing, lock homed at (5,6)\n");
-    let original = run(Mechanism::Original, rounds);
-    let inpg = run(Mechanism::Inpg, rounds);
-    print_map("Original (Figures 10a/10b)", &original);
-    print_map("iNPG, all round trips", &inpg);
+    let report = figure_report(&suites::fig10(scale));
+    let original = report.record(&Mechanism::Original.to_string());
+    let inpg = report.record(&Mechanism::Inpg.to_string());
+    print_map("Original (Figures 10a/10b)", original);
+    print_map("iNPG, all round trips", inpg);
     println!(
         "iNPG early (router-closed) round trips only — the paper's Figures 10c/10d          plot these: mean {:.1}, max {} over {} trips",
         inpg.invack_early.mean, inpg.invack_early.max, inpg.invack_early.count

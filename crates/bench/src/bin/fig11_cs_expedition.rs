@@ -6,83 +6,49 @@
 //! 3.48x, nab); iNPG+OCOR 2.71x avg; gains grow from Group 1 to Group 3;
 //! iNPG over OCOR: 1.35x avg.
 
-use inpg::stats::{speedup, Table};
+use inpg::stats::speedup;
 use inpg::Mechanism;
-use inpg_bench::{geomean, run_point_seeded, scale_from_env, seeds_from_env};
-use inpg_locks::LockPrimitive;
-use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
+use inpg_bench::{figure_report, geomean, scale_from_env, seeds_from_env, FigureMatrix};
+use inpg_campaign::suites::{self, seed_label};
+use inpg_workloads::{group_of, BENCHMARKS};
+
+const SERIES: [Mechanism; 3] = [Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor];
 
 fn main() {
     let scale = scale_from_env(0.2);
     println!("Figure 11: CS expedition vs Original (QSL, scale {scale})\n");
 
-    let mut table =
-        Table::new(vec!["benchmark", "group", "OCOR", "iNPG", "iNPG+OCOR"]);
-    let mut per_group: Vec<(CsGroup, [Vec<f64>; 3])> = vec![
-        (CsGroup::Low, [vec![], vec![], vec![]]),
-        (CsGroup::Medium, [vec![], vec![], vec![]]),
-        (CsGroup::High, [vec![], vec![], vec![]]),
-    ];
-    let mut all: [Vec<(f64, &str)>; 3] = [vec![], vec![], vec![]];
-
     let seeds = seeds_from_env();
-    for spec in &BENCHMARKS {
-        let bases: Vec<_> = seeds
-            .iter()
-            .map(|&s| run_point_seeded(spec.name, Mechanism::Original, LockPrimitive::Qsl, scale, s))
-            .collect();
-        let mut row = vec![spec.name.to_string(), group_of(spec).to_string()];
-        for (i, mechanism) in [Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor]
-            .into_iter()
-            .enumerate()
-        {
-            let exps: Vec<f64> = seeds
-                .iter()
-                .zip(&bases)
-                .map(|(&s, base)| {
-                    let r = run_point_seeded(spec.name, mechanism, LockPrimitive::Qsl, scale, s);
-                    base.cs_access_time() / r.cs_access_time()
-                })
-                .collect();
-            let expedition = geomean(&exps);
-            row.push(speedup(expedition));
-            for (g, lists) in per_group.iter_mut() {
-                if *g == group_of(spec) {
-                    lists[i].push(expedition);
-                }
-            }
-            all[i].push((expedition, spec.name));
-        }
-        table.add_row(row);
-    }
-    println!("{table}");
+    let report = figure_report(&suites::fig11(scale, &seeds));
 
-    let mut summary = Table::new(vec!["scope", "OCOR", "iNPG", "iNPG+OCOR"]);
-    for (group, lists) in &per_group {
-        summary.add_row(vec![
-            group.to_string(),
-            speedup(geomean(&lists[0])),
-            speedup(geomean(&lists[1])),
-            speedup(geomean(&lists[2])),
-        ]);
+    let mut matrix = FigureMatrix::new("benchmark", &["OCOR", "iNPG", "iNPG+OCOR"]);
+    for spec in &BENCHMARKS {
+        let values = SERIES
+            .map(|mechanism| {
+                let exps: Vec<f64> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let label = |m: Mechanism| {
+                            format!("{}/{m}/{}", spec.name, seed_label(seed))
+                        };
+                        let base = report.record(&label(Mechanism::Original));
+                        let r = report.record(&label(mechanism));
+                        base.cs_access_time() / r.cs_access_time()
+                    })
+                    .collect();
+                geomean(&exps)
+            })
+            .to_vec();
+        matrix.add_row(spec.name, Some(group_of(spec)), values);
     }
-    let avg: Vec<f64> =
-        all.iter().map(|v| geomean(&v.iter().map(|(e, _)| *e).collect::<Vec<_>>())).collect();
-    summary.add_row(vec![
-        "all 24 (geomean)".into(),
-        speedup(avg[0]),
-        speedup(avg[1]),
-        speedup(avg[2]),
-    ]);
-    println!("{summary}");
+    println!("{}", matrix.main_table(speedup));
+    println!("{}", matrix.summary_table("scope", geomean, speedup, "all 24 (geomean)"));
 
     for (i, name) in ["OCOR", "iNPG", "iNPG+OCOR"].iter().enumerate() {
-        let (max, bench) =
-            all[i].iter().cloned().fold((0.0, ""), |acc, v| if v.0 > acc.0 { v } else { acc });
+        let (max, bench) = matrix.column_max(i);
         println!("max {name}: {} ({bench})", speedup(max));
     }
-    println!(
-        "iNPG over OCOR: {} avg",
-        speedup(avg[1] / avg[0])
-    );
+    let avg_ocor = matrix.column_agg(0, geomean);
+    let avg_inpg = matrix.column_agg(1, geomean);
+    println!("iNPG over OCOR: {} avg", speedup(avg_inpg / avg_ocor));
 }

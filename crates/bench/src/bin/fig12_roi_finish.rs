@@ -5,83 +5,56 @@
 //! reductions grow from Group 1 to Group 3; iNPG over OCOR improves ROI
 //! by 7.8% avg / 14.7% max (bt331); the combination is sub-additive.
 
-use inpg::stats::{pct, Table};
+use inpg::stats::pct;
 use inpg::Mechanism;
-use inpg_bench::{mean, run_point_seeded, scale_from_env, seeds_from_env};
-use inpg_locks::LockPrimitive;
-use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
+use inpg_bench::{figure_report, mean, scale_from_env, seeds_from_env, FigureMatrix};
+use inpg_campaign::suites::{self, seed_label};
+use inpg_workloads::{group_of, BENCHMARKS};
+
+const SERIES: [Mechanism; 3] = [Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor];
 
 fn main() {
     let scale = scale_from_env(0.2);
     println!("Figure 12: relative ROI finish time (Original = 100%; QSL, scale {scale})\n");
 
-    let mut table = Table::new(vec!["benchmark", "group", "OCOR", "iNPG", "iNPG+OCOR"]);
-    let mut per_group: Vec<(CsGroup, [Vec<f64>; 3])> = vec![
-        (CsGroup::Low, [vec![], vec![], vec![]]),
-        (CsGroup::Medium, [vec![], vec![], vec![]]),
-        (CsGroup::High, [vec![], vec![], vec![]]),
-    ];
-    let mut all: [Vec<(f64, &str)>; 3] = [vec![], vec![], vec![]];
-
     let seeds = seeds_from_env();
+    // Same cell set (and cache entries) as Figure 11.
+    let report = figure_report(&suites::fig12(scale, &seeds));
+
+    let mut matrix = FigureMatrix::new("benchmark", &["OCOR", "iNPG", "iNPG+OCOR"]);
     for spec in &BENCHMARKS {
-        let mut row = vec![spec.name.to_string(), group_of(spec).to_string()];
-        let bases: Vec<_> = seeds
-            .iter()
-            .map(|&s| run_point_seeded(spec.name, Mechanism::Original, LockPrimitive::Qsl, scale, s))
-            .collect();
-        for (i, mechanism) in [Mechanism::Ocor, Mechanism::Inpg, Mechanism::InpgOcor]
-            .into_iter()
-            .enumerate()
-        {
-            let rels: Vec<f64> = seeds
-                .iter()
-                .zip(&bases)
-                .map(|(&s, base)| {
-                    let r = run_point_seeded(spec.name, mechanism, LockPrimitive::Qsl, scale, s);
-                    r.roi_cycles as f64 / base.roi_cycles as f64
-                })
-                .collect();
-            let rel = mean(&rels);
-            row.push(pct(rel));
-            for (g, lists) in per_group.iter_mut() {
-                if *g == group_of(spec) {
-                    lists[i].push(rel);
-                }
-            }
-            all[i].push((rel, spec.name));
-        }
-        table.add_row(row);
+        let values = SERIES
+            .map(|mechanism| {
+                let rels: Vec<f64> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let label = |m: Mechanism| {
+                            format!("{}/{m}/{}", spec.name, seed_label(seed))
+                        };
+                        let base = report.record(&label(Mechanism::Original));
+                        let r = report.record(&label(mechanism));
+                        r.roi_cycles as f64 / base.roi_cycles as f64
+                    })
+                    .collect();
+                mean(&rels)
+            })
+            .to_vec();
+        matrix.add_row(spec.name, Some(group_of(spec)), values);
     }
-    println!("{table}");
+    println!("{}", matrix.main_table(pct));
+    println!("{}", matrix.summary_table("scope", mean, pct, "all 24 (mean)"));
 
-    let mut summary = Table::new(vec!["scope", "OCOR", "iNPG", "iNPG+OCOR"]);
-    for (group, lists) in &per_group {
-        summary.add_row(vec![
-            group.to_string(),
-            pct(mean(&lists[0])),
-            pct(mean(&lists[1])),
-            pct(mean(&lists[2])),
-        ]);
-    }
-    let avg: Vec<f64> =
-        all.iter().map(|v| mean(&v.iter().map(|(e, _)| *e).collect::<Vec<_>>())).collect();
-    summary.add_row(vec![
-        "all 24 (mean)".into(),
-        pct(avg[0]),
-        pct(avg[1]),
-        pct(avg[2]),
-    ]);
-    println!("{summary}");
-
-    let best_gain = all[1]
+    let ocor = matrix.column(0);
+    let inpg = matrix.column(1);
+    let best_gain = inpg
         .iter()
-        .zip(&all[0])
-        .map(|((inpg, name), (ocor, _))| (1.0 - inpg / ocor, *name))
+        .zip(&ocor)
+        .zip(BENCHMARKS.iter())
+        .map(|((i, o), spec)| (1.0 - i / o, spec.name))
         .fold((f64::MIN, ""), |acc, v| if v.0 > acc.0 { v } else { acc });
     println!(
         "iNPG over OCOR: {:.1}% avg ROI improvement, {:.1}% max ({})",
-        (1.0 - avg[1] / avg[0]) * 100.0,
+        (1.0 - mean(&inpg) / mean(&ocor)) * 100.0,
         best_gain.0 * 100.0,
         best_gain.1
     );

@@ -8,7 +8,8 @@
 
 use inpg::stats::{pct, Table};
 use inpg::Mechanism;
-use inpg_bench::{mean, run_point, scale_from_env};
+use inpg_bench::{figure_report, mean, scale_from_env, FigureMatrix};
+use inpg_campaign::suites;
 use inpg_locks::LockPrimitive;
 use inpg_workloads::BENCHMARKS;
 
@@ -16,24 +17,25 @@ fn main() {
     let scale = scale_from_env(0.05);
     println!("Figure 13: ROI finish time reduction by iNPG per primitive (scale {scale})\n");
 
-    let mut table = Table::new(vec!["benchmark", "TAS", "TTL", "ABQL", "MCS", "QSL"]);
-    let mut per_primitive: Vec<Vec<f64>> = vec![Vec::new(); LockPrimitive::ALL.len()];
+    let report = figure_report(&suites::fig13(scale));
+    let mut matrix =
+        FigureMatrix::new("benchmark", &["TAS", "TTL", "ABQL", "MCS", "QSL"]);
     for spec in &BENCHMARKS {
-        let mut row = vec![spec.name.to_string()];
-        for (i, primitive) in LockPrimitive::ALL.into_iter().enumerate() {
-            let base = run_point(spec.name, Mechanism::Original, primitive, scale);
-            let inpg = run_point(spec.name, Mechanism::Inpg, primitive, scale);
-            let reduction = 1.0 - inpg.roi_cycles as f64 / base.roi_cycles as f64;
-            per_primitive[i].push(reduction);
-            row.push(pct(reduction));
-        }
-        table.add_row(row);
+        let values = LockPrimitive::ALL
+            .map(|primitive| {
+                let label = |m: Mechanism| format!("{}/{primitive}/{m}", spec.name);
+                let base = report.record(&label(Mechanism::Original));
+                let inpg = report.record(&label(Mechanism::Inpg));
+                1.0 - inpg.roi_cycles as f64 / base.roi_cycles as f64
+            })
+            .to_vec();
+        matrix.add_row(spec.name, None, values);
     }
-    println!("{table}");
+    println!("{}", matrix.main_table(pct));
 
     let mut summary = Table::new(vec!["primitive", "avg ROI reduction"]);
     for (i, primitive) in LockPrimitive::ALL.into_iter().enumerate() {
-        summary.add_row(vec![primitive.to_string(), pct(mean(&per_primitive[i]))]);
+        summary.add_row(vec![primitive.to_string(), pct(matrix.column_agg(i, mean))]);
     }
     println!("{summary}");
     println!("(Paper: TAS 52.8%, TTL 33.4%, ABQL 32.6%, QSL 19.9%, MCS 16.5%.)");

@@ -6,18 +6,15 @@
 //! (CSE is untouched).
 
 use inpg::stats::{speedup, Table};
-use inpg::{Experiment, Mechanism};
-use inpg_bench::{geomean, scale_from_env};
-use inpg_locks::LockPrimitive;
+use inpg_bench::{figure_report, geomean, scale_from_env, FigureMatrix};
+use inpg_campaign::suites::{self, FIG14_DEPLOYMENTS};
 use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
 
-const DEPLOYMENTS: [usize; 5] = [0, 4, 16, 32, 64];
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let scale = scale_from_env(0.05);
     println!("Figure 14: CS expedition vs big-router deployment (QSL, scale {scale})\n");
 
-    // Use the Group 3 (high CS time) programs: the paper's sensitivity
+    // The Group 3 (high CS time) programs: the paper's sensitivity
     // trends are clearest where competition dominates, and every program
     // shows the same saturation shape.
     let subjects: Vec<&str> = BENCHMARKS
@@ -26,39 +23,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|b| b.name)
         .collect();
 
-    let mut table = Table::new(vec!["benchmark", "0", "4", "16", "32", "64"]);
-    let mut per_deploy: Vec<Vec<f64>> = vec![Vec::new(); DEPLOYMENTS.len()];
+    let report = figure_report(&suites::fig14(scale));
+    let mut matrix = FigureMatrix::new("benchmark", &["0", "4", "16", "32", "64"]);
     for name in &subjects {
-        let mut baseline_cs = None;
-        let mut row = vec![name.to_string()];
-        for (i, &count) in DEPLOYMENTS.iter().enumerate() {
-            let r = Experiment::benchmark(name)
-                .mechanism(if count == 0 { Mechanism::Original } else { Mechanism::Inpg })
-                .primitive(LockPrimitive::Qsl)
-                .big_routers(count)
-                .scale(scale)
-                .run()?;
-            assert!(r.completed, "{name} with {count} big routers");
-            let cs_time = r.cs_access_time();
-            let expedition = match baseline_cs {
-                None => {
-                    baseline_cs = Some(cs_time);
-                    1.0
-                }
-                Some(base) => base / cs_time,
-            };
-            per_deploy[i].push(expedition);
-            row.push(speedup(expedition));
-        }
-        table.add_row(row);
+        let base_cs = report.record(&format!("{name}/br0")).cs_access_time();
+        let values = FIG14_DEPLOYMENTS
+            .map(|count| {
+                base_cs / report.record(&format!("{name}/br{count}")).cs_access_time()
+            })
+            .to_vec();
+        matrix.add_row(name, None, values);
     }
-    println!("{table}");
+    println!("{}", matrix.main_table(speedup));
 
     let mut summary = Table::new(vec!["big routers", "avg CS expedition"]);
-    for (i, &count) in DEPLOYMENTS.iter().enumerate() {
-        summary.add_row(vec![count.to_string(), speedup(geomean(&per_deploy[i]))]);
+    for (i, count) in FIG14_DEPLOYMENTS.into_iter().enumerate() {
+        summary.add_row(vec![count.to_string(), speedup(matrix.column_agg(i, geomean))]);
     }
     println!("{summary}");
     println!("(Paper: monotone improvement, marginal gain from 32 to 64 big routers.)");
-    Ok(())
 }

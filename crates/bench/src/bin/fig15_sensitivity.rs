@@ -6,16 +6,12 @@
 //! 8×8 → 57.5% at 16×16); 4-entry tables throttle iNPG on big meshes
 //! while 16 vs 64 entries barely differ.
 
-use inpg::stats::{pct, Table};
-use inpg::{Experiment, Mechanism};
-use inpg_bench::{mean, scale_from_env};
-use inpg_locks::LockPrimitive;
+use inpg::stats::pct;
+use inpg_bench::{figure_report, mean, scale_from_env, FigureMatrix};
+use inpg_campaign::suites::{self, FIG15_MESHES, FIG15_TABLES};
 use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
 
-const MESHES: [(u8, u8); 4] = [(2, 2), (4, 4), (8, 8), (16, 16)];
-const TABLES: [usize; 3] = [4, 16, 64];
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let scale = scale_from_env(0.02);
     println!("Figure 15: iNPG ROI reduction vs mesh dimension x barrier-table size (QSL, scale {scale})\n");
 
@@ -25,41 +21,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|b| b.name)
         .collect();
 
-    let mut table = Table::new(vec!["mesh", "4 entries", "16 entries", "64 entries"]);
-    for (w, h) in MESHES {
-        // One baseline per (mesh, subject), shared across table sizes.
-        let mut baselines = Vec::new();
-        for name in &subjects {
-            let base = Experiment::benchmark(name)
-                .mechanism(Mechanism::Original)
-                .primitive(LockPrimitive::Qsl)
-                .mesh(w, h)
-                .scale(scale)
-                .run()?;
-            assert!(base.completed, "{name} {w}x{h} baseline");
-            baselines.push(base.roi_cycles as f64);
-        }
-        let mut row = vec![format!("{w}x{h}")];
-        for entries in TABLES {
-            let mut reductions = Vec::new();
-            for (name, &base_roi) in subjects.iter().zip(&baselines) {
-                let inpg = Experiment::benchmark(name)
-                    .mechanism(Mechanism::Inpg)
-                    .primitive(LockPrimitive::Qsl)
-                    .mesh(w, h)
-                    .barrier_entries(entries)
-                    .scale(scale)
-                    .run()?;
-                assert!(inpg.completed, "{name} {w}x{h} {entries}");
-                reductions.push(1.0 - inpg.roi_cycles as f64 / base_roi);
-            }
-            row.push(pct(mean(&reductions)));
-        }
-        table.add_row(row);
-        eprintln!("[fig15] {w}x{h} done");
+    let report = figure_report(&suites::fig15(scale));
+    let mut matrix =
+        FigureMatrix::new("mesh", &["4 entries", "16 entries", "64 entries"]);
+    for (w, h) in FIG15_MESHES {
+        let values = FIG15_TABLES
+            .map(|entries| {
+                let reductions: Vec<f64> = subjects
+                    .iter()
+                    .map(|name| {
+                        let base =
+                            report.record(&format!("{w}x{h}/{name}/base")).roi_cycles as f64;
+                        let inpg =
+                            report.record(&format!("{w}x{h}/{name}/e{entries}")).roi_cycles
+                                as f64;
+                        1.0 - inpg / base
+                    })
+                    .collect();
+                mean(&reductions)
+            })
+            .to_vec();
+        matrix.add_row(&format!("{w}x{h}"), None, values);
     }
-    println!("{table}");
+    println!("{}", matrix.main_table(pct));
     println!("(Paper: benefit grows with mesh size; 4 entries throttle big meshes;");
     println!(" 16 vs 64 entries barely differ — 16 is chosen as the default.)");
-    Ok(())
 }

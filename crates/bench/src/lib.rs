@@ -1,14 +1,22 @@
 //! Benchmark harness support: shared helpers for the `fig*` binaries
 //! that regenerate every table and figure of the paper's evaluation.
 //!
-//! Each binary prints the figure's rows/series as a text table. Scale is
-//! controlled with the `INPG_SCALE` environment variable (1.0 = the
-//! paper's full Figure-8 critical-section counts); the per-binary
-//! defaults keep a full regeneration affordable on a laptop while
-//! preserving every trend.
+//! Since the campaign engine landed, the binaries are thin formatting
+//! wrappers: each builds its cell set in [`inpg_campaign::suites`],
+//! executes it through [`figure_report`] (parallel workers, resumable
+//! content-addressed cache), and formats the returned records — most of
+//! them through [`FigureMatrix`], which holds the per-benchmark /
+//! per-group / overall summary shape the figures share.
+//!
+//! Environment knobs: `INPG_SCALE` (workload scale), `INPG_SEEDS` (seed
+//! averaging), `INPG_WORKERS` (worker threads), `INPG_CACHE` (`0`
+//! disables the result cache, a path relocates it; default
+//! `results/cache`).
 
-use inpg::{Experiment, ExperimentResult, Mechanism};
-use inpg_locks::LockPrimitive;
+use inpg::stats::Table;
+use inpg_campaign::engine::{execute, CampaignReport, ExecOptions};
+use inpg_campaign::Campaign;
+use inpg_workloads::CsGroup;
 
 /// Reads the workload scale from `INPG_SCALE`, falling back to
 /// `default_scale`.
@@ -30,47 +38,23 @@ pub fn seeds_from_env() -> Vec<u64> {
     (0..n).map(|i| 0x1a9e_4711 + i * 0x9e37).collect()
 }
 
-/// Like [`run_point`] with an explicit workload seed.
-pub fn run_point_seeded(
-    benchmark: &str,
-    mechanism: Mechanism,
-    primitive: LockPrimitive,
-    scale: f64,
-    seed: u64,
-) -> ExperimentResult {
-    let result = Experiment::benchmark(benchmark)
-        .mechanism(mechanism)
-        .primitive(primitive)
-        .scale(scale)
-        .seed(seed)
-        .run()
-        .unwrap_or_else(|e| panic!("{benchmark}/{mechanism}/{primitive}: {e}"));
+/// Runs a figure's campaign with the standard harness options
+/// (`INPG_WORKERS` workers, resumable cache under `results/cache`,
+/// progress on stderr) and panics — with the offending cell labels — if
+/// anything fails or hits its cycle bound. The happy path of every
+/// `fig*` binary.
+pub fn figure_report(campaign: &Campaign) -> CampaignReport {
+    let report = execute(campaign, &ExecOptions::for_figures())
+        .unwrap_or_else(|e| panic!("campaign {}: {e}", campaign.name));
+    let incomplete = report.incomplete();
     assert!(
-        result.completed,
-        "{benchmark}/{mechanism}/{primitive} did not complete within the cycle bound"
+        incomplete.is_empty(),
+        "campaign {}: cells hit the cycle bound: {}",
+        campaign.name,
+        incomplete.join(", ")
     );
-    result
-}
-
-/// Runs one benchmark × mechanism × primitive point at `scale`,
-/// panicking (with context) if it fails to complete.
-pub fn run_point(
-    benchmark: &str,
-    mechanism: Mechanism,
-    primitive: LockPrimitive,
-    scale: f64,
-) -> ExperimentResult {
-    let result = Experiment::benchmark(benchmark)
-        .mechanism(mechanism)
-        .primitive(primitive)
-        .scale(scale)
-        .run()
-        .unwrap_or_else(|e| panic!("{benchmark}/{mechanism}/{primitive}: {e}"));
-    assert!(
-        result.completed,
-        "{benchmark}/{mechanism}/{primitive} did not complete within the cycle bound"
-    );
-    result
+    eprintln!("{}", report.summary_line());
+    report
 }
 
 /// Geometric mean of a nonempty slice.
@@ -86,6 +70,116 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+struct MatrixRow {
+    name: String,
+    group: Option<CsGroup>,
+    values: Vec<f64>,
+}
+
+/// The table shape shared by the evaluation figures: one row per
+/// benchmark (optionally tagged with its CS-time group), one numeric
+/// column per series, plus the per-group and overall summary and the
+/// per-column extremes the binaries report.
+pub struct FigureMatrix {
+    row_header: String,
+    columns: Vec<String>,
+    rows: Vec<MatrixRow>,
+}
+
+impl FigureMatrix {
+    pub fn new(row_header: &str, columns: &[&str]) -> Self {
+        FigureMatrix {
+            row_header: row_header.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; `values` must have one entry per column.
+    pub fn add_row(&mut self, name: &str, group: Option<CsGroup>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row `{name}` width");
+        self.rows.push(MatrixRow { name: name.to_string(), group, values });
+    }
+
+    fn with_groups(&self) -> bool {
+        self.rows.iter().any(|r| r.group.is_some())
+    }
+
+    /// The main per-row table, every value rendered with `fmt`.
+    pub fn main_table(&self, fmt: impl Fn(f64) -> String) -> Table {
+        let mut headers = vec![self.row_header.as_str()];
+        if self.with_groups() {
+            headers.push("group");
+        }
+        headers.extend(self.columns.iter().map(String::as_str));
+        let mut table = Table::new(headers);
+        for row in &self.rows {
+            let mut cells = vec![row.name.clone()];
+            if self.with_groups() {
+                cells.push(row.group.map(|g| g.to_string()).unwrap_or_default());
+            }
+            cells.extend(row.values.iter().map(|&v| fmt(v)));
+            table.add_row(cells);
+        }
+        table
+    }
+
+    /// The summary table: one row per group (when rows carry groups)
+    /// aggregated with `agg`, then one overall row labelled
+    /// `overall_label`.
+    pub fn summary_table(
+        &self,
+        scope_header: &str,
+        agg: impl Fn(&[f64]) -> f64,
+        fmt: impl Fn(f64) -> String,
+        overall_label: &str,
+    ) -> Table {
+        let mut headers = vec![scope_header];
+        headers.extend(self.columns.iter().map(String::as_str));
+        let mut table = Table::new(headers);
+        if self.with_groups() {
+            for group in [CsGroup::Low, CsGroup::Medium, CsGroup::High] {
+                let members: Vec<&MatrixRow> =
+                    self.rows.iter().filter(|r| r.group == Some(group)).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut cells = vec![group.to_string()];
+                for col in 0..self.columns.len() {
+                    let values: Vec<f64> =
+                        members.iter().map(|r| r.values[col]).collect();
+                    cells.push(fmt(agg(&values)));
+                }
+                table.add_row(cells);
+            }
+        }
+        let mut cells = vec![overall_label.to_string()];
+        for col in 0..self.columns.len() {
+            cells.push(fmt(agg(&self.column(col))));
+        }
+        table.add_row(cells);
+        table
+    }
+
+    /// All values of one column, row order.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r.values[col]).collect()
+    }
+
+    /// The maximum of a column and the row that attains it.
+    pub fn column_max(&self, col: usize) -> (f64, &str) {
+        self.rows
+            .iter()
+            .map(|r| (r.values[col], r.name.as_str()))
+            .fold((f64::MIN, ""), |acc, v| if v.0 > acc.0 { v } else { acc })
+    }
+
+    /// Aggregates one column with `agg`.
+    pub fn column_agg(&self, col: usize, agg: impl Fn(&[f64]) -> f64) -> f64 {
+        agg(&self.column(col))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +188,32 @@ mod tests {
     fn geomean_and_mean() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_summarizes_per_group_and_overall() {
+        let mut m = FigureMatrix::new("benchmark", &["a", "b"]);
+        m.add_row("x", Some(CsGroup::Low), vec![1.0, 2.0]);
+        m.add_row("y", Some(CsGroup::High), vec![3.0, 4.0]);
+        m.add_row("z", Some(CsGroup::High), vec![5.0, 6.0]);
+
+        let main = m.main_table(|v| format!("{v:.1}"));
+        assert_eq!(main.len(), 3);
+
+        let summary = m.summary_table("scope", mean, |v| format!("{v:.1}"), "all");
+        // Low, High, overall (Medium has no members).
+        assert_eq!(summary.len(), 3);
+
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.column_max(0), (5.0, "z"));
+        assert!((m.column_agg(0, mean) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_without_groups_has_no_group_column() {
+        let mut m = FigureMatrix::new("r", &["only"]);
+        m.add_row("x", None, vec![1.0]);
+        let summary = m.summary_table("scope", mean, |v| format!("{v}"), "all");
+        assert_eq!(summary.len(), 1, "just the overall row");
     }
 }

@@ -1,0 +1,229 @@
+//! `BENCH_campaign.json` — the structured perf trajectory of the
+//! harness itself.
+//!
+//! One file accumulates one entry per `(campaign, workers, resume,
+//! cold)` combination — `cold` meaning every cell actually executed —
+//! newest run replacing the previous entry for the same combination,
+//! so a warm rerun never clobbers the cold timing it would be compared
+//! against. Each entry records suite wall time, executed/cached
+//! cell counts, total simulated cycles, suite throughput, per-cell wall
+//! time and throughput, and — when the file also holds a full cold run
+//! of the same campaign at `--workers 1` — the measured speedup over
+//! that single-worker run.
+
+use crate::engine::CampaignReport;
+use crate::json::{self, Json};
+use std::io;
+use std::path::Path;
+
+/// Merges `report` into the bench file at `path` (created if absent).
+/// Returns the entry that was written.
+pub fn write_bench_json(path: &Path, report: &CampaignReport) -> io::Result<Json> {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+            .unwrap_or_default(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+
+    // Drop the previous entry for this (campaign, workers, resume, cold).
+    let report_cold = report.executed == report.outcomes.len() && report.executed > 0;
+    runs.retain(|r| {
+        let r_cold = r.get("cells").and_then(Json::as_u64)
+            == r.get("executed").and_then(Json::as_u64)
+            && r.get("executed").and_then(Json::as_u64).unwrap_or(0) > 0;
+        !(r.get("campaign").and_then(Json::as_str) == Some(report.name.as_str())
+            && r.get("workers").and_then(Json::as_u64) == Some(report.workers as u64)
+            && r.get("resume").and_then(Json::as_bool) == Some(report.resume)
+            && r_cold == report_cold)
+    });
+
+    let entry = entry_json(report, baseline_wall_ms(&runs, report));
+    runs.push(entry.clone());
+
+    let doc = Json::obj(vec![
+        ("schema", Json::UInt(1)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_string_compact() + "\n")?;
+    Ok(entry)
+}
+
+/// Wall time of a prior *full cold* 1-worker run of the same campaign,
+/// the denominator for the reported speedup.
+fn baseline_wall_ms(runs: &[Json], report: &CampaignReport) -> Option<f64> {
+    runs.iter()
+        .filter(|r| {
+            r.get("campaign").and_then(Json::as_str) == Some(report.name.as_str())
+                && r.get("workers").and_then(Json::as_u64) == Some(1)
+                && r.get("cells").and_then(Json::as_u64)
+                    == r.get("executed").and_then(Json::as_u64)
+                && r.get("executed").and_then(Json::as_u64).unwrap_or(0) > 0
+        })
+        .filter_map(|r| r.get("wall_ms").and_then(Json::as_f64))
+        .next_back()
+}
+
+fn entry_json(report: &CampaignReport, baseline_wall_ms: Option<f64>) -> Json {
+    let wall_ms = report.wall_nanos as f64 / 1e6;
+    let full_cold = report.executed == report.outcomes.len() && report.executed > 0;
+    let speedup = match baseline_wall_ms {
+        // Speedups only compare full cold executions; a warm run's wall
+        // time measures the cache, not the pool.
+        Some(base) if full_cold && wall_ms > 0.0 => Json::num(base / wall_ms),
+        _ => Json::Null,
+    };
+    let cells_detail: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            let cps = if o.wall_nanos == 0 {
+                Json::Null
+            } else {
+                Json::num(o.record.roi_cycles as f64 * 1e9 / o.wall_nanos as f64)
+            };
+            Json::obj(vec![
+                ("cell", Json::Str(o.spec.label.clone())),
+                ("hash", Json::Str(o.hash.clone())),
+                ("cached", Json::Bool(o.cached)),
+                ("sim_cycles", Json::UInt(o.record.roi_cycles)),
+                ("wall_ms", Json::num(o.wall_nanos as f64 / 1e6)),
+                ("sim_cycles_per_sec", cps),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("campaign", Json::Str(report.name.clone())),
+        ("workers", Json::UInt(report.workers as u64)),
+        ("resume", Json::Bool(report.resume)),
+        ("cells", Json::UInt(report.outcomes.len() as u64)),
+        ("executed", Json::UInt(report.executed as u64)),
+        ("cached", Json::UInt(report.cached as u64)),
+        ("wall_ms", Json::num(wall_ms)),
+        ("sim_cycles", Json::UInt(report.sim_cycles())),
+        ("sim_cycles_per_sec", Json::num(report.sim_cycles_per_sec())),
+        ("speedup_vs_workers_1", speedup),
+        ("cells_detail", Json::Arr(cells_detail)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellConfig, CellRecord, CellSpec};
+    use crate::engine::CellOutcome;
+    use std::path::PathBuf;
+
+    fn fake_report_resume(
+        workers: usize,
+        executed_all: bool,
+        resume: bool,
+        wall_nanos: u64,
+    ) -> CampaignReport {
+        let config = CellConfig::benchmark("freq");
+        let result = {
+            let mut c = CellConfig::hot_lock(1, 40, 20);
+            c.width = 2;
+            c.height = 2;
+            c.max_cycles = 1_000_000;
+            c.to_experiment().run().expect("valid")
+        };
+        let record = CellRecord::from_result(&result);
+        let outcome = CellOutcome {
+            spec: CellSpec { label: "only".into(), config: config.clone() },
+            hash: config.content_hash(),
+            record,
+            fresh: None,
+            cached: !executed_all,
+            wall_nanos: if executed_all { wall_nanos } else { 0 },
+        };
+        CampaignReport {
+            name: "t".into(),
+            outcomes: vec![outcome],
+            workers,
+            resume,
+            executed: usize::from(executed_all),
+            cached: usize::from(!executed_all),
+            wall_nanos,
+        }
+    }
+
+    fn fake_report(workers: usize, executed_all: bool, wall_nanos: u64) -> CampaignReport {
+        fake_report_resume(workers, executed_all, !executed_all, wall_nanos)
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir()
+            .join(format!("inpg-bench-test-{}-{tag}.json", std::process::id()))
+    }
+
+    #[test]
+    fn accumulates_and_reports_speedup_vs_one_worker() {
+        let path = tmp_path("speedup");
+        let _ = std::fs::remove_file(&path);
+
+        // 1-worker cold run: no baseline yet, so no speedup.
+        let entry = write_bench_json(&path, &fake_report(1, true, 8_000_000_000)).unwrap();
+        assert_eq!(entry.get("speedup_vs_workers_1"), Some(&Json::Null));
+
+        // 4-worker cold run: speedup vs the recorded 1-worker wall time.
+        let entry = write_bench_json(&path, &fake_report(4, true, 2_000_000_000)).unwrap();
+        let speedup = entry.get("speedup_vs_workers_1").and_then(Json::as_f64).unwrap();
+        assert!((speedup - 4.0).abs() < 1e-9, "{speedup}");
+
+        // Warm (all-cached) run: wall time measures the cache, no speedup.
+        let entry = write_bench_json(&path, &fake_report(4, false, 1_000_000)).unwrap();
+        assert_eq!(entry.get("speedup_vs_workers_1"), Some(&Json::Null));
+
+        // Re-running a combination replaces its entry instead of duplicating.
+        write_bench_json(&path, &fake_report(4, true, 1_000_000_000)).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 3, "1w cold, 4w cold (replaced), 4w warm");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_warm_rerun_keeps_the_cold_entry_it_is_compared_against() {
+        let path = tmp_path("warm-keeps-cold");
+        let _ = std::fs::remove_file(&path);
+
+        // The CLI default is --resume in both runs: cold (nothing cached
+        // yet) then warm. The warm entry must coexist with the cold one,
+        // not replace it.
+        write_bench_json(&path, &fake_report_resume(1, true, true, 8_000_000_000)).unwrap();
+        let cold = write_bench_json(&path, &fake_report_resume(4, true, true, 2_000_000_000))
+            .unwrap();
+        assert!(cold.get("speedup_vs_workers_1").and_then(Json::as_f64).unwrap().is_finite());
+        write_bench_json(&path, &fake_report_resume(4, false, true, 1_000_000)).unwrap();
+
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 3, "1w cold, 4w cold, 4w warm");
+        let cold_kept = runs.iter().any(|r| {
+            r.get("workers").and_then(Json::as_u64) == Some(4)
+                && r.get("executed").and_then(Json::as_u64) == Some(1)
+        });
+        assert!(cold_kept, "warm rerun clobbered the cold 4-worker entry");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn survives_a_garbage_existing_file() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        write_bench_json(&path, &fake_report(2, true, 1_000_000_000)).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("runs").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        let _ = std::fs::remove_file(&path);
+    }
+}

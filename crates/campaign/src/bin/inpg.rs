@@ -5,6 +5,21 @@
 //! inpg run <benchmark> [options]             run one experiment
 //! inpg compare <benchmark> [options]         run all four mechanisms
 //! inpg sweep-primitives <benchmark> [opts]   Original vs iNPG × 5 primitives
+//! inpg campaign <suite> [campaign options]   run a figure suite in parallel
+//! inpg campaign --list                       list the suites
+//!
+//! campaign options:
+//!   --workers N          worker threads (default: all cores)
+//!   --no-resume          ignore cached results (still writes the cache)
+//!   --no-cache           disable the result cache entirely
+//!   --cache-dir DIR      cache location (default results/cache)
+//!   --filter SUBSTR      only run cells whose label contains SUBSTR
+//!   --scale F            override the suite's default workload scale
+//!   --seeds N            average seed-swept suites over N workload seeds
+//!   --out PATH           merged artifact (default results/campaign/<suite>.jsonl)
+//!   --bench-out PATH     perf trajectory (default BENCH_campaign.json)
+//!   --jsonl              per-cell JSONL telemetry on stdout
+//!   --quiet              no per-cell progress on stderr
 //!
 //! options:
 //!   --mechanism original|ocor|inpg|inpg+ocor   (run only; default original)
@@ -24,7 +39,9 @@
 
 use inpg::stats::{pct, speedup, Table};
 use inpg::{Experiment, ExperimentResult, FaultKind, FaultPlan, LockPrimitive, Mechanism, SimError};
+use inpg_campaign::{bench_out, engine, suites, ExecOptions};
 use std::fmt;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Everything the CLI can fail with, so `main` can pick exit text and
@@ -279,9 +296,143 @@ fn cmd_sweep_primitives(benchmark: &str, options: &Options) -> Result<(), CliErr
     Ok(())
 }
 
+/// Parsed `inpg campaign` command line.
+struct CampaignArgs {
+    suite: String,
+    exec: ExecOptions,
+    scale: Option<f64>,
+    seed_count: u64,
+    bench_out: PathBuf,
+}
+
+fn parse_campaign_args(args: &[String]) -> Result<Option<CampaignArgs>, String> {
+    let mut suite: Option<String> = None;
+    let mut exec = ExecOptions::quiet();
+    exec.progress = true;
+    exec.cache = Some(PathBuf::from("results/cache"));
+    let mut scale: Option<f64> = None;
+    let mut seed_count: u64 = 1;
+    let mut out: Option<PathBuf> = None;
+    let mut bench_out = PathBuf::from("BENCH_campaign.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--list" => return Ok(None),
+            "--workers" => {
+                exec.workers = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("bad --workers")?
+            }
+            "--no-resume" => exec.resume = false,
+            "--no-cache" => exec.cache = None,
+            "--cache-dir" => exec.cache = Some(PathBuf::from(value()?)),
+            "--filter" => exec.filter = Some(value()?),
+            "--scale" => {
+                scale = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s > 0.0)
+                        .ok_or("bad --scale")?,
+                )
+            }
+            "--seeds" => {
+                seed_count = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("bad --seeds")?
+            }
+            "--out" => out = Some(PathBuf::from(value()?)),
+            "--bench-out" => bench_out = PathBuf::from(value()?),
+            "--jsonl" => exec.cell_jsonl = true,
+            "--quiet" => exec.progress = false,
+            other if !other.starts_with("--") && suite.is_none() => {
+                suite = Some(other.to_string())
+            }
+            other => return Err(format!("unknown campaign option `{other}`")),
+        }
+    }
+    let suite = suite.ok_or_else(|| {
+        format!("missing suite name; one of: {}", suite_names().join(", "))
+    })?;
+    exec.merged_out =
+        Some(out.unwrap_or_else(|| PathBuf::from(format!("results/campaign/{suite}.jsonl"))));
+    Ok(Some(CampaignArgs { suite, exec, scale, seed_count, bench_out }))
+}
+
+fn suite_names() -> Vec<&'static str> {
+    suites::SUITES.iter().map(|s| s.name).collect()
+}
+
+fn cmd_campaign_list() {
+    let mut table = Table::new(vec!["suite", "default scale", "seeds", "about"]);
+    for info in suites::SUITES {
+        table.add_row(vec![
+            info.name.to_string(),
+            if info.name == "all" { "per-suite".into() } else { info.default_scale.to_string() },
+            if info.uses_seeds { "yes".into() } else { "-".into() },
+            info.about.to_string(),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
+    let parsed = match parse_campaign_args(args) {
+        Err(e) => return Err(CliError::Usage(e)),
+        Ok(None) => {
+            cmd_campaign_list();
+            return Ok(());
+        }
+        Ok(Some(parsed)) => parsed,
+    };
+    // The same seed derivation the fig binaries use for INPG_SEEDS.
+    let seeds: Vec<u64> =
+        (0..parsed.seed_count).map(|i| 0x1a9e_4711 + i * 0x9e37).collect();
+    let campaign =
+        suites::build(&parsed.suite, parsed.scale, &seeds).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown suite `{}`; one of: {}",
+                parsed.suite,
+                suite_names().join(", ")
+            ))
+        })?;
+    let report = engine::execute(&campaign, &parsed.exec)
+        .map_err(|e| CliError::Usage(format!("campaign failed: {e}")))?;
+    let entry = bench_out::write_bench_json(&parsed.bench_out, &report)
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", parsed.bench_out.display())))?;
+    println!("{}", report.summary_line());
+    if let Some(speedup) = entry
+        .get("speedup_vs_workers_1")
+        .and_then(inpg_campaign::json::Json::as_f64)
+        .filter(|s| s.is_finite())
+    {
+        println!("speedup vs --workers 1: {speedup:.2}x");
+    }
+    if let Some(path) = &parsed.exec.merged_out {
+        println!("merged artifact: {}", path.display());
+    }
+    println!("perf trajectory: {}", parsed.bench_out.display());
+    let incomplete = report.incomplete();
+    if !incomplete.is_empty() {
+        return Err(CliError::Incomplete(format!(
+            "{} cells hit the cycle bound: {}",
+            incomplete.len(),
+            incomplete.join(", ")
+        )));
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: inpg <list|run|compare|sweep-primitives> [benchmark] [options]\n\
-     try `inpg list` to see the modelled benchmarks"
+    "usage: inpg <list|run|compare|sweep-primitives|campaign> [operand] [options]\n\
+     try `inpg list` to see the modelled benchmarks, `inpg campaign --list` for the suites"
         .to_string()
 }
 
@@ -292,6 +443,7 @@ fn main() -> ExitCode {
             cmd_list();
             Ok(())
         }
+        Some((cmd, rest)) if cmd == "campaign" => cmd_campaign(rest),
         Some((cmd, rest)) => {
             let (benchmark, rest) = match rest.split_first() {
                 Some((b, r)) if !b.starts_with("--") => (b.clone(), r),

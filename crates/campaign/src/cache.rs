@@ -1,0 +1,209 @@
+//! The on-disk content-addressed result cache.
+//!
+//! Layout: one file per cell at `<dir>/<config-hash>.json` holding
+//!
+//! ```json
+//! {"schema":1,
+//!  "config_hash":"<16 hex>",
+//!  "config":{...canonical cell config...},
+//!  "record_hash":"<16 hex>",
+//!  "record":{...deterministic cell record...}}
+//! ```
+//!
+//! Nothing in an entry is trusted on load. A hit requires *all* of:
+//! the stored `config_hash` matches the file name, re-hashing the
+//! stored config's canonical encoding reproduces it (so the entry
+//! really is the cell we asked for, not a renamed file), and re-hashing
+//! the re-serialized record matches `record_hash` (so a flipped bit
+//! anywhere in the payload is caught). Any mismatch — including a file
+//! that fails to parse — is a [`CacheMiss`], and the engine re-runs the
+//! cell instead of trusting the entry.
+
+use crate::cell::{fnv1a64, CellConfig, CellRecord};
+use crate::json::{self, Json};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Why a lookup did not produce a usable record. `Absent` is the
+/// ordinary cold-cache case; every other variant means an entry existed
+/// but was rejected.
+#[derive(Debug)]
+pub enum CacheMiss {
+    /// No entry on disk.
+    Absent,
+    /// The entry could not be read.
+    Unreadable(io::Error),
+    /// The entry did not parse or did not match the schema.
+    Malformed(String),
+    /// A stored hash did not check out — the entry is corrupt or
+    /// mislabelled.
+    HashMismatch(String),
+}
+
+/// A content-addressed cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (and lazily creates) a cache at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a cell.
+    pub fn entry_path(&self, config: &CellConfig) -> PathBuf {
+        self.dir.join(format!("{}.json", config.content_hash()))
+    }
+
+    /// Loads and fully verifies the entry for `config`.
+    pub fn load(&self, config: &CellConfig) -> Result<CellRecord, CacheMiss> {
+        let path = self.entry_path(config);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(CacheMiss::Absent),
+            Err(e) => return Err(CacheMiss::Unreadable(e)),
+        };
+        let entry = json::parse(&text).map_err(|e| CacheMiss::Malformed(e.to_string()))?;
+
+        let expected_hash = config.content_hash();
+        let stored_hash = entry
+            .get("config_hash")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CacheMiss::Malformed("no config_hash".into()))?;
+        if stored_hash != expected_hash {
+            return Err(CacheMiss::HashMismatch(format!(
+                "entry claims config {stored_hash}, wanted {expected_hash}"
+            )));
+        }
+        let stored_config = entry
+            .get("config")
+            .ok_or_else(|| CacheMiss::Malformed("no config".into()))?;
+        let stored_config = CellConfig::from_json(stored_config)
+            .map_err(|e| CacheMiss::Malformed(e.to_string()))?;
+        if stored_config.content_hash() != expected_hash {
+            return Err(CacheMiss::HashMismatch(
+                "stored config does not hash to the entry's address".into(),
+            ));
+        }
+
+        let record_json = entry
+            .get("record")
+            .ok_or_else(|| CacheMiss::Malformed("no record".into()))?;
+        let record = CellRecord::from_json(record_json)
+            .map_err(|e| CacheMiss::Malformed(e.to_string()))?;
+        let stored_record_hash = entry
+            .get("record_hash")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CacheMiss::Malformed("no record_hash".into()))?;
+        let recomputed = record_hash(&record);
+        if stored_record_hash != recomputed {
+            return Err(CacheMiss::HashMismatch(format!(
+                "record hash {stored_record_hash} != recomputed {recomputed}"
+            )));
+        }
+        Ok(record)
+    }
+
+    /// Writes the entry for a (config, record) pair. The write goes
+    /// through a per-process temporary file and an atomic rename, so
+    /// concurrent writers of the same cell (same content by
+    /// construction) can never leave a torn entry behind.
+    pub fn store(&self, config: &CellConfig, record: &CellRecord) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let entry = Json::obj(vec![
+            ("schema", Json::UInt(crate::cell::SCHEMA_VERSION)),
+            ("config_hash", Json::Str(config.content_hash())),
+            ("config", config.to_json()),
+            ("record_hash", Json::Str(record_hash(record))),
+            ("record", record.to_json()),
+        ]);
+        let path = self.entry_path(config);
+        let tmp = self.dir.join(format!(
+            ".{}.{}.tmp",
+            config.content_hash(),
+            std::process::id()
+        ));
+        fs::write(&tmp, entry.to_string_compact() + "\n")?;
+        fs::rename(&tmp, &path)
+    }
+}
+
+/// Hash of a record's canonical serialization (FNV-1a 64, hex).
+pub fn record_hash(record: &CellRecord) -> String {
+    format!("{:016x}", fnv1a64(record.to_json().to_string_compact().as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inpg::Mechanism;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("inpg-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn run_cell() -> (CellConfig, CellRecord) {
+        let mut config = CellConfig::hot_lock(1, 50, 20);
+        config.width = 2;
+        config.height = 2;
+        config.mechanism = Mechanism::Original;
+        config.max_cycles = 1_000_000;
+        let result = config.to_experiment().run().expect("valid experiment");
+        (config.clone(), CellRecord::from_result(&result))
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let cache = ResultCache::new(tmp_dir("roundtrip"));
+        let (config, record) = run_cell();
+        assert!(matches!(cache.load(&config), Err(CacheMiss::Absent)));
+        cache.store(&config, &record).unwrap();
+        let loaded = cache.load(&config).expect("verified hit");
+        assert_eq!(loaded, record);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_entries_are_rejected_not_trusted() {
+        let cache = ResultCache::new(tmp_dir("corrupt"));
+        let (config, record) = run_cell();
+        cache.store(&config, &record).unwrap();
+        let path = cache.entry_path(&config);
+
+        // Flip a digit inside the record payload: the roi_cycles value.
+        let text = fs::read_to_string(&path).unwrap();
+        let needle = format!("\"roi_cycles\":{}", record.roi_cycles);
+        let tampered =
+            text.replace(&needle, &format!("\"roi_cycles\":{}", record.roi_cycles + 1));
+        assert_ne!(text, tampered, "tamper target must exist in the entry");
+        fs::write(&path, tampered).unwrap();
+        assert!(
+            matches!(cache.load(&config), Err(CacheMiss::HashMismatch(_))),
+            "a flipped payload byte must be a hash mismatch"
+        );
+
+        // Truncated garbage is malformed, also a miss.
+        fs::write(&path, "{\"schema\":1").unwrap();
+        assert!(matches!(cache.load(&config), Err(CacheMiss::Malformed(_))));
+
+        // An entry renamed onto the wrong address is a config-hash
+        // mismatch, not a silent wrong answer.
+        cache.store(&config, &record).unwrap();
+        let mut other = config.clone();
+        other.seed ^= 1;
+        fs::copy(&path, cache.entry_path(&other)).unwrap();
+        assert!(matches!(cache.load(&other), Err(CacheMiss::HashMismatch(_))));
+
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

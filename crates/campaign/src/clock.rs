@@ -1,0 +1,42 @@
+//! The harness-boundary wall clock.
+//!
+//! This is the *only* place in the campaign crate allowed to read the
+//! host's wall clock (`cargo xtask lint` bans `Instant`/`SystemTime`
+//! everywhere else in the crate). Cell execution and result merging are
+//! pure functions of cell configs; wall time exists solely to report
+//! harness throughput (progress, ETA, `BENCH_campaign.json`) and can
+//! never influence what a cell computes or how results are merged.
+
+/// A monotonically measured span started at the harness boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessClock {
+    // lint: allow(wallclock) — this module is the harness boundary; the
+    // reading never reaches cell execution or merge logic.
+    start: std::time::Instant,
+}
+
+impl HarnessClock {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        // lint: allow(wallclock) — harness boundary (see module docs).
+        HarnessClock { start: std::time::Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let clock = HarnessClock::start();
+        let a = clock.elapsed_nanos();
+        let b = clock.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,522 @@
+//! The campaign engine: resolves cells against the content-addressed
+//! cache, executes the misses on the work-stealing pool, and merges
+//! everything back in canonical cell order.
+//!
+//! # Determinism argument
+//!
+//! Each cell owns its own seeded simulator, so a cell's
+//! [`CellRecord`] is a pure function of its [`CellConfig`] — worker
+//! count and scheduling order cannot change it. The merged artifact is
+//! written in canonical (campaign-definition) order from those records
+//! only, so a 1-worker run, an N-worker run, and a warm-cache run all
+//! produce byte-identical merged output. Wall-clock readings exist only
+//! in the progress stream and the `BENCH_campaign.json` sidecar, never
+//! in the merged artifact.
+
+use crate::cache::{CacheMiss, ResultCache};
+use crate::cell::{Campaign, CellRecord, CellSpec};
+use crate::clock::HarnessClock;
+use crate::json::Json;
+use crate::pool;
+use inpg::{ExperimentResult, SimError};
+use std::fmt;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How to execute a campaign.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for cache misses (clamped to at least 1).
+    pub workers: usize,
+    /// Read the cache: verified hits skip execution. Writes happen
+    /// whenever `cache` is set, resumed or not, so an interrupted
+    /// campaign leaves every finished cell behind for the next run.
+    pub resume: bool,
+    /// Cache directory (`None` disables the cache entirely).
+    pub cache: Option<PathBuf>,
+    /// Merged-artifact path (canonical order, deterministic bytes);
+    /// parent directories are created.
+    pub merged_out: Option<PathBuf>,
+    /// Only run cells whose label contains this substring.
+    pub filter: Option<String>,
+    /// Per-cell progress + ETA lines on stderr.
+    pub progress: bool,
+    /// Per-cell JSONL records (wall time, throughput) on stdout, in
+    /// completion order.
+    pub cell_jsonl: bool,
+}
+
+impl ExecOptions {
+    /// Defaults for programmatic use: all cores, resume on, no cache
+    /// directory, no artifacts, quiet.
+    pub fn quiet() -> Self {
+        ExecOptions {
+            workers: default_workers(),
+            resume: true,
+            cache: None,
+            merged_out: None,
+            filter: None,
+            progress: false,
+            cell_jsonl: false,
+        }
+    }
+
+    /// Defaults for the fig binaries: all cores (`INPG_WORKERS`
+    /// overrides), resuming from `results/cache` (`INPG_CACHE=0`
+    /// disables, `INPG_CACHE=<dir>` relocates), progress on stderr.
+    pub fn for_figures() -> Self {
+        let cache = match std::env::var("INPG_CACHE") {
+            Err(_) => Some(PathBuf::from("results/cache")),
+            Ok(v) if v == "0" => None,
+            Ok(v) => Some(PathBuf::from(v)),
+        };
+        ExecOptions {
+            workers: std::env::var("INPG_WORKERS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or_else(default_workers),
+            resume: true,
+            cache,
+            merged_out: None,
+            filter: None,
+            progress: true,
+            cell_jsonl: false,
+        }
+    }
+}
+
+/// The host's available parallelism (1 if unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The result of one cell within a campaign run.
+#[derive(Debug)]
+pub struct CellOutcome {
+    pub spec: CellSpec,
+    /// Content hash of the cell's config (the cache address).
+    pub hash: String,
+    /// The deterministic record (freshly computed or cache-verified).
+    pub record: CellRecord,
+    /// The full in-process result, present only when the cell executed
+    /// this run (timeline-recording cells always execute).
+    pub fresh: Option<ExperimentResult>,
+    /// Whether the record came from the cache.
+    pub cached: bool,
+    /// Wall nanoseconds this run spent executing the cell (0 if cached).
+    pub wall_nanos: u64,
+}
+
+/// Everything one campaign run produced, in canonical cell order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    pub name: String,
+    pub outcomes: Vec<CellOutcome>,
+    pub workers: usize,
+    pub resume: bool,
+    /// Cells executed this run (cache misses).
+    pub executed: usize,
+    /// Cells served by verified cache hits.
+    pub cached: usize,
+    /// Suite wall time, nanoseconds (harness boundary measurement).
+    pub wall_nanos: u64,
+}
+
+impl CampaignReport {
+    /// Looks up an outcome by cell label.
+    pub fn outcome(&self, label: &str) -> Option<&CellOutcome> {
+        self.outcomes.iter().find(|o| o.spec.label == label)
+    }
+
+    /// The record for `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label is not in the report — a campaign
+    /// definition bug, not a runtime condition.
+    pub fn record(&self, label: &str) -> &CellRecord {
+        &self
+            .outcome(label)
+            .unwrap_or_else(|| panic!("no cell labelled `{label}` in campaign `{}`", self.name))
+            .record
+    }
+
+    /// Total simulated cycles over all cells (cached ones included).
+    pub fn sim_cycles(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.record.roi_cycles).sum()
+    }
+
+    /// Suite-level simulated-cycles-per-second over the cells actually
+    /// executed this run.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        let executed_cycles: u64 = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.cached)
+            .map(|o| o.record.roi_cycles)
+            .sum();
+        executed_cycles as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Labels of cells that hit the cycle bound without completing.
+    pub fn incomplete(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.record.completed)
+            .map(|o| o.spec.label.as_str())
+            .collect()
+    }
+
+    /// One stable summary line (the CI smoke job greps it).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "campaign {}: {} cells ({} executed, {} cached) on {} workers in {:.2}s, {:.2} Msim-cycles/s",
+            self.name,
+            self.outcomes.len(),
+            self.executed,
+            self.cached,
+            self.workers,
+            self.wall_nanos as f64 / 1e9,
+            self.sim_cycles_per_sec() / 1e6,
+        )
+    }
+}
+
+/// Why a campaign run failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Artifact or cache I/O failed.
+    Io(io::Error),
+    /// A cell's simulation failed (bad config, stall, invariant).
+    Cell { label: String, error: SimError },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign i/o: {e}"),
+            CampaignError::Cell { label, error } => write!(f, "cell `{label}`: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// What one executed miss produced (pool task result). The payloads
+/// are boxed so the enum stays small next to `Failed`.
+enum MissResult {
+    Ran { record: Box<CellRecord>, fresh: Box<ExperimentResult>, wall_nanos: u64 },
+    Failed(SimError),
+}
+
+/// Executes a campaign: cache resolution, pooled execution, canonical
+/// merge, artifact emission.
+///
+/// # Errors
+///
+/// Fails on the first cell whose simulation errors (reported in
+/// canonical order) and on artifact/cache I/O failures. Cells that
+/// merely hit their cycle bound are *not* errors here; see
+/// [`CampaignReport::incomplete`].
+pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport, CampaignError> {
+    let clock = HarnessClock::start();
+    let cells: Vec<CellSpec> =
+        campaign.matching(opts.filter.as_deref()).into_iter().cloned().collect();
+    let cache = opts.cache.as_ref().map(ResultCache::new);
+
+    // Phase 1 — resolve against the cache (sequential: pure I/O).
+    let mut resolved: Vec<Option<CellRecord>> = vec![None; cells.len()];
+    if opts.resume {
+        if let Some(cache) = &cache {
+            for (slot, cell) in resolved.iter_mut().zip(&cells) {
+                if !cell.config.cacheable() {
+                    continue;
+                }
+                match cache.load(&cell.config) {
+                    Ok(record) => *slot = Some(record),
+                    Err(CacheMiss::Absent) => {}
+                    Err(CacheMiss::HashMismatch(why)) => {
+                        // Corrupt or mislabelled entry: say so, re-run.
+                        eprintln!(
+                            "campaign {}: cache entry for `{}` rejected ({why}); re-running",
+                            campaign.name, cell.label
+                        );
+                    }
+                    Err(CacheMiss::Malformed(why)) => {
+                        eprintln!(
+                            "campaign {}: cache entry for `{}` malformed ({why}); re-running",
+                            campaign.name, cell.label
+                        );
+                    }
+                    Err(CacheMiss::Unreadable(e)) => {
+                        eprintln!(
+                            "campaign {}: cache entry for `{}` unreadable ({e}); re-running",
+                            campaign.name, cell.label
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2 — execute the misses on the work-stealing pool. Distinct
+    // cells with identical configs (fig11 and fig12 share their cell
+    // set; knob sweeps repeat the default point) execute once: the
+    // content hash that addresses the cache also dedupes within a run.
+    // Timeline cells are excluded — each consumer needs a fresh result.
+    let misses: Vec<usize> =
+        (0..cells.len()).filter(|&i| resolved[i].is_none()).collect();
+    let mut owner_of: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut exec_slot: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    let mut unique: Vec<usize> = Vec::new();
+    for &i in &misses {
+        if cells[i].config.cacheable() {
+            let hash = cells[i].config.content_hash();
+            if let Some(&slot) = owner_of.get(&hash) {
+                exec_slot.insert(i, slot);
+                continue;
+            }
+            owner_of.insert(hash, unique.len());
+        }
+        exec_slot.insert(i, unique.len());
+        unique.push(i);
+    }
+    let progress = ProgressSink {
+        enabled: opts.progress,
+        jsonl: opts.cell_jsonl,
+        done: AtomicUsize::new(0),
+        total: unique.len(),
+        clock,
+        out: Mutex::new(()),
+    };
+    for (i, cell) in cells.iter().enumerate() {
+        if let Some(record) = &resolved[i] {
+            progress.emit_cached(cell, record);
+        }
+    }
+    let miss_results: Vec<MissResult> = pool::run_indexed(unique.len(), opts.workers, |k| {
+        let cell = &cells[unique[k]];
+        match cell.config.to_experiment().run_timed() {
+            Err(error) => MissResult::Failed(error),
+            Ok(fresh) => {
+                let record = CellRecord::from_result(&fresh);
+                let wall_nanos = fresh.wall_nanos.unwrap_or(0);
+                if let Some(cache) = &cache {
+                    if cell.config.cacheable() {
+                        if let Err(e) = cache.store(&cell.config, &record) {
+                            eprintln!(
+                                "campaign: cannot cache `{}`: {e} (continuing)",
+                                cell.label
+                            );
+                        }
+                    }
+                }
+                progress.emit_executed(cell, &record, wall_nanos);
+                MissResult::Ran {
+                    record: Box::new(record),
+                    fresh: Box::new(fresh),
+                    wall_nanos,
+                }
+            }
+        }
+    });
+
+    // Phase 3 — merge in canonical order. A dedup group's first cell
+    // (canonically earliest, since `unique` was built in order) owns the
+    // execution; later cells with the same config share its record and
+    // count as cached — they were served without running a simulator.
+    enum SlotState {
+        Ran { record: Box<CellRecord>, fresh: Option<Box<ExperimentResult>>, wall_nanos: u64 },
+        Failed(Option<SimError>),
+    }
+    let mut slots: Vec<SlotState> = miss_results
+        .into_iter()
+        .map(|r| match r {
+            MissResult::Ran { record, fresh, wall_nanos } => {
+                SlotState::Ran { record, fresh: Some(fresh), wall_nanos }
+            }
+            MissResult::Failed(e) => SlotState::Failed(Some(e)),
+        })
+        .collect();
+    let mut outcomes = Vec::with_capacity(cells.len());
+    let mut executed = 0;
+    let mut cached = 0;
+    for (i, cell) in cells.into_iter().enumerate() {
+        let hash = cell.config.content_hash();
+        if let Some(record) = resolved[i].take() {
+            cached += 1;
+            outcomes.push(CellOutcome {
+                spec: cell,
+                hash,
+                record,
+                fresh: None,
+                cached: true,
+                wall_nanos: 0,
+            });
+            continue;
+        }
+        let slot = *exec_slot.get(&i).unwrap_or_else(|| {
+            unreachable!("unresolved cell {i} must have an execution slot")
+        });
+        let is_owner = unique[slot] == i;
+        match &mut slots[slot] {
+            SlotState::Ran { record, fresh, wall_nanos } => {
+                if is_owner {
+                    executed += 1;
+                    outcomes.push(CellOutcome {
+                        spec: cell,
+                        hash,
+                        record: record.as_ref().clone(),
+                        fresh: fresh.take().map(|b| *b),
+                        cached: false,
+                        wall_nanos: *wall_nanos,
+                    });
+                } else {
+                    cached += 1;
+                    outcomes.push(CellOutcome {
+                        spec: cell,
+                        hash,
+                        record: record.as_ref().clone(),
+                        fresh: None,
+                        cached: true,
+                        wall_nanos: 0,
+                    });
+                }
+            }
+            SlotState::Failed(error) => {
+                // The owner is canonically first, so the error is still
+                // present when we get here.
+                let error = error.take().unwrap_or_else(|| {
+                    unreachable!("a failed slot is reported at its owner, which merges first")
+                });
+                return Err(CampaignError::Cell { label: cell.label, error });
+            }
+        }
+    }
+
+    let report = CampaignReport {
+        name: campaign.name.clone(),
+        outcomes,
+        workers: opts.workers.max(1),
+        resume: opts.resume,
+        executed,
+        cached,
+        wall_nanos: clock.elapsed_nanos(),
+    };
+
+    // Phase 4 — the merged artifact, canonical order, no wall clock.
+    if let Some(path) = &opts.merged_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = String::new();
+        for line in report.outcomes.iter().map(merged_line) {
+            text.push_str(&line.to_string_compact());
+            text.push('\n');
+        }
+        std::fs::write(path, text)?;
+    }
+
+    Ok(report)
+}
+
+/// One line of the merged artifact: label, address, full config, full
+/// deterministic record. Everything here is a pure function of the
+/// campaign definition.
+fn merged_line(outcome: &CellOutcome) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(outcome.spec.label.clone())),
+        ("hash", Json::Str(outcome.hash.clone())),
+        ("config", outcome.spec.config.to_json()),
+        ("record", outcome.record.to_json()),
+    ])
+}
+
+/// Serialized progress/telemetry emission (stderr text, stdout JSONL).
+struct ProgressSink {
+    enabled: bool,
+    jsonl: bool,
+    done: AtomicUsize,
+    total: usize,
+    clock: HarnessClock,
+    out: Mutex<()>,
+}
+
+impl ProgressSink {
+    fn emit_executed(&self, cell: &CellSpec, record: &CellRecord, wall_nanos: u64) {
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        if !self.enabled && !self.jsonl {
+            return;
+        }
+        let _guard = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        if self.enabled {
+            let elapsed = self.clock.elapsed_nanos();
+            let eta_s = if done == 0 {
+                0.0
+            } else {
+                elapsed as f64 / 1e9 / done as f64 * (self.total - done) as f64
+            };
+            let cps = if wall_nanos == 0 {
+                0.0
+            } else {
+                record.roi_cycles as f64 * 1e9 / wall_nanos as f64
+            };
+            eprintln!(
+                "[{done}/{}] {} {:.0}ms {:.2} Mcyc/s eta {:.0}s",
+                self.total,
+                cell.label,
+                wall_nanos as f64 / 1e6,
+                cps / 1e6,
+                eta_s,
+            );
+        }
+        if self.jsonl {
+            self.write_jsonl(cell, record, false, wall_nanos);
+        }
+    }
+
+    fn emit_cached(&self, cell: &CellSpec, record: &CellRecord) {
+        if !self.jsonl {
+            return;
+        }
+        let _guard = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        self.write_jsonl(cell, record, true, 0);
+    }
+
+    /// One telemetry record, completion order: the only place wall time
+    /// and simulated throughput appear next to a cell.
+    fn write_jsonl(&self, cell: &CellSpec, record: &CellRecord, cached: bool, wall_nanos: u64) {
+        let cps = if wall_nanos == 0 {
+            Json::Null
+        } else {
+            Json::num(record.roi_cycles as f64 * 1e9 / wall_nanos as f64)
+        };
+        let line = Json::obj(vec![
+            ("cell", Json::Str(cell.label.clone())),
+            ("hash", Json::Str(cell.config.content_hash())),
+            ("cached", Json::Bool(cached)),
+            ("completed", Json::Bool(record.completed)),
+            ("sim_cycles", Json::UInt(record.roi_cycles)),
+            ("wall_ms", Json::num(wall_nanos as f64 / 1e6)),
+            ("sim_cycles_per_sec", cps),
+        ]);
+        let mut stdout = io::stdout().lock();
+        let _ = writeln!(stdout, "{}", line.to_string_compact());
+    }
+}

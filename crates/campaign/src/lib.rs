@@ -1,0 +1,36 @@
+//! `inpg-campaign`: the declarative experiment-campaign engine.
+//!
+//! A campaign is an enumerable set of independent experiment cells in a
+//! canonical order. Each cell is keyed by a stable content hash of its
+//! full configuration; results live in an on-disk content-addressed
+//! cache, so re-runs are incremental and interrupted campaigns resume
+//! where they stopped. Cache misses execute on a hand-rolled, std-only
+//! work-stealing thread pool, and the merged artifact is emitted in
+//! canonical cell order — a 1-worker run, an N-worker run, and a
+//! warm-cache run produce byte-identical merged output.
+//!
+//! Module map:
+//!
+//! * [`cell`] — cell configs, records, content hashing.
+//! * [`suites`] — the named cell sets (one per paper figure + smoke).
+//! * [`cache`] — the on-disk content-addressed result cache.
+//! * [`pool`] — the work-stealing pool.
+//! * [`engine`] — cache resolution, pooled execution, canonical merge.
+//! * [`clock`] — the only wall-clock site in the crate.
+//! * [`bench_out`] — `BENCH_campaign.json` emission.
+//! * [`json`] — the hand-rolled canonical JSON used throughout.
+
+pub mod bench_out;
+pub mod cache;
+pub mod cell;
+pub mod clock;
+pub mod engine;
+pub mod json;
+pub mod pool;
+pub mod suites;
+
+pub use cache::{CacheMiss, ResultCache};
+pub use cell::{Campaign, CellConfig, CellRecord, CellSpec, CellWorkload};
+pub use engine::{
+    execute, CampaignError, CampaignReport, CellOutcome, ExecOptions,
+};

@@ -1,0 +1,173 @@
+//! A hand-rolled, std-only work-stealing thread pool for campaign
+//! cells.
+//!
+//! Shape: one global injector holding the not-yet-claimed cell indices
+//! plus one deque per worker. A worker pops from the *back* of its own
+//! deque (LIFO, cache-warm); when that runs dry it claims a fresh chunk
+//! from the injector; when the injector is dry too it steals from the
+//! *front* of a sibling's deque (FIFO — the opposite end, so steals and
+//! owner pops rarely contend on the same items). Cells never spawn
+//! cells, so once the injector and every deque are empty the pool is
+//! done and workers exit.
+//!
+//! Chunked injector claims (`ceil(n / workers / 4)`, the classic
+//! guided-self-scheduling compromise) keep injector contention low at
+//! the start while leaving enough unclaimed tail for the steal phase to
+//! balance cells of wildly different cost — a fig15 16×16-mesh cell can
+//! cost 100× a 2×2 cell.
+//!
+//! The pool is deliberately order-oblivious: results are written to
+//! their task's slot, and the campaign engine re-emits everything in
+//! canonical cell order, which is what makes 1-worker and N-worker runs
+//! byte-identical downstream. No wall clock in here — timing belongs to
+//! the engine's harness boundary.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Runs `task(i)` for every `i in 0..n` on `workers` threads, returning
+/// the results indexed by task. `workers` is clamped to `1..=n` (a
+/// zero-cell run spawns nothing).
+pub fn run_indexed<T, F>(n: usize, workers: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let injector: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+    let deques: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Chunk size for injector claims; at least 1.
+    let chunk = n.div_ceil(workers).div_ceil(4).max(1);
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let injector = &injector;
+            let deques = &deques;
+            let slots = &slots;
+            let task = &task;
+            scope.spawn(move || {
+                loop {
+                    let next = pop_own(&deques[me])
+                        .or_else(|| claim_chunk(injector, &deques[me], chunk))
+                        .or_else(|| steal(deques, me));
+                    let Some(index) = next else { break };
+                    let result = task(index);
+                    *lock_clean(&slots[index]) = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            lock_clean(&slot)
+                .take()
+                .unwrap_or_else(|| unreachable!("every task index is executed exactly once"))
+        })
+        .collect()
+}
+
+/// Locks a mutex; poisoning cannot happen because a panicking task
+/// unwinds through `thread::scope`, aborting the whole campaign before
+/// anyone re-locks.
+fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// LIFO pop from the worker's own deque.
+fn pop_own(own: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    lock_clean(own).pop_back()
+}
+
+/// Claims a chunk from the injector into the worker's own deque and
+/// returns the first claimed index.
+fn claim_chunk(
+    injector: &Mutex<VecDeque<usize>>,
+    own: &Mutex<VecDeque<usize>>,
+    chunk: usize,
+) -> Option<usize> {
+    let mut injector = lock_clean(injector);
+    let first = injector.pop_front()?;
+    let rest: Vec<usize> = (1..chunk).map_while(|_| injector.pop_front()).collect();
+    drop(injector);
+    lock_clean(own).extend(rest);
+    Some(first)
+}
+
+/// FIFO steal from the first non-empty sibling deque.
+fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    let n = deques.len();
+    (1..n)
+        .map(|offset| (me + offset) % n)
+        .find_map(|victim| lock_clean(&deques[victim]).pop_front())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_index_exactly_once() {
+        for workers in [1, 2, 8, 64] {
+            let counter = AtomicUsize::new(0);
+            let results = run_indexed(37, workers, |i| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                i * i
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 37, "workers={workers}");
+            assert_eq!(results, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn imbalanced_tasks_are_stolen_across_workers() {
+        // One pathological task plus many cheap ones: with 4 workers the
+        // cheap tail must not serialize behind the expensive head.
+        let ran_on: Vec<Mutex<Option<std::thread::ThreadId>>> =
+            (0..64).map(|_| Mutex::new(None)).collect();
+        run_indexed(64, 4, |i| {
+            *ran_on[i].lock().unwrap() = Some(std::thread::current().id());
+            if i == 0 {
+                // Busy work, not sleep: keep the test deterministic-ish.
+                let mut acc = 0u64;
+                for k in 0..2_000_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                assert_ne!(acc, 1);
+            }
+        });
+        let distinct: std::collections::BTreeSet<_> = ran_on
+            .iter()
+            .map(|m| format!("{:?}", m.lock().unwrap().expect("ran")))
+            .collect();
+        assert!(distinct.len() > 1, "work must spread across threads");
+    }
+
+    #[test]
+    fn zero_and_singleton_inputs() {
+        assert_eq!(run_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn results_keep_task_order_regardless_of_finish_order() {
+        // Make later tasks finish first by giving early tasks more work.
+        let results = run_indexed(16, 4, |i| {
+            let mut acc = i as u64;
+            for k in 0..(16 - i as u64) * 50_000 {
+                acc = acc.wrapping_add(k ^ acc);
+            }
+            (i, acc)
+        });
+        for (slot, (i, _)) in results.iter().enumerate() {
+            assert_eq!(slot, *i);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end determinism guarantees of the campaign engine: the merged
+//! artifact is byte-identical across worker counts and cache states, a
+//! warm cache executes nothing, and a corrupted cache entry is detected
+//! and re-run rather than trusted.
+
+use inpg::Mechanism;
+use inpg_campaign::{execute, Campaign, CellConfig, ExecOptions};
+use std::path::PathBuf;
+
+fn tiny_campaign() -> Campaign {
+    let mut c = Campaign::new("tiny");
+    for mechanism in Mechanism::ALL {
+        for rounds in [2u64, 3] {
+            let mut cfg = CellConfig::hot_lock(rounds, 80, 30);
+            cfg.mechanism = mechanism;
+            cfg.width = 4;
+            cfg.height = 4;
+            cfg.max_cycles = 5_000_000;
+            c.push(format!("{mechanism}/r{rounds}"), cfg);
+        }
+    }
+    c
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("inpg-determinism-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(workers: usize, cache: Option<PathBuf>, merged: PathBuf) -> ExecOptions {
+    let mut o = ExecOptions::quiet();
+    o.workers = workers;
+    o.cache = cache;
+    o.merged_out = Some(merged);
+    o
+}
+
+#[test]
+fn merged_artifact_is_byte_identical_across_worker_counts() {
+    let dir = scratch("workers");
+    let campaign = tiny_campaign();
+    let mut artifacts = Vec::new();
+    for workers in [1usize, 8] {
+        let merged = dir.join(format!("w{workers}.jsonl"));
+        let report = execute(&campaign, &opts(workers, None, merged.clone())).unwrap();
+        assert_eq!(report.executed, campaign.cells.len());
+        assert_eq!(report.cached, 0);
+        assert!(report.incomplete().is_empty());
+        artifacts.push(std::fs::read(&merged).unwrap());
+    }
+    assert!(!artifacts[0].is_empty());
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "1-worker and 8-worker merged artifacts must match byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_executes_zero_cells_and_reproduces_the_artifact() {
+    let dir = scratch("warm");
+    let cache = dir.join("cache");
+    let campaign = tiny_campaign();
+
+    let cold_merged = dir.join("cold.jsonl");
+    let cold =
+        execute(&campaign, &opts(4, Some(cache.clone()), cold_merged.clone())).unwrap();
+    assert_eq!(cold.executed, campaign.cells.len());
+
+    let warm_merged = dir.join("warm.jsonl");
+    let warm =
+        execute(&campaign, &opts(4, Some(cache.clone()), warm_merged.clone())).unwrap();
+    assert_eq!(warm.executed, 0, "a warm cache must execute nothing");
+    assert_eq!(warm.cached, campaign.cells.len());
+    assert!(warm.outcomes.iter().all(|o| o.cached && o.fresh.is_none()));
+
+    assert_eq!(
+        std::fs::read(&cold_merged).unwrap(),
+        std::fs::read(&warm_merged).unwrap(),
+        "cold and warm merged artifacts must match byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entry_is_detected_and_rerun() {
+    let dir = scratch("corrupt");
+    let cache_dir = dir.join("cache");
+    let campaign = tiny_campaign();
+
+    let cold_merged = dir.join("cold.jsonl");
+    execute(&campaign, &opts(2, Some(cache_dir.clone()), cold_merged.clone())).unwrap();
+
+    // Flip a payload digit inside one entry: its record hash no longer
+    // checks out, so the engine must re-run exactly that cell.
+    let victim = &campaign.cells[3];
+    let entry_path = cache_dir.join(format!("{}.json", victim.config.content_hash()));
+    let text = std::fs::read_to_string(&entry_path).unwrap();
+    let tampered = text.replacen("\"roi_cycles\":", "\"roi_cycles\":9", 1);
+    assert_ne!(text, tampered);
+    std::fs::write(&entry_path, tampered).unwrap();
+
+    let again_merged = dir.join("again.jsonl");
+    let again =
+        execute(&campaign, &opts(2, Some(cache_dir.clone()), again_merged.clone())).unwrap();
+    assert_eq!(again.executed, 1, "only the corrupted cell re-runs");
+    assert_eq!(again.cached, campaign.cells.len() - 1);
+    let rerun = again.outcome(&victim.label).unwrap();
+    assert!(!rerun.cached);
+
+    assert_eq!(
+        std::fs::read(&cold_merged).unwrap(),
+        std::fs::read(&again_merged).unwrap(),
+        "the re-run must reproduce the artifact byte for byte"
+    );
+    // And the store-back repaired the entry: a third run is fully warm.
+    let third = execute(&campaign, &opts(2, Some(cache_dir), dir.join("3.jsonl"))).unwrap();
+    assert_eq!(third.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_configs_execute_once_and_share_the_record() {
+    let mut campaign = tiny_campaign();
+    let clone_of = campaign.cells[1].clone();
+    campaign.push("alias-of-cell-1", clone_of.config.clone());
+
+    let report = execute(&campaign, &ExecOptions::quiet()).unwrap();
+    assert_eq!(report.executed, campaign.cells.len() - 1, "the alias must not execute");
+    assert_eq!(report.cached, 1);
+    let owner = report.outcome(&clone_of.label).unwrap();
+    let alias = report.outcome("alias-of-cell-1").unwrap();
+    assert!(!owner.cached);
+    assert!(alias.cached);
+    assert_eq!(owner.record, alias.record);
+    assert_eq!(owner.hash, alias.hash);
+}
+
+#[test]
+fn timeline_cells_always_run_fresh() {
+    let mut campaign = Campaign::new("timeline");
+    let mut cfg = CellConfig::benchmark("freq");
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.scale = 0.02;
+    cfg.record_timeline = true;
+    campaign.push("freq/timeline", cfg);
+
+    let dir = scratch("timeline");
+    let cache = dir.join("cache");
+    for _ in 0..2 {
+        let report =
+            execute(&campaign, &opts(2, Some(cache.clone()), dir.join("m.jsonl"))).unwrap();
+        assert_eq!(report.executed, 1, "uncacheable cells execute every run");
+        let outcome = report.outcome("freq/timeline").unwrap();
+        let fresh = outcome.fresh.as_ref().expect("fresh result present");
+        assert!(fresh.timeline.is_some(), "timeline recorded");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,18 @@
 //!    order feeds the event order, and hash iteration order is
 //!    unspecified; deterministic replay needs `BTreeMap`/`BTreeSet`.
 //!
+//! A fourth rule covers the campaign crate (`campaign`), whose
+//! determinism argument — byte-identical merged artifacts across worker
+//! counts and cache states — leans on cell execution and result merging
+//! never seeing the host:
+//!
+//! 4. **wallclock** — no `Instant`/`SystemTime` in the campaign crate
+//!    outside its dedicated harness-boundary module (`clock.rs`, which
+//!    carries in-place waivers). Wall time may only be attached at the
+//!    harness boundary; it must never feed a cell record or the merge.
+//!    The `hash` rule applies to the campaign crate too, for the same
+//!    iteration-order reason.
+//!
 //! A violation can be waived in place with a justification marker on
 //! the same line or an immediately preceding comment line:
 //!
@@ -26,13 +38,16 @@
 //! // lint: allow(unwrap) — <why this cannot fail>
 //! ```
 //!
-//! (kinds: `unwrap`, `wildcard`, `hash`).
+//! (kinds: `unwrap`, `wildcard`, `hash`, `wallclock`).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Crates the rules apply to (directory names under `crates/`).
+/// Crates the protocol rules apply to (directory names under `crates/`).
 pub const PROTOCOL_CRATES: &[&str] = &["coherence", "noc", "manycore"];
+
+/// Crates the campaign rules apply to.
+pub const CAMPAIGN_CRATES: &[&str] = &["campaign"];
 
 /// Enums whose matches must not hide behind a catch-all.
 pub const PROTOCOL_ENUMS: &[&str] = &["CoherenceMsg", "State", "DirState", "EiPhase"];
@@ -43,7 +58,14 @@ pub enum Rule {
     Unwrap,
     Wildcard,
     Hash,
+    WallClock,
 }
+
+/// The rule set enforced on [`PROTOCOL_CRATES`].
+pub const PROTOCOL_RULES: &[Rule] = &[Rule::Unwrap, Rule::Wildcard, Rule::Hash];
+
+/// The rule set enforced on [`CAMPAIGN_CRATES`].
+pub const CAMPAIGN_RULES: &[Rule] = &[Rule::Hash, Rule::WallClock];
 
 impl Rule {
     fn kind(self) -> &'static str {
@@ -51,6 +73,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::Wildcard => "wildcard",
             Rule::Hash => "hash",
+            Rule::WallClock => "wallclock",
         }
     }
 }
@@ -420,34 +443,45 @@ fn is_bare_wildcard(pattern: &str) -> bool {
     p == "_" || p.starts_with("_ if ") || p.starts_with("_ if(")
 }
 
-/// Lints one source file. `path` is used only for reporting.
+/// Lints one source file with the protocol rule set. `path` is used
+/// only for reporting.
 pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
+    lint_source_with(path, source, PROTOCOL_RULES)
+}
+
+/// Lints one source file against an explicit rule set.
+pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Finding> {
     let masked = mask(source);
     let skip = test_ranges(&masked);
     let lines: Vec<&str> = source.lines().collect();
     let mut findings = Vec::new();
 
     // Rule 1: unwrap/expect.
-    for (needle, what) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
-        for at in occurrences(&masked, needle, &skip) {
-            let line = line_of(source, at);
-            if waived(&lines, line, "unwrap") {
-                continue;
+    if rules.contains(&Rule::Unwrap) {
+        for (needle, what) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
+            for at in occurrences(&masked, needle, &skip) {
+                let line = line_of(source, at);
+                if waived(&lines, line, "unwrap") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: Rule::Unwrap,
+                    detail: format!(
+                        "{what} in protocol code — return a typed error, or waive with \
+                         `// lint: allow(unwrap) — <why this cannot fail>`"
+                    ),
+                });
             }
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line,
-                rule: Rule::Unwrap,
-                detail: format!(
-                    "{what} in protocol code — return a typed error, or waive with \
-                     `// lint: allow(unwrap) — <why this cannot fail>`"
-                ),
-            });
         }
     }
 
     // Rule 2: wildcard arms over protocol enums.
     for at in occurrences(&masked, "match", &skip) {
+        if !rules.contains(&Rule::Wildcard) {
+            break;
+        }
         let b = source.as_bytes();
         let bounded = (at == 0 || !is_ident(b[at - 1]))
             && b.get(at + 5).is_none_or(|c| !is_ident(*c) && *c != b'!');
@@ -480,28 +514,60 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
     }
 
     // Rule 3: hash collections in simulation state.
-    for name in ["HashMap", "HashSet"] {
-        for at in occurrences(&masked, name, &skip) {
-            let b = source.as_bytes();
-            let bounded = (at == 0 || !is_ident(b[at - 1]))
-                && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
-            if !bounded {
-                continue;
+    if rules.contains(&Rule::Hash) {
+        for name in ["HashMap", "HashSet"] {
+            for at in occurrences(&masked, name, &skip) {
+                let b = source.as_bytes();
+                let bounded = (at == 0 || !is_ident(b[at - 1]))
+                    && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
+                if !bounded {
+                    continue;
+                }
+                let line = line_of(source, at);
+                if waived(&lines, line, "hash") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: Rule::Hash,
+                    detail: format!(
+                        "{name} in deterministic code — iteration order feeds event \
+                         (or merge) order; use BTreeMap/BTreeSet for deterministic \
+                         replay, or waive with \
+                         `// lint: allow(hash) — <why the order cannot leak>`"
+                    ),
+                });
             }
-            let line = line_of(source, at);
-            if waived(&lines, line, "hash") {
-                continue;
+        }
+    }
+
+    // Rule 4: wall-clock reads in deterministic campaign code.
+    if rules.contains(&Rule::WallClock) {
+        for name in ["Instant", "SystemTime"] {
+            for at in occurrences(&masked, name, &skip) {
+                let b = source.as_bytes();
+                let bounded = (at == 0 || !is_ident(b[at - 1]))
+                    && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
+                if !bounded {
+                    continue;
+                }
+                let line = line_of(source, at);
+                if waived(&lines, line, "wallclock") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: Rule::WallClock,
+                    detail: format!(
+                        "{name} in campaign code — wall time may only be read at the \
+                         harness boundary; cell execution and result merging must be \
+                         pure functions of cell configs. Waive with \
+                         `// lint: allow(wallclock) — <why this is the harness boundary>`"
+                    ),
+                });
             }
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line,
-                rule: Rule::Hash,
-                detail: format!(
-                    "{name} in protocol code — iteration order feeds event order; \
-                     use BTreeMap/BTreeSet for deterministic replay, or waive with \
-                     `// lint: allow(hash) — <why the order cannot leak>`"
-                ),
-            });
         }
     }
 
@@ -522,20 +588,25 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints every protocol crate's `src/` tree under `root` (the
-/// workspace root). `tests/` and `benches/` trees are exempt by
-/// construction.
+/// Lints every linted crate's `src/` tree under `root` (the workspace
+/// root): the protocol crates against [`PROTOCOL_RULES`], the campaign
+/// crate against [`CAMPAIGN_RULES`]. `tests/` and `benches/` trees are
+/// exempt by construction.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    for krate in PROTOCOL_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        rust_sources(&src, &mut files)?;
-        files.sort();
-        for file in files {
-            let source = std::fs::read_to_string(&file)?;
-            let rel = file.strip_prefix(root).unwrap_or(&file);
-            findings.extend(lint_source(rel, &source));
+    let sets: [(&[&str], &[Rule]); 2] =
+        [(PROTOCOL_CRATES, PROTOCOL_RULES), (CAMPAIGN_CRATES, CAMPAIGN_RULES)];
+    for (crates, rules) in sets {
+        for krate in crates {
+            let src = root.join("crates").join(krate).join("src");
+            let mut files = Vec::new();
+            rust_sources(&src, &mut files)?;
+            files.sort();
+            for file in files {
+                let source = std::fs::read_to_string(&file)?;
+                let rel = file.strip_prefix(root).unwrap_or(&file);
+                findings.extend(lint_source_with(rel, &source, rules));
+            }
         }
     }
     Ok(findings)

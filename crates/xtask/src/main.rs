@@ -25,8 +25,10 @@ fn main() -> ExitCode {
             };
             if findings.is_empty() {
                 println!(
-                    "xtask lint: clean — {} protocol crates, rules: unwrap, wildcard, hash",
-                    lint::PROTOCOL_CRATES.len()
+                    "xtask lint: clean — {} protocol crates (unwrap, wildcard, hash), \
+                     {} campaign crate (hash, wallclock)",
+                    lint::PROTOCOL_CRATES.len(),
+                    lint::CAMPAIGN_CRATES.len()
                 );
                 ExitCode::SUCCESS
             } else {

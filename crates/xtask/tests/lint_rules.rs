@@ -3,7 +3,7 @@
 //! `CoherenceMsg` must fail.
 
 use std::path::{Path, PathBuf};
-use xtask::lint::{lint_source, lint_workspace, Rule};
+use xtask::lint::{lint_source, lint_source_with, lint_workspace, Rule, CAMPAIGN_RULES};
 
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
@@ -81,6 +81,49 @@ struct Directory {
     let findings = lint_source(Path::new("f.rs"), src);
     assert_eq!(findings.len(), 2, "{findings:?}"); // the use and the field
     assert!(findings.iter().all(|f| f.rule == Rule::Hash));
+}
+
+#[test]
+fn wall_clock_types_are_flagged_under_the_campaign_rules() {
+    let src = r#"
+use std::time::Instant;
+fn measure() -> u64 {
+    let start = Instant::now();
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    start.elapsed().as_nanos() as u64
+}
+"#;
+    let findings = lint_source_with(Path::new("f.rs"), src, CAMPAIGN_RULES);
+    assert_eq!(findings.len(), 3, "{findings:?}"); // use, Instant::now, SystemTime::now
+    assert!(findings.iter().all(|f| f.rule == Rule::WallClock));
+    // The default (protocol) rule set must not flag wall-clock types.
+    assert!(lint_source(Path::new("f.rs"), src).is_empty());
+}
+
+#[test]
+fn wall_clock_waivers_are_honored() {
+    let src = r#"
+// lint: allow(wallclock) — harness boundary: wall time never feeds results.
+use std::time::Instant;
+// lint: allow(wallclock) — harness boundary.
+fn stamp() -> Instant {
+    // lint: allow(wallclock) — harness boundary.
+    Instant::now()
+}
+"#;
+    assert!(lint_source_with(Path::new("f.rs"), src, CAMPAIGN_RULES).is_empty());
+}
+
+#[test]
+fn identifiers_containing_instant_are_not_flagged() {
+    let src = r#"
+fn f(instantiate: u64) -> u64 {
+    let InstantLike = instantiate; // not the std type
+    InstantLike
+}
+"#;
+    assert!(lint_source_with(Path::new("f.rs"), src, CAMPAIGN_RULES).is_empty());
 }
 
 #[test]

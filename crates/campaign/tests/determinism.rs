@@ -123,6 +123,49 @@ fn corrupted_cache_entry_is_detected_and_rerun() {
 }
 
 #[test]
+fn truncated_and_bitflipped_cache_entries_are_demoted_to_misses() {
+    let dir = scratch("mangle");
+    let cache_dir = dir.join("cache");
+    let campaign = tiny_campaign();
+
+    let cold_merged = dir.join("cold.jsonl");
+    execute(&campaign, &opts(2, Some(cache_dir.clone()), cold_merged.clone())).unwrap();
+
+    // Two distinct corruption modes on two distinct entries: a
+    // mid-write crash leaves a truncated file, and disk rot flips a
+    // raw bit. Neither may be served from cache.
+    let truncated = &campaign.cells[1];
+    let path = cache_dir.join(format!("{}.json", truncated.config.content_hash()));
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let flipped = &campaign.cells[5];
+    let path = cache_dir.join(format!("{}.json", flipped.config.content_hash()));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let again_merged = dir.join("again.jsonl");
+    let again =
+        execute(&campaign, &opts(2, Some(cache_dir.clone()), again_merged.clone())).unwrap();
+    assert_eq!(again.executed, 2, "both mangled cells re-run");
+    assert_eq!(again.cached, campaign.cells.len() - 2);
+    assert!(!again.outcome(&truncated.label).unwrap().cached);
+    assert!(!again.outcome(&flipped.label).unwrap().cached);
+
+    assert_eq!(
+        std::fs::read(&cold_merged).unwrap(),
+        std::fs::read(&again_merged).unwrap(),
+        "the re-runs must reproduce the artifact byte for byte"
+    );
+    // Store-back repaired both entries: a third run is fully warm.
+    let third = execute(&campaign, &opts(2, Some(cache_dir), dir.join("3.jsonl"))).unwrap();
+    assert_eq!(third.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn duplicate_configs_execute_once_and_share_the_record() {
     let mut campaign = tiny_campaign();
     let clone_of = campaign.cells[1].clone();

@@ -37,7 +37,7 @@
 use crate::err::CoherenceError;
 use crate::msg::{AckTarget, CoherenceMsg, Envelope};
 use crate::stats::{HomeStats, InvAckRoundTrips};
-use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
+use inpg_sim::{coverage, Addr, CoreId, Cycle, EventWheel};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Directory state of one block.
@@ -277,6 +277,7 @@ impl HomeCore {
         arrived: Cycle,
         now: Cycle,
     ) -> Result<HomeOutcome, CoherenceError> {
+        coverage::record(coverage::HOME_PROCESS.id(msg.variant_index()));
         let mut o = HomeOutcome::default();
         match msg {
             CoherenceMsg::GetS { addr, requester } => {
@@ -605,6 +606,7 @@ impl HomeCore {
             }
         }
         if let Some(pos) =
+            // lint: allow(scan) — parked_acks is a flat buffer bounded at 64 entries
             entry.parked_acks.iter().position(|(c, ts)| *c == core && *ts == stopped_at)
         {
             entry.parked_acks.remove(pos);
@@ -645,6 +647,7 @@ impl HomeCore {
                 // home is the protocol's ack deduplicator.
                 o.notes.push(HomeNote::AckParked);
                 let dup =
+                    // lint: allow(scan) — parked_acks is a flat buffer bounded at 64 entries
                     entry.parked_acks.iter().any(|(c, ts)| *c == from && *ts == inv_sent_at);
                 if !dup {
                     entry.parked_acks.push((from, inv_sent_at));

@@ -37,7 +37,7 @@ use crate::err::CoherenceError;
 use crate::map::HomeMap;
 use crate::msg::{AckTarget, CoherenceMsg, Envelope};
 use crate::stats::{InvAckRoundTrips, L1Stats};
-use inpg_sim::{Addr, CoreId, Cycle, EventWheel};
+use inpg_sim::{coverage, Addr, CoreId, Cycle, EventWheel};
 use std::collections::BTreeMap;
 
 /// One memory operation a core can issue.
@@ -382,6 +382,7 @@ impl L1Core {
     /// Any [`CoherenceError`] variant describing the protocol violation
     /// when the message is impossible in the current state.
     pub fn handle(&mut self, msg: CoherenceMsg) -> Result<L1Outcome, CoherenceError> {
+        coverage::record(coverage::L1_HANDLE.id(msg.variant_index()));
         match msg {
             CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock } => {
                 self.on_data(addr, value, acks_expected, exclusive, needs_unblock)

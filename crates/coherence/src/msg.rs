@@ -1,7 +1,7 @@
 //! Directory-MOESI protocol messages and their mapping onto NoC packets.
 
 use inpg_noc::packet::{EarlyAck, LockRequest, PacketGenPayload, Sink, VirtualNetwork};
-use inpg_sim::{Addr, CoreId, Cycle};
+use inpg_sim::{coverage, Addr, CoreId, Cycle};
 
 /// Where an invalidation's acknowledgement must be sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -193,8 +193,59 @@ pub enum CoherenceMsg {
 }
 
 impl CoherenceMsg {
+    /// Variant names in declaration order. The static transition-matrix
+    /// analyzer (`cargo xtask analyze`) parses the enum declaration above
+    /// and cross-checks its variant list against this constant, so a new
+    /// variant added to one but not the other fails the analyze pass.
+    pub const VARIANT_NAMES: [&'static str; 14] = [
+        "GetS",
+        "GetX",
+        "RelayedGetX",
+        "FwdGetS",
+        "FwdGetX",
+        "Inv",
+        "Data",
+        "AckCount",
+        "InvAck",
+        "EarlyInvAck",
+        "RelayedInvAck",
+        "UnblockS",
+        "UnblockX",
+        "OsWakeup",
+    ];
+
+    /// This variant's position in the enum declaration (the per-site
+    /// transition-coverage index; see [`inpg_sim::coverage`]).
+    pub fn variant_index(&self) -> usize {
+        match self {
+            CoherenceMsg::GetS { .. } => 0,
+            CoherenceMsg::GetX { .. } => 1,
+            CoherenceMsg::RelayedGetX { .. } => 2,
+            CoherenceMsg::FwdGetS { .. } => 3,
+            CoherenceMsg::FwdGetX { .. } => 4,
+            CoherenceMsg::Inv { .. } => 5,
+            CoherenceMsg::Data { .. } => 6,
+            CoherenceMsg::AckCount { .. } => 7,
+            CoherenceMsg::InvAck { .. } => 8,
+            CoherenceMsg::EarlyInvAck { .. } => 9,
+            CoherenceMsg::RelayedInvAck { .. } => 10,
+            CoherenceMsg::UnblockS { .. } => 11,
+            CoherenceMsg::UnblockX { .. } => 12,
+            CoherenceMsg::OsWakeup { .. } => 13,
+        }
+    }
+
+    /// This variant's declared name.
+    pub fn variant_name(&self) -> &'static str {
+        Self::VARIANT_NAMES[self.variant_index()]
+    }
+
     /// The virtual network this message class travels on.
+    ///
+    /// Every routed message passes through here, so this doubles as the
+    /// "variant was constructed and sent" transition-coverage site.
     pub fn vnet(&self) -> VirtualNetwork {
+        coverage::record(coverage::MSG_VNET.id(self.variant_index()));
         match self {
             CoherenceMsg::GetS { .. }
             | CoherenceMsg::GetX { .. }

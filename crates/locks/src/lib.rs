@@ -39,7 +39,7 @@ pub mod layout;
 mod machines;
 
 pub use layout::LockLayout;
-pub use machines::LockHandle;
+pub use machines::{LockHandle, STATE_NAMES};
 
 use inpg_coherence::MemOp;
 use std::fmt;

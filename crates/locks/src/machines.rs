@@ -14,7 +14,8 @@
 
 use crate::{LockLayout, LockPrimitive, LockStep};
 use inpg_coherence::{MemOp, MemOpKind};
-use inpg_sim::Addr;
+use inpg_hot::hot;
+use inpg_sim::{coverage, Addr};
 
 /// Cycles of loop overhead between consecutive spin polls.
 const SPIN_PAUSE: u64 = 1;
@@ -109,6 +110,135 @@ enum State {
     JustReleased,
 }
 
+/// State names in declaration order. The static transition-matrix
+/// analyzer (`cargo xtask analyze`) parses the `State` declaration above
+/// and cross-checks its variant list against this constant, so a variant
+/// added to one but not the other fails the analyze pass. The enum
+/// itself stays private; only the names are exported.
+pub const STATE_NAMES: [&str; 57] = [
+    "Idle",
+    "Held",
+    "TasSpin",
+    "TasSpinWait",
+    "TasPause",
+    "TasSwap",
+    "TasSwapWait",
+    "TasRelease",
+    "TasReleaseWait",
+    "TicketTake",
+    "TicketTakeWait",
+    "TicketCheck",
+    "TicketCheckWait",
+    "TicketPause",
+    "TicketRelease",
+    "TicketReleaseWait",
+    "AbqlTake",
+    "AbqlTakeWait",
+    "AbqlCheck",
+    "AbqlCheckWait",
+    "AbqlPause",
+    "AbqlReset",
+    "AbqlResetWait",
+    "AbqlRelease",
+    "AbqlReleaseWait",
+    "McsClearNext",
+    "McsClearNextWait",
+    "McsClearFlag",
+    "McsClearFlagWait",
+    "McsSwapTail",
+    "McsSwapTailWait",
+    "McsLinkPred",
+    "McsLinkPredWait",
+    "McsSpin",
+    "McsSpinWait",
+    "McsPause",
+    "McsCasTail",
+    "McsCasTailWait",
+    "McsLoadNext",
+    "McsLoadNextWait",
+    "McsNextPause",
+    "McsSetSucc",
+    "McsSetSuccWait",
+    "McsNotify",
+    "QslSpin",
+    "QslSpinWait",
+    "QslPause",
+    "QslCas",
+    "QslCasWait",
+    "QslFinalCheck",
+    "QslFinalCheckWait",
+    "QslGoSleep",
+    "QslSleeping",
+    "QslRelease",
+    "QslReleaseWait",
+    "JustAcquired",
+    "JustReleased",
+];
+
+/// The state's position in the `State` declaration (the per-site
+/// transition-coverage index; see [`inpg_sim::coverage`]).
+fn state_index(s: State) -> usize {
+    match s {
+        State::Idle => 0,
+        State::Held => 1,
+        State::TasSpin => 2,
+        State::TasSpinWait => 3,
+        State::TasPause => 4,
+        State::TasSwap => 5,
+        State::TasSwapWait => 6,
+        State::TasRelease => 7,
+        State::TasReleaseWait => 8,
+        State::TicketTake => 9,
+        State::TicketTakeWait => 10,
+        State::TicketCheck => 11,
+        State::TicketCheckWait => 12,
+        State::TicketPause => 13,
+        State::TicketRelease => 14,
+        State::TicketReleaseWait => 15,
+        State::AbqlTake => 16,
+        State::AbqlTakeWait => 17,
+        State::AbqlCheck => 18,
+        State::AbqlCheckWait => 19,
+        State::AbqlPause => 20,
+        State::AbqlReset => 21,
+        State::AbqlResetWait => 22,
+        State::AbqlRelease => 23,
+        State::AbqlReleaseWait => 24,
+        State::McsClearNext => 25,
+        State::McsClearNextWait => 26,
+        State::McsClearFlag => 27,
+        State::McsClearFlagWait => 28,
+        State::McsSwapTail => 29,
+        State::McsSwapTailWait => 30,
+        State::McsLinkPred { .. } => 31,
+        State::McsLinkPredWait => 32,
+        State::McsSpin => 33,
+        State::McsSpinWait => 34,
+        State::McsPause => 35,
+        State::McsCasTail => 36,
+        State::McsCasTailWait => 37,
+        State::McsLoadNext => 38,
+        State::McsLoadNextWait => 39,
+        State::McsNextPause => 40,
+        State::McsSetSucc { .. } => 41,
+        State::McsSetSuccWait { .. } => 42,
+        State::McsNotify { .. } => 43,
+        State::QslSpin => 44,
+        State::QslSpinWait => 45,
+        State::QslPause => 46,
+        State::QslCas => 47,
+        State::QslCasWait => 48,
+        State::QslFinalCheck => 49,
+        State::QslFinalCheckWait => 50,
+        State::QslGoSleep => 51,
+        State::QslSleeping => 52,
+        State::QslRelease => 53,
+        State::QslReleaseWait => 54,
+        State::JustAcquired => 55,
+        State::JustReleased => 56,
+    }
+}
+
 impl LockHandle {
     /// Creates thread `me`'s handle on the lock described by `layout`.
     ///
@@ -195,8 +325,12 @@ impl LockHandle {
     /// Panics if called while an issued operation's result is still
     /// outstanding (the driver must call [`on_result`](Self::on_result)
     /// first), or on an idle handle.
+    #[hot]
     pub fn step(&mut self) -> LockStep {
-        let l = self.layout.clone();
+        coverage::record(coverage::LOCK_STEP.id(state_index(self.state)));
+        // Borrow, don't clone: the layout holds a word-address vector and
+        // `step` runs once per simulated spin poll.
+        let l = &self.layout;
         let me = self.me;
         match self.state {
             State::Idle => panic!("step on an idle lock handle"),
@@ -431,7 +565,9 @@ impl LockHandle {
     /// # Panics
     ///
     /// Panics if no operation is outstanding.
+    #[hot]
     pub fn on_result(&mut self, value: u64) {
+        coverage::record(coverage::LOCK_ON_RESULT.id(state_index(self.state)));
         self.state = match self.state {
             // TAS: spin read.
             State::TasSpinWait => {

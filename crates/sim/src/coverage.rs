@@ -1,0 +1,142 @@
+//! Protocol transition-coverage recording.
+//!
+//! The protocol dispatch sites (L1 message handling, home-node message
+//! processing, message construction, and the lock state machines) record
+//! which (site, variant) pairs they actually execute into one global
+//! fixed-size bitset. `cargo xtask analyze` resets the bitset, drives the
+//! timed simulator and the untimed model checker in-process, and diffs
+//! the observed bits against the statically declared transition matrix
+//! parsed from the same sources.
+//!
+//! Design constraints (the recording runs inside per-cycle code):
+//!
+//! * **allocation-free** — a `static` array of `AtomicU64` words; no
+//!   growth, no hash collections;
+//! * **deterministic** — recording is a monotonic bitwise OR, so the
+//!   final bitset of a deterministic run does not depend on thread
+//!   interleaving or iteration order;
+//! * **stable IDs** — each site owns a fixed `[base, base + cap)` ID
+//!   range below; a variant's ID is `base + variant_index`, where the
+//!   index is the variant's position in its enum declaration. The static
+//!   analyzer derives the same IDs from source, which is what makes the
+//!   observed bits diffable against the declared matrix.
+//!
+//! Sites carry slack (`cap` above the current variant count) so adding
+//! enum variants does not renumber other sites' IDs.
+
+use inpg_hot::hot;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One instrumented dispatch site: a contiguous transition-ID range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// Stable site name (also used by the static analyzer and in the
+    /// emitted matrix/coverage artifacts).
+    pub name: &'static str,
+    /// First transition ID owned by this site.
+    pub base: usize,
+    /// Number of IDs reserved for this site (>= the enum's variant count).
+    pub cap: usize,
+}
+
+impl Site {
+    /// The transition ID of `variant_index` at this site.
+    #[inline]
+    pub const fn id(&self, variant_index: usize) -> usize {
+        self.base + variant_index
+    }
+
+    /// Whether `id` belongs to this site's range.
+    pub const fn owns(&self, id: usize) -> bool {
+        id >= self.base && id < self.base + self.cap
+    }
+}
+
+/// `CoherenceMsg::vnet` — every constructed-and-routed message variant.
+pub const MSG_VNET: Site = Site { name: "msg_vnet", base: 0, cap: 16 };
+/// `L1Core::handle` — message variants delivered to a private cache.
+pub const L1_HANDLE: Site = Site { name: "l1_handle", base: 16, cap: 16 };
+/// `HomeCore::process` — message variants processed by a home node.
+pub const HOME_PROCESS: Site = Site { name: "home_process", base: 32, cap: 16 };
+/// `LockHandle::step` — lock-machine states asked for their next step.
+pub const LOCK_STEP: Site = Site { name: "lock_step", base: 48, cap: 64 };
+/// `LockHandle::on_result` — lock-machine states receiving a result.
+pub const LOCK_ON_RESULT: Site = Site { name: "lock_on_result", base: 112, cap: 64 };
+
+/// Every instrumented site, in transition-ID order.
+pub const SITES: [Site; 5] = [MSG_VNET, L1_HANDLE, HOME_PROCESS, LOCK_STEP, LOCK_ON_RESULT];
+
+/// One past the largest valid transition ID.
+pub const TRANSITION_CAP: usize = LOCK_ON_RESULT.base + LOCK_ON_RESULT.cap;
+
+/// Bitset words backing [`TRANSITION_CAP`] transition bits.
+pub const WORDS: usize = TRANSITION_CAP.div_ceil(64);
+
+static BITS: [AtomicU64; WORDS] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+/// Records transition `id` as observed. Out-of-range IDs are ignored
+/// (they cannot occur for IDs produced via [`Site::id`] with a valid
+/// variant index; the guard keeps the recording panic-free by contract).
+#[hot]
+#[inline]
+pub fn record(id: usize) {
+    if id < TRANSITION_CAP {
+        BITS[id / 64].fetch_or(1 << (id % 64), Ordering::Relaxed);
+    }
+}
+
+/// A copy of the current observed bitset.
+pub fn snapshot() -> [u64; WORDS] {
+    let mut out = [0u64; WORDS];
+    for (word, bits) in out.iter_mut().zip(BITS.iter()) {
+        *word = bits.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Clears every observed bit. Call between measurement phases (the
+/// bitset is process-global).
+pub fn reset() {
+    for bits in BITS.iter() {
+        bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Whether transition `id` is set in `snap`.
+pub fn is_set(snap: &[u64; WORDS], id: usize) -> bool {
+    id < TRANSITION_CAP && snap[id / 64] & (1 << (id % 64)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_are_disjoint_and_ordered() {
+        for pair in SITES.windows(2) {
+            assert_eq!(pair[0].base + pair[0].cap, pair[1].base, "{:?}", pair);
+        }
+        assert_eq!(SITES[0].base, 0);
+        assert_eq!(TRANSITION_CAP, 176);
+        assert_eq!(WORDS, 3);
+    }
+
+    #[test]
+    fn record_sets_exactly_one_monotonic_bit() {
+        // No reset() here: the bitset is process-global and other tests
+        // in this binary may be recording concurrently. Setting a bit is
+        // monotonic, so asserting presence is race-free.
+        let id = LOCK_ON_RESULT.id(63); // last valid ID
+        record(id);
+        assert!(is_set(&snapshot(), id));
+        assert!(LOCK_ON_RESULT.owns(id));
+        assert!(!LOCK_STEP.owns(id));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        record(TRANSITION_CAP);
+        record(usize::MAX);
+        assert!(!is_set(&snapshot(), TRANSITION_CAP));
+    }
+}

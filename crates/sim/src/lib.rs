@@ -27,6 +27,7 @@
 //! assert_eq!(wheel.pop_due(Cycle::new(7)), Some("wake thread 3"));
 //! ```
 
+pub mod coverage;
 pub mod event;
 pub mod ids;
 pub mod rng;

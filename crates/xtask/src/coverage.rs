@@ -1,0 +1,309 @@
+//! Transition-coverage observation and diffing.
+//!
+//! `cargo xtask analyze` drives two execution engines in-process
+//! against the same instrumented protocol cores:
+//!
+//! 1. a **timed** phase — a small campaign sweeping every lock
+//!    primitive under the baseline and iNPG mechanisms on a 4×4 mesh
+//!    (with a reduced retry budget on the QSL cells so the sleep path
+//!    is exercised), and
+//! 2. an **untimed** phase — the bounded model checker, which explores
+//!    every reachable protocol state rather than one timed trace.
+//!
+//! The global bitset (`inpg_sim::coverage`) is snapshotted after each
+//! phase, and every declared transition is classified as reached by
+//! sim, by the checker, by both, or by neither. Observed bits with no
+//! declared transition are *undeclared* — always a hard error, because
+//! they mean the runtime and the parsed matrix disagree.
+//!
+//! The classification is compared byte-for-byte against the checked-in
+//! baseline (`crates/xtask/coverage_baseline.json`). Any drift —
+//! regression *or* progress — fails the run until the baseline is
+//! re-blessed with `cargo xtask analyze --bless`, which regenerates the
+//! coverage section while preserving the hand-maintained
+//! `allow_unreached` map (trigger → documented reason). An unreached
+//! `handle` transition without an allowlist entry fails the run; an
+//! allowlist entry whose transition is now reached is itself stale and
+//! fails the run. `reject` transitions are expected to be unreached
+//! (reaching one means a protocol-violation path executed).
+
+use crate::matrix::SiteMatrix;
+use inpg::Mechanism;
+use inpg_campaign::engine::{execute, ExecOptions};
+use inpg_campaign::json::Json;
+use inpg_campaign::{Campaign, CellConfig};
+use inpg_locks::LockPrimitive;
+use inpg_sim::coverage;
+use std::path::Path;
+
+/// Snapshots of the transition bitset after each phase.
+pub struct Observed {
+    pub sim: [u64; coverage::WORDS],
+    pub checker: [u64; coverage::WORDS],
+}
+
+/// The campaign for the timed phase: every primitive under the
+/// baseline and iNPG mechanisms. Small meshes and round counts — the
+/// goal is reaching transitions, not statistical confidence.
+fn coverage_campaign() -> Campaign {
+    let mut campaign = Campaign::new("coverage");
+    for mechanism in [Mechanism::Original, Mechanism::Inpg] {
+        let tag = match mechanism {
+            Mechanism::Original => "orig",
+            Mechanism::Inpg => "inpg",
+            Mechanism::Ocor | Mechanism::InpgOcor => unreachable!("not swept here"),
+        };
+        for primitive in LockPrimitive::ALL {
+            let mut cfg = CellConfig::hot_lock(8, 80, 30);
+            cfg.primitive = primitive;
+            cfg.mechanism = mechanism;
+            cfg.width = 4;
+            cfg.height = 4;
+            cfg.max_cycles = 5_000_000;
+            if primitive.has_sleep_phase() {
+                // Exhaust the QSL retry budget fast so the sleep /
+                // OS-wakeup states are reached within a small cell.
+                cfg.retry_budget = 4;
+            }
+            campaign.push(format!("{tag}-{primitive}"), cfg);
+        }
+    }
+    // A rapid-handoff MCS cell (near-empty critical sections, corner
+    // lock home) gives the mid-enqueue release race its best odds;
+    // `lock_step::McsNextPause` still needs a successor's tail swap
+    // inside the link-store latency window and stays allowlisted (see
+    // coverage_baseline.json), but the cell keeps the rest of the MCS
+    // release path hot.
+    let mut cfg = CellConfig::hot_lock(64, 5, 1);
+    cfg.primitive = LockPrimitive::Mcs;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.lock_home = Some(0);
+    cfg.max_cycles = 5_000_000;
+    campaign.push("orig-mcs-handoff", cfg);
+    campaign
+}
+
+/// Runs both phases and snapshots the bitset after each. The bitset is
+/// global, so this resets it around each phase; coverage recorded by
+/// earlier in-process work is discarded by design.
+pub fn observe() -> Result<Observed, String> {
+    coverage::reset();
+    let campaign = coverage_campaign();
+    // No cache: a cache hit would skip execution and lose its coverage.
+    let opts = ExecOptions::quiet();
+    execute(&campaign, &opts).map_err(|e| format!("coverage campaign failed: {e}"))?;
+    let sim = coverage::snapshot();
+
+    coverage::reset();
+    for barrier in [false, true] {
+        let cfg = inpg_analysis::Config::bounded(2, 1, barrier);
+        match inpg_analysis::check(&cfg) {
+            inpg_analysis::Verdict::Pass(_) => {}
+            inpg_analysis::Verdict::Fail(cx) => {
+                return Err(format!(
+                    "model checker found a protocol violation during the coverage \
+                     run (barrier={barrier}): {}",
+                    cx.property
+                ));
+            }
+        }
+    }
+    let checker = coverage::snapshot();
+    Ok(Observed { sim, checker })
+}
+
+/// Classification of one declared transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    Both,
+    SimOnly,
+    CheckerOnly,
+    Unreached,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Both => "sim+checker",
+            Status::SimOnly => "sim",
+            Status::CheckerOnly => "checker",
+            Status::Unreached => "unreached",
+        }
+    }
+}
+
+/// The full coverage report: per-site, per-trigger classification plus
+/// any undeclared-but-observed bits.
+pub struct Report {
+    /// `(site, trigger, action, status)` for every declared transition,
+    /// in transition-ID order.
+    pub rows: Vec<(String, String, &'static str, Status)>,
+    /// Observed transition IDs with no declared transition.
+    pub undeclared: Vec<usize>,
+}
+
+/// Classifies every declared transition against the observed bitsets.
+pub fn classify(matrix: &[SiteMatrix], observed: &Observed) -> Report {
+    let mut rows = Vec::new();
+    let mut declared = [false; coverage::TRANSITION_CAP];
+    for site in matrix {
+        for t in &site.transitions {
+            declared[t.id] = true;
+            let in_sim = coverage::is_set(&observed.sim, t.id);
+            let in_chk = coverage::is_set(&observed.checker, t.id);
+            let status = match (in_sim, in_chk) {
+                (true, true) => Status::Both,
+                (true, false) => Status::SimOnly,
+                (false, true) => Status::CheckerOnly,
+                (false, false) => Status::Unreached,
+            };
+            rows.push((
+                site.spec.site.name.to_string(),
+                t.trigger.clone(),
+                t.action,
+                status,
+            ));
+        }
+    }
+    let mut undeclared = Vec::new();
+    for (id, declared) in declared.iter().enumerate() {
+        let seen =
+            coverage::is_set(&observed.sim, id) || coverage::is_set(&observed.checker, id);
+        if seen && !declared {
+            undeclared.push(id);
+        }
+    }
+    Report { rows, undeclared }
+}
+
+/// Serializes the report to its canonical JSON artifact (byte-stable:
+/// fixed key order, deterministic inputs).
+pub fn report_json(matrix: &[SiteMatrix], report: &Report) -> Json {
+    let mut sites = Vec::new();
+    for site in matrix {
+        let name = site.spec.site.name;
+        let transitions = report
+            .rows
+            .iter()
+            .filter(|(s, ..)| s == name)
+            .map(|(_, trigger, action, status)| {
+                Json::obj(vec![
+                    ("trigger", Json::Str(trigger.clone())),
+                    ("action", Json::Str((*action).into())),
+                    ("status", Json::Str(status.label().into())),
+                ])
+            })
+            .collect();
+        sites.push(Json::obj(vec![
+            ("site", Json::Str(name.into())),
+            ("transitions", Json::Arr(transitions)),
+        ]));
+    }
+    Json::obj(vec![
+        ("schema", Json::Str("inpg.coverage.v1".into())),
+        ("sites", Json::Arr(sites)),
+        (
+            "undeclared",
+            Json::Arr(report.undeclared.iter().map(|id| Json::UInt(*id as u64)).collect()),
+        ),
+    ])
+}
+
+/// The parsed baseline file: the blessed coverage section plus the
+/// hand-maintained allowlist of documented-unreached transitions.
+pub struct Baseline {
+    /// `site::trigger` → reason.
+    pub allow_unreached: Vec<(String, String)>,
+    /// Canonical serialization of the blessed coverage report.
+    pub coverage_compact: String,
+}
+
+/// Loads and validates the baseline file.
+pub fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let json = inpg_campaign::json::parse(&text)
+        .map_err(|e| format!("malformed baseline {}: {e}", path.display()))?;
+    let schema = json.get("schema").and_then(Json::as_str);
+    if schema != Some("inpg.coverage_baseline.v1") {
+        return Err(format!(
+            "baseline {} has unexpected schema {schema:?}",
+            path.display()
+        ));
+    }
+    let mut allow_unreached = Vec::new();
+    if let Some(Json::Obj(entries)) = json.get("allow_unreached") {
+        for (key, reason) in entries {
+            let reason = reason
+                .as_str()
+                .ok_or_else(|| format!("allow_unreached[{key}] reason must be a string"))?;
+            allow_unreached.push((key.clone(), reason.to_string()));
+        }
+    }
+    let coverage_compact = json
+        .get("coverage")
+        .ok_or_else(|| format!("baseline {} lacks a `coverage` section", path.display()))?
+        .to_string_compact();
+    Ok(Baseline { allow_unreached, coverage_compact })
+}
+
+/// Serializes a baseline (used by `--bless`).
+pub fn baseline_json(allow_unreached: &[(String, String)], coverage: Json) -> Json {
+    let mut allow: Vec<(String, Json)> = allow_unreached
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+        .collect();
+    allow.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("inpg.coverage_baseline.v1".into())),
+        ("allow_unreached".into(), Json::Obj(allow)),
+        ("coverage".into(), coverage),
+    ])
+}
+
+/// Validates the classification against the allowlist and the blessed
+/// coverage. Returns findings (strings shown to the user); non-empty
+/// findings fail the run with exit 2.
+pub fn validate(report: &Report, current_compact: &str, baseline: &Baseline) -> Vec<String> {
+    let mut findings = Vec::new();
+    for id in &report.undeclared {
+        findings.push(format!(
+            "undeclared-but-observed transition id {id} — the runtime recorded a bit \
+             the parsed matrix does not declare (parser/runtime drift)"
+        ));
+    }
+    for (site, trigger, action, status) in &report.rows {
+        let key = format!("{site}::{trigger}");
+        let allowed = baseline.allow_unreached.iter().find(|(k, _)| *k == key);
+        match (*status, *action, allowed) {
+            (Status::Unreached, "handle", None) => findings.push(format!(
+                "{key}: declared `handle` transition is unreached and has no \
+                 allow_unreached entry — extend the coverage campaign or document \
+                 why it cannot be reached"
+            )),
+            (Status::Unreached, _, _) => {}
+            (_, _, Some((_, reason))) => findings.push(format!(
+                "{key}: allow_unreached entry is stale (transition is now reached; \
+                 reason was: {reason}) — remove it and re-bless"
+            )),
+            _ => {}
+        }
+    }
+    for (key, _) in &baseline.allow_unreached {
+        if !report.rows.iter().any(|(s, t, ..)| format!("{s}::{t}") == *key) {
+            findings.push(format!(
+                "allow_unreached entry `{key}` names no declared transition"
+            ));
+        }
+    }
+    if current_compact != baseline.coverage_compact {
+        findings.push(
+            "coverage differs from the blessed baseline (see the per-transition \
+             classification above; run `cargo xtask analyze --bless` after reviewing \
+             the drift)"
+                .into(),
+        );
+    }
+    findings
+}

@@ -1,0 +1,319 @@
+//! Hot-path performance lints.
+//!
+//! Two facts about the simulator's inner loop motivate these passes:
+//! every lock-protocol step and every coherence message runs through a
+//! handful of functions millions of times per campaign cell, and the
+//! directory's sharer bookkeeping is consulted on every protocol hop.
+//! An accidental allocation or linear scan in either place is invisible
+//! in tests and expensive at scale.
+//!
+//! * **hot** — functions marked with the `#[hot]` attribute (the
+//!   zero-dependency `inpg-hot` proc-macro crate), or listed in a
+//!   per-crate `HOTPATH.txt` manifest for crates that should not take
+//!   the proc-macro dependency, must not allocate: no `Box::new`,
+//!   `vec![`, `format!(`, growth calls (`.push(`, `.insert(`,
+//!   `.extend(`, `.collect(`), no `.clone(` of simulation state, no
+//!   string construction.
+//! * **scan** — directory-state files must not probe collections with
+//!   `.iter().position(` / `.iter().any(` / `.iter().find(`; sharer
+//!   lookups go through keyed `BTreeMap`/`BTreeSet` structures. A
+//!   bounded probe over a small fixed-capacity buffer is waivable with
+//!   `// lint: allow(scan) — bounded at <N>`.
+//!
+//! `HOTPATH.txt` format: one `src/<file>.rs::<fn_name>` entry per line,
+//! `#` comments and blank lines ignored. An entry applies to every
+//! function with that name in the file (wrappers included — if the name
+//! is hot, all bodies sharing it are). Entries naming a missing file or
+//! a function the file does not define are reported as parse errors, so
+//! a manifest cannot rot silently.
+
+use crate::lint::{in_ranges, is_ident, line_of, occurrences, Finding, Rule, Waivers};
+use crate::parse::ParseError;
+use std::path::{Path, PathBuf};
+
+/// Allocation needles forbidden inside hot function bodies.
+const ALLOC_NEEDLES: &[(&str, &str)] = &[
+    ("Box::new", "heap allocation (`Box::new`)"),
+    ("vec![", "heap allocation (`vec![`)"),
+    (".to_vec()", "heap allocation (`.to_vec()`)"),
+    (".to_string(", "string allocation (`.to_string`)"),
+    ("String::from(", "string allocation (`String::from`)"),
+    ("format!(", "string allocation (`format!`)"),
+    (".collect(", "collection allocation (`.collect`)"),
+    (".push(", "collection growth (`.push`)"),
+    (".extend(", "collection growth (`.extend`)"),
+    (".insert(", "collection growth (`.insert`)"),
+    (".clone(", "clone of simulation state (`.clone`)"),
+];
+
+/// Linear-scan needles forbidden over directory state.
+const SCAN_NEEDLES: &[&str] = &[".iter().position(", ".iter().any(", ".iter().find("];
+
+/// Files holding directory (home-node) state, where the scan pass runs.
+const DIRECTORY_FILES: &[&str] = &["home.rs"];
+
+/// One `HOTPATH.txt` entry.
+struct ManifestEntry {
+    /// Path relative to the crate root (`src/event.rs`).
+    file: PathBuf,
+    fn_name: String,
+    /// 1-based line in the manifest, for error reporting.
+    line: usize,
+    /// Set once some linted file matched this entry's path.
+    matched: std::cell::Cell<bool>,
+}
+
+/// A crate's parsed `HOTPATH.txt` (empty when the crate has none).
+pub struct Manifest {
+    entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Function names declared hot for the file at `rel_in_crate`
+    /// (a path relative to the crate root).
+    pub fn fns_for(&self, rel_in_crate: &Path) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| e.file == rel_in_crate)
+            .map(|e| {
+                e.matched.set(true);
+                e.fn_name.clone()
+            })
+            .collect()
+    }
+
+    /// Errors for entries that matched no linted file.
+    pub fn unmatched_errors(&self, crate_dir: &Path, root: &Path) -> Vec<ParseError> {
+        let manifest_path = crate_dir.join("HOTPATH.txt");
+        let rel = manifest_path.strip_prefix(root).unwrap_or(&manifest_path);
+        self.entries
+            .iter()
+            .filter(|e| !e.matched.get())
+            .map(|e| ParseError {
+                file: rel.to_path_buf(),
+                line: e.line,
+                detail: format!(
+                    "HOTPATH.txt entry `{}::{}` matches no linted source file",
+                    e.file.display(),
+                    e.fn_name
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Loads `<crate_dir>/HOTPATH.txt` if present.
+pub fn manifest(crate_dir: &Path) -> std::io::Result<Manifest> {
+    let path = crate_dir.join("HOTPATH.txt");
+    let mut entries = Vec::new();
+    if path.is_file() {
+        let text = std::fs::read_to_string(&path)?;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Malformed lines become entries that can never match a
+            // file, so they surface through `unmatched_errors`.
+            let (file, fn_name) = line.split_once("::").unwrap_or((line, ""));
+            entries.push(ManifestEntry {
+                file: PathBuf::from(file),
+                fn_name: fn_name.to_string(),
+                line: idx + 1,
+                matched: std::cell::Cell::new(false),
+            });
+        }
+    }
+    Ok(Manifest { entries })
+}
+
+/// A function body located in the source: `[open, close)` byte range of
+/// the braced block, plus where the `fn` keyword sits for reporting.
+struct FnBody {
+    name: String,
+    fn_kw: usize,
+    body: (usize, usize),
+}
+
+/// Locates every function definition in the masked source (test ranges
+/// excluded), with its body byte range. Bodiless declarations (trait
+/// methods ending in `;`) are skipped.
+fn fn_bodies(source: &str, masked: &[u8], skip: &[(usize, usize)]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    for at in occurrences(masked, "fn", skip) {
+        let b = masked;
+        let bounded = (at == 0 || !is_ident(b[at - 1]))
+            && b.get(at + 2).is_some_and(|c| c.is_ascii_whitespace());
+        if !bounded {
+            continue;
+        }
+        // Name: next identifier run.
+        let mut i = at + 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = source[name_start..i].to_string();
+        // Body: first `{` at paren/bracket/angle-free depth 0 after the
+        // signature; `;` first means a bodiless declaration.
+        let mut depth = 0i32;
+        let open = loop {
+            if i >= b.len() {
+                break usize::MAX;
+            }
+            match b[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break i,
+                b';' if depth == 0 => break usize::MAX,
+                _ => {}
+            }
+            i += 1;
+        };
+        if open == usize::MAX {
+            continue;
+        }
+        let mut brace = 1i32;
+        let mut j = open + 1;
+        while j < b.len() && brace > 0 {
+            match b[j] {
+                b'{' => brace += 1,
+                b'}' => brace -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnBody { name, fn_kw: at, body: (open, j) });
+    }
+    out
+}
+
+/// Byte offsets (in masked text) of `#[hot]` / `#[inpg_hot::hot]`
+/// attribute ends, outside test ranges.
+fn hot_attr_ends(masked: &[u8], skip: &[(usize, usize)]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    for needle in ["#[hot]", "#[inpg_hot::hot]"] {
+        for at in occurrences(masked, needle, skip) {
+            ends.push(at + needle.len());
+        }
+    }
+    ends.sort_unstable();
+    ends
+}
+
+/// The hot-allocation pass (rule kind `hot`). Returns findings plus
+/// parse errors for manifest functions the file does not define.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lint_hot(
+    path: &Path,
+    source: &str,
+    masked: &[u8],
+    skip: &[(usize, usize)],
+    lines: &[&str],
+    waivers: &mut Waivers,
+    hot_manifest: &[String],
+) -> (Vec<Finding>, Vec<ParseError>) {
+    let bodies = fn_bodies(source, masked, skip);
+    let attr_ends = hot_attr_ends(masked, skip);
+    let mut errors = Vec::new();
+
+    // A body is hot when a hot attribute sits between the previous
+    // body's end and its `fn` keyword, or its name is in the manifest.
+    let mut hot: Vec<&FnBody> = Vec::new();
+    for body in &bodies {
+        let attr_marked = attr_ends.iter().any(|end| {
+            *end <= body.fn_kw
+                && !bodies
+                    .iter()
+                    .any(|other| other.fn_kw > *end && other.fn_kw < body.fn_kw)
+        });
+        if attr_marked || hot_manifest.contains(&body.name) {
+            hot.push(body);
+        }
+    }
+    for name in hot_manifest {
+        if !bodies.iter().any(|b| &b.name == name) {
+            errors.push(ParseError {
+                file: path.to_path_buf(),
+                line: 1,
+                detail: format!("HOTPATH.txt names `{name}`, but this file defines no such fn"),
+            });
+        }
+    }
+
+    let mut findings = Vec::new();
+    for body in hot {
+        let (open, close) = body.body;
+        let text = std::str::from_utf8(&masked[open..close]).unwrap_or_default();
+        for (needle, what) in ALLOC_NEEDLES {
+            let mut from = 0;
+            while let Some(p) = text[from..].find(needle) {
+                let at = open + from + p;
+                from += p + 1;
+                let line = line_of(source, at);
+                if waivers.check(lines, line, "hot") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: Rule::HotAlloc,
+                    detail: format!(
+                        "{what} inside hot function `{}` — hoist it out of the per-step \
+                         path, or waive with `// lint: allow(hot) — <why it is cold>`",
+                        body.name
+                    ),
+                });
+            }
+        }
+    }
+    (findings, errors)
+}
+
+/// The directory linear-scan pass (rule kind `scan`). Only runs on
+/// files in [`DIRECTORY_FILES`].
+pub(crate) fn lint_scans(
+    path: &Path,
+    source: &str,
+    masked: &[u8],
+    skip: &[(usize, usize)],
+    lines: &[&str],
+    waivers: &mut Waivers,
+) -> Vec<Finding> {
+    let is_directory_file = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| DIRECTORY_FILES.contains(&n));
+    if !is_directory_file {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for needle in SCAN_NEEDLES {
+        for at in occurrences(masked, needle, skip) {
+            if in_ranges(at, skip) {
+                continue;
+            }
+            let line = line_of(source, at);
+            if waivers.check(lines, line, "scan") {
+                continue;
+            }
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line,
+                rule: Rule::LinearScan,
+                detail: format!(
+                    "linear scan `{needle}…)` over directory state — sharer lookups must \
+                     use keyed BTree structures; a bounded probe needs \
+                     `// lint: allow(scan) — bounded at <N>`"
+                ),
+            });
+        }
+    }
+    findings
+}

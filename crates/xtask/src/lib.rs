@@ -1,5 +1,9 @@
 //! Library surface of the workspace automation tool, so the lint
-//! engine is testable from integration tests. The `xtask` binary is a
-//! thin CLI over this.
+//! engine and the transition-matrix analyzer are testable from
+//! integration tests. The `xtask` binary is a thin CLI over this.
 
+pub mod coverage;
+pub mod hotpath;
 pub mod lint;
+pub mod matrix;
+pub mod parse;

@@ -3,7 +3,7 @@
 //! option) enforcing the invariants the simulator's correctness
 //! arguments lean on.
 //!
-//! Three rules, scoped to the protocol crates (`coherence`, `noc`,
+//! Rules scoped to the protocol crates (`coherence`, `noc`,
 //! `manycore`), skipping `#[cfg(test)]` regions and `tests/`/`benches/`
 //! trees:
 //!
@@ -19,10 +19,10 @@
 //!    order feeds the event order, and hash iteration order is
 //!    unspecified; deterministic replay needs `BTreeMap`/`BTreeSet`.
 //!
-//! A fourth rule covers the campaign crate (`campaign`), whose
-//! determinism argument — byte-identical merged artifacts across worker
-//! counts and cache states — leans on cell execution and result merging
-//! never seeing the host:
+//! Rules covering the campaign crate (`campaign`), whose determinism
+//! argument — byte-identical merged artifacts across worker counts and
+//! cache states — leans on cell execution and result merging never
+//! seeing the host:
 //!
 //! 4. **wallclock** — no `Instant`/`SystemTime` in the campaign crate
 //!    outside its dedicated harness-boundary module (`clock.rs`, which
@@ -31,6 +31,23 @@
 //!    The `hash` rule applies to the campaign crate too, for the same
 //!    iteration-order reason.
 //!
+//! Rules feeding the hot-loop roadmap (see `hotpath` for the scans):
+//!
+//! 5. **hot** — no heap allocation (`Box::new`, `vec![`, growth via
+//!    `.push(`/`.insert(`/`.extend(`/`.collect(`), no `.clone()` of
+//!    simulation state, and no string formatting inside functions
+//!    marked `#[hot]` (the `inpg-hot` attribute) or listed in a
+//!    per-crate `HOTPATH.txt` manifest.
+//! 6. **scan** — no linear iterator scans (`.iter().position(`,
+//!    `.iter().any(`, `.iter().find(`) over directory-state collections
+//!    (sharer lookups must go through keyed `BTreeMap`/`BTreeSet`
+//!    structures; bounded linear probes need an explicit waiver naming
+//!    the bound).
+//! 7. **stale** — every `lint: allow(<kind>)` waiver must suppress at
+//!    least one finding of a rule that ran on its file; an obsolete
+//!    waiver is itself a finding, so dead justifications cannot
+//!    accumulate.
+//!
 //! A violation can be waived in place with a justification marker on
 //! the same line or an immediately preceding comment line:
 //!
@@ -38,8 +55,10 @@
 //! // lint: allow(unwrap) — <why this cannot fail>
 //! ```
 //!
-//! (kinds: `unwrap`, `wildcard`, `hash`, `wallclock`).
+//! (kinds: `unwrap`, `wildcard`, `hash`, `wallclock`, `hot`, `scan`).
 
+use crate::hotpath;
+use crate::parse::ParseError;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -48,6 +67,11 @@ pub const PROTOCOL_CRATES: &[&str] = &["coherence", "noc", "manycore"];
 
 /// Crates the campaign rules apply to.
 pub const CAMPAIGN_CRATES: &[&str] = &["campaign"];
+
+/// Kernel crates: deterministic foundations linted for hash collections
+/// and hot-path discipline (their panics are contract assertions, so the
+/// unwrap rule does not apply).
+pub const KERNEL_CRATES: &[&str] = &["sim", "locks"];
 
 /// Enums whose matches must not hide behind a catch-all.
 pub const PROTOCOL_ENUMS: &[&str] = &["CoherenceMsg", "State", "DirState", "EiPhase"];
@@ -59,21 +83,38 @@ pub enum Rule {
     Wildcard,
     Hash,
     WallClock,
+    HotAlloc,
+    LinearScan,
+    StaleWaiver,
 }
 
 /// The rule set enforced on [`PROTOCOL_CRATES`].
-pub const PROTOCOL_RULES: &[Rule] = &[Rule::Unwrap, Rule::Wildcard, Rule::Hash];
+pub const PROTOCOL_RULES: &[Rule] = &[
+    Rule::Unwrap,
+    Rule::Wildcard,
+    Rule::Hash,
+    Rule::HotAlloc,
+    Rule::LinearScan,
+    Rule::StaleWaiver,
+];
 
 /// The rule set enforced on [`CAMPAIGN_CRATES`].
-pub const CAMPAIGN_RULES: &[Rule] = &[Rule::Hash, Rule::WallClock];
+pub const CAMPAIGN_RULES: &[Rule] =
+    &[Rule::Hash, Rule::WallClock, Rule::HotAlloc, Rule::StaleWaiver];
+
+/// The rule set enforced on [`KERNEL_CRATES`].
+pub const KERNEL_RULES: &[Rule] = &[Rule::Hash, Rule::HotAlloc, Rule::StaleWaiver];
 
 impl Rule {
-    fn kind(self) -> &'static str {
+    pub(crate) fn kind(self) -> &'static str {
         match self {
             Rule::Unwrap => "unwrap",
             Rule::Wildcard => "wildcard",
             Rule::Hash => "hash",
             Rule::WallClock => "wallclock",
+            Rule::HotAlloc => "hot",
+            Rule::LinearScan => "scan",
+            Rule::StaleWaiver => "stale",
         }
     }
 }
@@ -104,7 +145,7 @@ impl fmt::Display for Finding {
 /// spaces (newlines kept), so the token scans below cannot be fooled by
 /// `".unwrap()"` inside a doc string. Returns a byte vector of the same
 /// length as the input.
-fn mask(source: &str) -> Vec<u8> {
+pub(crate) fn mask(source: &str) -> Vec<u8> {
     let b = source.as_bytes();
     let mut out = b.to_vec();
     let mut i = 0;
@@ -193,7 +234,7 @@ fn mask(source: &str) -> Vec<u8> {
     out
 }
 
-fn is_ident(c: u8) -> bool {
+pub(crate) fn is_ident(c: u8) -> bool {
     c.is_ascii_alphanumeric() || c == b'_'
 }
 
@@ -225,7 +266,7 @@ fn raw_string_len(b: &[u8]) -> usize {
 
 /// Byte ranges covered by `#[cfg(test)]` items (the attribute through
 /// the end of the braced item it decorates).
-fn test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
     let text = std::str::from_utf8(masked).unwrap_or_default();
     let mut ranges = Vec::new();
     let mut from = 0;
@@ -264,38 +305,114 @@ fn test_ranges(masked: &[u8]) -> Vec<(usize, usize)> {
     ranges
 }
 
-fn in_ranges(pos: usize, ranges: &[(usize, usize)]) -> bool {
+pub(crate) fn in_ranges(pos: usize, ranges: &[(usize, usize)]) -> bool {
     ranges.iter().any(|(a, b)| (*a..*b).contains(&pos))
 }
 
-fn line_of(source: &str, pos: usize) -> usize {
+pub(crate) fn line_of(source: &str, pos: usize) -> usize {
     source.as_bytes()[..pos].iter().filter(|c| **c == b'\n').count() + 1
 }
 
-/// Is a `lint: allow(<kind>)` marker present on `line` or the block of
-/// comment-only lines immediately above it?
-fn waived(lines: &[&str], line: usize, kind: &str) -> bool {
-    let marker = format!("lint: allow({kind})");
-    if lines.get(line - 1).is_some_and(|l| l.contains(&marker)) {
-        return true;
-    }
-    let mut n = line - 1; // 0-based index of the line above
-    while n > 0 {
-        let above = lines[n - 1].trim_start();
-        if !above.starts_with("//") {
-            return false;
+/// One `lint: allow(<kind>)` marker found in a file.
+struct WaiverSite {
+    /// 1-based line the marker sits on.
+    line: usize,
+    kind: String,
+    used: bool,
+}
+
+/// All waiver markers of one file, with usage tracking: a marker that
+/// suppresses no finding by the end of the file's passes is stale.
+pub(crate) struct Waivers {
+    sites: Vec<WaiverSite>,
+}
+
+impl Waivers {
+    /// Collects every `lint: allow(<kind>)` marker in `source`.
+    pub(crate) fn collect(source: &str) -> Self {
+        let mut sites = Vec::new();
+        for (idx, text) in source.lines().enumerate() {
+            if let Some(p) = text.find("lint: allow(") {
+                let rest = &text[p + "lint: allow(".len()..];
+                if let Some(close) = rest.find(')') {
+                    sites.push(WaiverSite {
+                        line: idx + 1,
+                        kind: rest[..close].to_string(),
+                        used: false,
+                    });
+                }
+            }
         }
-        if above.contains(&marker) {
+        Waivers { sites }
+    }
+
+    fn mark(&mut self, line: usize, kind: &str) -> bool {
+        for site in &mut self.sites {
+            if site.line == line && site.kind == kind {
+                site.used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is a marker of `kind` present on `line` or the block of
+    /// comment-only lines immediately above it? Marks the matching
+    /// marker as used.
+    pub(crate) fn check(&mut self, lines: &[&str], line: usize, kind: &str) -> bool {
+        if self.mark(line, kind) {
             return true;
         }
-        n -= 1;
+        let mut n = line - 1; // 0-based index of the line above
+        while n > 0 {
+            let above = lines[n - 1].trim_start();
+            if !above.starts_with("//") {
+                return false;
+            }
+            if self.mark(n, kind) {
+                return true;
+            }
+            n -= 1;
+        }
+        false
     }
-    false
+
+    /// Findings for markers that suppressed nothing, restricted to
+    /// `kinds` (the kinds whose rules actually ran on this file) and to
+    /// markers outside `#[cfg(test)]` ranges.
+    fn stale(
+        &self,
+        path: &Path,
+        source: &str,
+        skip: &[(usize, usize)],
+        kinds: &[&str],
+    ) -> Vec<Finding> {
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(source.bytes().enumerate().filter(|(_, c)| *c == b'\n').map(|(i, _)| i + 1))
+            .collect();
+        self.sites
+            .iter()
+            .filter(|s| !s.used && kinds.contains(&s.kind.as_str()))
+            .filter(|s| {
+                let pos = line_starts.get(s.line - 1).copied().unwrap_or(0);
+                !in_ranges(pos, skip)
+            })
+            .map(|s| Finding {
+                file: path.to_path_buf(),
+                line: s.line,
+                rule: Rule::StaleWaiver,
+                detail: format!(
+                    "stale waiver: `lint: allow({})` suppresses no finding — remove it",
+                    s.kind
+                ),
+            })
+            .collect()
+    }
 }
 
 /// Scans masked text for a needle, reporting byte offsets of matches
 /// outside the given ranges.
-fn occurrences<'a>(
+pub(crate) fn occurrences<'a>(
     masked: &'a [u8],
     needle: &'a str,
     skip: &'a [(usize, usize)],
@@ -321,24 +438,32 @@ struct Arm {
     line: usize,
 }
 
+/// Why a `match` keyword occurrence yielded no arms.
+enum MatchSkip {
+    /// Not a match expression at all (e.g. half of a longer token run in
+    /// macro input) — skip silently.
+    NotAMatch,
+    /// Structurally unterminated — real code the scanner cannot follow;
+    /// surfaced as a parse error so it cannot silently escape linting.
+    Unterminated,
+}
+
 /// Parses the arms of the `match` whose keyword starts at `kw` in the
-/// masked text. Returns `None` when the construct cannot be parsed
-/// (macro-generated or exotic code) — such matches are skipped rather
-/// than guessed at.
-fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Option<Vec<Arm>> {
+/// masked text.
+fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Result<Vec<Arm>, MatchSkip> {
     // Find the `{` opening the match block: first brace at
     // paren/bracket depth zero after the scrutinee expression.
     let mut i = kw + "match".len();
     let mut depth = 0i32;
     let open = loop {
         if i >= masked.len() {
-            return None;
+            return Err(MatchSkip::Unterminated);
         }
         match masked[i] {
             b'(' | b'[' => depth += 1,
             b')' | b']' => depth -= 1,
             b'{' if depth == 0 => break i,
-            b';' if depth == 0 => return None, // `match` used as an identifier?
+            b';' if depth == 0 => return Err(MatchSkip::NotAMatch),
             _ => {}
         }
         i += 1;
@@ -351,10 +476,10 @@ fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Option<Vec<Arm>> 
             i += 1;
         }
         if i >= masked.len() {
-            return None;
+            return Err(MatchSkip::Unterminated);
         }
         if masked[i] == b'}' {
-            return Some(arms); // end of the match block
+            return Ok(arms); // end of the match block
         }
         let pat_start = i;
         // Pattern runs to the `=>` at nesting depth zero (struct
@@ -362,7 +487,7 @@ fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Option<Vec<Arm>> 
         let mut depth = 0i32;
         let arrow = loop {
             if i >= masked.len() {
-                return None;
+                return Err(MatchSkip::Unterminated);
             }
             match masked[i] {
                 b'(' | b'[' | b'{' => depth += 1,
@@ -400,7 +525,7 @@ fn parse_match_arms(source: &str, masked: &[u8], kw: usize) -> Option<Vec<Arm>> 
             let mut depth = 0i32;
             loop {
                 if i >= masked.len() {
-                    return None;
+                    return Err(MatchSkip::Unterminated);
                 }
                 match masked[i] {
                     b'(' | b'[' | b'{' => depth += 1,
@@ -449,19 +574,35 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Finding> {
     lint_source_with(path, source, PROTOCOL_RULES)
 }
 
-/// Lints one source file against an explicit rule set.
+/// Lints one source file against an explicit rule set, dropping parse
+/// errors (use [`lint_source_full`] to see them).
 pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Finding> {
+    lint_source_full(path, source, rules, &[]).0
+}
+
+/// Lints one source file against an explicit rule set. `hot_manifest`
+/// lists function names declared hot for this file by its crate's
+/// `HOTPATH.txt`. Returns the findings and any parse errors (code the
+/// scanner could not follow — reported, never silently skipped).
+pub fn lint_source_full(
+    path: &Path,
+    source: &str,
+    rules: &[Rule],
+    hot_manifest: &[String],
+) -> (Vec<Finding>, Vec<ParseError>) {
     let masked = mask(source);
     let skip = test_ranges(&masked);
     let lines: Vec<&str> = source.lines().collect();
+    let mut waivers = Waivers::collect(source);
     let mut findings = Vec::new();
+    let mut errors = Vec::new();
 
     // Rule 1: unwrap/expect.
     if rules.contains(&Rule::Unwrap) {
         for (needle, what) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
             for at in occurrences(&masked, needle, &skip) {
                 let line = line_of(source, at);
-                if waived(&lines, line, "unwrap") {
+                if waivers.check(&lines, line, "unwrap") {
                     continue;
                 }
                 findings.push(Finding {
@@ -488,15 +629,25 @@ pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Findin
         if !bounded {
             continue; // `rematch`, `match_flit`, `matches!`…
         }
-        let Some(arms) = parse_match_arms(source, &masked, at) else {
-            continue;
+        let arms = match parse_match_arms(source, &masked, at) {
+            Ok(arms) => arms,
+            Err(MatchSkip::NotAMatch) => continue,
+            Err(MatchSkip::Unterminated) => {
+                errors.push(ParseError {
+                    file: path.to_path_buf(),
+                    line: line_of(source, at),
+                    detail: "cannot parse `match` expression (unterminated arms)".into(),
+                });
+                continue;
+            }
         };
         let Some(enum_name) = arms.iter().find_map(|a| mentions_protocol_enum(&a.pattern))
         else {
             continue;
         };
         for arm in arms.iter().filter(|a| is_bare_wildcard(&a.pattern)) {
-            if waived(&lines, arm.line, "wildcard") || waived(&lines, line_of(source, at), "wildcard")
+            if waivers.check(&lines, arm.line, "wildcard")
+                || waivers.check(&lines, line_of(source, at), "wildcard")
             {
                 continue;
             }
@@ -524,7 +675,7 @@ pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Findin
                     continue;
                 }
                 let line = line_of(source, at);
-                if waived(&lines, line, "hash") {
+                if waivers.check(&lines, line, "hash") {
                     continue;
                 }
                 findings.push(Finding {
@@ -553,7 +704,7 @@ pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Findin
                     continue;
                 }
                 let line = line_of(source, at);
-                if waived(&lines, line, "wallclock") {
+                if waivers.check(&lines, line, "wallclock") {
                     continue;
                 }
                 findings.push(Finding {
@@ -571,8 +722,38 @@ pub fn lint_source_with(path: &Path, source: &str, rules: &[Rule]) -> Vec<Findin
         }
     }
 
+    // Rule 5: allocation/clone in hot-path functions.
+    if rules.contains(&Rule::HotAlloc) {
+        let (hot_findings, hot_errors) = hotpath::lint_hot(
+            path,
+            source,
+            &masked,
+            &skip,
+            &lines,
+            &mut waivers,
+            hot_manifest,
+        );
+        findings.extend(hot_findings);
+        errors.extend(hot_errors);
+    }
+
+    // Rule 6: linear scans over directory state.
+    if rules.contains(&Rule::LinearScan) {
+        findings.extend(hotpath::lint_scans(path, source, &masked, &skip, &lines, &mut waivers));
+    }
+
+    // Rule 7: waivers that suppressed nothing.
+    if rules.contains(&Rule::StaleWaiver) {
+        let kinds: Vec<&str> = rules
+            .iter()
+            .filter(|r| !matches!(r, Rule::StaleWaiver))
+            .map(|r| r.kind())
+            .collect();
+        findings.extend(waivers.stale(path, source, &skip, &kinds));
+    }
+
     findings.sort_by_key(|f| f.line);
-    findings
+    (findings, errors)
 }
 
 fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -590,24 +771,44 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 
 /// Lints every linted crate's `src/` tree under `root` (the workspace
 /// root): the protocol crates against [`PROTOCOL_RULES`], the campaign
-/// crate against [`CAMPAIGN_RULES`]. `tests/` and `benches/` trees are
-/// exempt by construction.
+/// crate against [`CAMPAIGN_RULES`], the kernel crates against
+/// [`KERNEL_RULES`]. `tests/` and `benches/` trees are exempt by
+/// construction. Parse errors are dropped; see [`lint_workspace_full`].
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_workspace_full(root).map(|(f, _)| f)
+}
+
+/// Like [`lint_workspace`], also returning parse errors (code the
+/// scanner could not follow, or broken `HOTPATH.txt` manifests).
+pub fn lint_workspace_full(
+    root: &Path,
+) -> std::io::Result<(Vec<Finding>, Vec<ParseError>)> {
     let mut findings = Vec::new();
-    let sets: [(&[&str], &[Rule]); 2] =
-        [(PROTOCOL_CRATES, PROTOCOL_RULES), (CAMPAIGN_CRATES, CAMPAIGN_RULES)];
+    let mut errors = Vec::new();
+    let sets: [(&[&str], &[Rule]); 3] = [
+        (PROTOCOL_CRATES, PROTOCOL_RULES),
+        (CAMPAIGN_CRATES, CAMPAIGN_RULES),
+        (KERNEL_CRATES, KERNEL_RULES),
+    ];
     for (crates, rules) in sets {
         for krate in crates {
-            let src = root.join("crates").join(krate).join("src");
+            let crate_dir = root.join("crates").join(krate);
+            let manifest = hotpath::manifest(&crate_dir)?;
+            let src = crate_dir.join("src");
             let mut files = Vec::new();
             rust_sources(&src, &mut files)?;
             files.sort();
             for file in files {
                 let source = std::fs::read_to_string(&file)?;
                 let rel = file.strip_prefix(root).unwrap_or(&file);
-                findings.extend(lint_source_with(rel, &source, rules));
+                let rel_in_crate = file.strip_prefix(&crate_dir).unwrap_or(&file);
+                let hot_fns = manifest.fns_for(rel_in_crate);
+                let (f, e) = lint_source_full(rel, &source, rules, &hot_fns);
+                findings.extend(f);
+                errors.extend(e);
             }
+            errors.extend(manifest.unmatched_errors(&crate_dir, root));
         }
     }
-    Ok(findings)
+    Ok((findings, errors))
 }

@@ -1,0 +1,276 @@
+//! The declared transition matrix: for each instrumented dispatch site,
+//! the (state, event) → action table parsed from the protocol sources.
+//!
+//! Each site pairs an enum declaration (the triggers) with one `match`
+//! in one function (the dispatch). The builder parses both, expands
+//! or-patterns and catch-alls over the declared variants, classifies
+//! each arm body as `handle` or `reject`, and cross-checks the parsed
+//! declaration against the crate's *runtime* name table
+//! (`CoherenceMsg::VARIANT_NAMES`, `inpg_locks::STATE_NAMES`). The
+//! cross-check is what ties the static IDs to the recorded bits: if the
+//! parser and the running code ever disagree about variant order, the
+//! analysis refuses to emit a matrix instead of mislabelling coverage.
+
+use crate::parse::{classify_body, expand_pattern, ParseError, SourceFile};
+use inpg_campaign::json::Json;
+use inpg_sim::coverage;
+use std::path::Path;
+
+/// Static description of one instrumented site.
+pub struct SiteSpec {
+    pub site: coverage::Site,
+    pub enum_name: &'static str,
+    /// Workspace-relative path of the file declaring the enum.
+    pub enum_file: &'static str,
+    /// Workspace-relative path of the file holding the dispatch match.
+    pub match_file: &'static str,
+    /// Type whose inherent impl holds the dispatch function (needed to
+    /// disambiguate same-named functions, e.g. the two `handle`s in
+    /// `l1.rs`).
+    pub impl_type: &'static str,
+    pub fn_name: &'static str,
+    /// The runtime name table the parsed declaration must match.
+    pub runtime_names: &'static [&'static str],
+}
+
+/// Every instrumented site, in transition-ID order. Must stay in sync
+/// with [`coverage::SITES`] (checked by [`build`]).
+pub fn site_specs() -> [SiteSpec; 5] {
+    [
+        SiteSpec {
+            site: coverage::MSG_VNET,
+            enum_name: "CoherenceMsg",
+            enum_file: "crates/coherence/src/msg.rs",
+            match_file: "crates/coherence/src/msg.rs",
+            impl_type: "CoherenceMsg",
+            fn_name: "vnet",
+            runtime_names: &inpg_coherence::CoherenceMsg::VARIANT_NAMES,
+        },
+        SiteSpec {
+            site: coverage::L1_HANDLE,
+            enum_name: "CoherenceMsg",
+            enum_file: "crates/coherence/src/msg.rs",
+            match_file: "crates/coherence/src/l1.rs",
+            impl_type: "L1Core",
+            fn_name: "handle",
+            runtime_names: &inpg_coherence::CoherenceMsg::VARIANT_NAMES,
+        },
+        SiteSpec {
+            site: coverage::HOME_PROCESS,
+            enum_name: "CoherenceMsg",
+            enum_file: "crates/coherence/src/msg.rs",
+            match_file: "crates/coherence/src/home.rs",
+            impl_type: "HomeCore",
+            fn_name: "process",
+            runtime_names: &inpg_coherence::CoherenceMsg::VARIANT_NAMES,
+        },
+        SiteSpec {
+            site: coverage::LOCK_STEP,
+            enum_name: "State",
+            enum_file: "crates/locks/src/machines.rs",
+            match_file: "crates/locks/src/machines.rs",
+            impl_type: "LockHandle",
+            fn_name: "step",
+            runtime_names: &inpg_locks::STATE_NAMES,
+        },
+        SiteSpec {
+            site: coverage::LOCK_ON_RESULT,
+            enum_name: "State",
+            enum_file: "crates/locks/src/machines.rs",
+            match_file: "crates/locks/src/machines.rs",
+            impl_type: "LockHandle",
+            fn_name: "on_result",
+            runtime_names: &inpg_locks::STATE_NAMES,
+        },
+    ]
+}
+
+/// One declared transition: trigger variant → dispatch action.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Global transition ID (`site.base + variant_index`).
+    pub id: usize,
+    pub trigger: String,
+    /// `"handle"` or `"reject"`.
+    pub action: &'static str,
+    /// Line of the match arm declaring this transition.
+    pub line: usize,
+}
+
+/// The declared matrix of one site.
+pub struct SiteMatrix {
+    pub spec: SiteSpec,
+    /// One entry per declared enum variant, in declaration order.
+    pub transitions: Vec<Transition>,
+}
+
+impl SiteMatrix {
+    /// The transition for a trigger name, if declared.
+    pub fn transition(&self, trigger: &str) -> Option<&Transition> {
+        self.transitions.iter().find(|t| t.trigger == trigger)
+    }
+}
+
+/// Builds the declared transition matrix for every site by parsing the
+/// protocol sources under `root` (the workspace root).
+pub fn build(root: &Path) -> Result<Vec<SiteMatrix>, ParseError> {
+    let mut out = Vec::new();
+    for spec in site_specs() {
+        let enum_src = SourceFile::load(root, &root.join(spec.enum_file))
+            .map_err(|e| io_error(spec.enum_file, &e))?;
+        let variants = enum_src.parse_enum(spec.enum_name)?;
+
+        // Cross-check: parsed declaration vs the runtime name table the
+        // recording hooks index by. Any disagreement means the IDs in
+        // the bitset would not mean what the matrix says they mean.
+        if variants != spec.runtime_names {
+            return Err(ParseError {
+                file: spec.enum_file.into(),
+                line: 1,
+                detail: format!(
+                    "parsed `{}` variants disagree with the runtime name table \
+                     (parsed {} variants: {:?}; runtime {}: {:?}) — the recording \
+                     hooks and the parser are out of sync",
+                    spec.enum_name,
+                    variants.len(),
+                    variants,
+                    spec.runtime_names.len(),
+                    spec.runtime_names,
+                ),
+            });
+        }
+        if variants.len() > spec.site.cap {
+            return Err(ParseError {
+                file: spec.enum_file.into(),
+                line: 1,
+                detail: format!(
+                    "`{}` has {} variants but site `{}` reserves only {} IDs — widen \
+                     the site range in crates/sim/src/coverage.rs",
+                    spec.enum_name,
+                    variants.len(),
+                    spec.site.name,
+                    spec.site.cap,
+                ),
+            });
+        }
+
+        let match_src = SourceFile::load(root, &root.join(spec.match_file))
+            .map_err(|e| io_error(spec.match_file, &e))?;
+        let range = match_src.fn_body_in_impl(spec.impl_type, spec.fn_name)?;
+        let arms = match_src.match_arms_over(range, spec.enum_name)?;
+
+        // Expand arms over the variants, in arm order: explicit claims
+        // first, then catch-alls take every unclaimed variant (match
+        // semantics — a catch-all only sees what earlier arms left).
+        let mut claimed: Vec<Option<(usize, &'static str)>> = vec![None; variants.len()];
+        let mut catch_alls: Vec<(usize, &'static str)> = Vec::new();
+        for arm in &arms {
+            let exp = expand_pattern(
+                &match_src.path,
+                arm.line,
+                &arm.pattern,
+                spec.enum_name,
+                &variants,
+            )?;
+            let action = classify_body(&arm.body);
+            for idx in &exp.variants {
+                if let Some((line, _)) = claimed[*idx] {
+                    return Err(ParseError {
+                        file: spec.match_file.into(),
+                        line: arm.line,
+                        detail: format!(
+                            "variant `{}::{}` claimed twice (also on line {line})",
+                            spec.enum_name, variants[*idx]
+                        ),
+                    });
+                }
+                claimed[*idx] = Some((arm.line, action));
+            }
+            if exp.rest && exp.variants.is_empty() {
+                catch_alls.push((arm.line, action));
+            }
+        }
+        for slot in claimed.iter_mut().filter(|s| s.is_none()) {
+            let Some(first) = catch_alls.first() else {
+                break;
+            };
+            *slot = Some(*first);
+        }
+
+        let mut transitions = Vec::new();
+        for (idx, variant) in variants.iter().enumerate() {
+            let Some((line, action)) = claimed[idx] else {
+                return Err(ParseError {
+                    file: spec.match_file.into(),
+                    line: range.0,
+                    detail: format!(
+                        "no arm of `{}::{}` covers `{}::{}` — the parser missed an \
+                         arm (the compiler enforces exhaustiveness)",
+                        spec.impl_type, spec.fn_name, spec.enum_name, variant
+                    ),
+                });
+            };
+            transitions.push(Transition {
+                id: spec.site.id(idx),
+                trigger: variant.clone(),
+                action,
+                line,
+            });
+        }
+        out.push(SiteMatrix { spec, transitions });
+    }
+    Ok(out)
+}
+
+fn io_error(file: &str, e: &std::io::Error) -> ParseError {
+    ParseError { file: file.into(), line: 1, detail: format!("cannot read file: {e}") }
+}
+
+/// Serializes the matrix to its canonical JSON artifact. Key order is
+/// fixed and all inputs are deterministic, so the output is byte-stable
+/// across runs.
+pub fn to_json(matrix: &[SiteMatrix]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str("inpg.transition_matrix.v1".into())),
+        (
+            "sites",
+            Json::Arr(
+                matrix
+                    .iter()
+                    .map(|m| {
+                        Json::obj(vec![
+                            ("site", Json::Str(m.spec.site.name.into())),
+                            ("base", Json::UInt(m.spec.site.base as u64)),
+                            ("cap", Json::UInt(m.spec.site.cap as u64)),
+                            ("enum", Json::Str(m.spec.enum_name.into())),
+                            (
+                                "function",
+                                Json::Str(format!(
+                                    "{}::{}",
+                                    m.spec.impl_type, m.spec.fn_name
+                                )),
+                            ),
+                            ("file", Json::Str(m.spec.match_file.into())),
+                            (
+                                "transitions",
+                                Json::Arr(
+                                    m.transitions
+                                        .iter()
+                                        .map(|t| {
+                                            Json::obj(vec![
+                                                ("id", Json::UInt(t.id as u64)),
+                                                ("trigger", Json::Str(t.trigger.clone())),
+                                                ("action", Json::Str(t.action.into())),
+                                                ("line", Json::UInt(t.line as u64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}

@@ -1,0 +1,493 @@
+//! A small structural parser for the protocol sources: enum
+//! declarations, `impl`-scoped function bodies, and `match` arms with
+//! their bodies. Shared by the transition-matrix builder and the lint
+//! passes.
+//!
+//! This is a token scanner over comment/string-masked text, not a Rust
+//! parser — it understands exactly the shapes the protocol crates use
+//! (unit/tuple/struct variants, or-patterns, `binder @ (…)` patterns,
+//! catch-all arms) and reports a [`ParseError`] for anything it cannot
+//! follow, so unparseable code fails the analysis loudly instead of
+//! escaping it.
+
+use crate::lint::{in_ranges, is_ident, line_of, mask, occurrences, test_ranges};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Code (or a manifest) the scanner could not follow. Reported with the
+/// offending file and line; `cargo xtask` exits 3 on these.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    pub file: PathBuf,
+    pub line: usize,
+    pub detail: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: parse error: {}", self.file.display(), self.line, self.detail)
+    }
+}
+
+impl ParseError {
+    fn new(file: &Path, line: usize, detail: impl Into<String>) -> Self {
+        ParseError { file: file.to_path_buf(), line, detail: detail.into() }
+    }
+}
+
+/// A parsed source file: original text plus its masked twin and test
+/// ranges, computed once.
+pub struct SourceFile {
+    pub path: PathBuf,
+    pub text: String,
+    masked: Vec<u8>,
+    skip: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Reads and masks `path` (reported relative to `root` when it is a
+    /// prefix).
+    pub fn load(root: &Path, path: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let masked = mask(&text);
+        let skip = test_ranges(&masked);
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        Ok(SourceFile { path: rel, text, masked, skip })
+    }
+
+    fn masked_str(&self) -> &str {
+        std::str::from_utf8(&self.masked).unwrap_or_default()
+    }
+
+    /// Is `at` the start of a bounded occurrence of `word`?
+    fn bounded_at(&self, at: usize, word: &str) -> bool {
+        let b = &self.masked;
+        (at == 0 || !is_ident(b[at - 1]))
+            && b.get(at + word.len()).is_none_or(|c| !is_ident(*c))
+    }
+
+    /// Declared variant names of `enum <name>`, in declaration order.
+    pub fn parse_enum(&self, name: &str) -> Result<Vec<String>, ParseError> {
+        let needle = format!("enum {name}");
+        let at = occurrences(&self.masked, &needle, &self.skip)
+            .find(|at| self.bounded_at(*at + 5, name) && self.bounded_at(*at, "enum"))
+            .ok_or_else(|| {
+                ParseError::new(&self.path, 1, format!("no `enum {name}` declaration found"))
+            })?;
+        let b = &self.masked;
+        let open = b[at..]
+            .iter()
+            .position(|c| *c == b'{')
+            .map(|p| at + p)
+            .ok_or_else(|| {
+                ParseError::new(
+                    &self.path,
+                    line_of(&self.text, at),
+                    format!("`enum {name}` has no body"),
+                )
+            })?;
+        let mut variants = Vec::new();
+        let mut i = open + 1;
+        loop {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(ParseError::new(
+                    &self.path,
+                    line_of(&self.text, open),
+                    format!("unterminated `enum {name}` body"),
+                ));
+            }
+            match b[i] {
+                b'}' => return Ok(variants),
+                b'#' => {
+                    // Attribute on the variant: skip `#[...]`.
+                    let mut depth = 0i32;
+                    while i < b.len() {
+                        match b[i] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                c if is_ident(c) => {
+                    let start = i;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    variants.push(self.text[start..i].to_string());
+                    // Skip the variant's data and discriminant to the
+                    // `,` (or closing `}`) at depth zero.
+                    let mut depth = 0i32;
+                    while i < b.len() {
+                        match b[i] {
+                            b'(' | b'[' | b'{' => depth += 1,
+                            b')' | b']' => depth -= 1,
+                            b'}' if depth == 0 => break,
+                            b'}' => depth -= 1,
+                            b',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        &self.path,
+                        line_of(&self.text, i),
+                        format!("unexpected token in `enum {name}` body"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Byte range of the body of `fn <fn_name>` inside `impl …
+    /// <impl_type> …`, disambiguating same-named functions in other
+    /// impl blocks.
+    pub fn fn_body_in_impl(
+        &self,
+        impl_type: &str,
+        fn_name: &str,
+    ) -> Result<(usize, usize), ParseError> {
+        let b = &self.masked;
+        for at in occurrences(&self.masked, "impl", &self.skip) {
+            if !self.bounded_at(at, "impl") {
+                continue;
+            }
+            // Header runs to the `{` opening the impl body.
+            let Some(open) = b[at..].iter().position(|c| *c == b'{').map(|p| at + p) else {
+                continue;
+            };
+            let header = &self.masked_str()[at..open];
+            let names_type = header.find(impl_type).is_some_and(|p| {
+                let hb = header.as_bytes();
+                (p == 0 || !is_ident(hb[p - 1]))
+                    && hb.get(p + impl_type.len()).is_none_or(|c| !is_ident(*c))
+            });
+            if !names_type || header.contains(" for ") {
+                continue; // trait impls dispatch elsewhere
+            }
+            let mut depth = 1i32;
+            let mut end = open + 1;
+            while end < b.len() && depth > 0 {
+                match b[end] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                end += 1;
+            }
+            // Find `fn <fn_name>` at impl-body depth inside the range.
+            let needle = format!("fn {fn_name}");
+            for fn_at in occurrences(&self.masked, &needle, &self.skip) {
+                if fn_at < at || fn_at >= end || !self.bounded_at(fn_at + 3, fn_name) {
+                    continue;
+                }
+                let mut i = fn_at + needle.len();
+                let mut depth = 0i32;
+                let body_open = loop {
+                    if i >= end {
+                        return Err(ParseError::new(
+                            &self.path,
+                            line_of(&self.text, fn_at),
+                            format!("cannot find body of `{impl_type}::{fn_name}`"),
+                        ));
+                    }
+                    match b[i] {
+                        b'(' | b'[' => depth += 1,
+                        b')' | b']' => depth -= 1,
+                        b'{' if depth == 0 => break i,
+                        _ => {}
+                    }
+                    i += 1;
+                };
+                let mut depth = 1i32;
+                let mut j = body_open + 1;
+                while j < end && depth > 0 {
+                    match b[j] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Ok((body_open, j));
+            }
+        }
+        Err(ParseError::new(
+            &self.path,
+            1,
+            format!("no `fn {fn_name}` found in an `impl {impl_type}` block"),
+        ))
+    }
+
+    /// Arms of the first `match` inside `range` whose patterns mention
+    /// `enum_name::`.
+    pub fn match_arms_over(
+        &self,
+        range: (usize, usize),
+        enum_name: &str,
+    ) -> Result<Vec<MatchArm>, ParseError> {
+        let b = &self.masked;
+        for kw in occurrences(&self.masked, "match", &self.skip) {
+            if kw < range.0 || kw >= range.1 || !self.bounded_at(kw, "match") {
+                continue;
+            }
+            let arms = self.parse_arms(kw)?;
+            if arms.iter().any(|a| a.pattern.contains(&format!("{enum_name}::"))) {
+                return Ok(arms);
+            }
+        }
+        let _ = b;
+        Err(ParseError::new(
+            &self.path,
+            line_of(&self.text, range.0),
+            format!("no `match` over `{enum_name}` found in function body"),
+        ))
+    }
+
+    /// Parses the arms of the `match` whose keyword starts at `kw`,
+    /// capturing pattern and body text.
+    fn parse_arms(&self, kw: usize) -> Result<Vec<MatchArm>, ParseError> {
+        let b = &self.masked;
+        let err = |at: usize, what: &str| {
+            ParseError::new(&self.path, line_of(&self.text, at), what.to_string())
+        };
+        let mut i = kw + "match".len();
+        let mut depth = 0i32;
+        let open = loop {
+            if i >= b.len() {
+                return Err(err(kw, "unterminated `match` scrutinee"));
+            }
+            match b[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break i,
+                b';' if depth == 0 => return Err(err(kw, "`match` token is not a match")),
+                _ => {}
+            }
+            i += 1;
+        };
+        let mut arms = Vec::new();
+        let mut i = open + 1;
+        loop {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= b.len() {
+                return Err(err(open, "unterminated `match` block"));
+            }
+            if b[i] == b'}' {
+                return Ok(arms);
+            }
+            let pat_start = i;
+            let mut depth = 0i32;
+            let arrow = loop {
+                if i >= b.len() {
+                    return Err(err(pat_start, "unterminated `match` pattern"));
+                }
+                match b[i] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b'=' if depth == 0 && b.get(i + 1) == Some(&b'>') => break i,
+                    _ => {}
+                }
+                i += 1;
+            };
+            let pattern = self.text[pat_start..arrow].trim().to_string();
+            i = arrow + 2;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let body_start = i;
+            if i < b.len() && b[i] == b'{' {
+                let mut depth = 1i32;
+                i += 1;
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                if b.get(i) == Some(&b',') {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 0i32;
+                loop {
+                    if i >= b.len() {
+                        return Err(err(body_start, "unterminated `match` arm body"));
+                    }
+                    match b[i] {
+                        b'(' | b'[' | b'{' => depth += 1,
+                        b')' | b']' => depth -= 1,
+                        b'}' if depth == 0 => break,
+                        b'}' => depth -= 1,
+                        b',' if depth == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            arms.push(MatchArm {
+                pattern,
+                body: self.text[body_start..i].trim_end_matches(',').trim().to_string(),
+                line: line_of(&self.text, pat_start),
+            });
+            if b.get(i) == Some(&b',') {
+                i += 1;
+            }
+        }
+    }
+
+    /// Is byte position `at` inside a `#[cfg(test)]` range?
+    pub fn in_tests(&self, at: usize) -> bool {
+        in_ranges(at, &self.skip)
+    }
+}
+
+/// One `match` arm: pattern text, body text (braces included for block
+/// bodies), and the 1-based line the pattern starts on.
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    pub pattern: String,
+    pub body: String,
+    pub line: usize,
+}
+
+/// What a pattern covers, after expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expansion {
+    /// Indices into the enum's declared-variant list.
+    pub variants: Vec<usize>,
+    /// True for `_` or a bare-binding catch-all: the arm also covers
+    /// every variant no earlier arm claimed.
+    pub rest: bool,
+}
+
+/// Expands an arm pattern over the declared variants of `enum_name`.
+///
+/// Handles: `Enum::V`, `Enum::V(..)`, `Enum::V { .. }`, or-patterns,
+/// `binder @ (A | B)`, guards (`pat if cond` — the guard is ignored;
+/// the variant is still *declared* reachable), `_`, and bare-binding
+/// catch-alls.
+pub fn expand_pattern(
+    file: &Path,
+    line: usize,
+    pattern: &str,
+    enum_name: &str,
+    variants: &[String],
+) -> Result<Expansion, ParseError> {
+    // Strip a guard: ` if ` at paren/brace depth zero.
+    let mut pat = pattern;
+    let pb = pat.as_bytes();
+    let mut depth = 0i32;
+    for i in 0..pb.len() {
+        match pb[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'i' if depth == 0
+                && pat[i..].starts_with("if")
+                && i > 0
+                && pb[i - 1].is_ascii_whitespace()
+                && pb.get(i + 2).is_some_and(|c| c.is_ascii_whitespace() || *c == b'(') =>
+            {
+                pat = pat[..i].trim_end();
+                break;
+            }
+            _ => {}
+        }
+    }
+    // Strip a binder: `name @ (…)` or `name @ Enum::V`.
+    if let Some(at) = pat.find('@') {
+        let before = pat[..at].trim();
+        if before.bytes().all(is_ident) && !before.is_empty() {
+            pat = pat[at + 1..].trim();
+            if pat.starts_with('(') && pat.ends_with(')') {
+                pat = pat[1..pat.len() - 1].trim();
+            }
+        }
+    }
+    // Split or-pattern alternatives at depth zero.
+    let mut alts = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let pb = pat.as_bytes();
+    for i in 0..pb.len() {
+        match pb[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'|' if depth == 0 => {
+                alts.push(pat[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    alts.push(pat[start..].trim());
+
+    let mut out = Expansion { variants: Vec::new(), rest: false };
+    for alt in alts {
+        if alt.is_empty() {
+            continue; // leading `|`
+        }
+        if alt == "_" || (alt.bytes().all(is_ident) && !alt.contains("::")) {
+            out.rest = true;
+            continue;
+        }
+        let qualifier = format!("{enum_name}::");
+        let Some(p) = alt.find(&qualifier) else {
+            return Err(ParseError {
+                file: file.to_path_buf(),
+                line,
+                detail: format!("pattern alternative `{alt}` does not name `{enum_name}`"),
+            });
+        };
+        let rest = &alt[p + qualifier.len()..];
+        let name: String =
+            rest.bytes().take_while(|c| is_ident(*c)).map(char::from).collect();
+        let idx = variants.iter().position(|v| *v == name).ok_or_else(|| ParseError {
+            file: file.to_path_buf(),
+            line,
+            detail: format!("pattern names unknown variant `{enum_name}::{name}`"),
+        })?;
+        out.variants.push(idx);
+    }
+    Ok(out)
+}
+
+/// Classifies an arm body: does the handler accept the (state, event)
+/// pair, or reject it as a protocol violation?
+///
+/// The protocol crates' rejection idiom is uniform — the body *starts*
+/// with `panic!`, `unreachable!`, `Err(` or `return Err(` — so a
+/// prefix test is exact for them, and arms that merely produce errors
+/// on sub-paths (e.g. a validity check inside a handler) stay
+/// `handle`.
+pub fn classify_body(body: &str) -> &'static str {
+    let mut text = body.trim_start();
+    while let Some(stripped) = text.strip_prefix('{') {
+        text = stripped.trim_start();
+    }
+    for prefix in ["panic!", "unreachable!", "Err(", "return Err("] {
+        if text.starts_with(prefix) {
+            return "reject";
+        }
+    }
+    "handle"
+}

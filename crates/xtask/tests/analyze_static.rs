@@ -1,0 +1,163 @@
+//! Static-side acceptance tests for `cargo xtask analyze`: the
+//! declared transition matrix parses out of the real protocol sources,
+//! is deterministic, covers every protocol enum, and agrees with the
+//! checked-in coverage baseline. The dynamic phases (campaign + model
+//! check) are exercised by running the analyzer itself, not here.
+
+use std::path::{Path, PathBuf};
+use xtask::coverage::{self, Baseline, Observed, Status};
+use xtask::matrix;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf()
+}
+
+#[test]
+fn the_matrix_covers_every_protocol_enum() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    let names: Vec<&str> = sites.iter().map(|s| s.spec.site.name).collect();
+    assert_eq!(
+        names,
+        ["msg_vnet", "l1_handle", "home_process", "lock_step", "lock_on_result"]
+    );
+    // One declared transition per enum variant at every site.
+    let counts: Vec<usize> = sites.iter().map(|s| s.transitions.len()).collect();
+    assert_eq!(counts[0], inpg_coherence::CoherenceMsg::VARIANT_NAMES.len());
+    assert_eq!(counts[1], counts[0]);
+    assert_eq!(counts[2], counts[0]);
+    assert_eq!(counts[3], inpg_locks::STATE_NAMES.len());
+    assert_eq!(counts[4], counts[3]);
+}
+
+#[test]
+fn transition_ids_are_unique_and_within_their_site_range() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    let mut seen = [false; inpg_sim::coverage::TRANSITION_CAP];
+    for site in &sites {
+        for (index, t) in site.transitions.iter().enumerate() {
+            assert_eq!(t.id, site.spec.site.base + index, "{}", t.trigger);
+            assert!(t.id < site.spec.site.base + site.spec.site.cap);
+            assert!(!seen[t.id], "duplicate transition id {}", t.id);
+            seen[t.id] = true;
+        }
+    }
+}
+
+#[test]
+fn the_matrix_artifact_is_deterministic() {
+    let root = workspace_root();
+    let a = matrix::to_json(&matrix::build(&root).unwrap()).to_string_compact();
+    let b = matrix::to_json(&matrix::build(&root).unwrap()).to_string_compact();
+    assert_eq!(a, b, "repeated parses must serialize identically");
+    assert!(a.contains("\"schema\":\"inpg.transition_matrix.v1\""));
+}
+
+#[test]
+fn the_checked_in_baseline_matches_the_declared_matrix() {
+    let root = workspace_root();
+    let sites = matrix::build(&root).unwrap();
+    let baseline =
+        coverage::load_baseline(&root.join("crates/xtask/coverage_baseline.json")).unwrap();
+    // Every allowlist entry must name a transition that still exists,
+    // and only `handle` transitions belong there (`reject` arms are
+    // expected to be unreached and need no waiver).
+    for (key, reason) in &baseline.allow_unreached {
+        let (site_name, trigger) = key.split_once("::").expect("site::trigger key");
+        let site = sites
+            .iter()
+            .find(|s| s.spec.site.name == site_name)
+            .unwrap_or_else(|| panic!("allowlist key `{key}` names no site"));
+        let t = site
+            .transition(trigger)
+            .unwrap_or_else(|| panic!("allowlist key `{key}` names no transition"));
+        assert_eq!(t.action, "handle", "{key}: only handle arms need allow entries");
+        assert!(!reason.trim().is_empty(), "{key}: allowlist reason must be documented");
+    }
+    // The blessed coverage classifies every declared transition.
+    let declared: usize = sites.iter().map(|s| s.transitions.len()).sum();
+    assert_eq!(baseline.coverage_compact.matches("\"status\":").count(), declared);
+}
+
+/// An `Observed` pair with exactly the given transition IDs set.
+fn observed(sim: &[usize], checker: &[usize]) -> Observed {
+    let mut o = Observed {
+        sim: [0; inpg_sim::coverage::WORDS],
+        checker: [0; inpg_sim::coverage::WORDS],
+    };
+    for &id in sim {
+        o.sim[id / 64] |= 1 << (id % 64);
+    }
+    for &id in checker {
+        o.checker[id / 64] |= 1 << (id % 64);
+    }
+    o
+}
+
+#[test]
+fn classification_distinguishes_the_four_statuses() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    let a = sites[0].transitions[0].id;
+    let b = sites[0].transitions[1].id;
+    let c = sites[0].transitions[2].id;
+    let report = coverage::classify(&sites, &observed(&[a, b], &[b, c]));
+    assert_eq!(report.rows[0].3, Status::SimOnly);
+    assert_eq!(report.rows[1].3, Status::Both);
+    assert_eq!(report.rows[2].3, Status::CheckerOnly);
+    assert_eq!(report.rows[3].3, Status::Unreached);
+    assert!(report.undeclared.is_empty());
+}
+
+#[test]
+fn an_observed_bit_outside_the_declared_matrix_is_undeclared_and_fatal() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    // msg_vnet declares 14 of its 16 reserved IDs, so base+15 is a bit
+    // the runtime could only set through parser/runtime drift.
+    let rogue = sites[0].spec.site.base + sites[0].spec.site.cap - 1;
+    assert!(sites[0].transitions.len() < sites[0].spec.site.cap);
+    let report = coverage::classify(&sites, &observed(&[rogue], &[]));
+    assert_eq!(report.undeclared, vec![rogue]);
+
+    let compact = coverage::report_json(&sites, &report).to_string_compact();
+    let baseline = Baseline {
+        allow_unreached: Vec::new(),
+        coverage_compact: compact.clone(),
+    };
+    let findings = coverage::validate(&report, &compact, &baseline);
+    assert!(
+        findings.iter().any(|f| f.contains("undeclared-but-observed")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn a_stale_allowlist_entry_is_a_finding() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    let t = &sites[0].transitions[0];
+    let report = coverage::classify(&sites, &observed(&[t.id], &[t.id]));
+    let compact = coverage::report_json(&sites, &report).to_string_compact();
+    let baseline = Baseline {
+        allow_unreached: vec![(
+            format!("msg_vnet::{}", t.trigger),
+            "supposedly unreachable".into(),
+        )],
+        coverage_compact: compact.clone(),
+    };
+    let findings = coverage::validate(&report, &compact, &baseline);
+    assert!(findings.iter().any(|f| f.contains("stale")), "{findings:?}");
+}
+
+#[test]
+fn coverage_drift_from_the_blessed_baseline_is_a_finding() {
+    let sites = matrix::build(&workspace_root()).unwrap();
+    let report = coverage::classify(&sites, &observed(&[], &[]));
+    let compact = coverage::report_json(&sites, &report).to_string_compact();
+    let baseline = Baseline {
+        allow_unreached: Vec::new(),
+        coverage_compact: "{}".into(),
+    };
+    let findings = coverage::validate(&report, &compact, &baseline);
+    assert!(
+        findings.iter().any(|f| f.contains("differs from the blessed baseline")),
+        "{findings:?}"
+    );
+}

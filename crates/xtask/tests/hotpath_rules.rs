@@ -1,0 +1,121 @@
+//! Tests for the hot-path allocation lint, the directory linear-scan
+//! lint, and stale-waiver detection.
+
+use std::path::Path;
+use xtask::lint::{lint_source_full, lint_source_with, Rule, CAMPAIGN_RULES};
+
+const HOT: &[Rule] = &[Rule::HotAlloc];
+
+#[test]
+fn allocation_is_flagged_in_hot_attributed_functions_only() {
+    let src = r#"
+#[hot]
+pub fn step(buf: &mut Vec<u8>) {
+    buf.push(1);
+}
+pub fn cold(buf: &mut Vec<u8>) {
+    buf.push(1);
+    let _ = buf.clone();
+}
+"#;
+    let (findings, errors) = lint_source_full(Path::new("f.rs"), src, HOT, &[]);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::HotAlloc);
+    assert_eq!(findings[0].line, 4);
+}
+
+#[test]
+fn the_full_attribute_path_marks_a_function_hot() {
+    let src = r#"
+#[inpg_hot::hot]
+fn tick(&mut self) -> String {
+    format!("cycle {}", self.now)
+}
+"#;
+    let (findings, errors) = lint_source_full(Path::new("f.rs"), src, HOT, &[]);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].detail.contains("format!"), "{}", findings[0].detail);
+}
+
+#[test]
+fn manifest_entries_mark_functions_hot_without_the_attribute() {
+    let src = r#"
+fn tick(x: u64) -> String {
+    x.to_string()
+}
+fn other(x: u64) -> String {
+    x.to_string()
+}
+"#;
+    let hot = vec!["tick".to_string()];
+    let (findings, errors) = lint_source_full(Path::new("f.rs"), src, HOT, &hot);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].line, 3, "only the manifest-listed fn is hot");
+}
+
+#[test]
+fn a_manifest_name_matching_no_function_is_a_parse_error() {
+    let src = "fn present() {}\n";
+    let hot = vec!["absent".to_string()];
+    let (findings, errors) = lint_source_full(Path::new("f.rs"), src, HOT, &hot);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].detail.contains("absent"), "{}", errors[0].detail);
+}
+
+#[test]
+fn hot_allocation_waivers_are_honored() {
+    let src = r#"
+#[hot]
+fn drain(&mut self) {
+    // lint: allow(hot) — one-time growth before the steady state
+    self.scratch.push(0);
+}
+"#;
+    let (findings, errors) = lint_source_full(Path::new("f.rs"), src, HOT, &[]);
+    assert!(errors.is_empty(), "{errors:?}");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn linear_scans_are_flagged_in_directory_state_files_only() {
+    let src = r#"
+fn find(&self) -> Option<usize> {
+    self.parked.iter().position(|p| p.core == 3)
+}
+"#;
+    let in_home = lint_source_with(Path::new("crates/coherence/src/home.rs"), src, &[
+        Rule::LinearScan,
+    ]);
+    assert_eq!(in_home.len(), 1, "{in_home:?}");
+    assert_eq!(in_home[0].rule, Rule::LinearScan);
+    let elsewhere =
+        lint_source_with(Path::new("crates/coherence/src/l1.rs"), src, &[Rule::LinearScan]);
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn a_waiver_suppressing_nothing_is_stale() {
+    let src = r#"
+fn stamp() -> u64 {
+    // lint: allow(hash) — left behind after a refactor
+    42
+}
+"#;
+    let findings = lint_source_with(Path::new("f.rs"), src, CAMPAIGN_RULES);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, Rule::StaleWaiver);
+    assert!(findings[0].detail.contains("hash"), "{}", findings[0].detail);
+}
+
+#[test]
+fn an_active_waiver_is_not_stale() {
+    let src = r#"
+use std::collections::HashMap; // lint: allow(hash) — boundary-only map
+"#;
+    let findings = lint_source_with(Path::new("f.rs"), src, CAMPAIGN_RULES);
+    assert!(findings.is_empty(), "{findings:?}");
+}

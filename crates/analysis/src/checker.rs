@@ -29,8 +29,9 @@ pub struct Report {
     pub pruned: u64,
     /// Legal final states reached.
     pub goal_states: u64,
-    /// Non-final leaves cut off by the per-core retry budget
-    /// (`max_issues`), excluded from deadlock detection.
+    /// Non-final leaves cut off by a per-core budget — wire issues
+    /// (`max_issues`) or, in lossy mode, recovery retransmissions
+    /// (`retry_budget`) — excluded from deadlock detection.
     pub horizon_states: u64,
     /// Longest shortest-path distance from the initial state.
     pub depth: u32,
@@ -150,12 +151,16 @@ pub fn check(cfg: &Config) -> Verdict {
         }
         let labels = world.enabled(cfg);
         if labels.is_empty() && !world.is_goal() {
-            // A state cut off by the retry budget is a horizon of the
-            // bounded search, not a deadlock: some idle core merely ran
-            // out of wire issues for its current attempt.
+            // A state cut off by a budget is a horizon of the bounded
+            // search, not a deadlock: some idle core merely ran out of
+            // wire issues for its current attempt, or (lossy mode) a
+            // wedged core exhausted its recovery retransmissions.
             let at_horizon = world.scripts.iter().enumerate().any(|(c, s)| {
                 !s.done && !world.l1s[c].is_busy() && s.issues >= cfg.max_issues
-            });
+            }) || (cfg.lossy
+                && world.scripts.iter().enumerate().any(|(c, s)| {
+                    s.retries >= cfg.retry_budget && world.wedged(c)
+                }));
             if at_horizon {
                 horizon_states += 1;
                 continue;
@@ -323,6 +328,63 @@ mod tests {
                 panic!("seeded duplicate ack was not caught: {report:?}")
             }
         }
+    }
+
+    /// Lossy-channel semantics: the adversary may drop one `InvAck` or
+    /// `GetX` and every run must *still* reach the goal — the
+    /// abort-and-reissue recovery path restores SWMR, ack conservation
+    /// and deadlock freedom. The drop/timeout transitions must also
+    /// genuinely enlarge the space over the lossless run.
+    #[test]
+    fn lossy_channel_recovers_with_barrier_on_and_off() {
+        for barrier in [false, true] {
+            let lossless = expect_pass(&smoke(2, barrier));
+            let lossy = expect_pass(&smoke(2, barrier).lossy());
+            assert!(
+                lossy.states > lossless.states,
+                "barrier {barrier}: lossy ({}) should explore more than lossless ({})",
+                lossy.states,
+                lossless.states
+            );
+        }
+    }
+
+    /// Recovery must not mask genuine protocol bugs: with lossy mode on
+    /// *and* the relayed-ack drop seeded, the checker still finds the
+    /// conservation violation (the EI ledger has no retransmitter).
+    #[test]
+    fn lossy_mode_still_catches_the_seeded_relay_drop() {
+        let mut cfg = smoke(2, true).lossy();
+        cfg.bug = BugSeed::DropRelayedAck;
+        match check(&cfg) {
+            Verdict::Fail(cex) => {
+                assert!(
+                    matches!(
+                        cex.property,
+                        Property::AckConservation { .. } | Property::Deadlock
+                    ),
+                    "unexpected property: {}",
+                    cex.property
+                );
+            }
+            Verdict::Pass(report) => {
+                panic!("lossy mode masked the seeded relay drop: {report:?}")
+            }
+        }
+    }
+
+    /// With the retry budget below the drop budget, recovery can be
+    /// exhausted; the wedged survivor must be reported as a horizon
+    /// state of the bounded search, never as a deadlock.
+    #[test]
+    fn exhausted_retry_budget_is_a_horizon_not_a_deadlock() {
+        let mut cfg = smoke(2, true).lossy();
+        cfg.retry_budget = 0;
+        let report = expect_pass(&cfg);
+        assert!(
+            report.horizon_states > 0,
+            "some run must wedge with retries exhausted: {report:?}"
+        );
     }
 
     /// The counterexample renderer replays the trace and lands on the

@@ -24,6 +24,13 @@ usage: inpg-analysis [options]
   --max-issues N      wire-issue (retry) bound per core per phase
                       (default 3 at 2 cores, 1 at 3..=4 cores)
   --max-states N      state bound before giving up (default 4000000)
+  --lossy             lossy-channel semantics: the adversary may drop
+                      InvAck/GetX messages and wedged cores recover by
+                      abort-and-reissue (models the --recover layer)
+  --max-drops N       messages the adversary may drop (default 1)
+  --retry-budget N    recovery retransmissions per core (default 2;
+                      keep it above --max-drops so recovery outlasts
+                      the adversary)
 ";
 
 fn parse_args(args: &[String]) -> Result<Config, String> {
@@ -35,6 +42,9 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
     let mut net_cap: Option<usize> = None;
     let mut max_issues: Option<u8> = None;
     let mut max_states = 4_000_000usize;
+    let mut lossy = false;
+    let mut max_drops: Option<u8> = None;
+    let mut retry_budget: Option<u8> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -88,6 +98,21 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
                     .parse()
                     .map_err(|e| format!("--max-states: {e}"))?;
             }
+            "--lossy" => lossy = true,
+            "--max-drops" => {
+                max_drops = Some(
+                    value("--max-drops")?
+                        .parse()
+                        .map_err(|e| format!("--max-drops: {e}"))?,
+                );
+            }
+            "--retry-budget" => {
+                retry_budget = Some(
+                    value("--retry-budget")?
+                        .parse()
+                        .map_err(|e| format!("--retry-budget: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -114,6 +139,16 @@ fn parse_args(args: &[String]) -> Result<Config, String> {
         cfg.max_issues = cap;
     }
     cfg.max_states = max_states;
+    cfg.lossy = lossy;
+    if let Some(drops) = max_drops {
+        cfg.max_drops = drops;
+    }
+    if let Some(budget) = retry_budget {
+        cfg.retry_budget = budget;
+    }
+    if (max_drops.is_some() || retry_budget.is_some()) && !lossy {
+        return Err("--max-drops/--retry-budget require --lossy".to_string());
+    }
     Ok(cfg)
 }
 
@@ -131,12 +166,17 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "model-checking: {} cores, {} line(s), {} round(s), barrier {}, bug seed {:?}",
+        "model-checking: {} cores, {} line(s), {} round(s), barrier {}, bug seed {:?}{}",
         cfg.cores,
         cfg.lines,
         cfg.rounds,
         if cfg.barrier { "on" } else { "off" },
         cfg.bug,
+        if cfg.lossy {
+            format!(", lossy (≤{} drops, {} retries/core)", cfg.max_drops, cfg.retry_budget)
+        } else {
+            String::new()
+        },
     );
 
     match check(&cfg) {

@@ -67,6 +67,19 @@ pub struct Config {
     /// Hard bound on discovered states before the search reports a
     /// truncated (inconclusive) result.
     pub max_states: usize,
+    /// Lossy-channel semantics: the adversary may silently drop up to
+    /// [`max_drops`](Config::max_drops) droppable messages (`InvAck`
+    /// responses and `GetX` requests — the classes the recovery layer
+    /// retransmits around), and a wedged core may time out and
+    /// abort-and-reissue its exclusive transaction. Models the timed
+    /// system's `--recover` path.
+    pub lossy: bool,
+    /// Messages the adversary may drop per run (lossy mode only).
+    pub max_drops: u8,
+    /// Abort-and-reissue retransmissions allowed per core (lossy mode
+    /// only). Must exceed `max_drops` so recovery always outlasts the
+    /// adversary and every lossy run can still reach the goal state.
+    pub retry_budget: u8,
 }
 
 impl Config {
@@ -90,7 +103,17 @@ impl Config {
             net_cap: 4 * cores + 4,
             max_issues: if cores >= 3 { 1 } else { 3 },
             max_states: 4_000_000,
+            lossy: false,
+            max_drops: 1,
+            retry_budget: 2,
         }
+    }
+
+    /// Switches on lossy-channel semantics (builder style).
+    #[must_use]
+    pub fn lossy(mut self) -> Config {
+        self.lossy = true;
+        self
     }
 
     /// The lock tag core `c` CASes into a lock word (nonzero, unique).
@@ -126,13 +149,16 @@ pub struct Script {
     /// reset whenever the phase advances. Bounded by
     /// [`Config::max_issues`].
     pub issues: u8,
+    /// Recovery retransmissions this core has fired (lossy mode only).
+    /// Bounded by [`Config::retry_budget`].
+    pub retries: u8,
     /// All lines and rounds finished.
     pub done: bool,
 }
 
 impl Script {
     fn start() -> Script {
-        Script { line: 0, round: 0, phase: Phase::Acquire, issues: 0, done: false }
+        Script { line: 0, round: 0, phase: Phase::Acquire, issues: 0, retries: 0, done: false }
     }
 
     /// The next operation this core issues.
@@ -182,6 +208,23 @@ pub enum Label {
         /// The barrier's lock line.
         addr: Addr,
     },
+    /// The lossy adversary silently drops one in-flight message
+    /// (enabled only in lossy mode, for droppable message classes,
+    /// while the drop budget lasts).
+    Drop {
+        /// The message that vanishes.
+        msg: NetMsg,
+    },
+    /// Core `core`'s recovery timer fires: the outstanding exclusive
+    /// transaction is aborted and reissued under a fresh sequence
+    /// number. Enabled only in lossy mode, while the core is wedged
+    /// (no in-flight message can advance its transaction), within the
+    /// per-core retry budget — the model-level encoding of a
+    /// retransmission timeout that dwarfs the service latency.
+    Timeout {
+        /// The retransmitting core.
+        core: usize,
+    },
 }
 
 impl fmt::Display for Label {
@@ -193,6 +236,10 @@ impl fmt::Display for Label {
                 write!(f, "deliver to {} ({sink}): {:?}", msg.dst, msg.msg)
             }
             Label::Expire { addr } => write!(f, "barrier on {addr} expires"),
+            Label::Drop { msg } => write!(f, "drop in flight to {}: {:?}", msg.dst, msg.msg),
+            Label::Timeout { core } => {
+                write!(f, "core {core} times out and retransmits its exclusive request")
+            }
         }
     }
 }
@@ -281,6 +328,9 @@ pub struct World {
     pub net: Vec<NetMsg>,
     /// Per-core lock-loop program counters.
     pub scripts: Vec<Script>,
+    /// Messages the lossy adversary has dropped so far (bounded by
+    /// [`Config::max_drops`]; always 0 outside lossy mode).
+    pub drops: u8,
 }
 
 impl World {
@@ -301,7 +351,32 @@ impl World {
                 .then(|| BarrierFsm::new(cfg.lines.max(1), cfg.cores, 1)),
             net: Vec::new(),
             scripts: vec![Script::start(); cfg.cores],
+            drops: 0,
         }
+    }
+
+    /// Whether the lossy adversary may drop `msg`: only the classes the
+    /// recovery layer can retransmit around. `EarlyInvAck` stays
+    /// undroppable — the barrier's EI ledger has no retransmitter, so
+    /// losing one is a genuine conservation violation, not recoverable
+    /// noise (and [`World::check_quiescence`] must keep treating it as
+    /// such).
+    fn droppable(msg: &NetMsg) -> bool {
+        !msg.to_router
+            && matches!(msg.msg, CoherenceMsg::InvAck { .. } | CoherenceMsg::GetX { .. })
+    }
+
+    /// Whether core `core` is wedged: an exclusive transaction is
+    /// outstanding and no in-flight message touches its block, so no
+    /// delivery can ever advance it. The stand-in for "the recovery
+    /// timeout dwarfs the service latency": the timer only fires once
+    /// the network has proven unable to finish the transaction.
+    pub fn wedged(&self, core: usize) -> bool {
+        let Some(pending) = self.l1s[core].pending.as_ref().filter(|p| p.exclusive) else {
+            return false;
+        };
+        let block = pending.op.addr.block();
+        !self.net.iter().any(|m| m.msg.addr().block() == block)
     }
 
     /// Whether this is a legal final state: programs finished, network
@@ -322,13 +397,24 @@ impl World {
             }
         }
         // `net` is sorted, so equal messages are adjacent: one Deliver
-        // label per distinct message avoids symmetric duplicates.
+        // (and one Drop) label per distinct message avoids symmetric
+        // duplicates.
         let mut prev: Option<&NetMsg> = None;
         for msg in &self.net {
             if prev != Some(msg) {
                 out.push(Label::Deliver { msg: msg.clone() });
+                if cfg.lossy && self.drops < cfg.max_drops && Self::droppable(msg) {
+                    out.push(Label::Drop { msg: msg.clone() });
+                }
             }
             prev = Some(msg);
+        }
+        if cfg.lossy {
+            for (core, script) in self.scripts.iter().enumerate() {
+                if script.retries < cfg.retry_budget && self.wedged(core) {
+                    out.push(Label::Timeout { core });
+                }
+            }
         }
         if let Some(fsm) = &self.router {
             for barrier in &fsm.barriers {
@@ -387,6 +473,19 @@ impl World {
                     assert!(expired, "expire of a barrier that is not expirable: {addr}");
                 }
                 Ok(())
+            }
+            Label::Drop { msg } => {
+                let Some(pos) = self.net.iter().position(|m| m == msg) else {
+                    panic!("drop of a message not in flight: {msg:?}");
+                };
+                self.net.remove(pos);
+                self.drops += 1;
+                Ok(())
+            }
+            Label::Timeout { core } => {
+                let out = self.l1s[*core].abort_and_reissue().map_err(Property::Protocol)?;
+                self.scripts[*core].retries = self.scripts[*core].retries.saturating_add(1);
+                self.absorb_l1(cfg, *core, out)
             }
         }
     }
@@ -476,6 +575,9 @@ impl World {
             let _ = write!(s, "{sep}{phase}{busy}");
         }
         let _ = write!(s, "] in-flight:{}", self.net.len());
+        if self.drops > 0 {
+            let _ = write!(s, " drops:{}", self.drops);
+        }
         if let Some(fsm) = &self.router {
             let _ = write!(s, " barriers:{} eis:{}", fsm.barrier_count(), fsm.ei_count());
         }

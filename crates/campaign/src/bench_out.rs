@@ -151,6 +151,7 @@ mod tests {
             resume,
             executed: usize::from(executed_all),
             cached: usize::from(!executed_all),
+            failed: Vec::new(),
             wall_nanos,
         }
     }

@@ -33,8 +33,16 @@
 //!   --check-invariants N                       check protocol invariants every N cycles
 //!   --fault KIND:VALUE                         inject a fault (repeatable); kinds:
 //!                                              jitter:N barrier-off:C ttl-storm:C
-//!                                              ei-exhaust:N drop-ack:N
+//!                                              ei-exhaust:N drop-ack:N link-drop:N
+//!                                              router-fail:C
 //!   --fault-seed N                             fault-injection RNG seed
+//!   --recover                                  arm timeout-based retransmission so
+//!                                              injected faults are survived, not
+//!                                              aborted
+//!   --retry-budget N                           recovery retransmissions per
+//!                                              transaction (default 8)
+//!   --recovery-timeout N                       base retransmission timeout, cycles
+//!                                              (default 8192)
 //! ```
 
 use inpg::stats::{pct, speedup, Table};
@@ -84,6 +92,9 @@ struct Options {
     watchdog_cycles: Option<u64>,
     check_invariants: Option<u64>,
     faults: FaultPlan,
+    recover: bool,
+    recovery_retry_budget: Option<u32>,
+    recovery_timeout: Option<u64>,
 }
 
 impl Default for Options {
@@ -99,6 +110,9 @@ impl Default for Options {
             watchdog_cycles: None,
             check_invariants: None,
             faults: FaultPlan::none(),
+            recover: false,
+            recovery_retry_budget: None,
+            recovery_timeout: None,
         }
     }
 }
@@ -152,6 +166,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let seed = value()?.parse().map_err(|_| "bad --fault-seed".to_string())?;
                 options.faults = options.faults.clone().seeded(seed);
             }
+            "--recover" => options.recover = true,
+            "--retry-budget" => {
+                options.recovery_retry_budget =
+                    Some(value()?.parse().map_err(|_| "bad --retry-budget".to_string())?)
+            }
+            "--recovery-timeout" => {
+                options.recovery_timeout =
+                    Some(value()?.parse().map_err(|_| "bad --recovery-timeout".to_string())?)
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -179,6 +202,15 @@ fn build(benchmark: &str, options: &Options) -> Experiment {
     }
     if !options.faults.is_empty() {
         e = e.faults(options.faults.clone());
+    }
+    if options.recover {
+        e = e.recover(true);
+    }
+    if let Some(budget) = options.recovery_retry_budget {
+        e = e.recovery_retry_budget(budget);
+    }
+    if let Some(cycles) = options.recovery_timeout {
+        e = e.recovery_timeout(cycles);
     }
     e
 }
@@ -419,6 +451,16 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
         println!("merged artifact: {}", path.display());
     }
     println!("perf trajectory: {}", parsed.bench_out.display());
+    if !report.failed.is_empty() {
+        for cell in &report.failed {
+            eprintln!("failed cell `{}`: {}", cell.label, cell.reason);
+        }
+        return Err(CliError::Incomplete(format!(
+            "{} cells failed (excluded from the merged artifact): {}",
+            report.failed.len(),
+            report.failed.iter().map(|c| c.label.as_str()).collect::<Vec<_>>().join(", ")
+        )));
+    }
     let incomplete = report.incomplete();
     if !incomplete.is_empty() {
         return Err(CliError::Incomplete(format!(

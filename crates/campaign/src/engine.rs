@@ -110,6 +110,18 @@ pub struct CellOutcome {
     pub wall_nanos: u64,
 }
 
+/// A cell whose execution panicked. The campaign carries on without
+/// it: the panic is caught at the pool boundary, the cell is excluded
+/// from the merged artifact, and the failure is reported here (and in
+/// the end-of-run summary) instead of wedging the whole run.
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// The failed cell's label.
+    pub label: String,
+    /// The panic message.
+    pub reason: String,
+}
+
 /// Everything one campaign run produced, in canonical cell order.
 #[derive(Debug)]
 pub struct CampaignReport {
@@ -121,6 +133,9 @@ pub struct CampaignReport {
     pub executed: usize,
     /// Cells served by verified cache hits.
     pub cached: usize,
+    /// Cells whose execution panicked, in canonical cell order; absent
+    /// from [`outcomes`](Self::outcomes) and the merged artifact.
+    pub failed: Vec<FailedCell>,
     /// Suite wall time, nanoseconds (harness boundary measurement).
     pub wall_nanos: u64,
 }
@@ -175,10 +190,15 @@ impl CampaignReport {
 
     /// One stable summary line (the CI smoke job greps it).
     pub fn summary_line(&self) -> String {
+        let failed = if self.failed.is_empty() {
+            String::new()
+        } else {
+            format!(", {} FAILED", self.failed.len())
+        };
         format!(
-            "campaign {}: {} cells ({} executed, {} cached) on {} workers in {:.2}s, {:.2} Msim-cycles/s",
+            "campaign {}: {} cells ({} executed, {} cached{failed}) on {} workers in {:.2}s, {:.2} Msim-cycles/s",
             self.name,
-            self.outcomes.len(),
+            self.outcomes.len() + self.failed.len(),
             self.executed,
             self.cached,
             self.workers,
@@ -219,6 +239,7 @@ impl From<io::Error> for CampaignError {
 enum MissResult {
     Ran { record: Box<CellRecord>, fresh: Box<ExperimentResult>, wall_nanos: u64 },
     Failed(SimError),
+    Panicked(String),
 }
 
 /// Executes a campaign: cache resolution, pooled execution, canonical
@@ -229,7 +250,10 @@ enum MissResult {
 /// Fails on the first cell whose simulation errors (reported in
 /// canonical order) and on artifact/cache I/O failures. Cells that
 /// merely hit their cycle bound are *not* errors here; see
-/// [`CampaignReport::incomplete`].
+/// [`CampaignReport::incomplete`]. A cell whose execution *panics* is
+/// not an error either: the panic is caught at the pool boundary, the
+/// cell lands in [`CampaignReport::failed`], and the rest of the
+/// campaign (and its merged artifact) completes without it.
 pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport, CampaignError> {
     let clock = HarnessClock::start();
     let cells: Vec<CellSpec> =
@@ -308,7 +332,8 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
             progress.emit_cached(cell, record);
         }
     }
-    let miss_results: Vec<MissResult> = pool::run_indexed(unique.len(), opts.workers, |k| {
+    let miss_results: Vec<MissResult> =
+        pool::run_indexed_isolated(unique.len(), opts.workers, |k| {
         let cell = &cells[unique[k]];
         match cell.config.to_experiment().run_timed() {
             Err(error) => MissResult::Failed(error),
@@ -333,7 +358,10 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
                 }
             }
         }
-    });
+    })
+    .into_iter()
+    .map(|r| r.unwrap_or_else(MissResult::Panicked))
+    .collect();
 
     // Phase 3 — merge in canonical order. A dedup group's first cell
     // (canonically earliest, since `unique` was built in order) owns the
@@ -342,6 +370,7 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
     enum SlotState {
         Ran { record: Box<CellRecord>, fresh: Option<Box<ExperimentResult>>, wall_nanos: u64 },
         Failed(Option<SimError>),
+        Panicked(String),
     }
     let mut slots: Vec<SlotState> = miss_results
         .into_iter()
@@ -350,9 +379,11 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
                 SlotState::Ran { record, fresh: Some(fresh), wall_nanos }
             }
             MissResult::Failed(e) => SlotState::Failed(Some(e)),
+            MissResult::Panicked(reason) => SlotState::Panicked(reason),
         })
         .collect();
     let mut outcomes = Vec::with_capacity(cells.len());
+    let mut failed: Vec<FailedCell> = Vec::new();
     let mut executed = 0;
     let mut cached = 0;
     for (i, cell) in cells.into_iter().enumerate() {
@@ -405,6 +436,11 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
                 });
                 return Err(CampaignError::Cell { label: cell.label, error });
             }
+            SlotState::Panicked(reason) => {
+                // Every cell sharing the panicked config fails with the
+                // same reason; the merge order keeps the list canonical.
+                failed.push(FailedCell { label: cell.label, reason: reason.clone() });
+            }
         }
     }
 
@@ -415,6 +451,7 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
         resume: opts.resume,
         executed,
         cached,
+        failed,
         wall_nanos: clock.elapsed_nanos(),
     };
 

@@ -32,5 +32,5 @@ pub mod suites;
 pub use cache::{CacheMiss, ResultCache};
 pub use cell::{Campaign, CellConfig, CellRecord, CellSpec, CellWorkload};
 pub use engine::{
-    execute, CampaignError, CampaignReport, CellOutcome, ExecOptions,
+    execute, CampaignError, CampaignReport, CellOutcome, ExecOptions, FailedCell,
 };

@@ -23,6 +23,7 @@
 //! the engine's harness boundary.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Runs `task(i)` for every `i in 0..n` on `workers` threads, returning
@@ -71,6 +72,30 @@ where
                 .unwrap_or_else(|| unreachable!("every task index is executed exactly once"))
         })
         .collect()
+}
+
+/// Like [`run_indexed`], but each task runs under `catch_unwind`: a
+/// panicking task yields `Err` with its panic message while every other
+/// task still runs to completion. One poisoned cell must not wedge the
+/// pool or discard the results its siblings already computed.
+pub fn run_indexed_isolated<T, F>(
+    n: usize,
+    workers: usize,
+    task: F,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(n, workers, |i| {
+        catch_unwind(AssertUnwindSafe(|| task(i))).map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string())
+        })
+    })
 }
 
 /// Locks a mutex; poisoning cannot happen because a panicking task
@@ -129,18 +154,22 @@ mod tests {
     #[test]
     fn imbalanced_tasks_are_stolen_across_workers() {
         // One pathological task plus many cheap ones: with 4 workers the
-        // cheap tail must not serialize behind the expensive head.
+        // cheap tail must not serialize behind the expensive head. The
+        // head task blocks until a sibling has finished a cheap task, so
+        // the spread is guaranteed even on a single-CPU machine (where a
+        // busy-loop head can otherwise drain the whole injector inside
+        // its first scheduling quantum).
         let ran_on: Vec<Mutex<Option<std::thread::ThreadId>>> =
             (0..64).map(|_| Mutex::new(None)).collect();
+        let cheap_done = AtomicUsize::new(0);
         run_indexed(64, 4, |i| {
             *ran_on[i].lock().unwrap() = Some(std::thread::current().id());
             if i == 0 {
-                // Busy work, not sleep: keep the test deterministic-ish.
-                let mut acc = 0u64;
-                for k in 0..2_000_000u64 {
-                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                while cheap_done.load(Ordering::SeqCst) == 0 {
+                    std::thread::yield_now();
                 }
-                assert_ne!(acc, 1);
+            } else {
+                cheap_done.fetch_add(1, Ordering::SeqCst);
             }
         });
         let distinct: std::collections::BTreeSet<_> = ran_on
@@ -148,6 +177,21 @@ mod tests {
             .map(|m| format!("{:?}", m.lock().unwrap().expect("ran")))
             .collect();
         assert!(distinct.len() > 1, "work must spread across threads");
+    }
+
+    #[test]
+    fn a_panicking_task_is_isolated_and_the_rest_complete() {
+        let results = run_indexed_isolated(16, 4, |i| {
+            assert!(i != 5, "task five exploded");
+            i * 2
+        });
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Ok(v) if i != 5 => assert_eq!(*v, i * 2),
+                Err(msg) if i == 5 => assert!(msg.contains("task five exploded"), "{msg}"),
+                other => panic!("slot {i}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

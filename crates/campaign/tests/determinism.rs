@@ -204,3 +204,44 @@ fn timeline_cells_always_run_fresh() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn a_panicking_cell_is_reported_and_excluded_deterministically() {
+    // An unknown benchmark name panics inside the pool task; the
+    // campaign must survive, report the failure, and keep the merged
+    // artifact byte-identical across worker counts without it.
+    let dir = scratch("panic");
+    let mut campaign = Campaign::new("poisoned");
+    for rounds in [2u64, 3] {
+        let mut cfg = CellConfig::hot_lock(rounds, 80, 30);
+        cfg.width = 4;
+        cfg.height = 4;
+        cfg.max_cycles = 5_000_000;
+        campaign.push(format!("good/r{rounds}"), cfg);
+    }
+    campaign.push("bad/benchmark", CellConfig::benchmark("no-such-benchmark"));
+
+    let mut artifacts = Vec::new();
+    for workers in [1usize, 4] {
+        let merged = dir.join(format!("w{workers}.jsonl"));
+        let report = execute(&campaign, &opts(workers, None, merged.clone())).unwrap();
+        assert_eq!(report.executed, 2, "the good cells still run");
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].label, "bad/benchmark");
+        assert!(
+            report.failed[0].reason.contains("no-such-benchmark"),
+            "reason carries the panic message: {}",
+            report.failed[0].reason
+        );
+        assert!(report.outcome("bad/benchmark").is_none(), "failed cell has no outcome");
+        assert!(report.summary_line().contains("1 FAILED"), "{}", report.summary_line());
+        let text = std::fs::read(&merged).unwrap();
+        assert!(
+            !String::from_utf8_lossy(&text).contains("bad/benchmark"),
+            "failed cell excluded from the merged artifact"
+        );
+        artifacts.push(text);
+    }
+    assert_eq!(artifacts[0], artifacts[1], "artifacts match despite the failure");
+    let _ = std::fs::remove_dir_all(&dir);
+}

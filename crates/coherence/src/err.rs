@@ -123,6 +123,12 @@ pub enum CoherenceError {
         /// The core actually holding the transaction.
         holder: CoreId,
     },
+    /// Recovery retransmission was requested with no outstanding
+    /// exclusive transaction to retransmit.
+    RetransmitWithoutTxn {
+        /// The offending core.
+        core: CoreId,
+    },
 }
 
 impl fmt::Display for CoherenceError {
@@ -172,6 +178,9 @@ impl fmt::Display for CoherenceError {
             }
             CoherenceError::UnblockWrongCore { addr, from, holder } => {
                 write!(f, "unblock for {addr} from {from} but {holder} holds the transaction")
+            }
+            CoherenceError::RetransmitWithoutTxn { core } => {
+                write!(f, "{core}: retransmission fired with no exclusive transaction pending")
             }
         }
     }

@@ -99,6 +99,10 @@ pub struct QueuedReq {
     pub relayed: bool,
     /// When the request arrived (queue-wait accounting).
     pub queued_at: Cycle,
+    /// The requester's per-core issue sequence number (0 for reads,
+    /// which are never retransmitted). Recovery reissues of a queued
+    /// request update this in place instead of queueing twice.
+    pub seq: u64,
 }
 
 /// The in-flight transaction blocking a block.
@@ -113,12 +117,21 @@ pub enum BusyTxn {
     Exclusive {
         /// The core collecting data and acknowledgements.
         winner: CoreId,
+        /// The sequence number of the winner's request epoch: stamped as
+        /// `for_seq` on every invalidation and forwarded acknowledgement
+        /// of this transaction, and compared against retransmits.
+        winner_seq: u64,
         /// Sharers whose acknowledgement will arrive as a relayed early
         /// ack; maps to the interception cycle for matching.
         pending_relay: BTreeMap<CoreId, Cycle>,
         /// Sharers we sent our own `Inv` to (their relayed duplicates,
         /// if any, must be dropped).
         direct_inv: BTreeSet<CoreId>,
+        /// Whether the winner's data payload came from the home's L2
+        /// (no prior owner). When false the payload lives with the old
+        /// owner (forward) or the winner itself (upgrade in place), so a
+        /// recovery regrant must not fabricate one from stale L2 data.
+        granted_from_l2: bool,
     },
 }
 
@@ -138,6 +151,10 @@ pub struct DirEntry {
     /// their `RelayedGetX` notification (never satisfy invalidations
     /// directly).
     pub parked_acks: Vec<(CoreId, Cycle)>,
+    /// Highest exclusive-request sequence number admitted per core: the
+    /// retransmission dedup watermark. A `GetX` at or below its
+    /// requester's watermark is a duplicate and is dropped.
+    pub last_seq: BTreeMap<CoreId, u64>,
 }
 
 impl DirEntry {
@@ -199,6 +216,12 @@ pub enum HomeNote {
         /// Round-trip delay in cycles.
         delay: u64,
     },
+    /// A retransmitted request was recognised as a duplicate (sequence
+    /// number at or below the dedup watermark) and dropped.
+    DupRequestDropped,
+    /// The in-flight winner retransmitted with a newer sequence number:
+    /// its exclusive grant was re-sent and the sharers re-invalidated.
+    RecoveryRegrant,
 }
 
 /// Everything one pure directory step produced.
@@ -290,15 +313,16 @@ impl HomeCore {
                         failable: false,
                         relayed: false,
                         queued_at: arrived,
+                        seq: 0,
                     },
                     now,
                     &mut o,
                 );
             }
-            CoherenceMsg::GetX { addr, requester, failable, .. } => {
+            CoherenceMsg::GetX { addr, requester, failable, seq, .. } => {
                 o.notes.push(HomeNote::Request);
                 o.notes.push(HomeNote::GetXSeen);
-                self.admit(
+                self.admit_exclusive(
                     addr,
                     QueuedReq {
                         requester,
@@ -306,16 +330,17 @@ impl HomeCore {
                         failable,
                         relayed: false,
                         queued_at: arrived,
+                        seq,
                     },
                     now,
                     &mut o,
                 );
             }
-            CoherenceMsg::RelayedGetX { addr, requester, stopped_at, failable, .. } => {
+            CoherenceMsg::RelayedGetX { addr, requester, stopped_at, failable, seq, .. } => {
                 o.notes.push(HomeNote::Request);
                 o.notes.push(HomeNote::GetXSeen);
                 self.note_early_inv(addr, requester, stopped_at);
-                self.admit(
+                self.admit_exclusive(
                     addr,
                     QueuedReq {
                         requester,
@@ -323,6 +348,7 @@ impl HomeCore {
                         failable,
                         relayed: true,
                         queued_at: arrived,
+                        seq,
                     },
                     now,
                     &mut o,
@@ -351,6 +377,126 @@ impl HomeCore {
             }
         }
         Ok(o)
+    }
+
+    /// Admits an exclusive request through the retransmission dedup
+    /// filter. Recovery reissues carry a strictly higher per-core
+    /// sequence number than the attempt they replace, so anything at or
+    /// below the requester's watermark is the same attempt arriving
+    /// twice and must be dropped for retransmits to stay idempotent.
+    fn admit_exclusive(&mut self, addr: Addr, req: QueuedReq, now: Cycle, o: &mut HomeOutcome) {
+        let entry = self.entries.entry(addr).or_default();
+        if entry.last_seq.get(&req.requester).is_some_and(|w| req.seq <= *w) {
+            o.notes.push(HomeNote::DupRequestDropped);
+            return;
+        }
+        // The in-flight winner reissuing under a newer sequence number:
+        // its grant or an acknowledgement was lost, so the transaction
+        // is re-served rather than queued behind itself.
+        if matches!(
+            &entry.busy,
+            Some(BusyTxn::Exclusive { winner, .. }) if *winner == req.requester
+        ) {
+            self.regrant(addr, req, now, o);
+            return;
+        }
+        // Already queued: the reissue replaces the queued attempt in its
+        // FIFO slot instead of queueing the same core twice.
+        if let Some(queued) =
+            entry.queue.iter_mut().find(|q| q.requester == req.requester && q.exclusive)
+        {
+            queued.seq = req.seq;
+            queued.failable = req.failable;
+            entry.last_seq.insert(req.requester, req.seq);
+            o.notes.push(HomeNote::DupRequestDropped);
+            return;
+        }
+        entry.last_seq.insert(req.requester, req.seq);
+        self.admit(addr, req, now, o);
+    }
+
+    /// Re-serves the in-flight winner's exclusive transaction after a
+    /// recovery reissue: every sharer the transaction still tracks is
+    /// re-invalidated under the new sequence number and the grant is
+    /// re-sent, so a lost grant or lost invalidation acknowledgements
+    /// are regenerated from directory state alone.
+    fn regrant(&mut self, addr: Addr, req: QueuedReq, now: Cycle, o: &mut HomeOutcome) {
+        let value = self.l2_value(addr);
+        let l2_latency = self.l2_latency;
+        let home = self.core;
+        let entry = self.entries.entry(addr).or_default();
+        let Some(BusyTxn::Exclusive {
+            winner,
+            winner_seq,
+            pending_relay,
+            direct_inv,
+            granted_from_l2,
+        }) = &mut entry.busy
+        else {
+            unreachable!("regrant without an exclusive transaction");
+        };
+        debug_assert_eq!(*winner, req.requester, "regrant for a non-winner");
+        o.notes.push(HomeNote::RecoveryRegrant);
+        // Relayed early acks from the aborted epoch would reach the
+        // winner stamped with a dead sequence number: fold those sharers
+        // into the direct set and re-invalidate everyone. An L1
+        // acknowledges an Inv even for a line it no longer holds, so
+        // re-invalidating an already-invalid sharer is harmless.
+        while let Some((relayed, _)) = pending_relay.pop_first() {
+            direct_inv.insert(relayed);
+        }
+        *winner_seq = req.seq;
+        for (nth, target) in direct_inv.iter().enumerate() {
+            o.notes.push(HomeNote::InvSent);
+            let sent_at = now + nth as u64;
+            o.at(
+                sent_at,
+                Envelope::to_core(
+                    *target,
+                    CoherenceMsg::Inv {
+                        addr,
+                        ack_to: AckTarget::Core(req.requester),
+                        home,
+                        sent_at,
+                        for_seq: req.seq,
+                    },
+                ),
+            );
+        }
+        let acks_expected = direct_inv.len() as u16;
+        let granted_from_l2 = *granted_from_l2;
+        entry.last_seq.insert(req.requester, req.seq);
+        if granted_from_l2 {
+            // The original grant came from L2, and nobody else can have
+            // dirtied the block while it is busy, so the L2 payload is
+            // still the authoritative value.
+            o.at(
+                now + l2_latency,
+                Envelope::to_core(
+                    req.requester,
+                    CoherenceMsg::Data {
+                        addr,
+                        value,
+                        acks_expected,
+                        exclusive: true,
+                        needs_unblock: true,
+                        for_seq: Some(req.seq),
+                    },
+                ),
+            );
+        } else {
+            // The payload lives with the old owner (a forward that is
+            // slow but never dropped — no fault kind targets data
+            // responses) or with the winner itself (upgrade in place).
+            // Serving stale L2 data here would let the winner complete
+            // with a value the old owner's dirty copy supersedes, so the
+            // regrant carries only the refreshed ack bookkeeping and the
+            // winner completes once the true payload is in hand.
+            o.now(Envelope::to_core(
+                req.requester,
+                CoherenceMsg::AckCount { addr, acks_expected, for_seq: req.seq },
+            ));
+        }
     }
 
     /// Queues or immediately processes a request.
@@ -407,7 +553,7 @@ impl HomeCore {
                     }
                 }
             }
-            self.start_exclusive(addr, req.requester, now, o);
+            self.start_exclusive(addr, req.requester, req.seq, now, o);
         } else {
             self.start_read(addr, req.requester, now, o);
         }
@@ -447,6 +593,7 @@ impl HomeCore {
                             acks_expected: 0,
                             exclusive: true,
                             needs_unblock: true,
+                            for_seq: None,
                         },
                     ),
                 );
@@ -465,6 +612,7 @@ impl HomeCore {
                             acks_expected: 0,
                             exclusive: false,
                             needs_unblock: false,
+                            for_seq: None,
                         },
                     ),
                 );
@@ -479,7 +627,14 @@ impl HomeCore {
         }
     }
 
-    fn start_exclusive(&mut self, addr: Addr, winner: CoreId, now: Cycle, o: &mut HomeOutcome) {
+    fn start_exclusive(
+        &mut self,
+        addr: Addr,
+        winner: CoreId,
+        winner_seq: u64,
+        now: Cycle,
+        o: &mut HomeOutcome,
+    ) {
         let value = *self.data.entry(addr).or_insert(0);
         let l2_latency = self.l2_latency;
         let home = self.core;
@@ -538,6 +693,7 @@ impl HomeCore {
                                 ack_to: AckTarget::Core(winner),
                                 home,
                                 sent_at,
+                                for_seq: winner_seq,
                             },
                         ),
                     );
@@ -556,21 +712,32 @@ impl HomeCore {
                     inv_sent_at: now,
                     via_home: true,
                     count: prearrived,
+                    for_seq: winner_seq,
                 },
             ));
         }
 
-        match owner {
+        let granted_from_l2 = match owner {
             Some(owner) if owner != winner => {
                 o.now(Envelope::to_core(
                     owner,
-                    CoherenceMsg::FwdGetX { addr, requester: winner, acks_expected },
+                    CoherenceMsg::FwdGetX {
+                        addr,
+                        requester: winner,
+                        acks_expected,
+                        for_seq: winner_seq,
+                    },
                 ));
+                false
             }
             Some(_) => {
                 // The winner is the O-state owner upgrading in place: no
                 // data moves, only the ack count.
-                o.now(Envelope::to_core(winner, CoherenceMsg::AckCount { addr, acks_expected }));
+                o.now(Envelope::to_core(
+                    winner,
+                    CoherenceMsg::AckCount { addr, acks_expected, for_seq: winner_seq },
+                ));
+                false
             }
             None => {
                 o.at(
@@ -583,14 +750,22 @@ impl HomeCore {
                             acks_expected,
                             exclusive: true,
                             needs_unblock: true,
+                            for_seq: Some(winner_seq),
                         },
                     ),
                 );
+                true
             }
-        }
+        };
 
         entry.state = Some(DirState::Exclusive { owner: winner });
-        entry.busy = Some(BusyTxn::Exclusive { winner, pending_relay, direct_inv });
+        entry.busy = Some(BusyTxn::Exclusive {
+            winner,
+            winner_seq,
+            pending_relay,
+            direct_inv,
+            granted_from_l2,
+        });
     }
 
     /// Records the early-invalidation notification carried by a
@@ -619,13 +794,22 @@ impl HomeCore {
     fn on_relayed_ack(&mut self, addr: Addr, from: CoreId, inv_sent_at: Cycle, o: &mut HomeOutcome) {
         let entry = self.entries.entry(addr).or_default();
         // Current transaction waiting on this relay?
-        if let Some(BusyTxn::Exclusive { winner, pending_relay, direct_inv }) = &mut entry.busy {
+        if let Some(BusyTxn::Exclusive { winner, winner_seq, pending_relay, direct_inv, .. }) =
+            &mut entry.busy
+        {
             if pending_relay.get(&from) == Some(&inv_sent_at) {
                 pending_relay.remove(&from);
                 o.notes.push(HomeNote::RelayForwarded);
                 o.now(Envelope::to_core(
                     *winner,
-                    CoherenceMsg::InvAck { addr, from, inv_sent_at, via_home: true, count: 1 },
+                    CoherenceMsg::InvAck {
+                        addr,
+                        from,
+                        inv_sent_at,
+                        via_home: true,
+                        count: 1,
+                        for_seq: *winner_seq,
+                    },
                 ));
                 return;
             }
@@ -896,6 +1080,8 @@ impl HomeBank {
                     self.stats.max_queue_len = self.stats.max_queue_len.max(len)
                 }
                 HomeNote::RelayRoundTrip { from, delay } => self.roundtrips.record(from, delay),
+                HomeNote::DupRequestDropped => self.stats.dup_requests_dropped += 1,
+                HomeNote::RecoveryRegrant => self.stats.recovery_regrants += 1,
             }
         }
         for emit in outcome.emits {
@@ -997,6 +1183,7 @@ mod tests {
                 home: CoreId::new(0),
                 lock: true,
                 failable: false,
+                seq: 1,
             },
             Cycle::new(4),
         );
@@ -1034,6 +1221,7 @@ mod tests {
                 home: CoreId::new(0),
                 lock: true,
                 failable: false,
+                seq: 1,
             },
             Cycle::new(2),
         );
@@ -1045,6 +1233,7 @@ mod tests {
                 home: CoreId::new(0),
                 stopped_at: Cycle::new(10),
                 failable: false,
+                seq: 1,
             },
             Cycle::new(3),
         );
@@ -1138,6 +1327,7 @@ mod tests {
                 home: CoreId::new(0),
                 lock: true,
                 failable: true,
+                seq: 1,
             },
             Cycle::new(2),
         );
@@ -1154,6 +1344,7 @@ mod tests {
                 home: CoreId::new(0),
                 lock: true,
                 failable: true,
+                seq: 1,
             },
             Cycle::new(3),
         );
@@ -1190,6 +1381,7 @@ mod tests {
                 home: CoreId::new(0),
                 stopped_at: Cycle::new(10),
                 failable: false,
+                seq: 1,
             },
             Cycle::new(1),
         );

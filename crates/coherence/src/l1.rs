@@ -167,6 +167,10 @@ pub struct PendingTxn {
     pub value: u64,
     /// Whether `value` is authoritative even if Data arrives (O upgrade).
     pub own_value: bool,
+    /// Whether `value` holds a usable payload at all. A recovering
+    /// transaction can be granted by an `AckCount` regrant whose data is
+    /// still in flight from the old owner; completion must wait for it.
+    pub has_value: bool,
     /// Invalidation acknowledgements announced by the home node (`None`
     /// until the grant arrives).
     pub acks_expected: Option<u16>,
@@ -180,6 +184,9 @@ pub struct PendingTxn {
     pub poisoned: bool,
     /// OCOR priority (kept for reissues).
     pub priority: u8,
+    /// The transaction has been aborted-and-reissued at least once by the
+    /// recovery layer; duplicate grants are expected and dropped.
+    pub recovering: bool,
 }
 
 /// A finished operation as reported by the pure core; the timed wrapper
@@ -212,6 +219,21 @@ pub enum L1Note {
     DemoteRetry,
     /// A demoted conditional RMW failed without writing.
     DemotedFail,
+    /// The recovery layer aborted the outstanding exclusive transaction
+    /// and reissued it under a fresh sequence number.
+    Retransmit,
+    /// An invalidation acknowledgement from an aborted request epoch was
+    /// dropped by the recovery filter.
+    StaleAckDropped,
+    /// A duplicate exclusive grant arrived while recovering and was
+    /// dropped (the first grant of the current epoch is authoritative).
+    DuplicateGrantDropped,
+    /// A stale response for an already-completed recovery transaction was
+    /// absorbed by the post-completion guard.
+    StaleResponseAbsorbed,
+    /// An exclusive grant answering an aborted epoch was dropped (its
+    /// slow service raced the recovery retransmission and lost).
+    StaleGrantDropped,
 }
 
 /// Everything one pure step produced: messages to send, an optional
@@ -247,12 +269,28 @@ pub struct L1Core {
     pub lines: BTreeMap<Addr, Line>,
     /// The in-flight directory transaction, if any.
     pub pending: Option<PendingTxn>,
+    /// Monotonic per-core issue sequence number, bumped on every
+    /// exclusive request (normal issue, demote retry, recovery reissue).
+    /// The outstanding exclusive transaction's epoch is always the
+    /// current value; the home node deduplicates on it.
+    seq: u64,
+    /// Post-completion stale guard: after a *recovering* transaction
+    /// completes, responses for this block may still be in flight from
+    /// aborted epochs; they are absorbed silently instead of raising
+    /// `ResponseWithoutTxn`. Cleared on the next issue to the block.
+    absorb: Option<Addr>,
 }
 
 impl L1Core {
     /// Creates the pure core state for `core`.
     pub fn new(core: CoreId, home_map: HomeMap) -> Self {
-        L1Core { core, home_map, lines: BTreeMap::new(), pending: None }
+        L1Core { core, home_map, lines: BTreeMap::new(), pending: None, seq: 0, absorb: None }
+    }
+
+    /// The current exclusive-request epoch (the `seq` stamped on the most
+    /// recent `GetX`).
+    pub fn current_seq(&self) -> u64 {
+        self.seq
     }
 
     /// The owning core.
@@ -286,6 +324,11 @@ impl L1Core {
             return Err(CoherenceError::IssueWhileBusy { core: self.core });
         }
         let block = op.addr.block();
+        if self.absorb == Some(block) {
+            // A fresh transaction for the block supersedes the stale
+            // guard left by a completed recovery transaction.
+            self.absorb = None;
+        }
         let mut outcome = L1Outcome::default();
 
         match self.lines.get_mut(&block) {
@@ -325,17 +368,20 @@ impl L1Core {
             // Conditional RMWs (compare-and-swap) may be demoted to a
             // failed shared-copy service by the home node.
             let failable = matches!(op.kind, MemOpKind::CompareSwap { .. }) && !own_value;
+            self.seq += 1;
             self.pending = Some(PendingTxn {
                 op,
                 exclusive: true,
                 granted: false,
                 value,
                 own_value,
+                has_value: own_value,
                 acks_expected: None,
                 acks_received: 0,
                 failable,
                 poisoned: false,
                 priority,
+                recovering: false,
             });
             outcome.msgs.push(
                 Envelope::to_core(
@@ -346,6 +392,7 @@ impl L1Core {
                         home,
                         lock: interceptable,
                         failable,
+                        seq: self.seq,
                     },
                 )
                 .with_priority(priority),
@@ -358,11 +405,13 @@ impl L1Core {
                 granted: false,
                 value: 0,
                 own_value: false,
+                has_value: false,
                 acks_expected: Some(0),
                 acks_received: 0,
                 failable: false,
                 poisoned: false,
                 priority,
+                recovering: false,
             });
             outcome.msgs.push(
                 Envelope::to_core(
@@ -384,28 +433,53 @@ impl L1Core {
     pub fn handle(&mut self, msg: CoherenceMsg) -> Result<L1Outcome, CoherenceError> {
         coverage::record(coverage::L1_HANDLE.id(msg.variant_index()));
         match msg {
-            CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock } => {
-                self.on_data(addr, value, acks_expected, exclusive, needs_unblock)
+            CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock, for_seq } => {
+                self.on_data(addr, value, acks_expected, exclusive, needs_unblock, for_seq)
             }
-            CoherenceMsg::AckCount { addr, acks_expected } => {
+            CoherenceMsg::AckCount { addr, acks_expected, for_seq } => {
                 let core = self.core;
+                if self.absorb == Some(addr) {
+                    return Ok(L1Outcome::default().note(L1Note::StaleResponseAbsorbed));
+                }
+                if for_seq != self.seq {
+                    // A grant answering an attempt the recovery layer
+                    // aborted; the reissue gets its own grant.
+                    return Ok(L1Outcome::default().note(L1Note::StaleGrantDropped));
+                }
                 let pending = self.pending.as_mut().ok_or(
                     CoherenceError::ResponseWithoutTxn { core, msg: msg.clone() },
                 )?;
                 check_addr(core, addr, pending.op.addr.block())?;
-                if !(pending.exclusive && pending.own_value) {
+                // An AckCount without ownership is legal only for a
+                // recovering transaction: the regrant of a forwarded
+                // serve carries ack bookkeeping while the payload is
+                // still in flight from the old owner.
+                if !(pending.exclusive && (pending.own_value || pending.recovering)) {
                     return Err(CoherenceError::AckCountWithoutOwnership { core, addr });
+                }
+                if pending.recovering && pending.granted {
+                    return Ok(L1Outcome::default().note(L1Note::DuplicateGrantDropped));
                 }
                 pending.granted = true;
                 pending.acks_expected = Some(acks_expected);
                 self.try_complete_exclusive()
             }
-            CoherenceMsg::InvAck { addr, count, .. } => {
+            CoherenceMsg::InvAck { addr, count, for_seq, .. } => {
                 let core = self.core;
+                if self.absorb == Some(addr) {
+                    return Ok(L1Outcome::default().note(L1Note::StaleResponseAbsorbed));
+                }
+                let cur_seq = self.seq;
                 let pending = self.pending.as_mut().ok_or(
                     CoherenceError::ResponseWithoutTxn { core, msg: msg.clone() },
                 )?;
                 check_addr(core, addr, pending.op.addr.block())?;
+                if pending.exclusive && for_seq != cur_seq {
+                    // Acknowledgement from an epoch the recovery layer
+                    // aborted: the home re-invalidated on the reissue, so
+                    // counting this one would double-count its sender.
+                    return Ok(L1Outcome::default().note(L1Note::StaleAckDropped));
+                }
                 pending.acks_received += count;
                 if let Some(expected) = pending.acks_expected {
                     if pending.acks_received > expected {
@@ -419,7 +493,7 @@ impl L1Core {
                 }
                 self.try_complete_exclusive()
             }
-            CoherenceMsg::Inv { addr, ack_to, home, sent_at } => {
+            CoherenceMsg::Inv { addr, ack_to, home, sent_at, for_seq } => {
                 let mut outcome = L1Outcome::default();
                 self.lines.remove(&addr);
                 if let Some(pending) = self.pending.as_mut() {
@@ -439,6 +513,7 @@ impl L1Core {
                             inv_sent_at: sent_at,
                             via_home: false,
                             count: 1,
+                            for_seq,
                         },
                     )),
                     AckTarget::Router(router) => outcome.msgs.push(Envelope::to_router(
@@ -492,11 +567,12 @@ impl L1Core {
                         acks_expected: 0,
                         exclusive: false,
                         needs_unblock: false,
+                        for_seq: None,
                     },
                 ));
                 Ok(outcome)
             }
-            CoherenceMsg::FwdGetX { addr, requester, acks_expected } => {
+            CoherenceMsg::FwdGetX { addr, requester, acks_expected, for_seq } => {
                 let core = self.core;
                 let mut outcome = L1Outcome::default();
                 let value = if let Some(line) = self.lines.remove(&addr) {
@@ -520,6 +596,7 @@ impl L1Core {
                         return Err(CoherenceError::ForwardAfterGrant { core, addr });
                     }
                     pending.own_value = false;
+                    pending.has_value = false;
                     let value = pending.value;
                     pending.value = 0;
                     value
@@ -532,6 +609,7 @@ impl L1Core {
                         acks_expected,
                         exclusive: true,
                         needs_unblock: true,
+                        for_seq: Some(for_seq),
                     },
                 ));
                 Ok(outcome)
@@ -556,13 +634,52 @@ impl L1Core {
         acks_expected: u16,
         exclusive: bool,
         needs_unblock: bool,
+        for_seq: Option<u64>,
     ) -> Result<L1Outcome, CoherenceError> {
         let core = self.core;
         let mut outcome = L1Outcome::default();
+        if self.absorb == Some(addr) {
+            return Ok(outcome.note(L1Note::StaleResponseAbsorbed));
+        }
+        if for_seq.is_some_and(|s| s != self.seq) {
+            // A grant answering an attempt the recovery layer aborted: a
+            // slow grant racing its own retransmission must not complete
+            // the reissued attempt (the retransmit would then become an
+            // orphan request the directory serves into thin air). The
+            // current epoch's grant — a regrant or the retransmit's own
+            // service — completes the transaction instead. The payload is
+            // salvaged, though: if this is the old owner's forward, its
+            // dirty value is the only copy in the system (the regrant for
+            // a forwarded serve carries no data), and for home-sourced
+            // grants the capture is a harmless duplicate of the L2 value.
+            let captured = match self.pending.as_mut() {
+                Some(p) if p.exclusive && p.op.addr.block() == addr && !p.own_value => {
+                    p.value = value;
+                    p.own_value = true;
+                    p.has_value = true;
+                    true
+                }
+                _ => false,
+            };
+            if captured {
+                // The ack bookkeeping may already be complete and only
+                // the payload missing.
+                let done = self.try_complete_exclusive()?;
+                return Ok(done.note(L1Note::StaleGrantDropped));
+            }
+            return Ok(outcome.note(L1Note::StaleGrantDropped));
+        }
         let pending =
             self.pending.as_mut().ok_or(CoherenceError::ResponseWithoutTxn {
                 core,
-                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+                msg: CoherenceMsg::Data {
+                    addr,
+                    value,
+                    acks_expected,
+                    exclusive,
+                    needs_unblock,
+                    for_seq,
+                },
             })?;
         check_addr(core, addr, pending.op.addr.block())?;
         if pending.exclusive && !exclusive {
@@ -583,6 +700,11 @@ impl L1Core {
                 pending.poisoned = false;
                 let priority = pending.priority;
                 let lock = pending.op.lock;
+                // A fresh epoch: the home has already serviced (demoted)
+                // the original sequence number, so the retry must carry a
+                // newer one to pass the retransmission dedup filter.
+                self.seq += 1;
+                let seq = self.seq;
                 let home = self.home_map.home_of(addr);
                 outcome.msgs.push(
                     Envelope::to_core(
@@ -593,6 +715,7 @@ impl L1Core {
                             home,
                             lock,
                             failable: false,
+                            seq,
                         },
                     )
                     .with_priority(priority),
@@ -601,7 +724,14 @@ impl L1Core {
             }
             let pending = self.pending.take().ok_or(CoherenceError::ResponseWithoutTxn {
                 core,
-                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+                msg: CoherenceMsg::Data {
+                    addr,
+                    value,
+                    acks_expected,
+                    exclusive,
+                    needs_unblock,
+                    for_seq,
+                },
             })?;
             if !pending.poisoned {
                 self.lines.insert(addr, Line { state: State::Shared, value });
@@ -614,17 +744,31 @@ impl L1Core {
             if !exclusive {
                 return Err(CoherenceError::SharedGrantForExclusive { core, addr });
             }
+            if pending.recovering && pending.granted {
+                // A recovery regrant and the original grant can both be
+                // in flight; the first accepted grant of the current
+                // epoch is authoritative.
+                return Ok(outcome.note(L1Note::DuplicateGrantDropped));
+            }
             pending.granted = true;
             pending.acks_expected = Some(acks_expected);
             if !pending.own_value {
                 pending.value = value;
             }
+            pending.has_value = true;
             self.try_complete_exclusive()
         } else {
             // Read transaction completes on data.
             let pending = self.pending.take().ok_or(CoherenceError::ResponseWithoutTxn {
                 core,
-                msg: CoherenceMsg::Data { addr, value, acks_expected, exclusive, needs_unblock },
+                msg: CoherenceMsg::Data {
+                    addr,
+                    value,
+                    acks_expected,
+                    exclusive,
+                    needs_unblock,
+                    for_seq,
+                },
             })?;
             if exclusive || !pending.poisoned {
                 let state = if exclusive { State::Exclusive } else { State::Shared };
@@ -646,7 +790,7 @@ impl L1Core {
         let mut outcome = L1Outcome::default();
         let Some(pending) = self.pending.as_ref() else { return Ok(outcome) };
         let Some(expected) = pending.acks_expected else { return Ok(outcome) };
-        if !pending.granted || pending.acks_received < expected {
+        if !pending.granted || !pending.has_value || pending.acks_received < expected {
             return Ok(outcome);
         }
         let pending = match self.pending.take() {
@@ -655,6 +799,11 @@ impl L1Core {
             None => return Ok(outcome),
         };
         let block = pending.op.addr.block();
+        if pending.recovering {
+            // Responses from aborted epochs may still be in flight:
+            // absorb them instead of treating them as protocol bugs.
+            self.absorb = Some(block);
+        }
         let old = pending.value;
         let new = pending.op.kind.apply(old);
         self.lines.insert(block, Line { state: State::Modified, value: new });
@@ -665,6 +814,65 @@ impl L1Core {
         outcome.completion = Some(L1Completion { op: pending.op, value: old, hit: false });
         Ok(outcome)
     }
+
+    /// Recovery retransmission: aborts the outstanding exclusive
+    /// transaction's current attempt and reissues it under a fresh
+    /// sequence number.
+    ///
+    /// If a grant had already been accepted, its value becomes the
+    /// transaction's authoritative value (`own_value`): the home node's
+    /// L2 copy may be stale once ownership was granted, so the regrant's
+    /// data is ignored. The reissue is neither interceptable (`lock:
+    /// false`) nor demotable (`failable: false`) — recovery never
+    /// re-enters the big-router or demotion paths.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::RetransmitWithoutTxn`] when no exclusive
+    /// transaction is outstanding.
+    pub fn abort_and_reissue(&mut self) -> Result<L1Outcome, CoherenceError> {
+        let core = self.core;
+        let pending = self
+            .pending
+            .as_mut()
+            .filter(|p| p.exclusive)
+            .ok_or(CoherenceError::RetransmitWithoutTxn { core })?;
+        // A payload in hand survives the abort as the authoritative
+        // value. `granted` alone is not enough: an AckCount regrant
+        // grants ack bookkeeping while the payload is still in flight
+        // from the old owner, and claiming ownership of that empty slot
+        // would both serve garbage to forwards and block the capture of
+        // the real payload when it lands.
+        if pending.has_value {
+            pending.own_value = true;
+        }
+        pending.granted = false;
+        pending.acks_expected = None;
+        pending.acks_received = 0;
+        pending.failable = false;
+        pending.recovering = true;
+        let priority = pending.priority;
+        let block = pending.op.addr.block();
+        self.seq += 1;
+        let seq = self.seq;
+        let home = self.home_map.home_of(block);
+        let mut outcome = L1Outcome::default();
+        outcome.msgs.push(
+            Envelope::to_core(
+                home,
+                CoherenceMsg::GetX {
+                    addr: block,
+                    requester: core,
+                    home,
+                    lock: false,
+                    failable: false,
+                    seq,
+                },
+            )
+            .with_priority(priority),
+        );
+        Ok(outcome.note(L1Note::Retransmit))
+    }
 }
 
 fn check_addr(core: CoreId, got: Addr, want: Addr) -> Result<(), CoherenceError> {
@@ -673,6 +881,26 @@ fn check_addr(core: CoreId, got: Addr, want: Addr) -> Result<(), CoherenceError>
     } else {
         Err(CoherenceError::ResponseAddrMismatch { core, got, want })
     }
+}
+
+/// Timeout-based retransmission state of one L1 (present only when the
+/// recovery layer is enabled).
+#[derive(Debug, Clone, Copy)]
+struct RecoveryTimer {
+    /// Timeout armed on a fresh exclusive request. Must be much larger
+    /// than the worst-case fault-free service latency: a spurious
+    /// retransmission is *safe* (sequence-number dedup) but wasteful.
+    base: u64,
+    /// The exponential backoff stops doubling here.
+    ceiling: u64,
+    /// Retransmissions allowed per transaction.
+    budget: u32,
+    /// Current timeout (doubles on every firing, up to `ceiling`).
+    current: u64,
+    /// Retransmissions fired for the outstanding transaction.
+    retries: u32,
+    /// When the next retransmission fires (`None` = disarmed).
+    deadline: Option<Cycle>,
 }
 
 /// The private L1 cache + controller of one core: the timed wrapper
@@ -688,6 +916,8 @@ pub struct L1Cache {
     hit_latency: u64,
     stats: L1Stats,
     roundtrips: InvAckRoundTrips,
+    /// Retransmission timer; `None` when recovery is off.
+    recovery: Option<RecoveryTimer>,
 }
 
 impl L1Cache {
@@ -703,7 +933,84 @@ impl L1Cache {
             hit_latency,
             stats: L1Stats::default(),
             roundtrips: InvAckRoundTrips::new(cores, 256),
+            recovery: None,
         }
+    }
+
+    /// Enables timeout-based retransmission: an exclusive transaction
+    /// stalled for `timeout` cycles is aborted-and-reissued, with
+    /// exponential backoff (ceiling `timeout * 64`) and at most `budget`
+    /// retransmissions per transaction.
+    pub fn enable_recovery(&mut self, timeout: u64, budget: u32) {
+        let base = timeout.max(1);
+        self.recovery = Some(RecoveryTimer {
+            base,
+            ceiling: base.saturating_mul(64),
+            budget,
+            current: base,
+            retries: 0,
+            deadline: None,
+        });
+    }
+
+    /// Whether the retransmission timer has expired. Allocation-free:
+    /// the simulator polls this every cycle on the hot path; the firing
+    /// itself goes through [`fire_recovery`](Self::fire_recovery).
+    pub fn recovery_due(&self, now: Cycle) -> bool {
+        match &self.recovery {
+            Some(t) => match t.deadline {
+                Some(d) => now >= d,
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// True when the retransmission timer is armed and retries remain —
+    /// the stalled transaction can still make progress on its own, so
+    /// watchdog-style invariants must hold fire.
+    pub fn recovery_pending(&self) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|t| t.deadline.is_some() && t.retries < t.budget)
+    }
+
+    /// Retransmissions fired for the outstanding transaction (0 when
+    /// idle or recovery is off).
+    pub fn recovery_retries(&self) -> u32 {
+        self.recovery.as_ref().map_or(0, |t| t.retries)
+    }
+
+    /// Fires one retransmission if the timer is due: aborts the
+    /// outstanding exclusive transaction's attempt, reissues it under a
+    /// fresh sequence number, and re-arms the timer with the doubled
+    /// backoff. Out of budget, the timer disarms and the transaction is
+    /// left to the watchdog.
+    pub fn fire_recovery(&mut self, now: Cycle, out: &mut Vec<Envelope>) {
+        if !self.recovery_due(now) {
+            return;
+        }
+        let Some(timer) = self.recovery.as_mut() else { return };
+        if timer.retries >= timer.budget {
+            timer.deadline = None;
+            self.stats.recovery_exhausted += 1;
+            return;
+        }
+        timer.retries += 1;
+        let doubled = timer.current.saturating_mul(2);
+        if doubled > timer.ceiling {
+            timer.current = timer.ceiling;
+            self.stats.backoff_ceiling_hits += 1;
+        } else {
+            timer.current = doubled;
+        }
+        // Re-armed by `apply` when it sees the Retransmit note.
+        timer.deadline = None;
+        let outcome = match self.inner.abort_and_reissue() {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("recovery retransmission rejected: {e}"),
+        };
+        self.apply(outcome, now, out);
     }
 
     /// The owning core.
@@ -867,6 +1174,24 @@ impl L1Cache {
                 L1Note::ForwardBounced => self.stats.forwards_bounced += 1,
                 L1Note::DemoteRetry => self.stats.demote_retries += 1,
                 L1Note::DemotedFail => self.stats.demoted_fails += 1,
+                L1Note::Retransmit => self.stats.retransmits += 1,
+                L1Note::StaleAckDropped => self.stats.stale_acks_dropped += 1,
+                L1Note::DuplicateGrantDropped => self.stats.dup_grants_dropped += 1,
+                L1Note::StaleResponseAbsorbed => self.stats.stale_absorbed += 1,
+                L1Note::StaleGrantDropped => self.stats.stale_grants_dropped += 1,
+            }
+        }
+        // Retransmission timer: armed on every exclusive request leaving
+        // the core, disarmed (and backoff reset) on completion.
+        if let Some(timer) = self.recovery.as_mut() {
+            if outcome.completion.is_some() {
+                timer.deadline = None;
+                timer.retries = 0;
+                timer.current = timer.base;
+            } else if outcome.notes.iter().any(|n| {
+                matches!(n, L1Note::MissGetX | L1Note::DemoteRetry | L1Note::Retransmit)
+            }) {
+                timer.deadline = Some(now + timer.current);
             }
         }
         out.extend(outcome.msgs);
@@ -938,6 +1263,9 @@ mod tests {
         panic!("operation did not complete");
     }
 
+    // Exclusive grants echo request epoch 1: `issue()` bumps the core's
+    // sequence number before sending, so a single exclusive issue leaves
+    // the L1 at epoch 1.
     fn data(addr: Addr, value: u64, acks: u16, exclusive: bool) -> CoherenceMsg {
         CoherenceMsg::Data {
             addr,
@@ -945,6 +1273,20 @@ mod tests {
             acks_expected: acks,
             exclusive,
             needs_unblock: false,
+            for_seq: exclusive.then_some(1),
+        }
+    }
+
+    /// Exclusive grant echoing an explicit request epoch, for tests that
+    /// reissue (each retransmission bumps the epoch).
+    fn data_epoch(addr: Addr, value: u64, acks: u16, seq: u64) -> CoherenceMsg {
+        CoherenceMsg::Data {
+            addr,
+            value,
+            acks_expected: acks,
+            exclusive: true,
+            needs_unblock: false,
+            for_seq: Some(seq),
         }
     }
 
@@ -979,6 +1321,7 @@ mod tests {
                 acks_expected: 0,
                 exclusive: true,
                 needs_unblock: true,
+                for_seq: None,
             },
             Cycle::new(8),
             &mut out,
@@ -1021,6 +1364,7 @@ mod tests {
                 inv_sent_at: Cycle::new(2),
                 via_home: false,
                 count: 1,
+                for_seq: 1,
             },
             Cycle::new(8),
             &mut out,
@@ -1032,6 +1376,7 @@ mod tests {
                 inv_sent_at: Cycle::new(2),
                 via_home: true,
                 count: 1,
+                for_seq: 1,
             },
             Cycle::new(9),
             &mut out,
@@ -1061,6 +1406,7 @@ mod tests {
                 inv_sent_at: Cycle::ZERO,
                 via_home: false,
                 count: 1,
+                for_seq: 1,
             },
             Cycle::new(4),
             &mut out,
@@ -1089,6 +1435,7 @@ mod tests {
                 ack_to: AckTarget::Core(CoreId::new(3)),
                 home: CoreId::new(2),
                 sent_at: Cycle::new(9),
+                for_seq: 7,
             },
             Cycle::new(12),
             &mut out,
@@ -1098,7 +1445,8 @@ mod tests {
         assert_eq!(ack.dst, CoreId::new(3));
         assert!(matches!(
             ack.msg,
-            CoherenceMsg::InvAck { from, via_home: false, .. } if from == CoreId::new(0)
+            CoherenceMsg::InvAck { from, via_home: false, for_seq: 7, .. }
+                if from == CoreId::new(0)
         ));
     }
 
@@ -1113,6 +1461,7 @@ mod tests {
                 ack_to: AckTarget::Router(CoreId::new(9)),
                 home: CoreId::new(2),
                 sent_at: Cycle::new(4),
+                for_seq: 0,
             },
             Cycle::new(8),
             &mut out,
@@ -1162,7 +1511,7 @@ mod tests {
 
         out.clear();
         l1.handle(
-            CoherenceMsg::FwdGetX { addr, requester: CoreId::new(3), acks_expected: 2 },
+            CoherenceMsg::FwdGetX { addr, requester: CoreId::new(3), acks_expected: 2, for_seq: 0 },
             Cycle::new(20),
             &mut out,
         );
@@ -1194,7 +1543,7 @@ mod tests {
         l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::new(20), &mut out);
         assert!(matches!(out[0].msg, CoherenceMsg::GetX { .. }));
         out.clear();
-        l1.handle(CoherenceMsg::AckCount { addr, acks_expected: 1 }, Cycle::new(26), &mut out);
+        l1.handle(CoherenceMsg::AckCount { addr, acks_expected: 1, for_seq: 2 }, Cycle::new(26), &mut out);
         l1.handle(
             CoherenceMsg::InvAck {
                 addr,
@@ -1202,6 +1551,7 @@ mod tests {
                 inv_sent_at: Cycle::new(24),
                 via_home: false,
                 count: 1,
+                for_seq: 2,
             },
             Cycle::new(30),
             &mut out,
@@ -1254,6 +1604,7 @@ mod tests {
             inv_sent_at: Cycle::ZERO,
             via_home: false,
             count: 1,
+            for_seq: 1,
         };
         l1.handle(ack.clone(), Cycle::new(6), &mut out);
         let err = l1.try_handle(ack, Cycle::new(7), &mut out).expect_err("duplicate ack");
@@ -1267,5 +1618,164 @@ mod tests {
         let msg = CoherenceMsg::GetS { addr: Addr::new(0), requester: CoreId::new(1) };
         let err = l1.try_handle(msg, Cycle::ZERO, &mut out).expect_err("misrouted");
         assert!(matches!(err, CoherenceError::UnexpectedAtL1 { .. }), "{err}");
+    }
+
+    fn inv_ack(addr: Addr, from: usize, for_seq: u64) -> CoherenceMsg {
+        CoherenceMsg::InvAck {
+            addr,
+            from: CoreId::new(from),
+            inv_sent_at: Cycle::ZERO,
+            via_home: false,
+            count: 1,
+            for_seq,
+        }
+    }
+
+    #[test]
+    fn retransmission_recovers_a_lost_ack() {
+        let mut l1 = l1();
+        l1.enable_recovery(100, 4);
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        out.clear();
+        // Grant with two acks expected; only one arrives (the other is
+        // lost in the network).
+        l1.handle(data(addr, 5, 2, true), Cycle::new(6), &mut out);
+        l1.handle(inv_ack(addr, 1, 1), Cycle::new(8), &mut out);
+        assert!(!l1.recovery_due(Cycle::new(99)));
+        assert!(l1.recovery_due(Cycle::new(100)));
+
+        out.clear();
+        l1.fire_recovery(Cycle::new(100), &mut out);
+        assert_eq!(l1.stats().retransmits, 1);
+        let CoherenceMsg::GetX { lock, failable, seq, .. } = out[0].msg else {
+            panic!("expected reissued GetX, got {:?}", out[0].msg)
+        };
+        assert!(!lock, "reissues are never interceptable");
+        assert!(!failable, "reissues are never demotable");
+        assert_eq!(seq, 2, "fresh epoch");
+
+        // A straggler ack from the aborted epoch must not double-count.
+        out.clear();
+        l1.handle(inv_ack(addr, 2, 1), Cycle::new(110), &mut out);
+        assert_eq!(l1.stats().stale_acks_dropped, 1);
+
+        // The home regrants (its L2 value 99 is stale — the original
+        // grant's value 5 is authoritative) and re-invalidates both
+        // sharers; a duplicate grant is dropped.
+        l1.handle(data_epoch(addr, 99, 2, 2), Cycle::new(120), &mut out);
+        l1.handle(data_epoch(addr, 77, 1, 2), Cycle::new(121), &mut out);
+        assert_eq!(l1.stats().dup_grants_dropped, 1);
+        l1.handle(inv_ack(addr, 1, 2), Cycle::new(125), &mut out);
+        l1.handle(inv_ack(addr, 2, 2), Cycle::new(126), &mut out);
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(126));
+        assert_eq!(c.value, 5, "swap returns the granted (authoritative) value");
+        assert_eq!(l1.probe_line(addr), Some(("M", 1)));
+        assert!(!l1.recovery_due(Cycle::new(10_000)), "timer disarmed on completion");
+
+        // Stragglers for the completed recovery transaction are absorbed.
+        out.clear();
+        l1.try_handle(data(addr, 0, 0, true), Cycle::new(130), &mut out)
+            .expect("stale response absorbed");
+        l1.try_handle(inv_ack(addr, 2, 1), Cycle::new(131), &mut out)
+            .expect("stale ack absorbed");
+        assert_eq!(l1.stats().stale_absorbed, 2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forwarded_regrant_waits_for_the_owners_payload() {
+        // The serve was an owner forward, so the regrant after a (false)
+        // timeout is an AckCount with no payload: completion must wait
+        // for the old owner's dirty data, which arrives stamped with the
+        // aborted epoch and is salvaged rather than discarded — it is
+        // the only copy in the system.
+        let mut l1 = l1();
+        l1.enable_recovery(100, 4);
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(9), lock: true }, Cycle::ZERO, &mut out);
+        out.clear();
+        l1.fire_recovery(Cycle::new(100), &mut out);
+
+        // Regrant bookkeeping for the fresh epoch, then its ack: still
+        // no completion, the payload is missing.
+        l1.handle(CoherenceMsg::AckCount { addr, acks_expected: 1, for_seq: 2 }, Cycle::new(110), &mut out);
+        l1.handle(inv_ack(addr, 1, 2), Cycle::new(112), &mut out);
+        l1.tick(Cycle::new(113));
+        assert!(l1.take_completion().is_none(), "no payload yet");
+
+        // The old owner's forward lands, stamped with the dead epoch.
+        l1.handle(data_epoch(addr, 41, 1, 1), Cycle::new(120), &mut out);
+        assert_eq!(l1.stats().stale_grants_dropped, 1);
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(120));
+        assert_eq!(c.value, 41, "swap returns the owner's dirty value, not stale L2 data");
+        assert_eq!(l1.probe_line(addr), Some(("M", 9)));
+    }
+
+    #[test]
+    fn salvaged_payload_survives_a_second_abort() {
+        // Payload captured from a dead-epoch forward, then another
+        // timeout: the reissue keeps the captured value authoritative
+        // and the next regrant's bookkeeping completes with it.
+        let mut l1 = l1();
+        l1.enable_recovery(100, 4);
+        let mut out = Vec::new();
+        let addr = Addr::new(0x200).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(9), lock: true }, Cycle::ZERO, &mut out);
+        l1.fire_recovery(Cycle::new(100), &mut out);
+        l1.handle(data_epoch(addr, 41, 1, 1), Cycle::new(110), &mut out);
+        out.clear();
+        l1.fire_recovery(Cycle::new(300), &mut out);
+        l1.handle(CoherenceMsg::AckCount { addr, acks_expected: 0, for_seq: 3 }, Cycle::new(310), &mut out);
+        let (c, _) = drive_until_complete(&mut l1, Cycle::new(310));
+        assert_eq!(c.value, 41);
+        assert_eq!(l1.probe_line(addr), Some(("M", 9)));
+    }
+
+    #[test]
+    fn recovery_budget_exhausts_and_disarms() {
+        let mut l1 = l1();
+        l1.enable_recovery(10, 2);
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        assert!(l1.recovery_pending());
+        l1.fire_recovery(Cycle::new(10), &mut out);
+        l1.fire_recovery(Cycle::new(30), &mut out);
+        assert_eq!(l1.stats().retransmits, 2);
+        assert!(!l1.recovery_pending(), "out of retries");
+        l1.fire_recovery(Cycle::new(70), &mut out);
+        assert_eq!(l1.stats().recovery_exhausted, 1);
+        assert!(!l1.recovery_due(Cycle::new(100_000)), "timer disarmed");
+    }
+
+    #[test]
+    fn backoff_doubles_to_a_ceiling() {
+        let mut l1 = l1();
+        l1.enable_recovery(1, 8);
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        let mut now = Cycle::ZERO;
+        for _ in 0..8 {
+            now += 1000;
+            l1.fire_recovery(now, &mut out);
+        }
+        assert_eq!(l1.stats().retransmits, 8);
+        // base 1 doubles 2,4,...,64 (the 64× ceiling) then pins there.
+        assert_eq!(l1.stats().backoff_ceiling_hits, 2);
+    }
+
+    #[test]
+    fn recovery_off_timer_never_fires() {
+        let mut l1 = l1();
+        let mut out = Vec::new();
+        let addr = Addr::new(0x100).block();
+        l1.issue(MemOp { addr, kind: MemOpKind::Swap(1), lock: true }, Cycle::ZERO, &mut out);
+        assert!(!l1.recovery_due(Cycle::new(1_000_000)));
+        assert!(!l1.recovery_pending());
+        assert_eq!(l1.recovery_retries(), 0);
     }
 }

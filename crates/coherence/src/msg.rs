@@ -47,6 +47,10 @@ pub enum CoherenceMsg {
         /// paper's Figure 4 step 4: losers receive a valid copy and loop
         /// back to spinning).
         failable: bool,
+        /// Per-requester issue sequence number (monotonic per core,
+        /// bumped on every exclusive issue including recovery reissues).
+        /// The home node deduplicates retransmitted requests with it.
+        seq: u64,
     },
     /// A `GetX` that was stopped by a big router and relayed onward: the
     /// home node treats it as the loser's queued request *and* as notice
@@ -64,6 +68,8 @@ pub enum CoherenceMsg {
         stopped_at: Cycle,
         /// Propagated from the stopped request.
         failable: bool,
+        /// Propagated from the stopped request (see [`GetX`]'s `seq`).
+        seq: u64,
     },
 
     // ---- forwards: home -> core (vnet 1) ------------------------------
@@ -84,6 +90,10 @@ pub enum CoherenceMsg {
         requester: CoreId,
         /// Invalidation acknowledgements `requester` must still collect.
         acks_expected: u16,
+        /// The requester's exclusive-request epoch, echoed into the
+        /// owner's `Data` response so a recovering requester can discard
+        /// grants that answer an aborted attempt.
+        for_seq: u64,
     },
     /// Invalidate the receiver's copy and acknowledge to `ack_to`.
     Inv {
@@ -95,6 +105,12 @@ pub enum CoherenceMsg {
         home: CoreId,
         /// When this invalidation was generated (Figure 10's metric).
         sent_at: Cycle,
+        /// The winner request's sequence number this invalidation serves
+        /// (0 for early invalidations, whose acknowledgements are
+        /// deduplicated at the home node instead). Echoed into the
+        /// resulting `InvAck` so a recovering winner can discard
+        /// acknowledgements from an aborted epoch.
+        for_seq: u64,
     },
 
     // ---- responses (vnet 2) -------------------------------------------
@@ -113,6 +129,13 @@ pub enum CoherenceMsg {
         /// requester must send an `UnblockS` when done (read path only;
         /// exclusive transactions always send `UnblockX`).
         needs_unblock: bool,
+        /// The exclusive-request epoch this grant answers, `None` for
+        /// read-path data (reads are never retransmitted). A recovering
+        /// requester discards grants whose epoch is not its current one:
+        /// a slow grant racing its own retransmission must not complete
+        /// the reissued attempt, or the retransmit becomes an orphan
+        /// request the directory later serves into thin air.
+        for_seq: Option<u64>,
     },
     /// Acknowledgement count sent by the home node to a winner who is
     /// already the data owner (O-state upgrade): no data travels, only
@@ -122,6 +145,9 @@ pub enum CoherenceMsg {
         addr: Addr,
         /// Invalidation acks the requester must collect.
         acks_expected: u16,
+        /// The exclusive-request epoch this grant answers (always an
+        /// exclusive upgrade); stale epochs are discarded like `Data`.
+        for_seq: u64,
     },
     /// Invalidation acknowledgement, collected by the winning core.
     InvAck {
@@ -140,6 +166,12 @@ pub enum CoherenceMsg {
         /// aggregates already-arrived early acknowledgements into one
         /// message, freeing the winner from collecting them one by one.
         count: u16,
+        /// The winner request epoch this acknowledgement belongs to:
+        /// echoed from the `Inv`'s `for_seq` (direct acks) or stamped by
+        /// the home node with the current winner's sequence number
+        /// (via-home forwards). A recovering winner drops acks whose
+        /// epoch is not its current one.
+        for_seq: u64,
     },
     /// Acknowledgement of an *early* invalidation, addressed to the
     /// generating big router ([`Sink::Router`]).
@@ -337,13 +369,17 @@ impl PacketGenPayload for CoherenceMsg {
             ack_to: AckTarget::Router(ack_router),
             home: request.home,
             sent_at: now,
+            // Early invalidations are not tied to a winner epoch; their
+            // acknowledgements travel via the home node, which stamps the
+            // current winner's sequence number when forwarding.
+            for_seq: 0,
         }
     }
 
     fn forwarded_getx(&self, now: Cycle) -> Self {
         match *self {
-            CoherenceMsg::GetX { addr, requester, home, failable, .. } => {
-                CoherenceMsg::RelayedGetX { addr, requester, home, stopped_at: now, failable }
+            CoherenceMsg::GetX { addr, requester, home, failable, seq, .. } => {
+                CoherenceMsg::RelayedGetX { addr, requester, home, stopped_at: now, failable, seq }
             }
             ref other => {
                 debug_assert!(false, "forwarded_getx on non-GetX message");
@@ -407,6 +443,7 @@ mod tests {
             home: CoreId::new(9),
             lock,
             failable: true,
+            seq: 4,
         }
     }
 
@@ -431,6 +468,7 @@ mod tests {
                 home: CoreId::new(9),
                 stopped_at: Cycle::new(17),
                 failable: true,
+                seq: 4,
             }
         );
     }
@@ -440,9 +478,10 @@ mod tests {
         let req = getx(true).as_lock_request().unwrap();
         let router = CoreId::new(10);
         let inv = CoherenceMsg::early_inv(req, router, Cycle::new(42));
-        let CoherenceMsg::Inv { ack_to, sent_at, home, .. } = inv else {
+        let CoherenceMsg::Inv { ack_to, sent_at, home, for_seq, .. } = inv else {
             panic!("expected Inv")
         };
+        assert_eq!(for_seq, 0, "early invalidations carry no winner epoch");
         assert_eq!(ack_to, AckTarget::Router(router));
         assert_eq!(sent_at, Cycle::new(42));
         assert_eq!(home, CoreId::new(9));
@@ -472,6 +511,7 @@ mod tests {
                 ack_to: AckTarget::Core(CoreId::new(0)),
                 home: CoreId::new(0),
                 sent_at: Cycle::ZERO,
+                for_seq: 0,
             }
             .vnet(),
             VirtualNetwork::FORWARD
@@ -483,6 +523,7 @@ mod tests {
                 acks_expected: 0,
                 exclusive: false,
                 needs_unblock: false,
+                for_seq: None,
             }
             .vnet(),
             VirtualNetwork::RESPONSE
@@ -505,9 +546,13 @@ mod tests {
             acks_expected: 0,
             exclusive: false,
             needs_unblock: false,
+            for_seq: None,
         };
         assert_eq!(data.flits(), 8);
         assert_eq!(getx(true).flits(), 1);
-        assert_eq!(CoherenceMsg::AckCount { addr: Addr::new(0), acks_expected: 3 }.flits(), 1);
+        assert_eq!(
+            CoherenceMsg::AckCount { addr: Addr::new(0), acks_expected: 3, for_seq: 0 }.flits(),
+            1
+        );
     }
 }

@@ -133,6 +133,24 @@ pub struct L1Stats {
     pub write_miss_lat: u64,
     /// Write/RMW-miss transactions.
     pub write_misses: u64,
+    /// Recovery retransmissions fired (abort-and-reissue GetX).
+    pub retransmits: u64,
+    /// Invalidation acknowledgements from an aborted request epoch,
+    /// dropped by the recovery filter.
+    pub stale_acks_dropped: u64,
+    /// Duplicate exclusive grants dropped while recovering.
+    pub dup_grants_dropped: u64,
+    /// Stale responses for a completed recovery transaction absorbed by
+    /// the post-completion guard.
+    pub stale_absorbed: u64,
+    /// Exclusive grants from an aborted request epoch, dropped by the
+    /// recovery filter (a slow grant lost its race with the retransmit).
+    pub stale_grants_dropped: u64,
+    /// Retransmission timeouts that had already reached the backoff
+    /// ceiling when they doubled.
+    pub backoff_ceiling_hits: u64,
+    /// Recovery attempts abandoned because the retry budget ran out.
+    pub recovery_exhausted: u64,
 }
 
 /// Per-home-bank counters.
@@ -158,6 +176,10 @@ pub struct HomeStats {
     pub queue_wait_cycles: u64,
     /// Peak length of any block's request queue.
     pub max_queue_len: u64,
+    /// Retransmitted requests recognised as duplicates and dropped.
+    pub dup_requests_dropped: u64,
+    /// Exclusive grants re-sent to a retransmitting winner.
+    pub recovery_regrants: u64,
 }
 
 #[cfg(test)]

@@ -53,6 +53,9 @@ pub struct Experiment {
     watchdog_cycles: Option<u64>,
     check_invariants: Option<u64>,
     faults: FaultPlan,
+    recover: bool,
+    recovery_timeout: Option<u64>,
+    recovery_retry_budget: Option<u32>,
 }
 
 impl Experiment {
@@ -101,6 +104,9 @@ impl Experiment {
             watchdog_cycles: None,
             check_invariants: None,
             faults: FaultPlan::none(),
+            recover: false,
+            recovery_timeout: None,
+            recovery_retry_budget: None,
         }
     }
 
@@ -211,6 +217,34 @@ impl Experiment {
         self
     }
 
+    /// Arms the fault-recovery layer: timeout-based retransmission of
+    /// wedged exclusive transactions with exponential backoff and
+    /// home-side dedup (default: off, so injected faults abort the run).
+    #[must_use]
+    pub fn recover(mut self, enabled: bool) -> Self {
+        self.recover = enabled;
+        self
+    }
+
+    /// Overrides the base retransmission timeout in cycles (default:
+    /// the [`SystemConfig`] default). Only meaningful with
+    /// [`recover`](Self::recover).
+    #[must_use]
+    pub fn recovery_timeout(mut self, cycles: u64) -> Self {
+        self.recovery_timeout = Some(cycles);
+        self
+    }
+
+    /// Overrides the recovery retry budget — retransmissions allowed per
+    /// transaction before recovery gives up (default: the
+    /// [`SystemConfig`] default). Distinct from the QSL
+    /// [`retry_budget`](Self::retry_budget).
+    #[must_use]
+    pub fn recovery_retry_budget(mut self, budget: u32) -> Self {
+        self.recovery_retry_budget = Some(budget);
+        self
+    }
+
     /// Like [`run`](Self::run), but measures the wall-clock time the
     /// run took and attaches it to the result, so
     /// [`ExperimentResult::sim_cycles_per_sec`] reports the simulator's
@@ -248,6 +282,13 @@ impl Experiment {
         cfg.watchdog_cycles = self.watchdog_cycles;
         cfg.invariant_check_interval = self.check_invariants;
         cfg.noc.faults = self.faults.clone();
+        cfg.recover = self.recover;
+        if let Some(cycles) = self.recovery_timeout {
+            cfg.recovery_timeout = cycles;
+        }
+        if let Some(budget) = self.recovery_retry_budget {
+            cfg.recovery_retry_budget = budget;
+        }
         let mut cfg = self.mechanism.apply(cfg);
         if let Some(count) = self.big_routers {
             cfg.noc.placement = if count == 0 {

@@ -37,6 +37,19 @@ pub struct SystemConfig {
     /// `None` disables checking. Only honoured by
     /// [`System::run_checked`](crate::System::run_checked).
     pub invariant_check_interval: Option<u64>,
+    /// Arm the fault-recovery layer: timeout-based retransmission of
+    /// wedged exclusive transactions with exponential backoff, plus
+    /// sequence-numbered dedup at the home nodes. Off by default so
+    /// injected faults surface as aborts unless recovery is requested.
+    pub recover: bool,
+    /// Base retransmission timeout in cycles. Must dwarf the worst-case
+    /// transaction service latency: a spurious timeout wastes a reissue
+    /// and (in a corner case involving simultaneous grant and abort)
+    /// can mis-count acknowledgements.
+    pub recovery_timeout: u64,
+    /// Retransmissions allowed per transaction before recovery gives up
+    /// and lets the watchdog report the stall.
+    pub recovery_retry_budget: u32,
 }
 
 impl SystemConfig {
@@ -55,6 +68,9 @@ impl SystemConfig {
             record_timeline: false,
             watchdog_cycles: None,
             invariant_check_interval: None,
+            recover: false,
+            recovery_timeout: 8_192,
+            recovery_retry_budget: 8,
         }
     }
 
@@ -88,7 +104,22 @@ impl SystemConfig {
         if self.invariant_check_interval == Some(0) {
             return Err(ConfigError::new("invariant check interval must be nonzero"));
         }
+        if self.recover {
+            if self.recovery_timeout == 0 {
+                return Err(ConfigError::new("recovery timeout must be nonzero"));
+            }
+            if self.recovery_retry_budget == 0 {
+                return Err(ConfigError::new("recovery retry budget must be nonzero"));
+            }
+        }
         Ok(())
+    }
+
+    /// Arms (or disarms) the recovery layer (builder style).
+    #[must_use]
+    pub fn with_recovery(mut self, enabled: bool) -> Self {
+        self.recover = enabled;
+        self
     }
 
     /// When OCOR is enabled, the NoC must arbitrate by priority; this
@@ -132,6 +163,20 @@ mod tests {
     fn invalid_budget_rejected() {
         let mut cfg = SystemConfig::paper_default();
         cfg.retry_budget = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_knobs_validated_only_when_armed() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.recovery_timeout = 0;
+        cfg.recovery_retry_budget = 0;
+        assert!(cfg.validate().is_ok(), "recovery off: knobs unchecked");
+        let cfg = cfg.with_recovery(true);
+        assert!(cfg.validate().is_err(), "zero timeout rejected when armed");
+        let mut cfg = SystemConfig::paper_default().with_recovery(true);
+        assert!(cfg.validate().is_ok());
+        cfg.recovery_retry_budget = 0;
         assert!(cfg.validate().is_err());
     }
 

@@ -25,6 +25,14 @@ pub struct StallReport {
     /// buffer occupancy and credits, live barrier entries, and the oldest
     /// in-flight packet's position.
     pub detail: String,
+    /// Recovery retransmissions fired before the stall (0 with recovery
+    /// off — a watchdog abort under recovery-on means the retry budget
+    /// or timeout did not cover the injected fault).
+    pub retransmits: u64,
+    /// Retransmission timeouts that had already hit the backoff ceiling.
+    pub backoff_ceiling_hits: u64,
+    /// Big routers permanently degraded to pass-through.
+    pub routers_pass_through: u64,
 }
 
 impl fmt::Display for StallReport {
@@ -36,6 +44,12 @@ impl fmt::Display for StallReport {
             self.window,
             self.progress,
             self.cycle.as_u64().saturating_sub(self.window),
+        )?;
+        writeln!(
+            f,
+            "recovery: {} retransmit(s), {} backoff ceiling hit(s), {} router(s) in \
+             pass-through",
+            self.retransmits, self.backoff_ceiling_hits, self.routers_pass_through,
         )?;
         write!(f, "{}", self.detail.trim_end())
     }
@@ -168,11 +182,17 @@ mod tests {
             window: 10_000,
             progress: 421,
             detail: "core 5: spinning\n".into(),
+            retransmits: 3,
+            backoff_ceiling_hits: 1,
+            routers_pass_through: 2,
         };
         let text = report.to_string();
         assert!(text.contains("10000 cycles"), "{text}");
         assert!(text.contains("stuck at 421"), "{text}");
         assert!(text.contains("core 5: spinning"), "{text}");
+        assert!(text.contains("3 retransmit(s)"), "{text}");
+        assert!(text.contains("1 backoff ceiling hit(s)"), "{text}");
+        assert!(text.contains("2 router(s) in pass-through"), "{text}");
     }
 
     #[test]

@@ -86,8 +86,13 @@ impl System {
         let home_map = HomeMap::new(cores);
         let mut homes: Vec<HomeBank> =
             (0..cores).map(|c| HomeBank::new(CoreId::new(c), cores, cfg.l2_latency)).collect();
-        let l1s: Vec<L1Cache> =
+        let mut l1s: Vec<L1Cache> =
             (0..cores).map(|c| L1Cache::new(CoreId::new(c), home_map, cfg.l1_hit_latency)).collect();
+        if cfg.recover {
+            for l1 in &mut l1s {
+                l1.enable_recovery(cfg.recovery_timeout, cfg.recovery_retry_budget);
+            }
+        }
 
         // Allocate lock layouts: the primary word per `placement`, the
         // auxiliary words (queue slots, per-thread nodes) interleaved
@@ -269,6 +274,19 @@ impl System {
             l1.tick(now);
         }
 
+        // 4b. Recovery retransmission timers: a due timer aborts the
+        // wedged exclusive transaction and reissues it under a fresh
+        // sequence number.
+        if self.cfg.recover {
+            for c in 0..cores {
+                if self.l1s[c].recovery_due(now) {
+                    let mut outbox = std::mem::take(&mut self.outbox);
+                    self.l1s[c].fire_recovery(now, &mut outbox);
+                    self.flush(c, outbox);
+                }
+            }
+        }
+
         // 5. Cores execute.
         for c in 0..cores {
             let mut outbox = std::mem::take(&mut self.outbox);
@@ -366,11 +384,15 @@ impl System {
     pub fn stall_report(&self, window: u64) -> StallReport {
         let mut detail = self.stuck_report();
         detail.push_str(&self.network.congestion_report(self.now));
+        let l1 = self.l1_stats();
         StallReport {
             cycle: self.now,
             window,
             progress: self.progress_metric(),
             detail,
+            retransmits: l1.retransmits,
+            backoff_ceiling_hits: l1.backoff_ceiling_hits,
+            routers_pass_through: self.network.barrier_stats().in_pass_through,
         }
     }
 
@@ -418,7 +440,13 @@ impl System {
         // an undelivered message, no missing acknowledgement can ever
         // arrive. (Home entries may legitimately sit busy behind the
         // wedged transaction itself, so busy entries don't gate this.)
-        if self.network.in_flight() == 0 && !self.homes.iter().any(HomeBank::messages_pending) {
+        // A pending recovery timer means a retransmission is scheduled:
+        // the "missing" acks will be re-solicited, so quiescence-based
+        // ack conservation does not apply yet.
+        if self.network.in_flight() == 0
+            && !self.homes.iter().any(HomeBank::messages_pending)
+            && !self.l1s.iter().any(L1Cache::recovery_pending)
+        {
             for l1 in &self.l1s {
                 if let Some((addr, expected, received, issued_at)) = l1.pending_ack_wait() {
                     return Err(InvariantViolation::AckConservation {
@@ -566,6 +594,12 @@ impl System {
             total.read_misses += s.read_misses;
             total.write_miss_lat += s.write_miss_lat;
             total.write_misses += s.write_misses;
+            total.retransmits += s.retransmits;
+            total.stale_acks_dropped += s.stale_acks_dropped;
+            total.dup_grants_dropped += s.dup_grants_dropped;
+            total.stale_absorbed += s.stale_absorbed;
+            total.backoff_ceiling_hits += s.backoff_ceiling_hits;
+            total.recovery_exhausted += s.recovery_exhausted;
         }
         total
     }
@@ -582,8 +616,11 @@ impl System {
             total.relays_forwarded += s.relays_forwarded;
             total.early_acks_consumed += s.early_acks_consumed;
             total.acks_parked += s.acks_parked;
+            total.demotions += s.demotions;
             total.queue_wait_cycles += s.queue_wait_cycles;
             total.max_queue_len = total.max_queue_len.max(s.max_queue_len);
+            total.dup_requests_dropped += s.dup_requests_dropped;
+            total.recovery_regrants += s.recovery_regrants;
         }
         total
     }

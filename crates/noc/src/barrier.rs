@@ -80,6 +80,39 @@ pub enum TakeAck {
     Stale,
 }
 
+/// Health of one big router's barrier table — the graceful-degradation
+/// state machine.
+///
+/// A table under resource pressure (barrier slots or the EI pool
+/// exhausted) is *Degraded*: requests pass through like in a normal
+/// router until the backlog drains, at which point the table heals. A
+/// *PassThrough* table has failed permanently (injected router failure):
+/// it intercepts nothing for the rest of the run, while in-flight early
+/// acknowledgements still drain to the home node via the stale-ack relay
+/// path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RouterHealth {
+    /// Full iNPG interception service.
+    #[default]
+    Healthy,
+    /// Resource pressure: new requests pass through until the table
+    /// drains, then the router heals itself.
+    Degraded,
+    /// Permanent failure: pass-through (Original behaviour) for the rest
+    /// of the run.
+    PassThrough,
+}
+
+impl std::fmt::Display for RouterHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterHealth::Healthy => f.write_str("healthy"),
+            RouterHealth::Degraded => f.write_str("degraded"),
+            RouterHealth::PassThrough => f.write_str("pass-through"),
+        }
+    }
+}
+
 /// The pure, timing-free barrier state machine: barriers, EI entries and
 /// the pool bound — everything the interception protocol depends on,
 /// with no statistics and no wall-clock.
@@ -265,6 +298,11 @@ pub struct BarrierStats {
     pub acks_relayed: u64,
     /// Router-sink packets that matched no EI entry and were dropped.
     pub stale_acks_dropped: u64,
+    /// Times this table entered the Degraded health state.
+    pub degraded_transitions: u64,
+    /// 1 while this table is permanently pass-through (summing the field
+    /// across routers counts the failed population).
+    pub in_pass_through: u64,
 }
 
 /// The locking barrier table of one big router: the [`BarrierFsm`] plus
@@ -291,6 +329,7 @@ pub struct BarrierStats {
 pub struct LockingBarrierTable {
     fsm: BarrierFsm,
     stats: BarrierStats,
+    health: RouterHealth,
 }
 
 impl LockingBarrierTable {
@@ -301,6 +340,34 @@ impl LockingBarrierTable {
         LockingBarrierTable {
             fsm: BarrierFsm::new(capacity, ei_capacity, default_ttl),
             stats: BarrierStats::default(),
+            health: RouterHealth::Healthy,
+        }
+    }
+
+    /// The table's current health state.
+    pub fn health(&self) -> RouterHealth {
+        self.health
+    }
+
+    /// Fails the router's table permanently: all barrier and EI state is
+    /// discarded and the router passes every request through (Original
+    /// behaviour) for the rest of the run. In-flight early acks still
+    /// drain via the stale-ack relay path.
+    pub fn fail(&mut self) {
+        self.fsm.flush();
+        self.health = RouterHealth::PassThrough;
+        self.stats.in_pass_through = 1;
+    }
+
+    /// Marks resource pressure: a Healthy table degrades (pass-through
+    /// until it drains). Degraded and PassThrough tables stay put.
+    fn note_pressure(&mut self) {
+        match self.health {
+            RouterHealth::Healthy => {
+                self.health = RouterHealth::Degraded;
+                self.stats.degraded_transitions += 1;
+            }
+            RouterHealth::Degraded | RouterHealth::PassThrough => {}
         }
     }
 
@@ -313,6 +380,10 @@ impl LockingBarrierTable {
     /// router, installing a barrier if none exists and the table has
     /// space. Returns `true` if a new barrier was installed.
     pub fn observe_transfer(&mut self, addr: Addr) -> bool {
+        match self.health {
+            RouterHealth::PassThrough => return false,
+            RouterHealth::Healthy | RouterHealth::Degraded => {}
+        }
         match self.fsm.observe_transfer(addr) {
             Observe::Installed => {
                 self.stats.barriers_installed += 1;
@@ -321,6 +392,7 @@ impl LockingBarrierTable {
             Observe::AlreadyPresent => false,
             Observe::TableFull => {
                 self.stats.passes_table_full += 1;
+                self.note_pressure();
                 false
             }
         }
@@ -329,7 +401,10 @@ impl LockingBarrierTable {
     /// Whether a `GetX` for `addr` arriving now would be stopped: a
     /// barrier exists and the EI pool has space.
     pub fn should_stop(&self, addr: Addr) -> bool {
-        self.fsm.should_stop(addr)
+        match self.health {
+            RouterHealth::PassThrough => false,
+            RouterHealth::Healthy | RouterHealth::Degraded => self.fsm.should_stop(addr),
+        }
     }
 
     /// Whether a barrier for `addr` currently exists (regardless of EI
@@ -353,6 +428,7 @@ impl LockingBarrierTable {
     /// Records that the table or pool was full and a request passed.
     pub fn note_pass_full(&mut self) {
         self.stats.passes_table_full += 1;
+        self.note_pressure();
     }
 
     /// Consumes the early acknowledgement from `core` for `addr`.
@@ -372,9 +448,17 @@ impl LockingBarrierTable {
     }
 
     /// Advances one cycle: barriers with no live EI entries count down and
-    /// expire at zero.
+    /// expire at zero; a Degraded table heals once fully drained.
     pub fn tick(&mut self) {
         self.stats.barriers_expired += self.fsm.tick();
+        match self.health {
+            RouterHealth::Degraded => {
+                if self.fsm.barrier_count() == 0 && self.fsm.ei_count() == 0 {
+                    self.health = RouterHealth::Healthy;
+                }
+            }
+            RouterHealth::Healthy | RouterHealth::PassThrough => {}
+        }
     }
 
     /// Live barrier count.
@@ -604,6 +688,42 @@ mod tests {
         assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
         assert!(t.take_ack(Addr::new(0), CoreId::new(2)));
         assert!(!t.take_ack(Addr::new(0), CoreId::new(2)));
+    }
+
+    #[test]
+    fn pressure_degrades_and_drain_heals() {
+        let mut t = table();
+        for i in 0..4 {
+            t.observe_transfer(Addr::new(i * 128));
+        }
+        assert_eq!(t.health(), RouterHealth::Healthy);
+        t.observe_transfer(Addr::new(4 * 128));
+        assert_eq!(t.health(), RouterHealth::Degraded, "table-full pressure degrades");
+        assert_eq!(t.stats().degraded_transitions, 1);
+        for _ in 0..8 {
+            t.tick();
+        }
+        assert_eq!(t.barrier_count(), 0);
+        assert_eq!(t.health(), RouterHealth::Healthy, "drained table heals");
+    }
+
+    #[test]
+    fn failed_router_passes_everything_through() {
+        let mut t = table();
+        t.observe_transfer(Addr::new(0));
+        t.stop(Addr::new(0), CoreId::new(1));
+        t.fail();
+        assert_eq!(t.health(), RouterHealth::PassThrough);
+        assert_eq!(t.barrier_count(), 0);
+        assert_eq!(t.ei_count(), 0);
+        assert_eq!(t.stats().in_pass_through, 1);
+        assert!(!t.observe_transfer(Addr::new(0x200)), "no new barriers after failure");
+        assert!(!t.should_stop(Addr::new(0)));
+        assert!(!t.take_ack(Addr::new(0), CoreId::new(1)), "in-flight ack drains as stale");
+        for _ in 0..100 {
+            t.tick();
+        }
+        assert_eq!(t.health(), RouterHealth::PassThrough, "failure is permanent");
     }
 
     #[test]

@@ -47,11 +47,26 @@ pub enum FaultKind {
     /// Silently drops the `nth` (1-based) invalidation acknowledgement
     /// the network observes: early acks consumed by big routers and
     /// `InvAck`/`RelayedInvAck` packets arriving at their destination
-    /// both count. Losing an ack wedges the lock winner — the invariant
-    /// checker and watchdog must catch it.
+    /// both count. The drop fires once; recovery retransmissions are not
+    /// re-dropped. Without recovery, losing the ack wedges the lock
+    /// winner — the invariant checker and watchdog must catch it.
     DropAck {
         /// Which observed ack to drop, counting from 1.
         nth: u64,
+    },
+    /// Silently drops the `nth` (1-based) REQUEST-class packet at
+    /// injection — a transient link loss swallowing a request before it
+    /// enters the mesh. Fires once.
+    LinkDrop {
+        /// Which injected request packet to drop, counting from 1.
+        nth: u64,
+    },
+    /// At `at_cycle`, permanently fails every big router's barrier
+    /// table: tables are flushed and the routers degrade to pass-through
+    /// (Original behaviour) for the rest of the run.
+    RouterFail {
+        /// Cycle the routers fail.
+        at_cycle: u64,
     },
 }
 
@@ -63,6 +78,8 @@ impl fmt::Display for FaultKind {
             FaultKind::TtlStorm { at_cycle } => write!(f, "ttl-storm:{at_cycle}"),
             FaultKind::EiExhaust { capacity } => write!(f, "ei-exhaust:{capacity}"),
             FaultKind::DropAck { nth } => write!(f, "drop-ack:{nth}"),
+            FaultKind::LinkDrop { nth } => write!(f, "link-drop:{nth}"),
+            FaultKind::RouterFail { at_cycle } => write!(f, "router-fail:{at_cycle}"),
         }
     }
 }
@@ -70,7 +87,8 @@ impl fmt::Display for FaultKind {
 impl FaultKind {
     /// Parses one `kind:value` fault specification (the `--fault` CLI
     /// syntax): `jitter:<max>`, `barrier-off:<cycle>`, `ttl-storm:<cycle>`,
-    /// `ei-exhaust:<capacity>`, `drop-ack:<nth>`.
+    /// `ei-exhaust:<capacity>`, `drop-ack:<nth>`, `link-drop:<nth>`,
+    /// `router-fail:<cycle>`.
     ///
     /// # Errors
     ///
@@ -93,6 +111,14 @@ impl FaultKind {
                 }
                 Ok(FaultKind::DropAck { nth })
             }
+            "link-drop" => {
+                let nth = number("packet index")?;
+                if nth == 0 {
+                    return Err(format!("link-drop index is 1-based, got 0 in `{spec}`"));
+                }
+                Ok(FaultKind::LinkDrop { nth })
+            }
+            "router-fail" => Ok(FaultKind::RouterFail { at_cycle: number("cycle")? }),
             other => Err(format!("unknown fault kind `{other}` in `{spec}`")),
         }
     }
@@ -171,6 +197,22 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// The configured link-drop ordinal, if any.
+    pub fn link_drop_nth(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::LinkDrop { nth } => Some(*nth),
+            _ => None,
+        })
+    }
+
+    /// The configured router-failure cycle, if any.
+    pub fn router_fail_at(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::RouterFail { at_cycle } => Some(*at_cycle),
+            _ => None,
+        })
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -194,8 +236,15 @@ mod tests {
 
     #[test]
     fn parse_round_trips_every_kind() {
-        for spec in ["jitter:8", "barrier-off:5000", "ttl-storm:300", "ei-exhaust:0", "drop-ack:3"]
-        {
+        for spec in [
+            "jitter:8",
+            "barrier-off:5000",
+            "ttl-storm:300",
+            "ei-exhaust:0",
+            "drop-ack:3",
+            "link-drop:2",
+            "router-fail:400",
+        ] {
             let fault = FaultKind::parse(spec).expect(spec);
             assert_eq!(fault.to_string(), spec);
         }
@@ -207,6 +256,7 @@ mod tests {
         assert!(FaultKind::parse("jitter:lots").is_err(), "non-numeric");
         assert!(FaultKind::parse("gamma-ray:1").is_err(), "unknown kind");
         assert!(FaultKind::parse("drop-ack:0").is_err(), "1-based ordinal");
+        assert!(FaultKind::parse("link-drop:0").is_err(), "1-based ordinal");
     }
 
     #[test]
@@ -218,8 +268,15 @@ mod tests {
         assert_eq!(plan.jitter_max(), Some(6));
         assert_eq!(plan.drop_ack_nth(), Some(2));
         assert_eq!(plan.barrier_off_at(), None);
+        assert_eq!(plan.link_drop_nth(), None);
+        assert_eq!(plan.router_fail_at(), None);
         assert_eq!(plan.to_string(), "jitter:6,drop-ack:2");
         assert!(FaultPlan::none().is_empty());
         assert_eq!(FaultPlan::none().to_string(), "none");
+        let plan = plan
+            .with(FaultKind::LinkDrop { nth: 1 })
+            .with(FaultKind::RouterFail { at_cycle: 9 });
+        assert_eq!(plan.link_drop_nth(), Some(1));
+        assert_eq!(plan.router_fail_at(), Some(9));
     }
 }

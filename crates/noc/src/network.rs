@@ -90,6 +90,11 @@ pub struct Network<P> {
     barrier_disabled: bool,
     /// The TTL-storm fault has fired.
     ttl_storm_fired: bool,
+    /// The router-fail fault has fired.
+    router_fail_fired: bool,
+    /// REQUEST-class packets seen at injection (the link-drop fault's
+    /// 1-based ordinal; only counted while that fault is configured).
+    requests_observed: u64,
 }
 
 impl<P: PacketGenPayload> Network<P> {
@@ -132,6 +137,8 @@ impl<P: PacketGenPayload> Network<P> {
             acks_observed: 0,
             barrier_disabled: false,
             ttl_storm_fired: false,
+            router_fail_fired: false,
+            requests_observed: 0,
             routers,
             cfg,
         })
@@ -206,6 +213,8 @@ impl<P: PacketGenPayload> Network<P> {
                 total.passes_table_full += s.passes_table_full;
                 total.acks_relayed += s.acks_relayed;
                 total.stale_acks_dropped += s.stale_acks_dropped;
+                total.degraded_transitions += s.degraded_transitions;
+                total.in_pass_through += s.in_pass_through;
             }
         }
         total
@@ -482,6 +491,18 @@ impl<P: PacketGenPayload> Network<P> {
                     for router in &mut self.routers {
                         if let Some(barrier) = router.barrier.as_mut() {
                             barrier.set_all_ttls(1);
+                        }
+                    }
+                }
+            }
+        }
+        if !self.router_fail_fired {
+            if let Some(at) = self.cfg.faults.router_fail_at() {
+                if now.as_u64() >= at {
+                    self.router_fail_fired = true;
+                    for router in &mut self.routers {
+                        if let Some(barrier) = router.barrier.as_mut() {
+                            barrier.fail();
                         }
                     }
                 }
@@ -1020,6 +1041,19 @@ impl<P: PacketGenPayload> Network<P> {
             .find(|&vc| self.routers[node].inputs[local][vc].occupancy() < vc_depth);
         let Some(vc) = vc else { return false };
         let Some(packet) = self.inject[node][vnet].pop_front() else { return false };
+        // Link-drop fault: the nth REQUEST-class packet vanishes at the
+        // injection link instead of entering the mesh. Counted as
+        // consumed so packet conservation still balances; the lost
+        // request is the recovery layer's problem to retransmit.
+        if packet.vnet == VirtualNetwork::REQUEST && self.cfg.faults.link_drop_nth().is_some() {
+            self.requests_observed += 1;
+            if self.cfg.faults.link_drop_nth() == Some(self.requests_observed) {
+                self.stats.in_flight -= 1;
+                self.stats.consumed += 1;
+                self.stats.requests_dropped_by_fault += 1;
+                return false;
+            }
+        }
         let id = packet.id;
         let total = packet.flits;
         let tail = total == 1;

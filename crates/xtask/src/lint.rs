@@ -74,7 +74,8 @@ pub const CAMPAIGN_CRATES: &[&str] = &["campaign"];
 pub const KERNEL_CRATES: &[&str] = &["sim", "locks"];
 
 /// Enums whose matches must not hide behind a catch-all.
-pub const PROTOCOL_ENUMS: &[&str] = &["CoherenceMsg", "State", "DirState", "EiPhase"];
+pub const PROTOCOL_ENUMS: &[&str] =
+    &["CoherenceMsg", "State", "DirState", "EiPhase", "RouterHealth"];
 
 /// Which rule a finding belongs to (and which `allow(...)` kind waives it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,6 +13,7 @@
 
 use crate::engine::CampaignReport;
 use crate::json::{self, Json};
+use crate::submit::SubmitReport;
 use std::io;
 use std::path::Path;
 
@@ -41,6 +42,56 @@ pub fn write_bench_json(path: &Path, report: &CampaignReport) -> io::Result<Json
     });
 
     let entry = entry_json(report, baseline_wall_ms(&runs, report));
+    runs.push(entry.clone());
+
+    let doc = Json::obj(vec![
+        ("schema", Json::UInt(1)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_string_compact() + "\n")?;
+    Ok(entry)
+}
+
+/// Merges a service-mode (`inpg submit`) run into the bench file at
+/// `path`. Service entries are keyed `(mode: "serve", campaign)` — the
+/// newest run replaces the previous serve entry for the same campaign
+/// and coexists with the in-process engine's `(workers, resume, cold)`
+/// entries, which carry no `mode` field. Returns the entry written.
+pub fn write_serve_bench_json(path: &Path, report: &SubmitReport) -> io::Result<Json> {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+            .unwrap_or_default(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    runs.retain(|r| {
+        !(r.get("mode").and_then(Json::as_str) == Some("serve")
+            && r.get("campaign").and_then(Json::as_str) == Some(report.name.as_str()))
+    });
+
+    let quantile = |q: f64| report.hit_latency_ms(q).map_or(Json::Null, Json::num);
+    let entry = Json::obj(vec![
+        ("campaign", Json::Str(report.name.clone())),
+        ("mode", Json::Str("serve".into())),
+        ("daemons", Json::UInt(report.daemons as u64)),
+        ("cells", Json::UInt(report.cells as u64)),
+        ("executed", Json::UInt(report.executed as u64)),
+        ("hits", Json::UInt(report.hits as u64)),
+        ("quarantined", Json::UInt(report.quarantined)),
+        ("wall_ms", Json::num(report.wall_nanos as f64 / 1e6)),
+        // Client-measured service latency of warm cache hits: the
+        // daemon's headline number (connect + request + verified cache
+        // read + reply).
+        ("warm_hit_p50_ms", quantile(0.5)),
+        ("warm_hit_p99_ms", quantile(0.99)),
+    ]);
     runs.push(entry.clone());
 
     let doc = Json::obj(vec![
@@ -152,6 +203,7 @@ mod tests {
             executed: usize::from(executed_all),
             cached: usize::from(!executed_all),
             failed: Vec::new(),
+            quarantined: 0,
             wall_nanos,
         }
     }
@@ -214,6 +266,55 @@ mod tests {
                 && r.get("executed").and_then(Json::as_u64) == Some(1)
         });
         assert!(cold_kept, "warm rerun clobbered the cold 4-worker entry");
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_entries_replace_their_own_kind_and_keep_engine_entries() {
+        let path = tmp_path("serve");
+        let _ = std::fs::remove_file(&path);
+
+        // An engine entry first (no `mode` field on it).
+        write_bench_json(&path, &fake_report(4, true, 2_000_000_000)).unwrap();
+
+        let serve_report = |p50_pool: &[u64], wall: u64| SubmitReport {
+            name: "t".into(),
+            cells: 3,
+            hits: p50_pool.len(),
+            executed: 3 - p50_pool.len(),
+            daemons: 2,
+            quarantined: 0,
+            wall_nanos: wall,
+            latencies_nanos: p50_pool.to_vec(),
+            hit_latencies_nanos: p50_pool.to_vec(),
+        };
+        let entry =
+            write_serve_bench_json(&path, &serve_report(&[2_000_000, 4_000_000], 9_000_000))
+                .unwrap();
+        assert_eq!(entry.get("mode").and_then(Json::as_str), Some("serve"));
+        let p50 = entry.get("warm_hit_p50_ms").and_then(Json::as_f64).unwrap();
+        assert!((p50 - 4.0).abs() < 1e-9, "nearest-rank p50 of [2ms,4ms] is 4ms: {p50}");
+
+        // A rerun replaces the serve entry, not the engine one.
+        write_serve_bench_json(&path, &serve_report(&[1_000_000], 5_000_000)).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2, "one engine entry + one serve entry");
+        assert!(runs.iter().any(|r| r.get("workers").and_then(Json::as_u64) == Some(4)));
+
+        // And the engine writer leaves the serve entry alone.
+        write_bench_json(&path, &fake_report(4, true, 1_000_000_000)).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert!(
+            runs.iter().any(|r| r.get("mode").and_then(Json::as_str) == Some("serve")),
+            "engine rerun must not drop the serve entry"
+        );
+
+        // A hit-less serve run reports null latency quantiles.
+        let entry = write_serve_bench_json(&path, &serve_report(&[], 5_000_000)).unwrap();
+        assert_eq!(entry.get("warm_hit_p50_ms"), Some(&Json::Null));
 
         let _ = std::fs::remove_file(&path);
     }

@@ -7,6 +7,32 @@
 //! inpg sweep-primitives <benchmark> [opts]   Original vs iNPG × 5 primitives
 //! inpg campaign <suite> [campaign options]   run a figure suite in parallel
 //! inpg campaign --list                       list the suites
+//! inpg serve [serve options]                 run the resident campaign daemon
+//! inpg submit <suite> [submit options]       drive a suite through daemon(s)
+//! inpg shutdown [--daemon A | --addr-file P] gracefully drain a daemon
+//!
+//! serve options:
+//!   --addr HOST:PORT     bind address (default 127.0.0.1:0 — ephemeral)
+//!   --addr-file PATH     publish the bound address here (removed on exit)
+//!   --cache-dir DIR      shared result cache (default results/cache)
+//!   --no-cache           disable the cache (every submit executes)
+//!   --workers N          resident worker threads (default: all cores)
+//!   --queue-capacity N   admission bound before load-shedding (default 256)
+//!   --default-deadline-ms N   deadline for submits that carry none
+//!   --journal PATH       drain journal (default results/serve/journal.jsonl)
+//!   --no-journal         do not persist queued cells at drain
+//!
+//! submit options:
+//!   --daemon HOST:PORT   a daemon to shard cells across (repeatable)
+//!   --addr-file PATH     a daemon published here (repeatable, re-read on
+//!                        retry — survives daemon restarts)
+//!   --workers N          concurrent in-flight requests (default: all cores)
+//!   --deadline-ms N      per-request deadline forwarded to the daemon
+//!   --max-attempts N     per-cell attempt budget (default 40)
+//!   --scale F / --seeds N / --filter SUBSTR    as for `inpg campaign`
+//!   --out PATH           merged artifact (default results/campaign/<suite>.jsonl)
+//!   --bench-out PATH     perf trajectory (default BENCH_campaign.json)
+//!   --quiet              no per-cell progress on stderr
 //!
 //! campaign options:
 //!   --workers N          worker threads (default: all cores)
@@ -47,7 +73,10 @@
 
 use inpg::stats::{pct, speedup, Table};
 use inpg::{Experiment, ExperimentResult, FaultKind, FaultPlan, LockPrimitive, Mechanism, SimError};
-use inpg_campaign::{bench_out, engine, suites, ExecOptions};
+use inpg_campaign::{
+    bench_out, engine, serve, submit, suites, AddrSource, ExecOptions, ServeOptions,
+    SubmitOptions,
+};
 use std::fmt;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -472,8 +501,184 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value()?,
+            "--addr-file" => opts.addr_file = Some(PathBuf::from(value()?)),
+            "--cache-dir" => opts.cache = Some(PathBuf::from(value()?)),
+            "--no-cache" => opts.cache = None,
+            "--workers" => {
+                opts.workers = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("bad --workers")?
+            }
+            "--queue-capacity" => {
+                opts.queue_capacity = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("bad --queue-capacity")?
+            }
+            "--default-deadline-ms" => {
+                opts.default_deadline_ms =
+                    Some(value()?.parse().map_err(|_| "bad --default-deadline-ms".to_string())?)
+            }
+            "--journal" => opts.journal = Some(PathBuf::from(value()?)),
+            "--no-journal" => opts.journal = None,
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve_args(args).map_err(CliError::Usage)?;
+    serve::serve(opts).map_err(|e| CliError::Usage(format!("serve failed: {e}")))
+}
+
+/// Parsed `inpg submit` command line.
+struct SubmitArgs {
+    suite: String,
+    opts: SubmitOptions,
+    filter: Option<String>,
+    scale: Option<f64>,
+    seed_count: u64,
+    out: Option<PathBuf>,
+    bench_out: PathBuf,
+}
+
+fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut suite: Option<String> = None;
+    let mut opts = SubmitOptions { progress: true, ..SubmitOptions::default() };
+    let mut filter = None;
+    let mut scale = None;
+    let mut seed_count: u64 = 1;
+    let mut out = None;
+    let mut bench_out = PathBuf::from("BENCH_campaign.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--daemon" => opts.daemons.push(AddrSource::Direct(value()?)),
+            "--addr-file" => opts.daemons.push(AddrSource::File(PathBuf::from(value()?))),
+            "--workers" => {
+                opts.workers = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("bad --workers")?
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms =
+                    Some(value()?.parse().map_err(|_| "bad --deadline-ms".to_string())?)
+            }
+            "--max-attempts" => {
+                opts.max_attempts = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .ok_or("bad --max-attempts")?
+            }
+            "--filter" => filter = Some(value()?),
+            "--scale" => {
+                scale = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s > 0.0)
+                        .ok_or("bad --scale")?,
+                )
+            }
+            "--seeds" => {
+                seed_count = value()?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or("bad --seeds")?
+            }
+            "--out" => out = Some(PathBuf::from(value()?)),
+            "--bench-out" => bench_out = PathBuf::from(value()?),
+            "--quiet" => opts.progress = false,
+            other if !other.starts_with("--") && suite.is_none() => {
+                suite = Some(other.to_string())
+            }
+            other => return Err(format!("unknown submit option `{other}`")),
+        }
+    }
+    let suite = suite.ok_or_else(|| {
+        format!("missing suite name; one of: {}", suite_names().join(", "))
+    })?;
+    Ok(SubmitArgs { suite, opts, filter, scale, seed_count, out, bench_out })
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), CliError> {
+    let mut parsed = parse_submit_args(args).map_err(CliError::Usage)?;
+    let seeds: Vec<u64> =
+        (0..parsed.seed_count).map(|i| 0x1a9e_4711 + i * 0x9e37).collect();
+    let campaign =
+        suites::build(&parsed.suite, parsed.scale, &seeds).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown suite `{}`; one of: {}",
+                parsed.suite,
+                suite_names().join(", ")
+            ))
+        })?;
+    parsed.opts.merged_out = Some(parsed.out.unwrap_or_else(|| {
+        PathBuf::from(format!("results/campaign/{}.jsonl", parsed.suite))
+    }));
+    let report = submit::run_campaign(&campaign, parsed.filter.as_deref(), &parsed.opts)
+        .map_err(|e| CliError::Usage(format!("submit failed: {e}")))?;
+    bench_out::write_serve_bench_json(&parsed.bench_out, &report)
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", parsed.bench_out.display())))?;
+    println!("{}", report.summary_line());
+    if let Some(path) = &parsed.opts.merged_out {
+        println!("merged artifact: {}", path.display());
+    }
+    println!("perf trajectory: {}", parsed.bench_out.display());
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), CliError> {
+    let mut sources: Vec<AddrSource> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next().cloned().ok_or_else(|| format!("missing value for {arg}"))
+        };
+        match arg.as_str() {
+            "--daemon" => sources.push(AddrSource::Direct(value().map_err(CliError::Usage)?)),
+            "--addr-file" => {
+                sources.push(AddrSource::File(PathBuf::from(value().map_err(CliError::Usage)?)))
+            }
+            other => return Err(CliError::Usage(format!("unknown shutdown option `{other}`"))),
+        }
+    }
+    if sources.is_empty() {
+        return Err(CliError::Usage(
+            "shutdown needs at least one --daemon or --addr-file".into(),
+        ));
+    }
+    for source in &sources {
+        match submit::shutdown(source) {
+            Ok(journaled) => println!("daemon draining ({journaled} queued cell(s) journaled)"),
+            Err(e) => return Err(CliError::Usage(format!("shutdown failed: {e}"))),
+        }
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: inpg <list|run|compare|sweep-primitives|campaign> [operand] [options]\n\
+    "usage: inpg <list|run|compare|sweep-primitives|campaign|serve|submit|shutdown> [operand] [options]\n\
      try `inpg list` to see the modelled benchmarks, `inpg campaign --list` for the suites"
         .to_string()
 }
@@ -486,6 +691,9 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some((cmd, rest)) if cmd == "campaign" => cmd_campaign(rest),
+        Some((cmd, rest)) if cmd == "serve" => cmd_serve(rest),
+        Some((cmd, rest)) if cmd == "submit" => cmd_submit(rest),
+        Some((cmd, rest)) if cmd == "shutdown" => cmd_shutdown(rest),
         Some((cmd, rest)) => {
             let (benchmark, rest) = match rest.split_first() {
                 Some((b, r)) if !b.starts_with("--") => (b.clone(), r),

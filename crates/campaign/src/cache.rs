@@ -111,10 +111,14 @@ impl ResultCache {
         Ok(record)
     }
 
-    /// Writes the entry for a (config, record) pair. The write goes
-    /// through a per-process temporary file and an atomic rename, so
-    /// concurrent writers of the same cell (same content by
-    /// construction) can never leave a torn entry behind.
+    /// Writes the entry for a (config, record) pair, crash-safely: the
+    /// payload goes to a per-process temporary file, is fsynced, and is
+    /// atomically renamed into place. A process killed at any point
+    /// leaves either the old entry, the new entry, or an orphaned
+    /// `.tmp` file (collected by [`gc_stale_tmp`](Self::gc_stale_tmp))
+    /// — never a torn entry at the content address. Concurrent writers
+    /// of the same cell write identical bytes by construction, so the
+    /// rename race is benign.
     pub fn store(&self, config: &CellConfig, record: &CellRecord) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let entry = Json::obj(vec![
@@ -130,8 +134,60 @@ impl ResultCache {
             config.content_hash(),
             std::process::id()
         ));
-        fs::write(&tmp, entry.to_string_compact() + "\n")?;
+        {
+            let mut file = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, (entry.to_string_compact() + "\n").as_bytes())?;
+            file.sync_all()?;
+        }
         fs::rename(&tmp, &path)
+    }
+
+    /// Removes orphaned `.tmp` files left by writers that died mid-store
+    /// (SIGKILL between create and rename). Call once at startup, before
+    /// serving: a live writer whose tmp is swept merely fails its rename
+    /// and re-runs the cell; a dead writer's half-written payload must
+    /// never be mistaken for an entry. Returns the number removed.
+    pub fn gc_stale_tmp(&self) -> io::Result<usize> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let is_tmp = name.to_str().is_some_and(|n| n.ends_with(".tmp"));
+            if is_tmp && entry.file_type()?.is_file() {
+                fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Where corrupt entries are moved instead of deleted.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Moves the (rejected) entry for `config` into
+    /// `quarantine/<hash>.json` so the corruption stays inspectable and
+    /// the address is free for the honest re-run. Returns `false` when
+    /// there was nothing on disk to move (e.g. two shards quarantined
+    /// the same entry concurrently — one wins the rename, both re-run).
+    pub fn quarantine(&self, config: &CellConfig) -> io::Result<bool> {
+        let path = self.entry_path(config);
+        if !path.exists() {
+            return Ok(false);
+        }
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)?;
+        match fs::rename(&path, qdir.join(format!("{}.json", config.content_hash()))) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -203,6 +259,58 @@ mod tests {
         other.seed ^= 1;
         fs::copy(&path, cache.entry_path(&other)).unwrap();
         assert!(matches!(cache.load(&other), Err(CacheMiss::HashMismatch(_))));
+
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_tmp_files_are_collected_entries_are_not() {
+        let cache = ResultCache::new(tmp_dir("gc"));
+        let (config, record) = run_cell();
+        cache.store(&config, &record).unwrap();
+
+        // A writer killed mid-store leaves a half-written tmp behind —
+        // simulate with a truncated payload under the tmp naming scheme.
+        let full = fs::read_to_string(cache.entry_path(&config)).unwrap();
+        let orphan = cache.dir().join(format!(".{}.99999.tmp", config.content_hash()));
+        fs::write(&orphan, &full[..full.len() / 2]).unwrap();
+        let unrelated = cache.dir().join("whatever.tmp");
+        fs::write(&unrelated, "garbage").unwrap();
+
+        assert_eq!(cache.gc_stale_tmp().unwrap(), 2);
+        assert!(!orphan.exists());
+        assert!(!unrelated.exists());
+        // The committed entry survives and still verifies.
+        assert_eq!(cache.load(&config).expect("hit"), record);
+        // Idempotent on a clean directory; absent directory is not an error.
+        assert_eq!(cache.gc_stale_tmp().unwrap(), 0);
+        assert_eq!(ResultCache::new(tmp_dir("gc-absent")).gc_stale_tmp().unwrap(), 0);
+
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn quarantine_moves_the_entry_aside() {
+        let cache = ResultCache::new(tmp_dir("quarantine"));
+        let (config, record) = run_cell();
+        cache.store(&config, &record).unwrap();
+        fs::write(cache.entry_path(&config), "{\"schema\":1, torn").unwrap();
+
+        assert!(cache.quarantine(&config).unwrap());
+        assert!(!cache.entry_path(&config).exists(), "address must be freed");
+        let moved =
+            cache.quarantine_dir().join(format!("{}.json", config.content_hash()));
+        assert_eq!(
+            fs::read_to_string(&moved).unwrap(),
+            "{\"schema\":1, torn",
+            "the corrupt payload must stay inspectable"
+        );
+        assert!(matches!(cache.load(&config), Err(CacheMiss::Absent)));
+        // Nothing left to move: reports false, does not error.
+        assert!(!cache.quarantine(&config).unwrap());
+        // The quarantine subdirectory is not swept by tmp GC.
+        assert_eq!(cache.gc_stale_tmp().unwrap(), 0);
+        assert!(moved.exists());
 
         let _ = fs::remove_dir_all(cache.dir());
     }

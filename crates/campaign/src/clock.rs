@@ -28,6 +28,38 @@ impl HarnessClock {
     }
 }
 
+/// A wall-clock deadline, created and compared only here at the harness
+/// boundary. The campaign service hands these to its deadline timer;
+/// serve/submit code asks `expired()`/`remaining_ms()` and never names
+/// `Instant` itself, so the wallclock lint stays meaningful: decisions
+/// driven by wall time are confined to explicitly harness-side types.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    // lint: allow(wallclock) — harness boundary (see module docs).
+    at: std::time::Instant,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        // lint: allow(wallclock) — harness boundary (see module docs).
+        Deadline { at: std::time::Instant::now() + std::time::Duration::from_millis(ms) }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        // lint: allow(wallclock) — harness boundary (see module docs).
+        std::time::Instant::now() >= self.at
+    }
+
+    /// Milliseconds until the deadline (0 once passed).
+    pub fn remaining_ms(&self) -> u64 {
+        // lint: allow(wallclock) — harness boundary (see module docs).
+        let now = std::time::Instant::now();
+        self.at.saturating_duration_since(now).as_millis() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +70,16 @@ mod tests {
         let a = clock.elapsed_nanos();
         let b = clock.elapsed_nanos();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn deadline_expiry_is_ordered() {
+        let soon = Deadline::after_ms(0);
+        let late = Deadline::after_ms(3_600_000);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(soon.expired());
+        assert_eq!(soon.remaining_ms(), 0);
+        assert!(!late.expired());
+        assert!(late.remaining_ms() > 3_000_000);
     }
 }

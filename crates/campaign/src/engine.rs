@@ -136,6 +136,10 @@ pub struct CampaignReport {
     /// Cells whose execution panicked, in canonical cell order; absent
     /// from [`outcomes`](Self::outcomes) and the merged artifact.
     pub failed: Vec<FailedCell>,
+    /// Corrupt cache entries moved to `quarantine/` during resolution
+    /// (each one re-ran honestly; none were silently trusted or
+    /// silently deleted).
+    pub quarantined: usize,
     /// Suite wall time, nanoseconds (harness boundary measurement).
     pub wall_nanos: u64,
 }
@@ -194,6 +198,11 @@ impl CampaignReport {
             String::new()
         } else {
             format!(", {} FAILED", self.failed.len())
+        };
+        let failed = if self.quarantined == 0 {
+            failed
+        } else {
+            format!("{failed}, {} quarantined", self.quarantined)
         };
         format!(
             "campaign {}: {} cells ({} executed, {} cached{failed}) on {} workers in {:.2}s, {:.2} Msim-cycles/s",
@@ -260,7 +269,26 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
         campaign.matching(opts.filter.as_deref()).into_iter().cloned().collect();
     let cache = opts.cache.as_ref().map(ResultCache::new);
 
+    // Orphaned `.tmp` files from a writer killed mid-store must never be
+    // around to confuse anyone (and must not accumulate); sweep first.
+    if let Some(cache) = &cache {
+        match cache.gc_stale_tmp() {
+            Ok(0) => {}
+            Ok(n) => eprintln!(
+                "campaign {}: collected {n} orphaned .tmp cache file(s)",
+                campaign.name
+            ),
+            Err(e) => eprintln!(
+                "campaign {}: cannot sweep stale .tmp files: {e} (continuing)",
+                campaign.name
+            ),
+        }
+    }
+
     // Phase 1 — resolve against the cache (sequential: pure I/O).
+    // Corrupt entries are moved to `quarantine/` — inspectable, counted,
+    // and off their content address so the honest re-run can land.
+    let mut quarantined = 0usize;
     let mut resolved: Vec<Option<CellRecord>> = vec![None; cells.len()];
     if opts.resume {
         if let Some(cache) = &cache {
@@ -271,20 +299,27 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
                 match cache.load(&cell.config) {
                     Ok(record) => *slot = Some(record),
                     Err(CacheMiss::Absent) => {}
-                    Err(CacheMiss::HashMismatch(why)) => {
-                        // Corrupt or mislabelled entry: say so, re-run.
-                        eprintln!(
-                            "campaign {}: cache entry for `{}` rejected ({why}); re-running",
-                            campaign.name, cell.label
-                        );
-                    }
-                    Err(CacheMiss::Malformed(why)) => {
-                        eprintln!(
-                            "campaign {}: cache entry for `{}` malformed ({why}); re-running",
-                            campaign.name, cell.label
-                        );
+                    Err(CacheMiss::HashMismatch(why) | CacheMiss::Malformed(why)) => {
+                        match cache.quarantine(&cell.config) {
+                            Ok(moved) => {
+                                if moved {
+                                    quarantined += 1;
+                                }
+                                eprintln!(
+                                    "campaign {}: cache entry for `{}` rejected ({why}); \
+                                     quarantined, re-running",
+                                    campaign.name, cell.label
+                                );
+                            }
+                            Err(e) => eprintln!(
+                                "campaign {}: cache entry for `{}` rejected ({why}) but \
+                                 could not be quarantined ({e}); re-running",
+                                campaign.name, cell.label
+                            ),
+                        }
                     }
                     Err(CacheMiss::Unreadable(e)) => {
+                        // An I/O error, not corruption: leave the entry.
                         eprintln!(
                             "campaign {}: cache entry for `{}` unreadable ({e}); re-running",
                             campaign.name, cell.label
@@ -452,6 +487,7 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
         executed,
         cached,
         failed,
+        quarantined,
         wall_nanos: clock.elapsed_nanos(),
     };
 
@@ -467,6 +503,11 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
             text.push_str(&line.to_string_compact());
             text.push('\n');
         }
+        text.push_str(
+            &merged_footer(&report.name, report.outcomes.len(), report.quarantined)
+                .to_string_compact(),
+        );
+        text.push('\n');
         std::fs::write(path, text)?;
     }
 
@@ -477,11 +518,41 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
 /// deterministic record. Everything here is a pure function of the
 /// campaign definition.
 fn merged_line(outcome: &CellOutcome) -> Json {
+    merged_entry_line(
+        &outcome.spec.label,
+        &outcome.hash,
+        &outcome.spec.config,
+        &outcome.record,
+    )
+}
+
+/// The merged-artifact line for one `(label, hash, config, record)`
+/// quadruple — shared by the in-process engine and the service client
+/// (`inpg submit`), so both emit byte-identical artifacts.
+pub fn merged_entry_line(
+    label: &str,
+    hash: &str,
+    config: &crate::cell::CellConfig,
+    record: &CellRecord,
+) -> Json {
     Json::obj(vec![
-        ("label", Json::Str(outcome.spec.label.clone())),
-        ("hash", Json::Str(outcome.hash.clone())),
-        ("config", outcome.spec.config.to_json()),
-        ("record", outcome.record.to_json()),
+        ("label", Json::Str(label.to_string())),
+        ("hash", Json::Str(hash.to_string())),
+        ("config", config.to_json()),
+        ("record", record.to_json()),
+    ])
+}
+
+/// The merged artifact's trailing footer line: campaign identity, cell
+/// count, and the quarantined-entry count, so a consumer can both
+/// detect truncation (no footer = torn file) and see whether any cache
+/// corruption was encountered while producing the artifact.
+pub fn merged_footer(name: &str, cells: usize, quarantined: usize) -> Json {
+    Json::obj(vec![
+        ("footer", Json::Bool(true)),
+        ("campaign", Json::Str(name.to_string())),
+        ("cells", Json::UInt(cells as u64)),
+        ("quarantined", Json::UInt(quarantined as u64)),
     ])
 }
 

@@ -19,14 +19,25 @@
 //! * [`clock`] — the only wall-clock site in the crate.
 //! * [`bench_out`] — `BENCH_campaign.json` emission.
 //! * [`json`] — the hand-rolled canonical JSON used throughout.
+//!
+//! The campaign *service* (PR 8) keeps the pool resident between runs:
+//!
+//! * [`protocol`] — the newline-delimited JSON wire protocol.
+//! * [`serve`] — the daemon: deadlines, backpressure, graceful drain.
+//! * [`journal`] — the crash-safe drain journal of unfinished cells.
+//! * [`submit`] — the client: sharding, failover, canonical merge.
 
 pub mod bench_out;
 pub mod cache;
 pub mod cell;
 pub mod clock;
 pub mod engine;
+pub mod journal;
 pub mod json;
 pub mod pool;
+pub mod protocol;
+pub mod serve;
+pub mod submit;
 pub mod suites;
 
 pub use cache::{CacheMiss, ResultCache};
@@ -34,3 +45,6 @@ pub use cell::{Campaign, CellConfig, CellRecord, CellSpec, CellWorkload};
 pub use engine::{
     execute, CampaignError, CampaignReport, CellOutcome, ExecOptions, FailedCell,
 };
+pub use protocol::{Reply, Request, ServiceStatus};
+pub use serve::ServeOptions;
+pub use submit::{AddrSource, SubmitError, SubmitOptions, SubmitReport};

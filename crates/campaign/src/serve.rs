@@ -1,0 +1,740 @@
+//! `inpg serve` — the resident campaign daemon.
+//!
+//! Holds the worker pool warm between requests: cache hits are answered
+//! inline on the connection handler in microseconds, misses are
+//! admitted to a bounded queue and executed by resident workers.
+//! Robustness is the headline, in four layers:
+//!
+//! * **Deadlines** — every submit may carry `deadline_ms`. A job whose
+//!   deadline passes while queued is answered with a typed
+//!   [`Reply::Timeout`] without ever running; a job that exceeds its
+//!   deadline mid-run is stopped cooperatively through the simulator's
+//!   [`AbortHandle`] (the run ends with `SimError::Aborted` at its next
+//!   poll point) and answered with the same typed timeout. The pool is
+//!   never wedged by a slow cell.
+//! * **Backpressure** — the admission queue is bounded. Beyond the
+//!   bound, requests are shed with [`Reply::Overloaded`] and an honest
+//!   `retry_after_ms`, not buffered without limit. Queued work is
+//!   served round-robin across connections, so one greedy client
+//!   cannot starve the rest.
+//! * **Graceful drain** — a shutdown request or SIGTERM/SIGINT flips
+//!   the daemon into draining: new submits are refused with
+//!   [`Reply::Draining`], in-flight cells finish and answer normally,
+//!   queued cells are persisted to the [journal](crate::journal)
+//!   (their waiting clients get `Draining` and resubmit elsewhere),
+//!   and the process exits 0.
+//! * **Crash safety** — all cache writes go through tmp+fsync+rename;
+//!   startup sweeps orphaned `.tmp` files and replays the journal
+//!   (idempotent: replayed cells that already made it to the shared
+//!   cache cost one verified hit). Corrupt cache entries found while
+//!   serving are quarantined and counted, never trusted and never
+//!   silently deleted.
+//!
+//! Multiple daemons may share one cache directory: entries are
+//! content-addressed and written atomically with identical bytes for
+//! identical cells, so concurrent writers are benign, and a client can
+//! shard cells across daemons by content hash.
+
+use crate::cache::{CacheMiss, ResultCache};
+use crate::cell::{CellConfig, CellRecord};
+use crate::clock::{Deadline, HarnessClock};
+use crate::journal;
+use crate::protocol::{Reply, Request, ServiceStatus};
+use inpg_manycore::SimError;
+use inpg_sim::AbortHandle;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Bound;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// How the daemon runs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address. Port 0 picks an ephemeral port (recommended: std
+    /// offers no `SO_REUSEADDR`, so a fixed port can linger in
+    /// `TIME_WAIT` after a restart); the bound address is published via
+    /// [`addr_file`](Self::addr_file).
+    pub addr: String,
+    /// File the bound `host:port` is written to once listening (and
+    /// removed on exit). Clients re-read it on retry, which is how a
+    /// restarted daemon on a fresh ephemeral port is re-discovered.
+    pub addr_file: Option<PathBuf>,
+    /// Result-cache directory (`None` disables caching — every submit
+    /// executes).
+    pub cache: Option<PathBuf>,
+    /// Resident worker threads.
+    pub workers: usize,
+    /// Admission bound: queued (not yet running) jobs beyond this are
+    /// shed with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Deadline applied to submits that do not carry their own
+    /// (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Drain journal path (`None` disables journaling: queued cells are
+    /// refused at drain but not persisted).
+    pub journal: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            addr_file: None,
+            cache: Some(PathBuf::from("results/cache")),
+            workers: crate::engine::default_workers(),
+            queue_capacity: 256,
+            default_deadline_ms: None,
+            journal: Some(PathBuf::from("results/serve/journal.jsonl")),
+        }
+    }
+}
+
+/// One admitted, not-yet-finished unit of work.
+struct Job {
+    config: CellConfig,
+    deadline: Option<Deadline>,
+    /// Where the (exactly one) reply goes. Journal-replay jobs hold a
+    /// sender whose receiver is dropped — their send is a no-op.
+    reply: mpsc::Sender<Reply>,
+}
+
+/// The admission queue: one FIFO per connection, served round-robin.
+#[derive(Default)]
+struct Admission {
+    queues: BTreeMap<u64, VecDeque<Job>>,
+    /// Last connection served; the next pop starts strictly after it.
+    cursor: u64,
+    queued: usize,
+    in_flight: usize,
+    draining: bool,
+}
+
+impl Admission {
+    /// Pops the next job round-robin across connection queues.
+    fn pop_next(&mut self) -> Option<Job> {
+        let after = self
+            .queues
+            .range((Bound::Excluded(self.cursor), Bound::Unbounded))
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k);
+        let key = after.or_else(|| {
+            self.queues
+                .range(..=self.cursor)
+                .find(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+        })?;
+        let queue = self.queues.get_mut(&key)?;
+        let job = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&key);
+        }
+        self.cursor = key;
+        self.queued -= 1;
+        Some(job)
+    }
+
+    /// Removes every queued job (drain), leaving the queues empty.
+    fn drain_all(&mut self) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.queued);
+        for (_, mut queue) in std::mem::take(&mut self.queues) {
+            jobs.extend(queue.drain(..));
+        }
+        self.queued = 0;
+        jobs
+    }
+
+    /// Removes queued jobs whose deadline has passed.
+    fn drain_expired(&mut self) -> Vec<Job> {
+        let mut expired = Vec::new();
+        for queue in self.queues.values_mut() {
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(job) = queue.pop_front() {
+                if job.deadline.is_some_and(|d| d.expired()) {
+                    expired.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *queue = keep;
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        self.queued -= expired.len();
+        expired
+    }
+}
+
+/// Everything the daemon's threads share.
+struct Shared {
+    admission: Mutex<Admission>,
+    work_ready: Condvar,
+    cache: Option<ResultCache>,
+    opts: ServeOptions,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    quarantined: AtomicU64,
+    /// Deadlines of in-flight runs, scanned by the timer thread; the
+    /// handle is raised when the deadline passes, stopping the run.
+    inflight_deadlines: Mutex<BTreeMap<u64, (Deadline, AbortHandle)>>,
+    next_deadline_id: AtomicU64,
+    /// Set once the drain has fully completed; stops the timer thread.
+    stopped: AtomicBool,
+}
+
+impl Shared {
+    fn admission(&self) -> MutexGuard<'_, Admission> {
+        self.admission.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn status(&self) -> ServiceStatus {
+        let adm = self.admission();
+        ServiceStatus {
+            queued: adm.queued as u64,
+            in_flight: adm.in_flight as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            draining: adm.draining,
+        }
+    }
+
+    /// Flips the daemon into draining (idempotent): queued jobs are
+    /// journaled and their clients told to go elsewhere. Returns how
+    /// many cells were journaled.
+    fn initiate_drain(&self) -> u64 {
+        let jobs = {
+            let mut adm = self.admission();
+            if adm.draining {
+                return 0;
+            }
+            adm.draining = true;
+            let jobs = adm.drain_all();
+            self.work_ready.notify_all();
+            jobs
+        };
+        let configs: Vec<CellConfig> = jobs.iter().map(|j| j.config.clone()).collect();
+        let journaled = match &self.opts.journal {
+            Some(path) => match journal::write(path, &configs) {
+                Ok(()) => configs.len() as u64,
+                Err(e) => {
+                    eprintln!("serve: cannot journal {} queued cell(s): {e}", configs.len());
+                    0
+                }
+            },
+            None => 0,
+        };
+        for job in jobs {
+            let _ = job.reply.send(Reply::Draining);
+        }
+        journaled
+    }
+
+    /// Cache lookup with quarantine-on-corruption. `Ok(None)` is a
+    /// plain miss.
+    fn cache_load(&self, config: &CellConfig) -> Option<CellRecord> {
+        let cache = self.cache.as_ref()?;
+        if !config.cacheable() {
+            return None;
+        }
+        match cache.load(config) {
+            Ok(record) => Some(record),
+            Err(CacheMiss::Absent) => None,
+            Err(CacheMiss::HashMismatch(why) | CacheMiss::Malformed(why)) => {
+                match cache.quarantine(config) {
+                    Ok(true) => {
+                        self.quarantined.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "serve: quarantined corrupt cache entry {} ({why})",
+                            config.content_hash()
+                        );
+                    }
+                    Ok(false) => {}
+                    Err(e) => eprintln!(
+                        "serve: corrupt cache entry {} ({why}) could not be quarantined: {e}",
+                        config.content_hash()
+                    ),
+                }
+                None
+            }
+            Err(CacheMiss::Unreadable(e)) => {
+                eprintln!(
+                    "serve: cache entry {} unreadable ({e}); re-running",
+                    config.content_hash()
+                );
+                None
+            }
+        }
+    }
+}
+
+/// Runs the daemon until it has gracefully drained. Returns after the
+/// last in-flight cell finished and queued cells were journaled.
+pub fn serve(opts: ServeOptions) -> io::Result<()> {
+    let cache = opts.cache.as_ref().map(ResultCache::new);
+    if let Some(cache) = &cache {
+        match cache.gc_stale_tmp() {
+            Ok(0) => {}
+            Ok(n) => eprintln!("serve: collected {n} orphaned .tmp cache file(s)"),
+            Err(e) => eprintln!("serve: cannot sweep stale .tmp files: {e} (continuing)"),
+        }
+    }
+
+    let listener = TcpListener::bind(&opts.addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    if let Some(path) = &opts.addr_file {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, format!("{bound}\n"))?;
+    }
+    sig::install();
+
+    let shared = Arc::new(Shared {
+        admission: Mutex::new(Admission::default()),
+        work_ready: Condvar::new(),
+        cache,
+        opts: opts.clone(),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        quarantined: AtomicU64::new(0),
+        inflight_deadlines: Mutex::new(BTreeMap::new()),
+        next_deadline_id: AtomicU64::new(0),
+        stopped: AtomicBool::new(false),
+    });
+
+    replay_journal(&shared);
+
+    let workers: Vec<_> = (0..opts.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<io::Result<_>>()?;
+    let timer = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-deadline-timer".into())
+            .spawn(move || deadline_timer_loop(&shared))?
+    };
+
+    eprintln!(
+        "serve: listening on {bound} ({} workers, queue bound {})",
+        opts.workers.max(1),
+        opts.queue_capacity
+    );
+
+    // The accept loop: non-blocking polls so drain requests (from a
+    // handler thread) and signals are noticed within one poll interval.
+    let mut next_conn_id: u64 = 1;
+    loop {
+        if sig::termed() {
+            let journaled = shared.initiate_drain();
+            eprintln!("serve: signal received; draining ({journaled} cell(s) journaled)");
+        }
+        if shared.admission().draining {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                std::thread::Builder::new()
+                    .name(format!("serve-conn-{conn_id}"))
+                    .spawn(move || handle_connection(&shared, stream, conn_id))?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("serve: accept failed: {e}; draining");
+                shared.initiate_drain();
+            }
+        }
+    }
+
+    // Drain: workers exit once the (already emptied) queue stays empty;
+    // their current cells finish and answer first.
+    for worker in workers {
+        let _ = worker.join();
+    }
+    shared.stopped.store(true, Ordering::SeqCst);
+    let _ = timer.join();
+    if let Some(path) = &opts.addr_file {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("serve: drained, exiting");
+    Ok(())
+}
+
+/// Re-admits journaled cells from a previous daemon's drain. Their
+/// results go to the shared cache; nobody waits on a reply. The journal
+/// file itself is only rewritten at the *next* drain — replay is
+/// idempotent through the cache, so an already-replayed journal costs
+/// verified hits, never duplicate work.
+fn replay_journal(shared: &Arc<Shared>) {
+    let Some(path) = &shared.opts.journal else { return };
+    match journal::load(path) {
+        Ok(cells) if cells.is_empty() => {}
+        Ok(cells) => {
+            eprintln!("serve: replaying {} journaled cell(s)", cells.len());
+            let (tx, _discarded_rx) = mpsc::channel();
+            let mut adm = shared.admission();
+            for config in cells {
+                // Served from cache if a sibling already finished it.
+                if let Some(_record) = shared.cache_load(&config) {
+                    shared.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                adm.queues
+                    .entry(0)
+                    .or_default()
+                    .push_back(Job { config, deadline: None, reply: tx.clone() });
+                adm.queued += 1;
+            }
+            shared.work_ready.notify_all();
+        }
+        Err(e) => eprintln!("serve: cannot replay journal: {e} (continuing without it)"),
+    }
+}
+
+/// One connection: newline-delimited requests, one reply line each.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let Ok(mut writer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // peer closed (or broke) the connection
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match Request::from_line(&line) {
+            Err(e) => Reply::Invalid { detail: e.to_string() },
+            Ok(Request::Ping) => Reply::Pong,
+            Ok(Request::Status) => Reply::Status(shared.status()),
+            Ok(Request::Shutdown) => {
+                Reply::ShuttingDown { journaled: shared.initiate_drain() }
+            }
+            Ok(Request::Submit { config, deadline_ms }) => {
+                handle_submit(shared, config, deadline_ms, conn_id)
+            }
+        };
+        let out = reply.to_json().to_string_compact() + "\n";
+        if writer.write_all(out.as_bytes()).and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+/// The submit path: cache hit inline, miss through the bounded queue.
+fn handle_submit(
+    shared: &Arc<Shared>,
+    config: CellConfig,
+    deadline_ms: Option<u64>,
+    conn_id: u64,
+) -> Reply {
+    if let Some(record) = shared.cache_load(&config) {
+        shared.hits.fetch_add(1, Ordering::Relaxed);
+        return Reply::Result {
+            hash: config.content_hash(),
+            record: Box::new(record),
+            cached: true,
+            wall_nanos: 0,
+        };
+    }
+
+    let deadline = deadline_ms.or(shared.opts.default_deadline_ms).map(Deadline::after_ms);
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut adm = shared.admission();
+        if adm.draining {
+            return Reply::Draining;
+        }
+        if adm.queued >= shared.opts.queue_capacity {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            // Honest heuristic: the fuller the queue per worker, the
+            // longer the suggested backoff.
+            let per_worker = adm.queued / shared.opts.workers.max(1);
+            return Reply::Overloaded { retry_after_ms: 25 * (1 + per_worker as u64) };
+        }
+        adm.queues
+            .entry(conn_id)
+            .or_default()
+            .push_back(Job { config, deadline, reply: tx });
+        adm.queued += 1;
+        self::notify_one(shared);
+    }
+    // The worker (or the deadline timer, or a drain) always answers.
+    rx.recv().unwrap_or(Reply::Failed { detail: "worker vanished without a reply".into() })
+}
+
+fn notify_one(shared: &Shared) {
+    shared.work_ready.notify_one();
+}
+
+/// A resident worker: pop round-robin, honor deadlines, run, store,
+/// reply. Exits when draining and no job is claimable.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut adm = shared.admission();
+            loop {
+                if let Some(job) = adm.pop_next() {
+                    adm.in_flight += 1;
+                    break job;
+                }
+                if adm.draining {
+                    return;
+                }
+                adm = shared
+                    .work_ready
+                    .wait(adm)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let reply = run_job(shared, &job);
+        let _ = job.reply.send(reply);
+        let mut adm = shared.admission();
+        adm.in_flight -= 1;
+    }
+}
+
+/// Executes one job with deadline enforcement and panic isolation.
+fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
+    if let Some(deadline) = job.deadline {
+        if deadline.expired() {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            return Reply::Timeout {
+                detail: "deadline passed while queued; the cell never ran".into(),
+            };
+        }
+    }
+    let abort = AbortHandle::new();
+    let registration = job.deadline.map(|deadline| {
+        let id = shared.next_deadline_id.fetch_add(1, Ordering::Relaxed);
+        shared
+            .inflight_deadlines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, (deadline, abort.clone()));
+        id
+    });
+
+    let clock = HarnessClock::start();
+    let experiment = job.config.to_experiment().abort_on(abort);
+    let outcome = catch_unwind(AssertUnwindSafe(move || experiment.run()));
+    let wall_nanos = clock.elapsed_nanos();
+
+    if let Some(id) = registration {
+        shared
+            .inflight_deadlines
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id);
+    }
+
+    match outcome {
+        Ok(Ok(fresh)) => {
+            shared.misses.fetch_add(1, Ordering::Relaxed);
+            let record = CellRecord::from_result(&fresh);
+            if let Some(cache) = &shared.cache {
+                if job.config.cacheable() {
+                    if let Err(e) = cache.store(&job.config, &record) {
+                        eprintln!(
+                            "serve: cannot cache {}: {e} (continuing)",
+                            job.config.content_hash()
+                        );
+                    }
+                }
+            }
+            Reply::Result {
+                hash: job.config.content_hash(),
+                record: Box::new(record),
+                cached: false,
+                wall_nanos,
+            }
+        }
+        Ok(Err(SimError::Aborted { cycle })) => {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            Reply::Timeout {
+                detail: format!(
+                    "deadline passed mid-run; simulation stopped at cycle {}",
+                    cycle.as_u64()
+                ),
+            }
+        }
+        Ok(Err(e)) => Reply::Failed { detail: e.to_string() },
+        Err(payload) => {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Reply::Failed { detail: format!("cell panicked: {detail}") }
+        }
+    }
+}
+
+/// The deadline enforcer: every few milliseconds, raise the abort
+/// handle of any in-flight run whose deadline passed, and answer queued
+/// jobs whose deadline passed without making them wait for a worker.
+fn deadline_timer_loop(shared: &Arc<Shared>) {
+    while !shared.stopped.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(5));
+        {
+            let mut inflight = shared
+                .inflight_deadlines
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for (deadline, handle) in inflight.values_mut() {
+                if deadline.expired() {
+                    handle.abort();
+                }
+            }
+        }
+        let expired = shared.admission().drain_expired();
+        for job in expired {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Reply::Timeout {
+                detail: "deadline passed while queued; the cell never ran".into(),
+            });
+        }
+    }
+}
+
+/// Signal handling (std-only): SIGTERM/SIGINT set a flag the accept
+/// loop polls; everything else about the drain happens on ordinary
+/// threads, so the handler body is a single async-signal-safe store.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_term as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn termed() -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(conn: u64) -> Job {
+        let (tx, rx) = mpsc::channel();
+        std::mem::forget(rx);
+        Job { config: CellConfig::benchmark("freq"), deadline: None, reply: tx }
+            .with_conn_marker(conn)
+    }
+
+    impl Job {
+        /// Test helper: tag the config's seed with the connection id so
+        /// pop order is observable.
+        fn with_conn_marker(mut self, conn: u64) -> Job {
+            self.config.seed = conn;
+            self
+        }
+    }
+
+    #[test]
+    fn admission_round_robin_interleaves_connections() {
+        let mut adm = Admission::default();
+        // Connection 1 floods five jobs; connection 2 and 3 queue one each.
+        for _ in 0..5 {
+            adm.queues.entry(1).or_default().push_back(job(1));
+            adm.queued += 1;
+        }
+        for conn in [2u64, 3] {
+            adm.queues.entry(conn).or_default().push_back(job(conn));
+            adm.queued += 1;
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| adm.pop_next().map(|j| j.config.seed)).collect();
+        assert_eq!(order, vec![1, 2, 3, 1, 1, 1, 1], "flooder must not starve others");
+        assert_eq!(adm.queued, 0);
+        assert!(adm.queues.is_empty(), "empty queues are garbage-collected");
+    }
+
+    #[test]
+    fn expired_queued_jobs_are_separated_from_live_ones() {
+        let mut adm = Admission::default();
+        let (tx, _rx) = mpsc::channel();
+        for (conn, deadline) in [
+            (1u64, Some(Deadline::after_ms(0))),
+            (1, None),
+            (2, Some(Deadline::after_ms(3_600_000))),
+        ] {
+            adm.queues.entry(conn).or_default().push_back(Job {
+                config: CellConfig::benchmark("freq"),
+                deadline,
+                reply: tx.clone(),
+            });
+            adm.queued += 1;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        let expired = adm.drain_expired();
+        assert_eq!(expired.len(), 1);
+        assert_eq!(adm.queued, 2, "undeadlined and future-deadlined jobs stay");
+    }
+
+    #[test]
+    fn drain_all_empties_every_queue() {
+        let mut adm = Admission::default();
+        for conn in 0..4u64 {
+            for _ in 0..3 {
+                adm.queues.entry(conn).or_default().push_back(job(conn));
+                adm.queued += 1;
+            }
+        }
+        assert_eq!(adm.drain_all().len(), 12);
+        assert_eq!(adm.queued, 0);
+        assert!(adm.pop_next().is_none());
+    }
+}

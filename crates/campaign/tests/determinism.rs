@@ -1,11 +1,25 @@
 //! End-to-end determinism guarantees of the campaign engine: the merged
 //! artifact is byte-identical across worker counts and cache states, a
-//! warm cache executes nothing, and a corrupted cache entry is detected
-//! and re-run rather than trusted.
+//! warm cache executes nothing, and a corrupted cache entry is
+//! quarantined and re-run rather than trusted.
 
 use inpg::Mechanism;
 use inpg_campaign::{execute, Campaign, CellConfig, ExecOptions};
 use std::path::PathBuf;
+
+/// Splits a merged artifact into its cell body and its trailing footer
+/// line. The body is a pure function of the campaign definition; the
+/// footer additionally reports what cache corruption the producing run
+/// encountered, so runs that differ only in encountered corruption have
+/// identical bodies and differing footers.
+fn body_and_footer(path: &PathBuf) -> (String, String) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let trimmed = text.strip_suffix('\n').expect("artifact ends with a newline");
+    let (body, footer) =
+        trimmed.rsplit_once('\n').expect("artifact has at least body and footer");
+    assert!(footer.contains("\"footer\":true"), "last line is the footer: {footer}");
+    (body.to_string(), footer.to_string())
+}
 
 fn tiny_campaign() -> Campaign {
     let mut c = Campaign::new("tiny");
@@ -108,17 +122,37 @@ fn corrupted_cache_entry_is_detected_and_rerun() {
         execute(&campaign, &opts(2, Some(cache_dir.clone()), again_merged.clone())).unwrap();
     assert_eq!(again.executed, 1, "only the corrupted cell re-runs");
     assert_eq!(again.cached, campaign.cells.len() - 1);
+    assert_eq!(again.quarantined, 1, "the tampered entry was quarantined");
+    assert!(again.summary_line().contains("1 quarantined"), "{}", again.summary_line());
     let rerun = again.outcome(&victim.label).unwrap();
     assert!(!rerun.cached);
 
+    // The tampered bytes were moved aside for inspection, not deleted.
+    let quarantined_entry = cache_dir
+        .join("quarantine")
+        .join(format!("{}.json", victim.config.content_hash()));
+    assert!(quarantined_entry.exists(), "quarantine keeps the corrupt bytes");
+
+    // The cell body is reproduced byte for byte; only the footer's
+    // corruption tally may differ between the runs.
+    let (cold_body, cold_footer) = body_and_footer(&cold_merged);
+    let (again_body, again_footer) = body_and_footer(&again_merged);
+    assert_eq!(cold_body, again_body, "the re-run must reproduce the cell body");
+    assert!(cold_footer.contains("\"quarantined\":0"), "{cold_footer}");
+    assert!(again_footer.contains("\"quarantined\":1"), "{again_footer}");
+
+    // And the store-back repaired the entry: a third run is fully warm
+    // and its artifact (footer included) matches the cold one again.
+    let third_merged = dir.join("3.jsonl");
+    let third =
+        execute(&campaign, &opts(2, Some(cache_dir), third_merged.clone())).unwrap();
+    assert_eq!(third.executed, 0);
+    assert_eq!(third.quarantined, 0);
     assert_eq!(
         std::fs::read(&cold_merged).unwrap(),
-        std::fs::read(&again_merged).unwrap(),
-        "the re-run must reproduce the artifact byte for byte"
+        std::fs::read(&third_merged).unwrap(),
+        "a repaired cache reproduces the artifact byte for byte"
     );
-    // And the store-back repaired the entry: a third run is fully warm.
-    let third = execute(&campaign, &opts(2, Some(cache_dir), dir.join("3.jsonl"))).unwrap();
-    assert_eq!(third.executed, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -151,17 +185,63 @@ fn truncated_and_bitflipped_cache_entries_are_demoted_to_misses() {
         execute(&campaign, &opts(2, Some(cache_dir.clone()), again_merged.clone())).unwrap();
     assert_eq!(again.executed, 2, "both mangled cells re-run");
     assert_eq!(again.cached, campaign.cells.len() - 2);
+    assert_eq!(again.quarantined, 2, "both corruption modes are quarantined");
     assert!(!again.outcome(&truncated.label).unwrap().cached);
     assert!(!again.outcome(&flipped.label).unwrap().cached);
 
+    // Cell bodies reproduce byte for byte; the footers report the tally.
+    let (cold_body, cold_footer) = body_and_footer(&cold_merged);
+    let (again_body, again_footer) = body_and_footer(&again_merged);
+    assert_eq!(cold_body, again_body, "the re-runs must reproduce the cell body");
+    assert!(cold_footer.contains("\"quarantined\":0"), "{cold_footer}");
+    assert!(again_footer.contains("\"quarantined\":2"), "{again_footer}");
+
+    // Store-back repaired both entries: a third run is fully warm and
+    // byte-identical to the cold artifact, footer included.
+    let third_merged = dir.join("3.jsonl");
+    let third =
+        execute(&campaign, &opts(2, Some(cache_dir), third_merged.clone())).unwrap();
+    assert_eq!(third.executed, 0);
+    assert_eq!(
+        std::fs::read(&cold_merged).unwrap(),
+        std::fs::read(&third_merged).unwrap(),
+        "a repaired cache reproduces the artifact byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_orphaned_tmp_from_a_writer_killed_mid_store_is_swept_and_harmless() {
+    let dir = scratch("orphan-tmp");
+    let cache_dir = dir.join("cache");
+    let campaign = tiny_campaign();
+
+    let cold_merged = dir.join("cold.jsonl");
+    execute(&campaign, &opts(2, Some(cache_dir.clone()), cold_merged.clone())).unwrap();
+
+    // A writer SIGKILLed mid-store leaves a half-written `.tmp` that
+    // never got renamed into place. Simulate one next to a real entry.
+    let victim = &campaign.cells[2];
+    let entry = cache_dir.join(format!("{}.json", victim.config.content_hash()));
+    let bytes = std::fs::read(&entry).unwrap();
+    let orphan = cache_dir.join(format!(
+        ".{}.99999.tmp",
+        victim.config.content_hash()
+    ));
+    std::fs::write(&orphan, &bytes[..bytes.len() / 3]).unwrap();
+
+    let again_merged = dir.join("again.jsonl");
+    let again =
+        execute(&campaign, &opts(2, Some(cache_dir.clone()), again_merged.clone())).unwrap();
+    assert_eq!(again.executed, 0, "the orphan never shadows the real entry");
+    assert_eq!(again.quarantined, 0, "an orphaned tmp is debris, not corruption");
+    assert!(!orphan.exists(), "startup GC must collect the orphan");
+    assert!(entry.exists(), "the committed entry must survive the sweep");
     assert_eq!(
         std::fs::read(&cold_merged).unwrap(),
         std::fs::read(&again_merged).unwrap(),
-        "the re-runs must reproduce the artifact byte for byte"
+        "the swept run reproduces the artifact byte for byte"
     );
-    // Store-back repaired both entries: a third run is fully warm.
-    let third = execute(&campaign, &opts(2, Some(cache_dir), dir.join("3.jsonl"))).unwrap();
-    assert_eq!(third.executed, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

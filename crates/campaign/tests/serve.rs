@@ -1,0 +1,453 @@
+//! End-to-end tests of the campaign service: a real `inpg serve`
+//! process per daemon (spawned from `CARGO_BIN_EXE_inpg`), driven over
+//! its TCP wire protocol.
+//!
+//! The headline guarantees under test:
+//!
+//! * deadlines are typed timeouts, not wedged workers;
+//! * the admission bound sheds honestly with a retry hint;
+//! * a graceful drain journals queued cells, and a restarted daemon
+//!   finishes the campaign with a byte-identical merged artifact;
+//! * SIGKILLing one of two daemons sharing a cache mid-campaign loses
+//!   nothing: the client fails over, a replacement daemon sweeps the
+//!   victim's debris, and the merged artifact is byte-identical to an
+//!   uninterrupted run — with zero unquarantined corrupt entries.
+
+use inpg::Mechanism;
+use inpg_campaign::submit::{self, AddrSource, SubmitOptions};
+use inpg_campaign::{Campaign, CellConfig, Reply, Request};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("inpg-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A quick cell (~hundreds of ms at these dimensions).
+fn quick_cell(mechanism: Mechanism, rounds: u64) -> CellConfig {
+    let mut cfg = CellConfig::hot_lock(rounds, 80, 30);
+    cfg.mechanism = mechanism;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.max_cycles = 5_000_000;
+    cfg
+}
+
+/// A cell that runs long enough to straddle any deadline or drain the
+/// tests impose (it is always aborted or killed, never awaited).
+fn slow_cell(seed: u64) -> CellConfig {
+    let mut cfg = CellConfig::hot_lock(50_000, 200, 100);
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.max_cycles = u64::MAX / 2;
+    cfg.seed = seed;
+    cfg
+}
+
+fn tiny_campaign() -> Campaign {
+    let mut c = Campaign::new("serve-tiny");
+    for mechanism in Mechanism::ALL {
+        for rounds in [2u64, 3] {
+            c.push(format!("{mechanism}/r{rounds}"), quick_cell(mechanism, rounds));
+        }
+    }
+    c
+}
+
+/// One daemon process plus the paths that identify it.
+struct Daemon {
+    child: Child,
+    addr_file: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(addr_file: &Path, cache: &Path, journal: &Path, extra: &[&str]) -> Daemon {
+        let child = Command::new(env!("CARGO_BIN_EXE_inpg"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .arg("--addr-file")
+            .arg(addr_file)
+            .arg("--cache-dir")
+            .arg(cache)
+            .arg("--journal")
+            .arg(journal)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn inpg serve");
+        Daemon { child, addr_file: addr_file.to_path_buf() }
+    }
+
+    fn source(&self) -> AddrSource {
+        AddrSource::File(self.addr_file.clone())
+    }
+
+    /// Polls until the daemon published its address and answers a ping.
+    fn wait_ready(&mut self) {
+        for _ in 0..600 {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                panic!("daemon exited during startup: {status}");
+            }
+            if let Ok(addr) = self.source().resolve() {
+                if let Ok(Reply::Pong) = submit::request(&addr, &Request::Ping) {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon never became ready");
+    }
+
+    /// SIGKILL — the crash the service must survive.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Asks for a graceful drain and asserts the process exits 0.
+    fn drain_and_wait(mut self) {
+        submit::shutdown(&self.source()).expect("shutdown request");
+        let status = self.child.wait().expect("wait");
+        assert!(status.success(), "a drained daemon must exit 0, got {status}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Every `.tmp` file anywhere under `dir` (non-recursive is enough for
+/// the flat cache layout, but walk one level into subdirectories too).
+fn stray_tmp_files(dir: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "tmp") {
+                found.push(path);
+            }
+        }
+    }
+    found
+}
+
+fn quarantined_entries(cache: &Path) -> usize {
+    std::fs::read_dir(cache.join("quarantine"))
+        .map(|entries| entries.count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn a_cell_over_its_deadline_times_out_without_wedging_the_pool() {
+    let dir = scratch("deadline");
+    let mut daemon = Daemon::spawn(
+        &dir.join("addr"),
+        &dir.join("cache"),
+        &dir.join("journal.jsonl"),
+        &["--workers", "1"],
+    );
+    daemon.wait_ready();
+    let addr = daemon.source().resolve().unwrap();
+
+    // A cell that would run for minutes, with a 100ms deadline: the
+    // daemon must answer with a *typed* timeout, not hang or panic.
+    let reply = submit::request(
+        &addr,
+        &Request::Submit { config: slow_cell(1), deadline_ms: Some(100) },
+    )
+    .expect("submit over-deadline cell");
+    match reply {
+        Reply::Timeout { detail } => {
+            assert!(detail.contains("deadline"), "typed timeout names the deadline: {detail}");
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+
+    // The single worker was reclaimed by the abort: an ordinary cell
+    // submitted afterwards completes on it.
+    let config = quick_cell(Mechanism::Original, 2);
+    let reply = submit::request(
+        &addr,
+        &Request::Submit { config: config.clone(), deadline_ms: None },
+    )
+    .expect("submit ordinary cell");
+    match reply {
+        Reply::Result { hash, cached, .. } => {
+            assert_eq!(hash, config.content_hash());
+            assert!(!cached, "first execution cannot be a hit");
+        }
+        other => panic!("the pool is wedged: expected a result, got {other:?}"),
+    }
+
+    // The same cell again is a warm hit served from the verified cache.
+    let reply = submit::request(
+        &addr,
+        &Request::Submit { config: config.clone(), deadline_ms: None },
+    )
+    .expect("resubmit cached cell");
+    match reply {
+        Reply::Result { cached, wall_nanos, .. } => {
+            assert!(cached, "second submission must be a cache hit");
+            assert_eq!(wall_nanos, 0, "hits report no execution time");
+        }
+        other => panic!("expected a cached result, got {other:?}"),
+    }
+
+    match submit::request(&addr, &Request::Status).expect("status") {
+        Reply::Status(status) => {
+            assert_eq!(status.timeouts, 1, "{status:?}");
+            assert_eq!(status.misses, 1, "{status:?}");
+            assert_eq!(status.hits, 1, "{status:?}");
+            assert!(!status.draining, "{status:?}");
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    daemon.drain_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overflowing_the_admission_queue_is_shed_with_retry_after() {
+    let dir = scratch("backpressure");
+    let mut daemon = Daemon::spawn(
+        &dir.join("addr"),
+        &dir.join("cache"),
+        &dir.join("journal.jsonl"),
+        &["--workers", "1", "--queue-capacity", "1"],
+    );
+    daemon.wait_ready();
+    let addr = daemon.source().resolve().unwrap();
+
+    // Occupy the single worker, then the single queue slot, from
+    // background connections that will simply die with the daemon.
+    // Staggered: the second submit may only go out once the first is
+    // actually *running* (otherwise both would contend for the one
+    // queue slot and the second would be shed before saturation).
+    let wait_for = |in_flight: u64, queued: u64| {
+        for _ in 0..400 {
+            if let Ok(Reply::Status(s)) = submit::request(&addr, &Request::Status) {
+                if s.in_flight == in_flight && s.queued == queued {
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon never reached {in_flight} in-flight + {queued} queued");
+    };
+    for (seed, queued_after) in [(10u64, 0u64), (11, 1)] {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let _ = submit::request(
+                &addr,
+                &Request::Submit { config: slow_cell(seed), deadline_ms: None },
+            );
+        });
+        wait_for(1, queued_after);
+    }
+
+    // The next submit must be shed with an honest retry hint, not
+    // buffered without bound and not blocked.
+    let reply = submit::request(
+        &addr,
+        &Request::Submit { config: slow_cell(12), deadline_ms: None },
+    )
+    .expect("submit over the bound");
+    match reply {
+        Reply::Overloaded { retry_after_ms } => {
+            assert!(retry_after_ms >= 1, "a usable backoff hint: {retry_after_ms}");
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+    match submit::request(&addr, &Request::Status).expect("status") {
+        Reply::Status(status) => assert_eq!(status.rejected, 1, "{status:?}"),
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // The occupying cells run for minutes by design; SIGKILL, as a
+    // crashing daemon is part of the service's threat model anyway.
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_journal_restart_reproduces_the_uninterrupted_artifact() {
+    let dir = scratch("drain-soak");
+    let campaign = tiny_campaign();
+
+    // Arm 1 — uninterrupted: one daemon, fresh cache, full campaign.
+    let base_merged = dir.join("base.jsonl");
+    {
+        let mut daemon = Daemon::spawn(
+            &dir.join("addr-base"),
+            &dir.join("cache-base"),
+            &dir.join("journal-base.jsonl"),
+            &["--workers", "2"],
+        );
+        daemon.wait_ready();
+        let report = submit::run_campaign(
+            &campaign,
+            None,
+            &SubmitOptions {
+                daemons: vec![daemon.source()],
+                workers: 4,
+                merged_out: Some(base_merged.clone()),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("uninterrupted campaign");
+        assert_eq!(report.executed + report.hits, campaign.cells.len());
+        daemon.drain_and_wait();
+    }
+
+    // Arm 2 — interrupted: a 1-worker daemon is gracefully drained
+    // mid-campaign; queued cells land in the journal; a replacement
+    // daemon on the same addr-file/journal/cache picks everything up
+    // while the client fails over to it transparently.
+    let addr_file = dir.join("addr-soak");
+    let cache = dir.join("cache-soak");
+    let journal = dir.join("journal-soak.jsonl");
+    let mut daemon = Daemon::spawn(&addr_file, &cache, &journal, &["--workers", "1"]);
+    daemon.wait_ready();
+    let interrupter = {
+        let (addr_file, cache, journal) = (addr_file.clone(), cache.clone(), journal.clone());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(600));
+            daemon.drain_and_wait();
+            let mut replacement =
+                Daemon::spawn(&addr_file, &cache, &journal, &["--workers", "2"]);
+            replacement.wait_ready();
+            replacement
+        })
+    };
+
+    let soak_merged = dir.join("soak.jsonl");
+    let report = submit::run_campaign(
+        &campaign,
+        None,
+        &SubmitOptions {
+            daemons: vec![AddrSource::File(addr_file.clone())],
+            workers: 4,
+            max_attempts: 120,
+            merged_out: Some(soak_merged.clone()),
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("interrupted campaign must still complete");
+    assert_eq!(report.executed + report.hits, campaign.cells.len());
+    let replacement = interrupter.join().expect("interrupter thread");
+
+    assert_eq!(
+        std::fs::read(&base_merged).unwrap(),
+        std::fs::read(&soak_merged).unwrap(),
+        "drain + restart must reproduce the merged artifact byte for byte"
+    );
+    assert!(stray_tmp_files(&cache).is_empty(), "no .tmp debris after the soak");
+    assert_eq!(quarantined_entries(&cache), 0, "no corrupt entries were produced");
+
+    // The replacement drains clean: nothing queued, so no journal left.
+    replacement.drain_and_wait();
+    assert!(!journal.exists(), "an empty drain leaves no journal behind");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_one_of_two_daemons_mid_campaign_is_survivable_and_deterministic() {
+    let dir = scratch("kill-soak");
+    let campaign = tiny_campaign();
+
+    // Arm 1 — uninterrupted baseline (fresh cache, single daemon).
+    let base_merged = dir.join("base.jsonl");
+    {
+        let mut daemon = Daemon::spawn(
+            &dir.join("addr-base"),
+            &dir.join("cache-base"),
+            &dir.join("journal-base.jsonl"),
+            &["--workers", "2"],
+        );
+        daemon.wait_ready();
+        submit::run_campaign(
+            &campaign,
+            None,
+            &SubmitOptions {
+                daemons: vec![daemon.source()],
+                workers: 4,
+                merged_out: Some(base_merged.clone()),
+                ..SubmitOptions::default()
+            },
+        )
+        .expect("baseline campaign");
+        daemon.drain_and_wait();
+    }
+
+    // Arm 2 — two daemons sharing one cache; daemon A is SIGKILLed
+    // mid-campaign and replaced; the client shards across both and
+    // fails over around the crash.
+    let cache = dir.join("cache-shared");
+    let addr_a = dir.join("addr-a");
+    let addr_b = dir.join("addr-b");
+    let journal_a = dir.join("journal-a.jsonl");
+    let journal_b = dir.join("journal-b.jsonl");
+    let mut daemon_a = Daemon::spawn(&addr_a, &cache, &journal_a, &["--workers", "1"]);
+    let mut daemon_b = Daemon::spawn(&addr_b, &cache, &journal_b, &["--workers", "1"]);
+    daemon_a.wait_ready();
+    daemon_b.wait_ready();
+
+    let killer = {
+        let (addr_a, cache, journal_a) = (addr_a.clone(), cache.clone(), journal_a.clone());
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(500));
+            daemon_a.kill();
+            // The replacement sweeps whatever `.tmp` debris the SIGKILL
+            // left in the shared cache as it starts.
+            let mut replacement =
+                Daemon::spawn(&addr_a, &cache, &journal_a, &["--workers", "1"]);
+            replacement.wait_ready();
+            replacement
+        })
+    };
+
+    let soak_merged = dir.join("soak.jsonl");
+    let report = submit::run_campaign(
+        &campaign,
+        None,
+        &SubmitOptions {
+            daemons: vec![AddrSource::File(addr_a.clone()), AddrSource::File(addr_b.clone())],
+            workers: 4,
+            max_attempts: 120,
+            merged_out: Some(soak_merged.clone()),
+            ..SubmitOptions::default()
+        },
+    )
+    .expect("campaign must survive a SIGKILLed daemon");
+    assert_eq!(report.executed + report.hits, campaign.cells.len());
+    assert_eq!(report.quarantined, 0, "a torn .tmp is debris, never a cache entry");
+    let replacement = killer.join().expect("killer thread");
+
+    assert_eq!(
+        std::fs::read(&base_merged).unwrap(),
+        std::fs::read(&soak_merged).unwrap(),
+        "SIGKILL + restart must reproduce the merged artifact byte for byte"
+    );
+    replacement.drain_and_wait();
+    daemon_b.drain_and_wait();
+    assert!(
+        stray_tmp_files(&cache).is_empty(),
+        "no .tmp debris survives the crash and restart"
+    );
+    assert_eq!(quarantined_entries(&cache), 0, "zero unquarantined corrupt entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}

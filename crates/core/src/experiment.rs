@@ -6,7 +6,7 @@ use crate::mechanism::Mechanism;
 use inpg_locks::LockPrimitive;
 use inpg_manycore::{LockPlacement, SimError, System, SystemConfig, ThreadProgram};
 use inpg_noc::{barrier::BarrierStats, BigRouterPlacement, FaultPlan};
-use inpg_sim::{CoreId, Cycle};
+use inpg_sim::{AbortHandle, CoreId, Cycle};
 use inpg_stats::{PhaseCounters, Timeline};
 use inpg_workloads::{generate, BenchmarkSpec, GenOptions};
 
@@ -56,6 +56,7 @@ pub struct Experiment {
     recover: bool,
     recovery_timeout: Option<u64>,
     recovery_retry_budget: Option<u32>,
+    abort: Option<AbortHandle>,
 }
 
 impl Experiment {
@@ -107,6 +108,7 @@ impl Experiment {
             recover: false,
             recovery_timeout: None,
             recovery_retry_budget: None,
+            abort: None,
         }
     }
 
@@ -245,6 +247,18 @@ impl Experiment {
         self
     }
 
+    /// Installs a cooperative abort flag on the run. When another
+    /// thread raises the handle — a deadline passed, a service is
+    /// draining — the simulation winds down with
+    /// [`SimError::Aborted`](inpg_manycore::SimError) at its next poll
+    /// point instead of running to `max_cycles`. A run that completes
+    /// before the flag is raised is unaffected.
+    #[must_use]
+    pub fn abort_on(mut self, handle: AbortHandle) -> Self {
+        self.abort = Some(handle);
+        self
+    }
+
     /// Like [`run`](Self::run), but measures the wall-clock time the
     /// run took and attaches it to the result, so
     /// [`ExperimentResult::sim_cycles_per_sec`] reports the simulator's
@@ -316,6 +330,9 @@ impl Experiment {
         };
 
         let mut system = System::new(cfg, programs, locks, placement)?;
+        if let Some(handle) = self.abort {
+            system.set_abort(handle);
+        }
         let run = system.run_checked()?;
         Ok(ExperimentResult::collect(
             name,
@@ -651,6 +668,45 @@ mod tests {
             .barrier_entries(0)
             .run()
             .is_err());
+    }
+
+    #[test]
+    fn a_raised_abort_handle_stops_the_run() {
+        use inpg_manycore::SimError;
+        use inpg_sim::AbortHandle;
+
+        let programs: Vec<ThreadProgram> = (0..4)
+            .map(|_| ThreadProgram::new().rounds(50, 400, LockId::new(0), 100))
+            .collect();
+
+        // Raised before the run starts: the simulator must wind down at
+        // its first poll point, well short of the workload's runtime.
+        let handle = AbortHandle::new();
+        handle.abort();
+        let err = Experiment::custom("aborted", programs.clone(), 1)
+            .mesh(2, 2)
+            .abort_on(handle)
+            .run()
+            .expect_err("a raised handle must abort the run");
+        match err {
+            SimError::Aborted { cycle } => assert!(cycle.as_u64() < 2048, "{cycle:?}"),
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+
+        // Never raised: the same workload completes normally and the
+        // result matches a run with no handle at all.
+        let with_handle = Experiment::custom("unaborted", programs.clone(), 1)
+            .mesh(2, 2)
+            .abort_on(AbortHandle::new())
+            .run()
+            .expect("unraised handle must not disturb the run");
+        let without = Experiment::custom("unaborted", programs, 1)
+            .mesh(2, 2)
+            .run()
+            .expect("plain run");
+        assert!(with_handle.completed);
+        assert_eq!(with_handle.roi_cycles, without.roi_cycles);
+        assert_eq!(with_handle.cs_count, without.cs_count);
     }
 
     #[test]

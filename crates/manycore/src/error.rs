@@ -148,6 +148,14 @@ pub enum SimError {
         /// The violation raised by the L1 or home step function.
         error: CoherenceError,
     },
+    /// The harness raised the run's [`inpg_sim::AbortHandle`] — a
+    /// deadline passed or a shutdown began — and the simulator wound
+    /// down cooperatively at its next abort-poll point. Not a protocol
+    /// failure: the machine was healthy, the caller stopped waiting.
+    Aborted {
+        /// Cycle at which the abort was observed.
+        cycle: Cycle,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -158,6 +166,9 @@ impl fmt::Display for SimError {
             SimError::Invariant(v) => write!(f, "invariant violation: {v}"),
             SimError::Protocol { cycle, error } => {
                 write!(f, "cycle {}: protocol violation: {error}", cycle.as_u64())
+            }
+            SimError::Aborted { cycle } => {
+                write!(f, "aborted by the harness at cycle {}", cycle.as_u64())
             }
         }
     }
@@ -215,5 +226,12 @@ mod tests {
     fn sim_error_wraps_config_error() {
         let err: SimError = ConfigError::new("bad mesh").into();
         assert!(err.to_string().contains("bad mesh"));
+    }
+
+    #[test]
+    fn aborted_names_the_cycle() {
+        let err = SimError::Aborted { cycle: Cycle::new(4096) };
+        assert!(err.to_string().contains("aborted"), "{err}");
+        assert!(err.to_string().contains("4096"), "{err}");
     }
 }

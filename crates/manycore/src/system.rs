@@ -48,6 +48,11 @@ pub struct System {
     /// Core whose delivered packets are logged to stderr
     /// (`INPG_TRACE_CORE`, debugging aid; read once at construction).
     trace_core: Option<usize>,
+    /// Cooperative abort flag installed by the harness (deadline or
+    /// shutdown); polled coarsely inside [`run_checked`](Self::run_checked).
+    /// Lives on the system, not the config: [`SystemConfig`] is pure
+    /// comparable data, while this is shared runtime state.
+    abort: Option<inpg_sim::AbortHandle>,
 }
 
 impl System {
@@ -163,7 +168,18 @@ impl System {
             now: Cycle::ZERO,
             outbox: Vec::new(),
             trace_core: std::env::var("INPG_TRACE_CORE").ok().and_then(|v| v.parse().ok()),
+            abort: None,
         })
+    }
+
+    /// Installs a cooperative abort flag. When another thread raises
+    /// it, [`run_checked`](Self::run_checked) winds down with
+    /// [`SimError::Aborted`] at its next poll point (every 1024 cycles).
+    /// A run that completes before the flag is raised is byte-identical
+    /// to one executed without a handle — the simulator only ever reads
+    /// the flag, never a clock.
+    pub fn set_abort(&mut self, handle: inpg_sim::AbortHandle) {
+        self.abort = Some(handle);
     }
 
     /// The system configuration.
@@ -346,12 +362,21 @@ impl System {
     /// # Errors
     ///
     /// Returns [`SimError::Stall`] when the progress metric freezes for a
-    /// full watchdog window, or [`SimError::Invariant`] when a periodic
-    /// check finds the machine in an impossible state.
+    /// full watchdog window, [`SimError::Invariant`] when a periodic
+    /// check finds the machine in an impossible state, and
+    /// [`SimError::Aborted`] when an installed
+    /// [abort handle](Self::set_abort) is raised mid-run.
     pub fn run_checked(&mut self) -> Result<RunResult, SimError> {
         let mut watchdog = self.cfg.watchdog_cycles.map(Watchdog::new);
         let interval = self.cfg.invariant_check_interval;
         while !self.all_done() && self.now.as_u64() < self.cfg.max_cycles {
+            if self.now.as_u64() & 0x3ff == 0 {
+                if let Some(abort) = &self.abort {
+                    if abort.is_aborted() {
+                        return Err(SimError::Aborted { cycle: self.now });
+                    }
+                }
+            }
             self.try_tick()?;
             if let Some(dog) = watchdog.as_mut() {
                 if dog.observe(self.now, self.progress_metric()) {

@@ -1,0 +1,85 @@
+//! Cooperative abort for long simulation runs.
+//!
+//! An [`AbortHandle`] is a cloneable flag shared between a running
+//! simulation and the harness that started it. The simulation polls the
+//! flag at a coarse cadence inside its cycle loop and winds down with a
+//! typed error when it is raised; the harness raises it from another
+//! thread when a deadline passes or a shutdown begins.
+//!
+//! The handle is deliberately dumb — a single atomic bool. The
+//! simulator must never read a wall clock (determinism depends on
+//! that), so deciding *when* to abort is entirely the harness's job;
+//! the simulator only ever observes the already-made decision. A run
+//! that completes before the flag is raised is byte-identical to one
+//! executed with no handle at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe abort flag.
+///
+/// # Example
+///
+/// ```
+/// use inpg_sim::AbortHandle;
+///
+/// let handle = AbortHandle::new();
+/// let observer = handle.clone();
+/// assert!(!observer.is_aborted());
+/// handle.abort();
+/// assert!(observer.is_aborted());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AbortHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl AbortHandle {
+    /// A fresh, un-raised handle.
+    pub fn new() -> Self {
+        AbortHandle { flag: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// Raises the flag. Idempotent; never blocks.
+    pub fn abort(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_aborted(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_flag() {
+        let a = AbortHandle::new();
+        let b = a.clone();
+        assert!(!a.is_aborted() && !b.is_aborted());
+        b.abort();
+        assert!(a.is_aborted() && b.is_aborted());
+        // Idempotent.
+        a.abort();
+        assert!(b.is_aborted());
+    }
+
+    #[test]
+    fn distinct_handles_are_independent() {
+        let a = AbortHandle::new();
+        let b = AbortHandle::new();
+        a.abort();
+        assert!(!b.is_aborted());
+    }
+
+    #[test]
+    fn raising_from_another_thread_is_observed() {
+        let handle = AbortHandle::new();
+        let raiser = handle.clone();
+        std::thread::spawn(move || raiser.abort()).join().expect("raiser thread");
+        assert!(handle.is_aborted());
+    }
+}

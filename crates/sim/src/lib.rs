@@ -27,12 +27,14 @@
 //! assert_eq!(wheel.pop_due(Cycle::new(7)), Some("wake thread 3"));
 //! ```
 
+pub mod abort;
 pub mod coverage;
 pub mod event;
 pub mod ids;
 pub mod rng;
 pub mod watchdog;
 
+pub use abort::AbortHandle;
 pub use event::EventWheel;
 pub use ids::{Addr, CoreId, Cycle, LockId, ThreadId};
 pub use rng::SimRng;

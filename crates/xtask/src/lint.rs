@@ -29,7 +29,12 @@
 //!    carries in-place waivers). Wall time may only be attached at the
 //!    harness boundary; it must never feed a cell record or the merge.
 //!    The `hash` rule applies to the campaign crate too, for the same
-//!    iteration-order reason.
+//!    iteration-order reason — and so does the `unwrap` rule: the
+//!    campaign service (`serve`/`submit`) is a resident process whose
+//!    failures must surface as typed wire replies or journaled drains,
+//!    never as a panic (poisoned locks are recovered with
+//!    `unwrap_or_else(PoisonError::into_inner)`, fallible I/O returns
+//!    `io::Result`).
 //!
 //! Rules feeding the hot-loop roadmap (see `hotpath` for the scans):
 //!
@@ -99,9 +104,12 @@ pub const PROTOCOL_RULES: &[Rule] = &[
     Rule::StaleWaiver,
 ];
 
-/// The rule set enforced on [`CAMPAIGN_CRATES`].
+/// The rule set enforced on [`CAMPAIGN_CRATES`]. The unwrap rule
+/// joined with the campaign service: a daemon must degrade through
+/// typed replies and journaled drains, never panic a resident process
+/// serving other clients.
 pub const CAMPAIGN_RULES: &[Rule] =
-    &[Rule::Hash, Rule::WallClock, Rule::HotAlloc, Rule::StaleWaiver];
+    &[Rule::Unwrap, Rule::Hash, Rule::WallClock, Rule::HotAlloc, Rule::StaleWaiver];
 
 /// The rule set enforced on [`KERNEL_CRATES`].
 pub const KERNEL_RULES: &[Rule] = &[Rule::Hash, Rule::HotAlloc, Rule::StaleWaiver];

@@ -1,0 +1,175 @@
+//! The round-robin admission queue: one FIFO per connection key,
+//! served round-robin so a flooding connection cannot starve others.
+//!
+//! Extracted from [`serve`](crate::serve) as a *generic* structure with
+//! no locking of its own: the daemon guards it with its admission
+//! mutex, and the loom model (`tests/loom.rs`) guards it with a modeled
+//! mutex to exhaustively check concurrent submit/drain interleavings.
+//! Keeping the structure lock-free-by-delegation is what makes both
+//! usable on the identical code.
+//!
+//! Invariants (checked by the unit tests here and the loom model):
+//!
+//! * per-connection FIFO — jobs from one connection pop in push order;
+//! * conservation — every pushed job is popped or drained exactly once;
+//! * round-robin — consecutive pops from the same connection happen
+//!   only when no other connection has a queued job;
+//! * empty per-connection queues are garbage-collected eagerly, so an
+//!   idle connection costs nothing.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Bound;
+
+/// A round-robin multi-queue keyed by connection id. `J` is the queued
+/// job type; the queue never inspects it except through caller-supplied
+/// predicates.
+pub struct Admission<J> {
+    queues: BTreeMap<u64, VecDeque<J>>,
+    /// Last connection served; the next pop starts strictly after it.
+    cursor: u64,
+    queued: usize,
+    /// Jobs popped but not yet finished (maintained by the daemon).
+    pub in_flight: usize,
+    /// Set once the daemon refuses new submits (maintained by the daemon).
+    pub draining: bool,
+}
+
+// Manual impl: a derived one would needlessly require `J: Default`.
+impl<J> Default for Admission<J> {
+    fn default() -> Admission<J> {
+        Admission {
+            queues: BTreeMap::new(),
+            cursor: 0,
+            queued: 0,
+            in_flight: 0,
+            draining: false,
+        }
+    }
+}
+
+impl<J> Admission<J> {
+    /// Appends a job to `conn`'s FIFO.
+    pub fn push(&mut self, conn: u64, job: J) {
+        self.queues.entry(conn).or_default().push_back(job);
+        self.queued += 1;
+    }
+
+    /// Number of queued (not yet popped) jobs.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Pops the next job round-robin across connection queues.
+    pub fn pop_next(&mut self) -> Option<J> {
+        let after = self
+            .queues
+            .range((Bound::Excluded(self.cursor), Bound::Unbounded))
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k);
+        let key = after.or_else(|| {
+            self.queues
+                .range(..=self.cursor)
+                .find(|(_, q)| !q.is_empty())
+                .map(|(&k, _)| k)
+        })?;
+        let queue = self.queues.get_mut(&key)?;
+        let job = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&key);
+        }
+        self.cursor = key;
+        self.queued -= 1;
+        Some(job)
+    }
+
+    /// Removes every queued job (drain), leaving the queues empty.
+    pub fn drain_all(&mut self) -> Vec<J> {
+        let mut jobs = Vec::with_capacity(self.queued);
+        for (_, mut queue) in std::mem::take(&mut self.queues) {
+            jobs.extend(queue.drain(..));
+        }
+        self.queued = 0;
+        jobs
+    }
+
+    /// Removes queued jobs matching `take` (e.g. expired deadlines),
+    /// preserving FIFO order among the survivors.
+    pub fn drain_where(&mut self, mut take: impl FnMut(&J) -> bool) -> Vec<J> {
+        let mut taken = Vec::new();
+        for queue in self.queues.values_mut() {
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(job) = queue.pop_front() {
+                if take(&job) {
+                    taken.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *queue = keep;
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+        self.queued -= taken.len();
+        taken
+    }
+
+    /// Whether any per-connection queue is still allocated.
+    pub fn has_queues(&self) -> bool {
+        !self.queues.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_connections() {
+        let mut adm: Admission<u64> = Admission::default();
+        // Connection 1 floods five jobs; connection 2 and 3 queue one each.
+        for _ in 0..5 {
+            adm.push(1, 1);
+        }
+        for conn in [2u64, 3] {
+            adm.push(conn, conn);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| adm.pop_next()).collect();
+        assert_eq!(order, vec![1, 2, 3, 1, 1, 1, 1], "flooder must not starve others");
+        assert_eq!(adm.queued(), 0);
+        assert!(!adm.has_queues(), "empty queues are garbage-collected");
+    }
+
+    #[test]
+    fn cursor_wraps_below_the_lowest_key() {
+        let mut adm: Admission<u64> = Admission::default();
+        adm.push(7, 70);
+        assert_eq!(adm.pop_next(), Some(70)); // cursor now 7
+        adm.push(3, 30);
+        assert_eq!(adm.pop_next(), Some(30), "pop must wrap past the cursor");
+    }
+
+    #[test]
+    fn drain_all_empties_every_queue() {
+        let mut adm: Admission<u64> = Admission::default();
+        for conn in 0..4u64 {
+            for _ in 0..3 {
+                adm.push(conn, conn);
+            }
+        }
+        assert_eq!(adm.drain_all().len(), 12);
+        assert_eq!(adm.queued(), 0);
+        assert!(adm.pop_next().is_none());
+    }
+
+    #[test]
+    fn drain_where_keeps_survivor_order() {
+        let mut adm: Admission<u64> = Admission::default();
+        for v in [10u64, 11, 12, 13] {
+            adm.push(1, v);
+        }
+        let taken = adm.drain_where(|v| v % 2 == 0);
+        assert_eq!(taken, vec![10, 12]);
+        assert_eq!(adm.queued(), 2);
+        assert_eq!(adm.pop_next(), Some(11));
+        assert_eq!(adm.pop_next(), Some(13));
+    }
+}

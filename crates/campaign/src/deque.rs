@@ -1,0 +1,96 @@
+//! The work-stealing deques backing the campaign [`pool`](crate::pool).
+//!
+//! Shape: one global injector holding the not-yet-claimed task indices
+//! plus one deque per worker. A worker pops from the *back* of its own
+//! deque (LIFO, cache-warm); when that runs dry it claims a fresh chunk
+//! from the injector; when the injector is dry too it steals from the
+//! *front* of a sibling's deque (FIFO — the opposite end, so steals and
+//! owner pops rarely contend on the same items).
+//!
+//! Chunked injector claims (`ceil(n / workers / 4)`, the classic
+//! guided-self-scheduling compromise) keep injector contention low at
+//! the start while leaving enough unclaimed tail for the steal phase to
+//! balance tasks of wildly different cost.
+//!
+//! Extracted from `pool` so the owner-pop vs sibling-steal race can be
+//! model-checked: under `--cfg loom` the mutexes below come from the
+//! vendored loom shim and `tests/loom.rs` explores every interleaving
+//! of a popping owner and a stealing sibling.
+
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+
+#[cfg(loom)]
+use loom::sync::{Mutex, MutexGuard};
+#[cfg(not(loom))]
+use std::sync::{Mutex, MutexGuard};
+
+/// Injector plus per-worker deques for `n` task indices. All methods
+/// take `&self`; workers address their own deque by index.
+pub struct StealDeques {
+    // sync: two independent mutex families, never nested — `claim_chunk`
+    // releases the injector before touching the worker's own deque, so a
+    // thread holds at most one of {injector, one deque} and no lock-order
+    // cycle exists (model-checked in tests/loom.rs).
+    injector: Mutex<VecDeque<usize>>,
+    deques: Vec<Mutex<VecDeque<usize>>>, // sync: see above
+    /// Injector claim size; at least 1.
+    chunk: usize,
+}
+
+impl StealDeques {
+    /// A deque set distributing task indices `0..n` over `workers`
+    /// deques. `workers` must be at least 1 (the pool clamps).
+    pub fn new(n: usize, workers: usize) -> StealDeques {
+        StealDeques {
+            // sync: see the lock-order note on the struct fields above.
+            injector: Mutex::new((0..n).collect()), // sync: see struct note
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(), // sync: see struct note
+            chunk: n.div_ceil(workers).div_ceil(4).max(1),
+        }
+    }
+
+    /// The full claim order for worker `me`: own deque (LIFO), then the
+    /// injector, then a sibling steal (FIFO). `None` means the whole
+    /// system is drained and the worker can exit — tasks never spawn
+    /// tasks, so emptiness is stable.
+    pub fn next_for(&self, me: usize) -> Option<usize> {
+        self.pop_own(me).or_else(|| self.claim_chunk(me)).or_else(|| self.steal(me))
+    }
+
+    /// LIFO pop from the worker's own deque.
+    pub fn pop_own(&self, me: usize) -> Option<usize> {
+        lock_clean(&self.deques[me]).pop_back()
+    }
+
+    /// Claims a chunk from the injector into the worker's own deque and
+    /// returns the first claimed index.
+    pub fn claim_chunk(&self, me: usize) -> Option<usize> {
+        let mut injector = lock_clean(&self.injector);
+        let first = injector.pop_front()?;
+        let rest: Vec<usize> = (1..self.chunk).map_while(|_| injector.pop_front()).collect();
+        drop(injector);
+        lock_clean(&self.deques[me]).extend(rest);
+        Some(first)
+    }
+
+    /// FIFO steal from the first non-empty sibling deque.
+    pub fn steal(&self, me: usize) -> Option<usize> {
+        let n = self.deques.len();
+        (1..n)
+            .map(|offset| (me + offset) % n)
+            .find_map(|victim| lock_clean(&self.deques[victim]).pop_front())
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+}
+
+/// Locks a mutex; poisoning cannot happen because a panicking task
+/// unwinds through `thread::scope`, aborting the whole pool before
+/// anyone re-locks (and modeled loom mutexes never poison at all).
+fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -357,9 +357,11 @@ pub fn execute(campaign: &Campaign, opts: &ExecOptions) -> Result<CampaignReport
     let progress = ProgressSink {
         enabled: opts.progress,
         jsonl: opts.cell_jsonl,
-        done: AtomicUsize::new(0),
+        done: AtomicUsize::new(0), // sync: monotone progress count, see fetch_add below
         total: unique.len(),
         clock,
+        // sync: serializes stderr/JSONL emission only; no shared state
+        // is guarded, so lock order vs other locks never matters.
         out: Mutex::new(()),
     };
     for (i, cell) in cells.iter().enumerate() {
@@ -568,6 +570,9 @@ struct ProgressSink {
 
 impl ProgressSink {
     fn emit_executed(&self, cell: &CellSpec, record: &CellRecord, wall_nanos: u64) {
+        // sync: SeqCst — progress lines must agree with the order the
+        // counter was claimed in across workers; this is a per-cell (not
+        // per-cycle) event, so the fence cost is irrelevant.
         let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
         if !self.enabled && !self.jsonl {
             return;

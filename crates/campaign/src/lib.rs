@@ -14,7 +14,9 @@
 //! * [`cell`] — cell configs, records, content hashing.
 //! * [`suites`] — the named cell sets (one per paper figure + smoke).
 //! * [`cache`] — the on-disk content-addressed result cache.
-//! * [`pool`] — the work-stealing pool.
+//! * [`deque`] — the work-stealing deques (loom-model-checked).
+//! * [`pool`] — the work-stealing pool built on them.
+//! * [`admission`] — the round-robin admission queue (loom-model-checked).
 //! * [`engine`] — cache resolution, pooled execution, canonical merge.
 //! * [`clock`] — the only wall-clock site in the crate.
 //! * [`bench_out`] — `BENCH_campaign.json` emission.
@@ -27,10 +29,12 @@
 //! * [`journal`] — the crash-safe drain journal of unfinished cells.
 //! * [`submit`] — the client: sharding, failover, canonical merge.
 
+pub mod admission;
 pub mod bench_out;
 pub mod cache;
 pub mod cell;
 pub mod clock;
+pub mod deque;
 pub mod engine;
 pub mod journal;
 pub mod json;

@@ -1,20 +1,13 @@
 //! A hand-rolled, std-only work-stealing thread pool for campaign
 //! cells.
 //!
-//! Shape: one global injector holding the not-yet-claimed cell indices
-//! plus one deque per worker. A worker pops from the *back* of its own
-//! deque (LIFO, cache-warm); when that runs dry it claims a fresh chunk
-//! from the injector; when the injector is dry too it steals from the
-//! *front* of a sibling's deque (FIFO — the opposite end, so steals and
-//! owner pops rarely contend on the same items). Cells never spawn
-//! cells, so once the injector and every deque are empty the pool is
-//! done and workers exit.
-//!
-//! Chunked injector claims (`ceil(n / workers / 4)`, the classic
-//! guided-self-scheduling compromise) keep injector contention low at
-//! the start while leaving enough unclaimed tail for the steal phase to
-//! balance cells of wildly different cost — a fig15 16×16-mesh cell can
-//! cost 100× a 2×2 cell.
+//! The claiming discipline (own deque LIFO, then injector chunk, then
+//! sibling steal FIFO) lives in [`deque::StealDeques`](crate::deque) —
+//! extracted there so the owner-pop vs steal race is model-checkable
+//! under loom. This module owns what is pool-specific: the worker
+//! scope, result slots, and panic isolation. A fig15 16×16-mesh cell
+//! can cost 100× a 2×2 cell, which is why the chunked-claim + steal
+//! balance matters.
 //!
 //! The pool is deliberately order-oblivious: results are written to
 //! their task's slot, and the campaign engine re-emits everything in
@@ -22,9 +15,10 @@
 //! byte-identical downstream. No wall clock in here — timing belongs to
 //! the engine's harness boundary.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+
+use crate::deque::StealDeques;
 
 /// Runs `task(i)` for every `i in 0..n` on `workers` threads, returning
 /// the results indexed by task. `workers` is clamped to `1..=n` (a
@@ -38,25 +32,20 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
-    let injector: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
-    let deques: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    // Chunk size for injector claims; at least 1.
-    let chunk = n.div_ceil(workers).div_ceil(4).max(1);
+    // sync: the work mutexes live in StealDeques; slots are a third,
+    // independent family — a worker holds at most one of {injector, one
+    // deque, one slot} at a time (claim, then release, then execute),
+    // so no lock-order cycle exists.
+    let work = StealDeques::new(n, workers);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect(); // sync: see above
 
     std::thread::scope(|scope| {
         for me in 0..workers {
-            let injector = &injector;
-            let deques = &deques;
+            let work = &work;
             let slots = &slots;
             let task = &task;
             scope.spawn(move || {
-                loop {
-                    let next = pop_own(&deques[me])
-                        .or_else(|| claim_chunk(injector, &deques[me], chunk))
-                        .or_else(|| steal(deques, me));
-                    let Some(index) = next else { break };
+                while let Some(index) = work.next_for(me) {
                     let result = task(index);
                     *lock_clean(&slots[index]) = Some(result);
                 }
@@ -103,34 +92,6 @@ where
 /// anyone re-locks.
 fn lock_clean<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// LIFO pop from the worker's own deque.
-fn pop_own(own: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    lock_clean(own).pop_back()
-}
-
-/// Claims a chunk from the injector into the worker's own deque and
-/// returns the first claimed index.
-fn claim_chunk(
-    injector: &Mutex<VecDeque<usize>>,
-    own: &Mutex<VecDeque<usize>>,
-    chunk: usize,
-) -> Option<usize> {
-    let mut injector = lock_clean(injector);
-    let first = injector.pop_front()?;
-    let rest: Vec<usize> = (1..chunk).map_while(|_| injector.pop_front()).collect();
-    drop(injector);
-    lock_clean(own).extend(rest);
-    Some(first)
-}
-
-/// FIFO steal from the first non-empty sibling deque.
-fn steal(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
-    let n = deques.len();
-    (1..n)
-        .map(|offset| (me + offset) % n)
-        .find_map(|victim| lock_clean(&deques[victim]).pop_front())
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 //! identical cells, so concurrent writers are benign, and a client can
 //! shard cells across daemons by content hash.
 
+use crate::admission::Admission;
 use crate::cache::{CacheMiss, ResultCache};
 use crate::cell::{CellConfig, CellRecord};
 use crate::clock::{Deadline, HarnessClock};
@@ -42,10 +43,9 @@ use crate::journal;
 use crate::protocol::{Reply, Request, ServiceStatus};
 use inpg_manycore::SimError;
 use inpg_sim::AbortHandle;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::ops::Bound;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,74 +104,15 @@ struct Job {
     reply: mpsc::Sender<Reply>,
 }
 
-/// The admission queue: one FIFO per connection, served round-robin.
-#[derive(Default)]
-struct Admission {
-    queues: BTreeMap<u64, VecDeque<Job>>,
-    /// Last connection served; the next pop starts strictly after it.
-    cursor: u64,
-    queued: usize,
-    in_flight: usize,
-    draining: bool,
-}
-
-impl Admission {
-    /// Pops the next job round-robin across connection queues.
-    fn pop_next(&mut self) -> Option<Job> {
-        let after = self
-            .queues
-            .range((Bound::Excluded(self.cursor), Bound::Unbounded))
-            .find(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k);
-        let key = after.or_else(|| {
-            self.queues
-                .range(..=self.cursor)
-                .find(|(_, q)| !q.is_empty())
-                .map(|(&k, _)| k)
-        })?;
-        let queue = self.queues.get_mut(&key)?;
-        let job = queue.pop_front()?;
-        if queue.is_empty() {
-            self.queues.remove(&key);
-        }
-        self.cursor = key;
-        self.queued -= 1;
-        Some(job)
-    }
-
-    /// Removes every queued job (drain), leaving the queues empty.
-    fn drain_all(&mut self) -> Vec<Job> {
-        let mut jobs = Vec::with_capacity(self.queued);
-        for (_, mut queue) in std::mem::take(&mut self.queues) {
-            jobs.extend(queue.drain(..));
-        }
-        self.queued = 0;
-        jobs
-    }
-
-    /// Removes queued jobs whose deadline has passed.
-    fn drain_expired(&mut self) -> Vec<Job> {
-        let mut expired = Vec::new();
-        for queue in self.queues.values_mut() {
-            let mut keep = VecDeque::with_capacity(queue.len());
-            while let Some(job) = queue.pop_front() {
-                if job.deadline.is_some_and(|d| d.expired()) {
-                    expired.push(job);
-                } else {
-                    keep.push_back(job);
-                }
-            }
-            *queue = keep;
-        }
-        self.queues.retain(|_, q| !q.is_empty());
-        self.queued -= expired.len();
-        expired
-    }
+/// Removes queued jobs whose deadline has passed (the generic drain
+/// lives in [`Admission::drain_where`]).
+fn drain_expired(adm: &mut Admission<Job>) -> Vec<Job> {
+    adm.drain_where(|job| job.deadline.is_some_and(|d| d.expired()))
 }
 
 /// Everything the daemon's threads share.
 struct Shared {
-    admission: Mutex<Admission>,
+    admission: Mutex<Admission<Job>>,
     work_ready: Condvar,
     cache: Option<ResultCache>,
     opts: ServeOptions,
@@ -189,20 +130,22 @@ struct Shared {
 }
 
 impl Shared {
-    fn admission(&self) -> MutexGuard<'_, Admission> {
+    fn admission(&self) -> MutexGuard<'_, Admission<Job>> {
         self.admission.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn status(&self) -> ServiceStatus {
         let adm = self.admission();
         ServiceStatus {
-            queued: adm.queued as u64,
+            queued: adm.queued() as u64,
             in_flight: adm.in_flight as u64,
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            // sync: Relaxed — independent monotone counters; a snapshot
+            // is advisory (stats line), so cross-counter skew is fine.
+            hits: self.hits.load(Ordering::Relaxed), // sync: relaxed stat counter
+            misses: self.misses.load(Ordering::Relaxed), // sync: relaxed stat counter
+            timeouts: self.timeouts.load(Ordering::Relaxed), // sync: relaxed stat counter
+            rejected: self.rejected.load(Ordering::Relaxed), // sync: relaxed stat counter
+            quarantined: self.quarantined.load(Ordering::Relaxed), // sync: relaxed stat counter
             draining: adm.draining,
         }
     }
@@ -251,6 +194,8 @@ impl Shared {
             Err(CacheMiss::HashMismatch(why) | CacheMiss::Malformed(why)) => {
                 match cache.quarantine(config) {
                     Ok(true) => {
+                        // sync: Relaxed — monotone stat counter, not
+                        // an ordering edge; readers tolerate skew.
                         self.quarantined.fetch_add(1, Ordering::Relaxed);
                         eprintln!(
                             "serve: quarantined corrupt cache entry {} ({why})",
@@ -302,18 +247,23 @@ pub fn serve(opts: ServeOptions) -> io::Result<()> {
     sig::install();
 
     let shared = Arc::new(Shared {
+        // sync: the admission queue is the daemon's one blocking lock;
+        // `work_ready` is only ever waited on while holding it, and no
+        // other lock is taken inside that critical section.
         admission: Mutex::new(Admission::default()),
-        work_ready: Condvar::new(),
+        work_ready: Condvar::new(), // sync: paired with `admission` above
         cache,
         opts: opts.clone(),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
-        timeouts: AtomicU64::new(0),
-        rejected: AtomicU64::new(0),
-        quarantined: AtomicU64::new(0),
+        hits: AtomicU64::new(0), // sync: relaxed stat counter
+        misses: AtomicU64::new(0), // sync: relaxed stat counter
+        timeouts: AtomicU64::new(0), // sync: relaxed stat counter
+        rejected: AtomicU64::new(0), // sync: relaxed stat counter
+        quarantined: AtomicU64::new(0), // sync: relaxed stat counter
+        // sync: leaf lock — deadline registration/expiry never takes
+        // `admission` (or any other lock) while holding it.
         inflight_deadlines: Mutex::new(BTreeMap::new()),
-        next_deadline_id: AtomicU64::new(0),
-        stopped: AtomicBool::new(false),
+        next_deadline_id: AtomicU64::new(0), // sync: relaxed unique-ID source
+        stopped: AtomicBool::new(false), // sync: SeqCst stop flag, see `store`
     });
 
     replay_journal(&shared);
@@ -374,6 +324,9 @@ pub fn serve(opts: ServeOptions) -> io::Result<()> {
     for worker in workers {
         let _ = worker.join();
     }
+    // sync: SeqCst — the stop flag must be globally ordered against the
+    // admission drain it races with on shutdown, so a worker that misses
+    // the flag still observes the drained queue (and vice versa).
     shared.stopped.store(true, Ordering::SeqCst);
     let _ = timer.join();
     if let Some(path) = &opts.addr_file {
@@ -399,14 +352,11 @@ fn replay_journal(shared: &Arc<Shared>) {
             for config in cells {
                 // Served from cache if a sibling already finished it.
                 if let Some(_record) = shared.cache_load(&config) {
+                    // sync: Relaxed — monotone stat counter.
                     shared.hits.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                adm.queues
-                    .entry(0)
-                    .or_default()
-                    .push_back(Job { config, deadline: None, reply: tx.clone() });
-                adm.queued += 1;
+                adm.push(0, Job { config, deadline: None, reply: tx.clone() });
             }
             shared.work_ready.notify_all();
         }
@@ -454,7 +404,7 @@ fn handle_submit(
     conn_id: u64,
 ) -> Reply {
     if let Some(record) = shared.cache_load(&config) {
-        shared.hits.fetch_add(1, Ordering::Relaxed);
+        shared.hits.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
         return Reply::Result {
             hash: config.content_hash(),
             record: Box::new(record),
@@ -470,18 +420,14 @@ fn handle_submit(
         if adm.draining {
             return Reply::Draining;
         }
-        if adm.queued >= shared.opts.queue_capacity {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
+        if adm.queued() >= shared.opts.queue_capacity {
+            shared.rejected.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
             // Honest heuristic: the fuller the queue per worker, the
             // longer the suggested backoff.
-            let per_worker = adm.queued / shared.opts.workers.max(1);
+            let per_worker = adm.queued() / shared.opts.workers.max(1);
             return Reply::Overloaded { retry_after_ms: 25 * (1 + per_worker as u64) };
         }
-        adm.queues
-            .entry(conn_id)
-            .or_default()
-            .push_back(Job { config, deadline, reply: tx });
-        adm.queued += 1;
+        adm.push(conn_id, Job { config, deadline, reply: tx });
         self::notify_one(shared);
     }
     // The worker (or the deadline timer, or a drain) always answers.
@@ -523,7 +469,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
     if let Some(deadline) = job.deadline {
         if deadline.expired() {
-            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.timeouts.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
             return Reply::Timeout {
                 detail: "deadline passed while queued; the cell never ran".into(),
             };
@@ -531,6 +477,8 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
     }
     let abort = AbortHandle::new();
     let registration = job.deadline.map(|deadline| {
+        // sync: Relaxed — fetch_add is atomic at any ordering, and
+        // uniqueness of the ID is all this needs; nothing is published.
         let id = shared.next_deadline_id.fetch_add(1, Ordering::Relaxed);
         shared
             .inflight_deadlines
@@ -555,7 +503,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
 
     match outcome {
         Ok(Ok(fresh)) => {
-            shared.misses.fetch_add(1, Ordering::Relaxed);
+            shared.misses.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
             let record = CellRecord::from_result(&fresh);
             if let Some(cache) = &shared.cache {
                 if job.config.cacheable() {
@@ -575,7 +523,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
             }
         }
         Ok(Err(SimError::Aborted { cycle })) => {
-            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.timeouts.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
             Reply::Timeout {
                 detail: format!(
                     "deadline passed mid-run; simulation stopped at cycle {}",
@@ -599,6 +547,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) -> Reply {
 /// handle of any in-flight run whose deadline passed, and answer queued
 /// jobs whose deadline passed without making them wait for a worker.
 fn deadline_timer_loop(shared: &Arc<Shared>) {
+    // sync: SeqCst — pairs with the shutdown `store`; see that site.
     while !shared.stopped.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(5));
         {
@@ -612,9 +561,9 @@ fn deadline_timer_loop(shared: &Arc<Shared>) {
                 }
             }
         }
-        let expired = shared.admission().drain_expired();
+        let expired = drain_expired(&mut shared.admission());
         for job in expired {
-            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+            shared.timeouts.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
             let _ = job.reply.send(Reply::Timeout {
                 detail: "deadline passed while queued; the cell never ran".into(),
             });
@@ -629,10 +578,12 @@ fn deadline_timer_loop(shared: &Arc<Shared>) {
 mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
+    // sync: signal-handler flag — written from a signal context where
+    // only atomics are async-signal-safe; SeqCst keeps it simple.
     static TERM: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_term(_signum: i32) {
-        TERM.store(true, Ordering::SeqCst);
+        TERM.store(true, Ordering::SeqCst); // sync: see TERM declaration
     }
 
     extern "C" {
@@ -650,7 +601,7 @@ mod sig {
     }
 
     pub fn termed() -> bool {
-        TERM.load(Ordering::SeqCst)
+        TERM.load(Ordering::SeqCst) // sync: see TERM declaration
     }
 }
 
@@ -667,74 +618,26 @@ mod sig {
 mod tests {
     use super::*;
 
-    fn job(conn: u64) -> Job {
-        let (tx, rx) = mpsc::channel();
-        std::mem::forget(rx);
-        Job { config: CellConfig::benchmark("freq"), deadline: None, reply: tx }
-            .with_conn_marker(conn)
-    }
-
-    impl Job {
-        /// Test helper: tag the config's seed with the connection id so
-        /// pop order is observable.
-        fn with_conn_marker(mut self, conn: u64) -> Job {
-            self.config.seed = conn;
-            self
-        }
-    }
-
-    #[test]
-    fn admission_round_robin_interleaves_connections() {
-        let mut adm = Admission::default();
-        // Connection 1 floods five jobs; connection 2 and 3 queue one each.
-        for _ in 0..5 {
-            adm.queues.entry(1).or_default().push_back(job(1));
-            adm.queued += 1;
-        }
-        for conn in [2u64, 3] {
-            adm.queues.entry(conn).or_default().push_back(job(conn));
-            adm.queued += 1;
-        }
-        let order: Vec<u64> =
-            std::iter::from_fn(|| adm.pop_next().map(|j| j.config.seed)).collect();
-        assert_eq!(order, vec![1, 2, 3, 1, 1, 1, 1], "flooder must not starve others");
-        assert_eq!(adm.queued, 0);
-        assert!(adm.queues.is_empty(), "empty queues are garbage-collected");
-    }
-
+    // Round-robin / drain-all behavior is covered generically in
+    // `crate::admission`; here only the serve-specific deadline
+    // predicate is tested.
     #[test]
     fn expired_queued_jobs_are_separated_from_live_ones() {
-        let mut adm = Admission::default();
+        let mut adm: Admission<Job> = Admission::default();
         let (tx, _rx) = mpsc::channel();
         for (conn, deadline) in [
             (1u64, Some(Deadline::after_ms(0))),
             (1, None),
             (2, Some(Deadline::after_ms(3_600_000))),
         ] {
-            adm.queues.entry(conn).or_default().push_back(Job {
-                config: CellConfig::benchmark("freq"),
-                deadline,
-                reply: tx.clone(),
-            });
-            adm.queued += 1;
+            adm.push(
+                conn,
+                Job { config: CellConfig::benchmark("freq"), deadline, reply: tx.clone() },
+            );
         }
         std::thread::sleep(Duration::from_millis(2));
-        let expired = adm.drain_expired();
+        let expired = drain_expired(&mut adm);
         assert_eq!(expired.len(), 1);
-        assert_eq!(adm.queued, 2, "undeadlined and future-deadlined jobs stay");
-    }
-
-    #[test]
-    fn drain_all_empties_every_queue() {
-        let mut adm = Admission::default();
-        for conn in 0..4u64 {
-            for _ in 0..3 {
-                adm.queues.entry(conn).or_default().push_back(job(conn));
-                adm.queued += 1;
-            }
-        }
-        assert_eq!(adm.drain_all().len(), 12);
-        assert_eq!(adm.queued, 0);
-        assert!(adm.pop_next().is_none());
+        assert_eq!(adm.queued(), 2, "undeadlined and future-deadlined jobs stay");
     }
 }

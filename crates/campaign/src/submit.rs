@@ -329,7 +329,7 @@ pub fn run_campaign(
         unique.push(i);
     }
 
-    let done = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0); // sync: monotone progress count, see fetch_add below
     let replies: Vec<Result<CellReply, String>> =
         pool::run_indexed(unique.len(), opts.workers, |k| {
             let spec = &cells[unique[k]];
@@ -339,6 +339,8 @@ pub fn run_campaign(
                 .unwrap_or(0) as usize;
             let reply = submit_cell(opts, spec, shard);
             if opts.progress {
+                // sync: SeqCst — progress numbering must be the claim
+                // order across workers; per-cell frequency, cost moot.
                 let n = done.fetch_add(1, Ordering::SeqCst) + 1;
                 match &reply {
                     Ok(r) => eprintln!(

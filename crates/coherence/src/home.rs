@@ -564,9 +564,16 @@ impl HomeCore {
     /// the home does not enter a busy state.
     fn forward_read(&mut self, addr: Addr, owner: CoreId, requester: CoreId, o: &mut HomeOutcome) {
         let entry = self.entries.entry(addr).or_default();
-        let mut sharers = match entry.state().clone() {
-            DirState::Owned { sharers, .. } => sharers,
-            DirState::Unowned | DirState::Shared(_) | DirState::Exclusive { .. } => BTreeSet::new(),
+        // Take the sharer set out of the state instead of cloning it:
+        // spin-read storms hit this path once per reader, and a BTreeSet
+        // clone here is a per-request allocation the state machine does
+        // not need — the state is rebuilt (with the set moved back in)
+        // on the next line.
+        let mut sharers = match entry.state.take() {
+            Some(DirState::Owned { sharers, .. }) => sharers,
+            Some(DirState::Unowned | DirState::Shared(_) | DirState::Exclusive { .. }) | None => {
+                BTreeSet::new()
+            }
         };
         sharers.insert(requester);
         entry.state = Some(DirState::Owned { owner, sharers });

@@ -14,7 +14,6 @@
 
 use crate::{LockLayout, LockPrimitive, LockStep};
 use inpg_coherence::{MemOp, MemOpKind};
-use inpg_hot::hot;
 use inpg_sim::{coverage, Addr};
 
 /// Cycles of loop overhead between consecutive spin polls.
@@ -325,7 +324,6 @@ impl LockHandle {
     /// Panics if called while an issued operation's result is still
     /// outstanding (the driver must call [`on_result`](Self::on_result)
     /// first), or on an idle handle.
-    #[hot]
     pub fn step(&mut self) -> LockStep {
         coverage::record(coverage::LOCK_STEP.id(state_index(self.state)));
         // Borrow, don't clone: the layout holds a word-address vector and
@@ -565,7 +563,6 @@ impl LockHandle {
     /// # Panics
     ///
     /// Panics if no operation is outstanding.
-    #[hot]
     pub fn on_result(&mut self, value: u64) {
         coverage::record(coverage::LOCK_ON_RESULT.id(state_index(self.state)));
         self.state = match self.state {

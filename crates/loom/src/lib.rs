@@ -1,0 +1,404 @@
+//! A vendored, std-only model-checking shim with a loom-compatible
+//! surface, in the same spirit as the workspace's `proptest` and
+//! `criterion` shims: the build environment has no registry access, so
+//! the API the tests are written against is reproduced here and the
+//! tests stay source-compatible with the real crate.
+//!
+//! What it does: [`model`] runs a closure repeatedly, exploring **every
+//! interleaving** of the loom-wrapped threads and synchronization
+//! operations inside it. Execution is serialized — exactly one modeled
+//! thread runs at a time — and every visible operation (mutex
+//! lock/unlock, condvar wait/notify, atomic access, spawn/join,
+//! `yield_now`) is a scheduling point where the explorer chooses which
+//! thread advances. Choices are recorded; after each execution the
+//! deepest choice with an unexplored alternative is bumped and the
+//! prefix replayed (depth-first search over the schedule tree). A
+//! panicking thread or a deadlock (every live thread blocked) fails the
+//! model with the schedule that produced it.
+//!
+//! Honest limitations vs the real loom:
+//!
+//! * **Sequential consistency only.** Atomics execute as `SeqCst`
+//!   regardless of the ordering argument; weak-memory reorderings are
+//!   not explored. A bug that *requires* `Relaxed` reordering to
+//!   surface will not be found — interleaving bugs (the common kind in
+//!   lock-based code) will be.
+//! * **No partial-order reduction.** The schedule tree is explored
+//!   whole, so models must stay small (2–3 threads, a dozen operations
+//!   each). The explorer panics after [`MAX_ITERATIONS`] executions
+//!   rather than silently truncating coverage.
+//! * Mutexes never poison (a panicking execution aborts the run), and
+//!   condvars have no spurious wakeups.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+pub mod sync;
+pub mod thread;
+
+/// Executions explored before the model panics: a model this large
+/// needs partial-order reduction (the real loom), not a bigger cap.
+pub const MAX_ITERATIONS: usize = 250_000;
+
+/// Scheduling decisions per execution before the model panics; a bound
+/// this deep means a thread is polling in a loop the explorer cannot
+/// exhaust.
+pub const MAX_STEPS: usize = 20_000;
+
+pub(crate) type Tid = usize;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+#[derive(Default)]
+struct State {
+    /// Choice indices to replay from the previous execution (prefix).
+    replay: Vec<usize>,
+    /// Choice indices actually taken this execution.
+    chosen: Vec<usize>,
+    /// Number of runnable threads at each decision (branch width).
+    alts: Vec<usize>,
+    step: usize,
+    threads: Vec<Run>,
+    active: Tid,
+    failure: Option<String>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CvSt>,
+    /// Threads waiting in `join` on the indexed thread.
+    join_waiters: Vec<Vec<Tid>>,
+    /// Threads not yet Finished.
+    live: usize,
+}
+
+#[derive(Default)]
+struct MutexSt {
+    held: bool,
+    waiters: Vec<Tid>,
+}
+
+#[derive(Default)]
+struct CvSt {
+    waiters: Vec<Tid>,
+}
+
+pub(crate) struct Scheduler {
+    state: OsMutex<State>,
+    cv: OsCondvar,
+    handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> (Arc<Scheduler>, Tid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+pub(crate) fn set_current(sched: Arc<Scheduler>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// The message threads panic with when the execution is being torn
+/// down after a primary failure; never surfaces as the model verdict.
+const ABANDONED: &str = "loom: execution abandoned after a failure elsewhere";
+
+impl Scheduler {
+    fn new(replay: Vec<usize>) -> Scheduler {
+        let state = State {
+            replay,
+            threads: vec![Run::Runnable],
+            join_waiters: vec![Vec::new()],
+            live: 1,
+            ..State::default()
+        };
+        Scheduler {
+            state: OsMutex::new(state),
+            cv: OsCondvar::new(),
+            handles: OsMutex::new(Vec::new()),
+        }
+    }
+
+    /// Picks the next thread to advance. Called with the state lock
+    /// held, by the thread giving up its turn.
+    fn decide(&self, st: &mut State) {
+        if st.failure.is_some() {
+            return;
+        }
+        let runnable: Vec<Tid> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.live > 0 {
+                st.failure = Some(format!(
+                    "deadlock: {} live thread(s) all blocked (schedule {:?})",
+                    st.live, st.chosen
+                ));
+            }
+            return;
+        }
+        if st.step >= MAX_STEPS {
+            st.failure = Some(format!(
+                "execution exceeded {MAX_STEPS} scheduling points — is a thread polling?"
+            ));
+            return;
+        }
+        let choice =
+            if st.step < st.replay.len() { st.replay[st.step] } else { 0 }.min(runnable.len() - 1);
+        st.chosen.push(choice);
+        st.alts.push(runnable.len());
+        st.active = runnable[choice];
+        st.step += 1;
+    }
+
+    /// Waits (state lock held, released while parked) until this thread
+    /// is the active one; unwinds if the execution failed meanwhile.
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, State>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, State> {
+        while st.failure.is_none() && st.active != me {
+            st = self.cv.wait(st).expect("scheduler state never poisons");
+        }
+        if st.failure.is_some() {
+            drop(st);
+            panic!("{ABANDONED}");
+        }
+        st
+    }
+
+    /// A scheduling point: chooses who advances next, then waits until
+    /// this thread is chosen again.
+    pub(crate) fn switch(&self, me: Tid) {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        self.decide(&mut st);
+        self.cv.notify_all();
+        let st = self.wait_turn(st, me);
+        drop(st);
+    }
+
+    /// Parks `me` as Blocked and hands the turn to someone else; returns
+    /// once `me` is runnable *and* scheduled again. The caller must have
+    /// registered `me` on the wait list that will wake it.
+    fn park<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, State>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, State> {
+        st.threads[me] = Run::Blocked;
+        self.decide(&mut st);
+        self.cv.notify_all();
+        self.wait_turn(st, me)
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        st.mutexes.push(MutexSt::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        st.condvars.push(CvSt::default());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn register_thread(&self) -> Tid {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        st.threads.push(Run::Runnable);
+        st.join_waiters.push(Vec::new());
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn push_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().expect("handle list never poisons").push(h);
+    }
+
+    pub(crate) fn mutex_lock(&self, id: usize, me: Tid) {
+        self.switch(me);
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        loop {
+            if !st.mutexes[id].held {
+                st.mutexes[id].held = true;
+                return;
+            }
+            st.mutexes[id].waiters.push(me);
+            st = self.park(st, me);
+        }
+    }
+
+    /// Releases a mutex. Deliberately NOT a scheduling point: `drop` of
+    /// a guard runs during unwinding too, and a panic there would abort
+    /// the process; the next visible operation schedules instead, which
+    /// explores the same set of distinguishable interleavings.
+    pub(crate) fn mutex_unlock(&self, id: usize) {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        let state = &mut *st;
+        state.mutexes[id].held = false;
+        for w in state.mutexes[id].waiters.drain(..) {
+            state.threads[w] = Run::Runnable;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Atomically releases the mutex and parks on the condvar; on
+    /// wakeup, reacquires the mutex before returning.
+    pub(crate) fn condvar_wait(&self, cv_id: usize, mutex_id: usize, me: Tid) {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        {
+            let state = &mut *st;
+            state.mutexes[mutex_id].held = false;
+            for w in state.mutexes[mutex_id].waiters.drain(..) {
+                state.threads[w] = Run::Runnable;
+            }
+            state.condvars[cv_id].waiters.push(me);
+        }
+        st = self.park(st, me);
+        // Reacquire (same contended loop as `mutex_lock`, already
+        // scheduled — no extra leading switch needed).
+        loop {
+            if !st.mutexes[mutex_id].held {
+                st.mutexes[mutex_id].held = true;
+                return;
+            }
+            st.mutexes[mutex_id].waiters.push(me);
+            st = self.park(st, me);
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, cv_id: usize, n: usize, me: Tid) {
+        self.switch(me);
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        let state = &mut *st;
+        let take = state.condvars[cv_id].waiters.len().min(n);
+        for w in state.condvars[cv_id].waiters.drain(..take) {
+            state.threads[w] = Run::Runnable;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_wait(&self, child: Tid, me: Tid) {
+        self.switch(me);
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        loop {
+            if st.threads[child] == Run::Finished {
+                return;
+            }
+            st.join_waiters[child].push(me);
+            st = self.park(st, me);
+        }
+    }
+
+    /// Marks a thread finished, recording its panic (if any) as the
+    /// model failure unless one is already recorded.
+    pub(crate) fn finish(&self, me: Tid, panic_msg: Option<String>) {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        let state = &mut *st;
+        state.threads[me] = Run::Finished;
+        state.live -= 1;
+        for w in state.join_waiters[me].drain(..) {
+            state.threads[w] = Run::Runnable;
+        }
+        if let Some(msg) = panic_msg {
+            if state.failure.is_none() && msg != ABANDONED {
+                state.failure = Some(format!("thread panicked: {msg} (schedule {:?})", state.chosen));
+            }
+        }
+        if state.failure.is_none() {
+            self.decide(state);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.state.lock().expect("scheduler state never poisons");
+        while st.live > 0 {
+            st = self.cv.wait(st).expect("scheduler state never poisons");
+        }
+    }
+}
+
+pub(crate) fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Runs one execution of the model under the given replay schedule.
+/// Returns the choices taken, the branch widths, and any failure.
+fn run_once<F>(f: &F, replay: Vec<usize>) -> (Vec<usize>, Vec<usize>, Option<String>)
+where
+    F: Fn() + Send + Sync,
+{
+    let sched = Arc::new(Scheduler::new(replay));
+    set_current(sched.clone(), 0);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let msg = result.err().map(|p| payload_msg(p.as_ref()));
+    sched.finish(0, msg);
+    sched.wait_all_finished();
+    for h in std::mem::take(&mut *sched.handles.lock().expect("handle list never poisons")) {
+        let _ = h.join();
+    }
+    clear_current();
+    let st = sched.state.lock().expect("scheduler state never poisons");
+    (st.chosen.clone(), st.alts.clone(), st.failure.clone())
+}
+
+/// Explores every interleaving of the loom-wrapped concurrency inside
+/// `f`, panicking on the first schedule that panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= MAX_ITERATIONS,
+            "loom: model exceeded {MAX_ITERATIONS} executions — shrink the model \
+             (fewer threads / operations); this shim has no partial-order reduction"
+        );
+        let (chosen, alts, failure) = run_once(&f, replay);
+        if let Some(msg) = failure {
+            panic!("loom: model failed after {iterations} execution(s): {msg}");
+        }
+        // Backtrack: bump the deepest choice with an unexplored sibling.
+        let mut depth = chosen.len();
+        loop {
+            if depth == 0 {
+                return; // schedule tree exhausted
+            }
+            depth -= 1;
+            if chosen[depth] + 1 < alts[depth] {
+                break;
+            }
+        }
+        replay = chosen[..=depth].to_vec();
+        replay[depth] += 1;
+    }
+}

@@ -1,0 +1,233 @@
+//! Modeled synchronization primitives.
+//!
+//! `Mutex` and `Condvar` mirror the `std::sync` API (including
+//! `LockResult`, so call sites written against `std` compile unchanged)
+//! but park and wake through the model scheduler instead of the OS.
+//! Data inside a [`Mutex`] is safe to hand out because the scheduler
+//! serializes execution: the guard holds the modeled lock, and no other
+//! modeled thread runs while it would conflict.
+//!
+//! Atomics wrap the real `std` atomics and add a scheduling point
+//! before every access; all accesses execute as `SeqCst` regardless of
+//! the ordering argument (see the crate docs for this limitation).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, LockResult};
+
+use crate::{current, Scheduler};
+
+/// A modeled mutual-exclusion lock.
+pub struct Mutex<T> {
+    id: usize,
+    sched: Arc<Scheduler>,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the scheduler runs exactly one modeled thread at a time, and
+// `lock` blocks (in model time) until the modeled lock is free, so the
+// data is never aliased mutably.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex registered with the current model execution.
+    /// Panics outside `loom::model`.
+    pub fn new(data: T) -> Mutex<T> {
+        let (sched, _) = current();
+        let id = sched.register_mutex();
+        Mutex { id, sched, data: UnsafeCell::new(data) }
+    }
+
+    /// Acquires the lock, parking this thread (in model time) while a
+    /// sibling holds it. Never returns `Err`: modeled mutexes do not
+    /// poison — a panicking execution fails the whole model instead.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (sched, me) = current();
+        debug_assert!(
+            Arc::ptr_eq(&sched, &self.sched),
+            "mutex used from a different model execution than it was created in"
+        );
+        sched.mutex_lock(self.id, me);
+        Ok(MutexGuard { mutex: self })
+    }
+
+    /// Consumes the mutex, returning the inner data.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the modeled lock on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the modeled lock is held for the guard's lifetime.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above, plus `&mut self` gives unique guard access.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release is intentionally not a scheduling point (it must not
+        // panic while unwinding); the scheduler wakes waiters here and
+        // the next visible operation schedules.
+        self.mutex.sched.mutex_unlock(self.mutex.id);
+    }
+}
+
+/// A modeled condition variable.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Creates a condvar registered with the current model execution.
+    /// Panics outside `loom::model`.
+    pub fn new() -> Condvar {
+        let (sched, _) = current();
+        let id = sched.register_condvar();
+        Condvar { id }
+    }
+
+    /// Releases the guard's mutex and parks until notified, then
+    /// reacquires the mutex. No spurious wakeups in the model.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (sched, me) = current();
+        let mutex = guard.mutex;
+        // Hand release to the scheduler atomically with parking; the
+        // guard's Drop must not run its own unlock on top of that.
+        std::mem::forget(guard);
+        sched.condvar_wait(self.id, mutex.id, me);
+        Ok(MutexGuard { mutex })
+    }
+
+    /// Wakes one parked waiter (it still reacquires the mutex before
+    /// its `wait` returns).
+    pub fn notify_one(&self) {
+        let (sched, me) = current();
+        sched.condvar_notify(self.id, 1, me);
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        let (sched, me) = current();
+        sched.condvar_notify(self.id, usize::MAX, me);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+/// Modeled atomics: real `std` atomics with a scheduling point before
+/// every access; every access runs `SeqCst` (orderings accepted for
+/// API compatibility, not modeled).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    macro_rules! modeled_atomic {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// Modeled atomic; see the module docs.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(value: $value) -> Self {
+                    Self { inner: <$std>::new(value) }
+                }
+
+                pub fn load(&self, _order: Ordering) -> $value {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.load(SeqCst)
+                }
+
+                pub fn store(&self, value: $value, _order: Ordering) {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.store(value, SeqCst)
+                }
+
+                pub fn swap(&self, value: $value, _order: Ordering) -> $value {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.swap(value, SeqCst)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    expected: $value,
+                    new: $value,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$value, $value> {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.compare_exchange(expected, new, SeqCst, SeqCst)
+                }
+            }
+        };
+    }
+
+    macro_rules! modeled_atomic_int {
+        ($name:ident, $std:ty, $value:ty) => {
+            modeled_atomic!($name, $std, $value);
+
+            impl $name {
+                pub fn fetch_add(&self, value: $value, _order: Ordering) -> $value {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.fetch_add(value, SeqCst)
+                }
+
+                pub fn fetch_sub(&self, value: $value, _order: Ordering) -> $value {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.fetch_sub(value, SeqCst)
+                }
+
+                pub fn fetch_or(&self, value: $value, _order: Ordering) -> $value {
+                    let (sched, me) = crate::current();
+                    sched.switch(me);
+                    self.inner.fetch_or(value, SeqCst)
+                }
+            }
+        };
+    }
+
+    modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    modeled_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    modeled_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    modeled_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, value: bool, _order: Ordering) -> bool {
+            let (sched, me) = crate::current();
+            sched.switch(me);
+            self.inner.fetch_or(value, SeqCst)
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Modeled threads: loom-compatible `spawn`/`yield_now`/`JoinHandle`.
+//!
+//! Each modeled thread is a real OS thread serialized by the scheduler:
+//! it runs only while it is the active thread, and every visible
+//! operation hands the turn back to the explorer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as OsMutex};
+
+use crate::{current, payload_msg, set_current, Tid};
+
+/// Handle to a modeled thread; `join` is a scheduling point.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    slot: Arc<OsMutex<Option<Result<T, String>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes, returning its
+    /// result, or `Err` with the panic message if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = current();
+        sched.join_wait(self.tid, me);
+        let result = self
+            .slot
+            .lock()
+            .expect("result slot never poisons")
+            .take()
+            .expect("joined thread must have deposited a result");
+        result.map_err(|msg| Box::new(msg) as Box<dyn std::any::Any + Send>)
+    }
+}
+
+/// Spawns a modeled thread. It becomes runnable immediately and first
+/// executes when the explorer schedules it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, _me) = current();
+    let tid = sched.register_thread();
+    let slot = Arc::new(OsMutex::new(None));
+    let thread_slot = Arc::clone(&slot);
+    let thread_sched = Arc::clone(&sched);
+    let os = std::thread::spawn(move || {
+        set_current(Arc::clone(&thread_sched), tid);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            // First scheduling point: wait to be chosen before running
+            // any of the closure's code.
+            thread_sched.switch(tid);
+            f()
+        }));
+        let panic_msg = result.as_ref().err().map(|p| payload_msg(p.as_ref()));
+        *thread_slot.lock().expect("result slot never poisons") =
+            Some(result.map_err(|p| payload_msg(p.as_ref())));
+        thread_sched.finish(tid, panic_msg);
+    });
+    sched.push_handle(os);
+    JoinHandle { tid, slot }
+}
+
+/// A pure scheduling point: lets the explorer run another thread here.
+pub fn yield_now() {
+    let (sched, me) = current();
+    sched.switch(me);
+}

@@ -24,7 +24,6 @@
 //! Sites carry slack (`cap` above the current variant count) so adding
 //! enum variants does not renumber other sites' IDs.
 
-use inpg_hot::hot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One instrumented dispatch site: a contiguous transition-ID range.
@@ -72,15 +71,20 @@ pub const TRANSITION_CAP: usize = LOCK_ON_RESULT.base + LOCK_ON_RESULT.cap;
 /// Bitset words backing [`TRANSITION_CAP`] transition bits.
 pub const WORDS: usize = TRANSITION_CAP.div_ceil(64);
 
+// sync: plain shared counters with no release/acquire pairing needed —
+// each bit is write-once-true and readers only consume snapshots between
+// phases; zero-initialized statics carry no happens-before obligation.
 static BITS: [AtomicU64; WORDS] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
 
 /// Records transition `id` as observed. Out-of-range IDs are ignored
 /// (they cannot occur for IDs produced via [`Site::id`] with a valid
 /// variant index; the guard keeps the recording panic-free by contract).
-#[hot]
 #[inline]
 pub fn record(id: usize) {
     if id < TRANSITION_CAP {
+        // sync: Relaxed — the bit is an idempotent monotonic flag; no
+        // other memory is published with it, so no ordering is needed,
+        // and this sits on the per-transition hot path.
         BITS[id / 64].fetch_or(1 << (id % 64), Ordering::Relaxed);
     }
 }
@@ -89,6 +93,9 @@ pub fn record(id: usize) {
 pub fn snapshot() -> [u64; WORDS] {
     let mut out = [0u64; WORDS];
     for (word, bits) in out.iter_mut().zip(BITS.iter()) {
+        // sync: Relaxed — snapshots are taken between phases when no
+        // recorder runs concurrently; a racing late bit would merely be
+        // attributed to the next snapshot, never torn or invented.
         *word = bits.load(Ordering::Relaxed);
     }
     out
@@ -98,6 +105,9 @@ pub fn snapshot() -> [u64; WORDS] {
 /// bitset is process-global).
 pub fn reset() {
     for bits in BITS.iter() {
+        // sync: Relaxed — reset runs between phases (same phase
+        // discipline as `snapshot`); there is no concurrent recorder
+        // whose writes the store must order against.
         bits.store(0, Ordering::Relaxed);
     }
 }

@@ -77,7 +77,6 @@ impl<T> EventWheel<T> {
     }
 
     /// Pops the earliest event if it is due at or before `now`.
-    #[inpg_hot::hot]
     pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
         if self.heap.peek().is_some_and(|e| e.due <= now) {
             Some(self.heap.pop().expect("peeked entry exists").payload)
@@ -94,7 +93,6 @@ impl<T> EventWheel<T> {
     /// The due cycle of the earliest pending event, if any.
     ///
     /// Useful for fast-forwarding quiescent simulations.
-    #[inpg_hot::hot]
     pub fn next_due(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.due)
     }

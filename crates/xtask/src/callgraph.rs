@@ -1,0 +1,553 @@
+//! A per-crate, name-resolved call graph over the simulator workspace.
+//!
+//! Built from the same token scanner as the lint passes (no `syn` in
+//! this environment): every function body found by
+//! [`SourceFile::fn_bodies`] becomes a node, and every call-shaped
+//! token sequence inside a body becomes an edge candidate. The graph is
+//! deliberately an **over-approximation** — the auditor that consumes
+//! it (`cargo xtask audit`) flags everything *transitively reachable*
+//! from the per-cycle entry points, so resolving too many edges errs
+//! toward auditing code that is actually cold, never toward missing
+//! code that is actually hot.
+//!
+//! Call shapes recognized:
+//!
+//! * free / associated calls — `name(…)`, `Type::name(…)`,
+//!   `module::name(…)`, with optional turbofish (`name::<T>(…)`);
+//! * method calls — `.name(…)`, including chains (`a.b().c()`);
+//! * closures — a call inside `|…| …` is attributed to the enclosing
+//!   function, which is exactly right for closures passed to iterator
+//!   adapters (`.map(|x| step(x))` adds an edge to `step`);
+//! * trait-object and generic dispatch — a call through `dyn Trait` or
+//!   `T: Trait` is a plain method call textually, so it resolves to
+//!   *every* audited function with that method name (all impls).
+//!
+//! Resolution rules:
+//!
+//! * `Type::name(…)` (uppercase qualifier) resolves only to functions
+//!   named `name` inside an `impl Type` block — this is what keeps
+//!   ubiquitous constructors (`Vec::new`, `Router::new`) from wiring
+//!   every `new` in the workspace together;
+//! * `Self::name(…)` uses the calling function's own impl type;
+//! * `module::name(…)` (lowercase qualifier) and bare `name(…)` resolve
+//!   by name across all audited crates;
+//! * `.name(…)` resolves by name across all audited crates (methods on
+//!   foreign types — `Vec::push` — simply find no local target).
+
+use crate::parse::{ParseError, SourceFile, SourceSet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees enter the call graph. Everything the
+/// per-cycle loop can touch lives here; the campaign/analysis layers
+/// above the simulator have their own rule sets.
+pub const AUDITED_CRATES: &[&str] =
+    &["sim", "locks", "coherence", "noc", "manycore", "workloads", "stats", "core"];
+
+/// One function in the graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Crate directory name (`noc`, not `inpg-noc`).
+    pub krate: &'static str,
+    /// Workspace-relative file path.
+    pub file: PathBuf,
+    /// Enclosing `impl` type, if the function is a method.
+    pub impl_type: Option<String>,
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword in its file.
+    pub fn_kw: usize,
+    /// Byte range of the braced body in its file.
+    pub body: (usize, usize),
+}
+
+impl FnNode {
+    /// `Type::name` or `name`, for display and finding keys.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace call graph: nodes in deterministic (crate, file, byte)
+/// order plus resolved, deduplicated edges.
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    edges: Vec<Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_qual: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Direct callees of node `i`.
+    pub fn callees(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// Nodes matching a (file-suffix, optional impl type, name) triple.
+    pub fn resolve_named(
+        &self,
+        file_suffix: &str,
+        impl_type: Option<&str>,
+        name: &str,
+    ) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.name == name
+                    && n.file.to_string_lossy().ends_with(file_suffix)
+                    && impl_type.is_none_or(|t| n.impl_type.as_deref() == Some(t))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Every node reachable from `seeds` (inclusive), with the BFS
+    /// parent of each reached node for chain reconstruction.
+    pub fn reachable(&self, seeds: &[usize]) -> BTreeMap<usize, Option<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        let mut sorted_seeds: Vec<usize> = seeds.to_vec();
+        sorted_seeds.sort_unstable();
+        sorted_seeds.dedup();
+        for s in sorted_seeds {
+            parent.insert(s, None);
+            queue.push_back(s);
+        }
+        while let Some(at) = queue.pop_front() {
+            for &next in &self.edges[at] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some(at));
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The seed-to-node call chain as `a → b → c` (for reports).
+    pub fn chain(&self, parents: &BTreeMap<usize, Option<usize>>, mut at: usize) -> String {
+        let mut names = vec![self.nodes[at].qualified()];
+        while let Some(Some(p)) = parents.get(&at) {
+            names.push(self.nodes[*p].qualified());
+            at = *p;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+}
+
+/// One extracted call site, before resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// `Type::` / `module::` qualifier, if the call was path-qualified.
+    pub qualifier: Option<String>,
+    /// True for `.name(…)` receiver-method calls.
+    pub method: bool,
+    pub name: String,
+    /// Byte offset of the name in the file.
+    pub at: usize,
+}
+
+/// Keywords and intrinsically call-shaped non-calls the extractor skips.
+const NON_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "in", "as", "let", "mut",
+    "fn", "pub", "use", "move", "ref", "break", "continue", "unsafe", "where", "impl",
+    "dyn", "Some", "None", "Ok", "Err", "self",
+];
+
+/// Extracts every call-shaped token sequence from `masked[range]`.
+/// `source` provides the original identifier text.
+pub fn extract_calls(source: &str, masked: &[u8], range: (usize, usize)) -> Vec<CallSite> {
+    let b = masked;
+    let (open, close) = range;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < close && i < b.len() {
+        if !is_ident_start(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let name_start = i;
+        while i < close && is_ident(b[i]) {
+            i += 1;
+        }
+        let name = &source[name_start..i];
+        // Definitions are not calls: `fn name(` has `fn` just before.
+        if preceded_by_kw(b, name_start, "fn") {
+            continue;
+        }
+        // What follows? (skip whitespace, allow one turbofish group)
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if b.get(j) == Some(&b'!') {
+            continue; // macro invocation; needles inside still scanned
+        }
+        if source[j..].starts_with("::<") {
+            // `name::<T>(…)` — skip the turbofish generic group.
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < b.len() {
+                match b[k] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+        } else if source[j..].starts_with("::") {
+            continue; // a path segment, not the called name — keep walking
+        }
+        if b.get(j) != Some(&b'(') {
+            continue;
+        }
+        if NON_CALLS.contains(&name) {
+            continue;
+        }
+        // Qualifier / method receiver: what sits directly before the name?
+        let mut p = name_start;
+        while p > 0 && b[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        let (qualifier, method) = if p >= 2 && &b[p - 2..p] == b"::" {
+            let q_end = p - 2;
+            // Skip a generic group backwards: `Network::<P>::send` is
+            // not produced by this codebase; plain segment suffices.
+            let mut q_start = q_end;
+            while q_start > 0 && is_ident(b[q_start - 1]) {
+                q_start -= 1;
+            }
+            if q_start == q_end {
+                (None, false)
+            } else {
+                (Some(source[q_start..q_end].to_string()), false)
+            }
+        } else if p >= 1 && b[p - 1] == b'.' {
+            (None, true)
+        } else {
+            (None, false)
+        };
+        out.push(CallSite {
+            qualifier,
+            method,
+            name: name.to_string(),
+            at: name_start,
+        });
+    }
+    out
+}
+
+/// Names of macros invoked (`name!`) inside `masked[range]`. Used to
+/// attribute calls inside locally defined `macro_rules!` bodies to the
+/// functions that expand them.
+pub fn extract_macro_invocations(source: &str, masked: &[u8], range: (usize, usize)) -> Vec<String> {
+    let b = masked;
+    let (open, close) = range;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i < close && i < b.len() {
+        if !is_ident_start(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let name_start = i;
+        while i < close && is_ident(b[i]) {
+            i += 1;
+        }
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        // `name!` but not `name !=` (comparison), and not the
+        // `macro_rules!` keyword itself.
+        if b.get(j) == Some(&b'!') && b.get(j + 1) != Some(&b'=') {
+            let name = &source[name_start..i];
+            if name != "macro_rules" {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// `macro_rules!` definitions in a file (outside `#[cfg(test)]`
+/// regions): `(name, body_byte_range)` per definition. The body range
+/// covers the full delimited token tree including matcher arms; calls
+/// inside it are attributed to every invoking function, because the
+/// expansion *runs* there — this is what keeps macro-generated match
+/// arms inside the audit instead of silently invisible.
+pub fn extract_macro_defs(sf: &SourceFile) -> Vec<(String, (usize, usize))> {
+    let b = sf.masked();
+    let source = &sf.text;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if !is_ident_start(b[i]) || (i > 0 && is_ident(b[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let kw_start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        if &source[kw_start..i] != "macro_rules" {
+            continue;
+        }
+        if sf.skip().iter().any(|&(s, e)| kw_start >= s && kw_start < e) {
+            continue;
+        }
+        let mut j = i;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if b.get(j) != Some(&b'!') {
+            continue;
+        }
+        j += 1;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < b.len() && is_ident(b[j]) {
+            j += 1;
+        }
+        if name_start == j {
+            continue;
+        }
+        let name = source[name_start..j].to_string();
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let (open_ch, close_ch) = match b.get(j) {
+            Some(&b'{') => (b'{', b'}'),
+            Some(&b'(') => (b'(', b')'),
+            Some(&b'[') => (b'[', b']'),
+            _ => continue,
+        };
+        // Masked text keeps delimiter structure (strings/comments are
+        // blanked), so plain depth counting finds the matching close.
+        let body_open = j;
+        let mut depth = 0i32;
+        while j < b.len() {
+            if b[j] == open_ch {
+                depth += 1;
+            } else if b[j] == close_ch {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        out.push((name, (body_open, j)));
+        i = j;
+    }
+    out
+}
+
+/// Call sites reachable by expanding `invoked` macros transitively
+/// through locally defined macro bodies (macros may invoke macros; a
+/// visited set bounds cycles).
+fn macro_expanded_sites(
+    invoked: &[String],
+    sites: &BTreeMap<String, Vec<CallSite>>,
+    nested: &BTreeMap<String, Vec<String>>,
+) -> Vec<CallSite> {
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut stack: Vec<&str> = invoked.iter().map(String::as_str).collect();
+    let mut out = Vec::new();
+    while let Some(name) = stack.pop() {
+        if !visited.insert(name.to_string()) {
+            continue;
+        }
+        if let Some(s) = sites.get(name) {
+            out.extend(s.iter().cloned());
+        }
+        if let Some(next) = nested.get(name) {
+            stack.extend(next.iter().map(String::as_str));
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Is the identifier at `at` directly preceded (modulo whitespace) by
+/// the keyword `kw`?
+fn preceded_by_kw(b: &[u8], at: usize, kw: &str) -> bool {
+    let mut p = at;
+    while p > 0 && b[p - 1].is_ascii_whitespace() {
+        p -= 1;
+    }
+    let k = kw.as_bytes();
+    p >= k.len()
+        && &b[p - k.len()..p] == k
+        && (p == k.len() || !is_ident(b[p - k.len() - 1]))
+}
+
+/// Builds the call graph for every crate in [`AUDITED_CRATES`], loading
+/// sources through the shared `SourceSet`.
+pub fn build(root: &Path, sources: &mut SourceSet) -> Result<CallGraph, ParseError> {
+    build_for(root, sources, AUDITED_CRATES)
+}
+
+/// Builds the call graph over an explicit crate list (tests use
+/// fixture trees with a reduced list).
+pub fn build_for(
+    root: &Path,
+    sources: &mut SourceSet,
+    crates: &'static [&'static str],
+) -> Result<CallGraph, ParseError> {
+    let mut all_files: Vec<(&'static str, PathBuf)> = Vec::new();
+    for krate in crates {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        walk(&src, &mut files).map_err(|e| ParseError {
+            file: src.clone(),
+            line: 1,
+            detail: format!("cannot walk crate sources: {e}"),
+        })?;
+        files.sort();
+        all_files.extend(files.into_iter().map(|f| (*krate, f)));
+    }
+
+    // Pass 1: locally defined macros. Calls inside a `macro_rules!`
+    // body belong to every function that invokes the macro (that is
+    // where the expansion runs), so collect them first.
+    let mut macro_sites: BTreeMap<String, Vec<CallSite>> = BTreeMap::new();
+    let mut macro_nested: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (_, file) in &all_files {
+        let sf = sources.load(file).map_err(|e| ParseError {
+            file: file.clone(),
+            line: 1,
+            detail: format!("cannot read file: {e}"),
+        })?;
+        for (name, body) in extract_macro_defs(sf) {
+            macro_sites
+                .entry(name.clone())
+                .or_default()
+                .extend(extract_calls(&sf.text, sf.masked(), body));
+            macro_nested
+                .entry(name)
+                .or_default()
+                .extend(extract_macro_invocations(&sf.text, sf.masked(), body));
+        }
+    }
+
+    // Pass 2: function nodes and their raw call sites (direct calls
+    // plus calls expanded out of invoked local macros).
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut raw_calls: Vec<Vec<CallSite>> = Vec::new();
+    for (krate, file) in &all_files {
+        let sf = sources.load(file).map_err(|e| ParseError {
+            file: file.clone(),
+            line: 1,
+            detail: format!("cannot read file: {e}"),
+        })?;
+        for body in sf.fn_bodies() {
+            let impl_type = sf.impl_type_at(body.fn_kw).map(str::to_string);
+            let line = crate::lint::line_of(&sf.text, body.fn_kw);
+            nodes.push(FnNode {
+                krate,
+                file: sf.path.clone(),
+                impl_type,
+                name: body.name.clone(),
+                line,
+                fn_kw: body.fn_kw,
+                body: body.body,
+            });
+            let mut calls = extract_calls(&sf.text, sf.masked(), body.body);
+            let invoked = extract_macro_invocations(&sf.text, sf.masked(), body.body);
+            calls.extend(macro_expanded_sites(&invoked, &macro_sites, &macro_nested));
+            raw_calls.push(calls);
+        }
+    }
+
+    // Index nodes for resolution.
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut by_qual: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        by_name.entry(node.name.clone()).or_default().push(i);
+        if let Some(t) = &node.impl_type {
+            by_qual.entry((t.clone(), node.name.clone())).or_default().push(i);
+        }
+    }
+
+    // Resolve edges.
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+    for (i, calls) in raw_calls.iter().enumerate() {
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for call in calls {
+            let targets: Option<&Vec<usize>> = match &call.qualifier {
+                Some(q) if q == "Self" => match &nodes[i].impl_type {
+                    Some(t) => by_qual.get(&(t.clone(), call.name.clone())),
+                    None => by_name.get(&call.name),
+                },
+                Some(q) if q.bytes().next().is_some_and(|c| c.is_ascii_uppercase()) => {
+                    by_qual.get(&(q.clone(), call.name.clone()))
+                }
+                // Lowercase qualifier (a module path) or none: by name.
+                Some(_) | None => by_name.get(&call.name),
+            };
+            if let Some(targets) = targets {
+                out.extend(targets.iter().copied());
+            }
+        }
+        out.remove(&i); // direct recursion adds nothing to reachability
+        edges.push(out.into_iter().collect());
+    }
+
+    Ok(CallGraph { nodes, edges, by_name, by_qual })
+}
+
+impl CallGraph {
+    /// Nodes defined with `name` anywhere in the audited set (used by
+    /// tests and diagnostics).
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes defined as `Type::name` (used by tests and diagnostics).
+    pub fn method_of(&self, impl_type: &str, name: &str) -> &[usize] {
+        self.by_qual
+            .get(&(impl_type.to_string(), name.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -27,12 +27,12 @@
 //! a function the file does not define are reported as parse errors, so
 //! a manifest cannot rot silently.
 
-use crate::lint::{in_ranges, is_ident, line_of, occurrences, Finding, Rule, Waivers};
-use crate::parse::ParseError;
+use crate::lint::{in_ranges, line_of, occurrences, Finding, Rule, Waivers};
+use crate::parse::{ParseError, SourceFile};
 use std::path::{Path, PathBuf};
 
 /// Allocation needles forbidden inside hot function bodies.
-const ALLOC_NEEDLES: &[(&str, &str)] = &[
+pub(crate) const ALLOC_NEEDLES: &[(&str, &str)] = &[
     ("Box::new", "heap allocation (`Box::new`)"),
     ("vec![", "heap allocation (`vec![`)"),
     (".to_vec()", "heap allocation (`.to_vec()`)"),
@@ -47,10 +47,11 @@ const ALLOC_NEEDLES: &[(&str, &str)] = &[
 ];
 
 /// Linear-scan needles forbidden over directory state.
-const SCAN_NEEDLES: &[&str] = &[".iter().position(", ".iter().any(", ".iter().find("];
+pub(crate) const SCAN_NEEDLES: &[&str] =
+    &[".iter().position(", ".iter().any(", ".iter().find("];
 
 /// Files holding directory (home-node) state, where the scan pass runs.
-const DIRECTORY_FILES: &[&str] = &["home.rs"];
+pub(crate) const DIRECTORY_FILES: &[&str] = &["home.rs"];
 
 /// One `HOTPATH.txt` entry.
 struct ManifestEntry {
@@ -69,6 +70,12 @@ pub struct Manifest {
 }
 
 impl Manifest {
+    /// Every entry as `(file-in-crate, fn name, manifest line)` — the
+    /// auditor's redundancy pass walks these against the call graph.
+    pub fn entries(&self) -> impl Iterator<Item = (&Path, &str, usize)> {
+        self.entries.iter().map(|e| (e.file.as_path(), e.fn_name.as_str(), e.line))
+    }
+
     /// Function names declared hot for the file at `rel_in_crate`
     /// (a path relative to the crate root).
     pub fn fns_for(&self, rel_in_crate: &Path) -> Vec<String> {
@@ -127,76 +134,9 @@ pub fn manifest(crate_dir: &Path) -> std::io::Result<Manifest> {
     Ok(Manifest { entries })
 }
 
-/// A function body located in the source: `[open, close)` byte range of
-/// the braced block, plus where the `fn` keyword sits for reporting.
-struct FnBody {
-    name: String,
-    fn_kw: usize,
-    body: (usize, usize),
-}
-
-/// Locates every function definition in the masked source (test ranges
-/// excluded), with its body byte range. Bodiless declarations (trait
-/// methods ending in `;`) are skipped.
-fn fn_bodies(source: &str, masked: &[u8], skip: &[(usize, usize)]) -> Vec<FnBody> {
-    let mut out = Vec::new();
-    for at in occurrences(masked, "fn", skip) {
-        let b = masked;
-        let bounded = (at == 0 || !is_ident(b[at - 1]))
-            && b.get(at + 2).is_some_and(|c| c.is_ascii_whitespace());
-        if !bounded {
-            continue;
-        }
-        // Name: next identifier run.
-        let mut i = at + 2;
-        while i < b.len() && b[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let name_start = i;
-        while i < b.len() && is_ident(b[i]) {
-            i += 1;
-        }
-        if i == name_start {
-            continue;
-        }
-        let name = source[name_start..i].to_string();
-        // Body: first `{` at paren/bracket/angle-free depth 0 after the
-        // signature; `;` first means a bodiless declaration.
-        let mut depth = 0i32;
-        let open = loop {
-            if i >= b.len() {
-                break usize::MAX;
-            }
-            match b[i] {
-                b'(' | b'[' => depth += 1,
-                b')' | b']' => depth -= 1,
-                b'{' if depth == 0 => break i,
-                b';' if depth == 0 => break usize::MAX,
-                _ => {}
-            }
-            i += 1;
-        };
-        if open == usize::MAX {
-            continue;
-        }
-        let mut brace = 1i32;
-        let mut j = open + 1;
-        while j < b.len() && brace > 0 {
-            match b[j] {
-                b'{' => brace += 1,
-                b'}' => brace -= 1,
-                _ => {}
-            }
-            j += 1;
-        }
-        out.push(FnBody { name, fn_kw: at, body: (open, j) });
-    }
-    out
-}
-
 /// Byte offsets (in masked text) of `#[hot]` / `#[inpg_hot::hot]`
 /// attribute ends, outside test ranges.
-fn hot_attr_ends(masked: &[u8], skip: &[(usize, usize)]) -> Vec<usize> {
+pub(crate) fn hot_attr_ends(masked: &[u8], skip: &[(usize, usize)]) -> Vec<usize> {
     let mut ends = Vec::new();
     for needle in ["#[hot]", "#[inpg_hot::hot]"] {
         for at in occurrences(masked, needle, skip) {
@@ -209,24 +149,21 @@ fn hot_attr_ends(masked: &[u8], skip: &[(usize, usize)]) -> Vec<usize> {
 
 /// The hot-allocation pass (rule kind `hot`). Returns findings plus
 /// parse errors for manifest functions the file does not define.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn lint_hot(
-    path: &Path,
-    source: &str,
-    masked: &[u8],
-    skip: &[(usize, usize)],
+    sf: &SourceFile,
     lines: &[&str],
     waivers: &mut Waivers,
     hot_manifest: &[String],
 ) -> (Vec<Finding>, Vec<ParseError>) {
-    let bodies = fn_bodies(source, masked, skip);
+    let (path, source, masked, skip) = (&sf.path, sf.text.as_str(), sf.masked(), sf.skip());
+    let bodies = sf.fn_bodies();
     let attr_ends = hot_attr_ends(masked, skip);
     let mut errors = Vec::new();
 
     // A body is hot when a hot attribute sits between the previous
     // body's end and its `fn` keyword, or its name is in the manifest.
-    let mut hot: Vec<&FnBody> = Vec::new();
-    for body in &bodies {
+    let mut hot: Vec<&crate::parse::FnBody> = Vec::new();
+    for body in bodies {
         let attr_marked = attr_ends.iter().any(|end| {
             *end <= body.fn_kw
                 && !bodies
@@ -279,13 +216,11 @@ pub(crate) fn lint_hot(
 /// The directory linear-scan pass (rule kind `scan`). Only runs on
 /// files in [`DIRECTORY_FILES`].
 pub(crate) fn lint_scans(
-    path: &Path,
-    source: &str,
-    masked: &[u8],
-    skip: &[(usize, usize)],
+    sf: &SourceFile,
     lines: &[&str],
     waivers: &mut Waivers,
 ) -> Vec<Finding> {
+    let (path, source, masked, skip) = (&sf.path, sf.text.as_str(), sf.masked(), sf.skip());
     let is_directory_file = path
         .file_name()
         .and_then(|n| n.to_str())

@@ -2,6 +2,8 @@
 //! engine and the transition-matrix analyzer are testable from
 //! integration tests. The `xtask` binary is a thin CLI over this.
 
+pub mod audit;
+pub mod callgraph;
 pub mod coverage;
 pub mod hotpath;
 pub mod lint;

@@ -63,7 +63,7 @@
 //! (kinds: `unwrap`, `wildcard`, `hash`, `wallclock`, `hot`, `scan`).
 
 use crate::hotpath;
-use crate::parse::ParseError;
+use crate::parse::{ParseError, SourceFile, SourceSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -599,8 +599,23 @@ pub fn lint_source_full(
     rules: &[Rule],
     hot_manifest: &[String],
 ) -> (Vec<Finding>, Vec<ParseError>) {
-    let masked = mask(source);
-    let skip = test_ranges(&masked);
+    let sf = SourceFile::from_text(path.to_path_buf(), source.to_string());
+    lint_file(&sf, rules, hot_manifest)
+}
+
+/// Lints one already-parsed source file against an explicit rule set.
+/// This is the workspace walk's entry point: the [`SourceFile`] comes
+/// from the shared [`SourceSet`], so its mask, test ranges, and token
+/// artifacts are computed once no matter how many passes read it.
+pub fn lint_file(
+    sf: &SourceFile,
+    rules: &[Rule],
+    hot_manifest: &[String],
+) -> (Vec<Finding>, Vec<ParseError>) {
+    let path = &sf.path;
+    let source = sf.text.as_str();
+    let masked = sf.masked();
+    let skip = sf.skip();
     let lines: Vec<&str> = source.lines().collect();
     let mut waivers = Waivers::collect(source);
     let mut findings = Vec::new();
@@ -609,7 +624,7 @@ pub fn lint_source_full(
     // Rule 1: unwrap/expect.
     if rules.contains(&Rule::Unwrap) {
         for (needle, what) in [(".unwrap()", "unwrap()"), (".expect(", "expect()")] {
-            for at in occurrences(&masked, needle, &skip) {
+            for at in occurrences(masked, needle, skip) {
                 let line = line_of(source, at);
                 if waivers.check(&lines, line, "unwrap") {
                     continue;
@@ -628,7 +643,7 @@ pub fn lint_source_full(
     }
 
     // Rule 2: wildcard arms over protocol enums.
-    for at in occurrences(&masked, "match", &skip) {
+    for at in occurrences(masked, "match", skip) {
         if !rules.contains(&Rule::Wildcard) {
             break;
         }
@@ -638,7 +653,7 @@ pub fn lint_source_full(
         if !bounded {
             continue; // `rematch`, `match_flit`, `matches!`…
         }
-        let arms = match parse_match_arms(source, &masked, at) {
+        let arms = match parse_match_arms(source, masked, at) {
             Ok(arms) => arms,
             Err(MatchSkip::NotAMatch) => continue,
             Err(MatchSkip::Unterminated) => {
@@ -676,7 +691,7 @@ pub fn lint_source_full(
     // Rule 3: hash collections in simulation state.
     if rules.contains(&Rule::Hash) {
         for name in ["HashMap", "HashSet"] {
-            for at in occurrences(&masked, name, &skip) {
+            for at in occurrences(masked, name, skip) {
                 let b = source.as_bytes();
                 let bounded = (at == 0 || !is_ident(b[at - 1]))
                     && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
@@ -705,7 +720,7 @@ pub fn lint_source_full(
     // Rule 4: wall-clock reads in deterministic campaign code.
     if rules.contains(&Rule::WallClock) {
         for name in ["Instant", "SystemTime"] {
-            for at in occurrences(&masked, name, &skip) {
+            for at in occurrences(masked, name, skip) {
                 let b = source.as_bytes();
                 let bounded = (at == 0 || !is_ident(b[at - 1]))
                     && b.get(at + name.len()).is_none_or(|c| !is_ident(*c));
@@ -733,22 +748,15 @@ pub fn lint_source_full(
 
     // Rule 5: allocation/clone in hot-path functions.
     if rules.contains(&Rule::HotAlloc) {
-        let (hot_findings, hot_errors) = hotpath::lint_hot(
-            path,
-            source,
-            &masked,
-            &skip,
-            &lines,
-            &mut waivers,
-            hot_manifest,
-        );
+        let (hot_findings, hot_errors) =
+            hotpath::lint_hot(sf, &lines, &mut waivers, hot_manifest);
         findings.extend(hot_findings);
         errors.extend(hot_errors);
     }
 
     // Rule 6: linear scans over directory state.
     if rules.contains(&Rule::LinearScan) {
-        findings.extend(hotpath::lint_scans(path, source, &masked, &skip, &lines, &mut waivers));
+        findings.extend(hotpath::lint_scans(sf, &lines, &mut waivers));
     }
 
     // Rule 7: waivers that suppressed nothing.
@@ -758,7 +766,7 @@ pub fn lint_source_full(
             .filter(|r| !matches!(r, Rule::StaleWaiver))
             .map(|r| r.kind())
             .collect();
-        findings.extend(waivers.stale(path, source, &skip, &kinds));
+        findings.extend(waivers.stale(path, source, skip, &kinds));
     }
 
     findings.sort_by_key(|f| f.line);
@@ -792,6 +800,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
 pub fn lint_workspace_full(
     root: &Path,
 ) -> std::io::Result<(Vec<Finding>, Vec<ParseError>)> {
+    let mut sources = SourceSet::new(root);
+    lint_workspace_with(root, &mut sources)
+}
+
+/// Like [`lint_workspace_full`], loading files through a caller-owned
+/// [`SourceSet`] so other passes of the same invocation (the matrix
+/// builder, the call-graph auditor) reuse the same parsed files.
+pub fn lint_workspace_with(
+    root: &Path,
+    sources: &mut SourceSet,
+) -> std::io::Result<(Vec<Finding>, Vec<ParseError>)> {
     let mut findings = Vec::new();
     let mut errors = Vec::new();
     let sets: [(&[&str], &[Rule]); 3] = [
@@ -808,11 +827,11 @@ pub fn lint_workspace_full(
             rust_sources(&src, &mut files)?;
             files.sort();
             for file in files {
-                let source = std::fs::read_to_string(&file)?;
-                let rel = file.strip_prefix(root).unwrap_or(&file);
-                let rel_in_crate = file.strip_prefix(&crate_dir).unwrap_or(&file);
-                let hot_fns = manifest.fns_for(rel_in_crate);
-                let (f, e) = lint_source_full(rel, &source, rules, &hot_fns);
+                let rel_in_crate =
+                    file.strip_prefix(&crate_dir).unwrap_or(&file).to_path_buf();
+                let hot_fns = manifest.fns_for(&rel_in_crate);
+                let sf = sources.load(&file)?;
+                let (f, e) = lint_file(sf, rules, &hot_fns);
                 findings.extend(f);
                 errors.extend(e);
             }

@@ -1,4 +1,4 @@
-//! Workspace automation. Two commands (aliases in `.cargo/config.toml`):
+//! Workspace automation. Three commands (aliases in `.cargo/config.toml`):
 //!
 //! * `cargo xtask lint` — the protocol/campaign/kernel lint pass.
 //! * `cargo xtask analyze [--bless]` — the transition-matrix analyzer:
@@ -6,15 +6,22 @@
 //!   timed simulator and the untimed model checker in-process to record
 //!   which transitions execute, and diffs the classification against
 //!   the checked-in baseline.
+//! * `cargo xtask audit [--bless]` — the interprocedural hot-path
+//!   auditor: builds the workspace call graph, flags every allocation,
+//!   panic path, wall-clock read, hash collection, and directory scan
+//!   transitively reachable from the per-cycle entry points, audits
+//!   synchronization sites for `// sync:` justifications, and diffs
+//!   the finding map against the blessed baseline.
 //!
-//! Exit codes (both commands): 0 clean, 2 findings (lint violations,
-//! coverage regressions, undeclared transitions), 3 internal error
+//! Exit codes (all commands): 0 clean, 2 findings (lint violations,
+//! coverage regressions, unbaselined audit findings), 3 internal error
 //! (unparseable code, broken manifests, I/O failures). CI treats 2 as
 //! "fix your change" and 3 as "fix the tooling".
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use xtask::{coverage, lint, matrix};
+use xtask::parse::SourceSet;
+use xtask::{audit, coverage, lint, matrix};
 
 fn workspace_root() -> PathBuf {
     // xtask sits at <root>/crates/xtask.
@@ -30,8 +37,12 @@ fn main() -> ExitCode {
             let bless = args.iter().any(|a| a == "--bless");
             run_analyze(&workspace_root(), bless)
         }
+        Some("audit") => {
+            let bless = args.iter().any(|a| a == "--bless");
+            run_audit(&workspace_root(), bless)
+        }
         _ => {
-            eprintln!("usage: cargo xtask <lint | analyze [--bless]>");
+            eprintln!("usage: cargo xtask <lint | analyze [--bless] | audit [--bless]>");
             ExitCode::from(3)
         }
     }
@@ -180,6 +191,71 @@ fn run_analyze(root: &Path, bless: bool) -> ExitCode {
             println!("{f}");
         }
         println!("xtask analyze: {} finding(s)", findings.len());
+        ExitCode::from(2)
+    }
+}
+
+fn run_audit(root: &Path, bless: bool) -> ExitCode {
+    // Pass 1 — build the call graph and run every audit pass.
+    let mut sources = SourceSet::new(root);
+    let result = match audit::run(root, &mut sources) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("xtask audit: cannot run the interprocedural audit");
+            return ExitCode::from(3);
+        }
+    };
+    let out_dir = root.join("results").join("analysis");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask audit: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(3);
+    }
+    let report = audit::report_json(&result);
+    let report_path = out_dir.join("audit.json");
+    if let Err(e) = std::fs::write(&report_path, format!("{}\n", report.to_string_compact())) {
+        eprintln!("xtask audit: cannot write {}: {e}", report_path.display());
+        return ExitCode::from(3);
+    }
+    println!(
+        "xtask audit: call graph — {} functions, {} reachable from {} seeds, \
+         {} finding(s) → {}",
+        result.nodes,
+        result.reachable,
+        audit::SEEDS.len(),
+        result.findings.len(),
+        report_path.display()
+    );
+
+    // Pass 2 — diff against the blessed baseline.
+    let baseline_path = root.join("crates").join("xtask").join("audit_baseline.json");
+    if bless {
+        let blessed = audit::baseline_json(&result);
+        if let Err(e) =
+            std::fs::write(&baseline_path, format!("{}\n", blessed.to_string_compact()))
+        {
+            eprintln!("xtask audit: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(3);
+        }
+        println!("xtask audit: blessed baseline → {}", baseline_path.display());
+    }
+    let baseline = match audit::load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask audit: {e}");
+            eprintln!("(run `cargo xtask audit --bless` to create the baseline)");
+            return ExitCode::from(3);
+        }
+    };
+    let diffs = audit::validate(&result, &baseline);
+    if diffs.is_empty() {
+        println!("xtask audit: findings match the blessed baseline");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diffs {
+            println!("{d}");
+        }
+        println!("xtask audit: {} divergence(s) from the baseline", diffs.len());
         ExitCode::from(2)
     }
 }

@@ -11,7 +11,7 @@
 //! parser and the running code ever disagree about variant order, the
 //! analysis refuses to emit a matrix instead of mislabelling coverage.
 
-use crate::parse::{classify_body, expand_pattern, ParseError, SourceFile};
+use crate::parse::{classify_body, expand_pattern, ParseError, SourceSet};
 use inpg_campaign::json::Json;
 use inpg_sim::coverage;
 use std::path::Path;
@@ -114,9 +114,22 @@ impl SiteMatrix {
 /// Builds the declared transition matrix for every site by parsing the
 /// protocol sources under `root` (the workspace root).
 pub fn build(root: &Path) -> Result<Vec<SiteMatrix>, ParseError> {
+    let mut sources = SourceSet::new(root);
+    build_with(root, &mut sources)
+}
+
+/// Like [`build`], loading sources through a caller-owned [`SourceSet`]
+/// so files shared between sites (`msg.rs` backs three, `machines.rs`
+/// two) — and with other passes of the same invocation — are read and
+/// token-scanned exactly once.
+pub fn build_with(
+    root: &Path,
+    sources: &mut SourceSet,
+) -> Result<Vec<SiteMatrix>, ParseError> {
     let mut out = Vec::new();
     for spec in site_specs() {
-        let enum_src = SourceFile::load(root, &root.join(spec.enum_file))
+        let enum_src = sources
+            .load(&root.join(spec.enum_file))
             .map_err(|e| io_error(spec.enum_file, &e))?;
         let variants = enum_src.parse_enum(spec.enum_name)?;
 
@@ -154,7 +167,8 @@ pub fn build(root: &Path) -> Result<Vec<SiteMatrix>, ParseError> {
             });
         }
 
-        let match_src = SourceFile::load(root, &root.join(spec.match_file))
+        let match_src = sources
+            .load(&root.join(spec.match_file))
             .map_err(|e| io_error(spec.match_file, &e))?;
         let range = match_src.fn_body_in_impl(spec.impl_type, spec.fn_name)?;
         let arms = match_src.match_arms_over(range, spec.enum_name)?;

@@ -11,6 +11,8 @@
 //! escaping it.
 
 use crate::lint::{in_ranges, is_ident, line_of, mask, occurrences, test_ranges};
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -35,28 +37,76 @@ impl ParseError {
     }
 }
 
-/// A parsed source file: original text plus its masked twin and test
-/// ranges, computed once.
+/// A parsed source file: original text plus its masked twin, test
+/// ranges, and lazily computed token artifacts (function bodies, impl
+/// blocks) — each computed exactly once and shared by every pass that
+/// touches the file (lint, analyze, audit).
 pub struct SourceFile {
     pub path: PathBuf,
     pub text: String,
     masked: Vec<u8>,
     skip: Vec<(usize, usize)>,
+    fns: OnceCell<Vec<FnBody>>,
+    impls: OnceCell<Vec<ImplBlock>>,
 }
 
 impl SourceFile {
+    /// Wraps already-read text (used by the string-based lint entry
+    /// points and the fixture tests).
+    pub fn from_text(path: PathBuf, text: String) -> SourceFile {
+        let masked = mask(&text);
+        let skip = test_ranges(&masked);
+        SourceFile {
+            path,
+            text,
+            masked,
+            skip,
+            fns: OnceCell::new(),
+            impls: OnceCell::new(),
+        }
+    }
+
     /// Reads and masks `path` (reported relative to `root` when it is a
     /// prefix).
     pub fn load(root: &Path, path: &Path) -> std::io::Result<SourceFile> {
         let text = std::fs::read_to_string(path)?;
-        let masked = mask(&text);
-        let skip = test_ranges(&masked);
         let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-        Ok(SourceFile { path: rel, text, masked, skip })
+        Ok(SourceFile::from_text(rel, text))
+    }
+
+    /// The comment/string-masked twin of the source text.
+    pub fn masked(&self) -> &[u8] {
+        &self.masked
+    }
+
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub fn skip(&self) -> &[(usize, usize)] {
+        &self.skip
     }
 
     fn masked_str(&self) -> &str {
         std::str::from_utf8(&self.masked).unwrap_or_default()
+    }
+
+    /// Every function definition outside test ranges, with its braced
+    /// body byte range. Computed once per file, shared across passes.
+    pub fn fn_bodies(&self) -> &[FnBody] {
+        self.fns.get_or_init(|| find_fn_bodies(&self.text, &self.masked, &self.skip))
+    }
+
+    /// Every `impl` block outside test ranges: the implemented type
+    /// name and the braced body byte range. Computed once per file.
+    pub fn impl_blocks(&self) -> &[ImplBlock] {
+        self.impls.get_or_init(|| find_impl_blocks(&self.text, &self.masked, &self.skip))
+    }
+
+    /// The type whose `impl` block contains byte position `at`, if any
+    /// (innermost-wins is irrelevant: impl blocks do not nest).
+    pub fn impl_type_at(&self, at: usize) -> Option<&str> {
+        self.impl_blocks()
+            .iter()
+            .find(|b| (b.body.0..b.body.1).contains(&at))
+            .map(|b| b.type_name.as_str())
     }
 
     /// Is `at` the start of a bounded occurrence of `word`?
@@ -469,6 +519,235 @@ pub fn expand_pattern(
         out.variants.push(idx);
     }
     Ok(out)
+}
+
+/// A function body located in the source: `[open, close)` byte range of
+/// the braced block, plus where the `fn` keyword sits for reporting.
+#[derive(Debug, Clone)]
+pub struct FnBody {
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub fn_kw: usize,
+    /// `[open, close)` byte range of the braced body.
+    pub body: (usize, usize),
+}
+
+/// One `impl` block: the type it implements (for `impl Trait for Type`,
+/// the type after `for`) and the braced body byte range.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    pub type_name: String,
+    /// Byte offset of the `impl` keyword.
+    pub impl_kw: usize,
+    /// `[open, close)` byte range of the braced body.
+    pub body: (usize, usize),
+}
+
+/// Locates every function definition in the masked source (test ranges
+/// excluded), with its body byte range. Bodiless declarations (trait
+/// methods ending in `;`) are skipped.
+fn find_fn_bodies(source: &str, masked: &[u8], skip: &[(usize, usize)]) -> Vec<FnBody> {
+    let mut out = Vec::new();
+    for at in occurrences(masked, "fn", skip) {
+        let b = masked;
+        let bounded = (at == 0 || !is_ident(b[at - 1]))
+            && b.get(at + 2).is_some_and(|c| c.is_ascii_whitespace());
+        if !bounded {
+            continue;
+        }
+        // Name: next identifier run.
+        let mut i = at + 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = source[name_start..i].to_string();
+        // Body: first `{` at paren/bracket depth 0 after the signature;
+        // `;` first means a bodiless declaration.
+        let mut depth = 0i32;
+        let open = loop {
+            if i >= b.len() {
+                break usize::MAX;
+            }
+            match b[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break i,
+                b';' if depth == 0 => break usize::MAX,
+                _ => {}
+            }
+            i += 1;
+        };
+        if open == usize::MAX {
+            continue;
+        }
+        let mut brace = 1i32;
+        let mut j = open + 1;
+        while j < b.len() && brace > 0 {
+            match b[j] {
+                b'{' => brace += 1,
+                b'}' => brace -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnBody { name, fn_kw: at, body: (open, j) });
+    }
+    out
+}
+
+/// Locates every `impl` block in the masked source (test ranges
+/// excluded). An `impl` token in return/argument position
+/// (`-> impl Iterator`) is distinguished from an item by what precedes
+/// it: items follow nothing, `}`, `;`, or a `]` closing an attribute.
+fn find_impl_blocks(source: &str, masked: &[u8], skip: &[(usize, usize)]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    for at in occurrences(masked, "impl", skip) {
+        let b = masked;
+        let bounded = (at == 0 || !is_ident(b[at - 1]))
+            && b.get(at + 4).is_none_or(|c| !is_ident(*c));
+        if !bounded {
+            continue;
+        }
+        let prev = b[..at].iter().rev().find(|c| !c.is_ascii_whitespace());
+        if !matches!(prev, None | Some(b'}') | Some(b';') | Some(b']')) {
+            continue; // `-> impl Trait`, `(impl Trait, …)`, `&impl …`
+        }
+        // Header runs to the `{` opening the impl body.
+        let Some(open) = b[at..].iter().position(|c| *c == b'{').map(|p| at + p) else {
+            continue;
+        };
+        let header = &source[at + 4..open];
+        let Some(type_name) = impl_header_type(header) else {
+            continue;
+        };
+        let mut depth = 1i32;
+        let mut end = open + 1;
+        while end < b.len() && depth > 0 {
+            match b[end] {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+            end += 1;
+        }
+        out.push(ImplBlock { type_name, impl_kw: at, body: (open, end) });
+    }
+    out
+}
+
+/// The implemented type name from an impl header (the text between
+/// `impl` and `{`): skips generic parameters, and for trait impls takes
+/// the segment after ` for `.
+fn impl_header_type(header: &str) -> Option<String> {
+    // `impl<P: Payload> Network<P>` → work on the part after the
+    // generic-parameter group; `impl Display for Finding` → after `for`.
+    let b = header.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'<') {
+        let mut depth = 0i32;
+        while i < b.len() {
+            match b[i] {
+                b'<' => depth += 1,
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let rest = &header[i..];
+    // Trait impl: the type follows the ` for ` at angle depth zero.
+    let rb = rest.as_bytes();
+    let mut depth = 0i32;
+    let mut from = 0;
+    for k in 0..rb.len() {
+        match rb[k] {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            b'f' if depth == 0
+                && rest[k..].starts_with("for")
+                && k > 0
+                && rb[k - 1].is_ascii_whitespace()
+                && rb.get(k + 3).is_some_and(|c| c.is_ascii_whitespace()) =>
+            {
+                from = k + 3;
+            }
+            _ => {}
+        }
+    }
+    // First path segment's last identifier: `crate::module::Type<P>` →
+    // `Type`. Walk ident runs separated by `::`.
+    let tail = rest[from..].trim_start();
+    let tb = tail.as_bytes();
+    let mut k = 0;
+    while k < tb.len() {
+        if is_ident(tb[k]) {
+            let name_start = k;
+            while k < tb.len() && is_ident(tb[k]) {
+                k += 1;
+            }
+            if tail[k..].starts_with("::") {
+                k += 2;
+                continue;
+            }
+            let name = &tail[name_start..k];
+            if name.is_empty() || name.bytes().next().is_some_and(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            return Some(name.to_string());
+        }
+        if tb[k] == b'&' || tb[k].is_ascii_whitespace() {
+            k += 1;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// A cache of parsed source files, keyed by absolute path. Every pass
+/// of one `cargo xtask` invocation (lint rules, the matrix builder, the
+/// call-graph auditor) loads files through the same set, so each file
+/// is read, masked, and token-scanned exactly once.
+pub struct SourceSet {
+    root: PathBuf,
+    files: BTreeMap<PathBuf, SourceFile>,
+}
+
+impl SourceSet {
+    pub fn new(root: &Path) -> SourceSet {
+        SourceSet { root: root.to_path_buf(), files: BTreeMap::new() }
+    }
+
+    /// Loads (or returns the cached parse of) `path`.
+    pub fn load(&mut self, path: &Path) -> std::io::Result<&SourceFile> {
+        if !self.files.contains_key(path) {
+            let file = SourceFile::load(&self.root, path)?;
+            self.files.insert(path.to_path_buf(), file);
+        }
+        Ok(&self.files[path])
+    }
+
+    /// How many distinct files have been loaded.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
 }
 
 /// Classifies an arm body: does the handler accept the (state, event)

@@ -1,0 +1,358 @@
+//! Adversarial tests for the call-graph builder: the token-level
+//! extractor and the qualifier-restricted resolver must survive the
+//! shapes real Rust throws at them — generics and turbofish, trait
+//! objects, method chains, closures inside iterator adapters, and
+//! macro-wrapped calls — and must err toward *over*-approximation
+//! (auditing cold code) rather than missing hot code.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xtask::callgraph::{build_for, extract_calls, CallSite};
+use xtask::parse::{SourceFile, SourceSet};
+
+/// Extracts call sites from the first (non-test) fn body in `src`.
+fn calls(src: &str) -> Vec<CallSite> {
+    let sf = SourceFile::from_text(PathBuf::from("f.rs"), src.to_string());
+    let body = sf.fn_bodies().first().expect("fixture must contain a fn").body;
+    extract_calls(&sf.text, sf.masked(), body)
+}
+
+fn names(sites: &[CallSite]) -> Vec<&str> {
+    sites.iter().map(|c| c.name.as_str()).collect()
+}
+
+#[test]
+fn generic_calls_and_turbofish_are_extracted() {
+    let sites = calls(
+        r#"
+fn driver(xs: &[u64]) -> Vec<u64> {
+    let v = transform::<u64>(xs);
+    let w: Vec<u64> = xs.iter().copied().collect::<Vec<u64>>();
+    combine(v, w)
+}
+"#,
+    );
+    let n = names(&sites);
+    assert!(n.contains(&"transform"), "turbofish call missed: {n:?}");
+    assert!(n.contains(&"combine"), "plain call missed: {n:?}");
+    assert!(n.contains(&"collect"), "generic method call missed: {n:?}");
+    let transform = sites.iter().find(|c| c.name == "transform").unwrap();
+    assert!(!transform.method, "turbofish call is not a method call");
+}
+
+#[test]
+fn trait_object_dispatch_is_a_method_call() {
+    let sites = calls(
+        r#"
+fn run(handler: &dyn Handler, x: u64) {
+    handler.handle(x);
+}
+"#,
+    );
+    let handle = sites.iter().find(|c| c.name == "handle").expect("dispatch missed");
+    assert!(handle.method, "dyn dispatch must extract as a method call");
+    assert!(handle.qualifier.is_none());
+    assert!(
+        !names(&sites).contains(&"dyn"),
+        "keywords must not become call sites: {sites:?}"
+    );
+}
+
+#[test]
+fn every_link_of_a_method_chain_is_extracted() {
+    let sites = calls(
+        r#"
+fn chained(q: &Wheel) -> u64 {
+    q.first().second(1).third().fourth()
+}
+"#,
+    );
+    let n = names(&sites);
+    for link in ["first", "second", "third", "fourth"] {
+        assert!(n.contains(&link), "chain link {link} missed: {n:?}");
+    }
+    assert!(sites.iter().all(|c| c.method), "all links are method calls");
+}
+
+#[test]
+fn calls_inside_closures_in_iterator_adapters_are_extracted() {
+    let sites = calls(
+        r#"
+fn sweep(items: &mut Vec<u64>, set: &mut BTreeMap<u64, u64>) -> Vec<u64> {
+    set.retain(|k, _| keep_entry(*k));
+    items.iter().map(|x| score(*x)).filter(|s| accept(*s)).collect()
+}
+"#,
+    );
+    let n = names(&sites);
+    for inner in ["keep_entry", "score", "accept"] {
+        assert!(n.contains(&inner), "closure-body call {inner} missed: {n:?}");
+    }
+}
+
+#[test]
+fn macro_wrapped_calls_are_still_seen_but_the_macro_itself_is_not() {
+    // The extractor cannot expand macros; it scans macro *arguments*
+    // textually, so a call smuggled through `assert!`-style macros is
+    // still audited while the macro name itself never becomes a node.
+    let sites = calls(
+        r#"
+fn guarded(x: u64) -> u64 {
+    debug_assert!(validate(x));
+    emit!(encode(x));
+    x
+}
+"#,
+    );
+    let n = names(&sites);
+    assert!(n.contains(&"validate"), "call inside macro args missed: {n:?}");
+    assert!(n.contains(&"encode"), "call inside custom macro missed: {n:?}");
+    assert!(!n.contains(&"debug_assert"), "macro is not a call: {n:?}");
+    assert!(!n.contains(&"emit"), "macro is not a call: {n:?}");
+}
+
+#[test]
+fn definitions_paths_and_literal_noise_are_not_calls() {
+    let sites = calls(
+        r#"
+fn noisy(x: u64) -> u64 {
+    // a comment mentioning fake_call(1) stays dead
+    let s = "string_call(2)";
+    let closure = |y: u64| y + 1;
+    let path = coverage::TRANSITION_CAP;
+    if x > 0 {
+        closure(x)
+    } else {
+        real_call(x)
+    }
+}
+"#,
+    );
+    let n = names(&sites);
+    assert!(!n.contains(&"fake_call"), "comments must be masked: {n:?}");
+    assert!(!n.contains(&"string_call"), "strings must be masked: {n:?}");
+    assert!(!n.contains(&"coverage"), "path segment is not a call: {n:?}");
+    assert!(n.contains(&"real_call"), "{n:?}");
+    assert!(n.contains(&"closure"), "closure invocation is call-shaped: {n:?}");
+}
+
+#[test]
+fn qualifiers_are_captured_for_path_calls() {
+    let sites = calls(
+        r#"
+fn dispatch(&mut self) {
+    Self::local_step();
+    Wheel::advance(self);
+    helpers::tidy();
+}
+"#,
+    );
+    let q = |name: &str| {
+        sites
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("{name} missed: {sites:?}"))
+            .qualifier
+            .clone()
+    };
+    assert_eq!(q("local_step").as_deref(), Some("Self"));
+    assert_eq!(q("advance").as_deref(), Some("Wheel"));
+    assert_eq!(q("tidy").as_deref(), Some("helpers"));
+}
+
+// ---------------------------------------------------------------------
+// Whole-graph resolution over an on-disk fixture tree.
+// ---------------------------------------------------------------------
+
+static FIXTURE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes a throwaway `crates/<name>/src/lib.rs` tree and returns its
+/// root. Callers remove it; leaks on panic are confined to temp_dir.
+fn fixture_tree(files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!(
+        "xtask-callgraph-{}-{}",
+        std::process::id(),
+        FIXTURE_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    for (krate, text) in files {
+        let src = root.join("crates").join(krate).join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("lib.rs"), text).unwrap();
+    }
+    root
+}
+
+const ALPHA_BETA: &[&str] = &["alpha", "beta"];
+
+const ALPHA: &str = r#"
+pub struct Widget;
+
+impl Widget {
+    pub fn start(&self) {
+        Self::step();
+        helper();
+    }
+    pub fn step() {}
+}
+
+/// Free fn shadowing the method name: `Self::step` must NOT reach it.
+pub fn step() {}
+
+pub fn helper() {
+    beta_entry();
+}
+"#;
+
+const BETA: &str = r#"
+pub struct Gadget;
+
+impl Gadget {
+    pub fn step(&self) {}
+}
+
+pub fn beta_entry(g: &Gadget) {
+    g.step();
+}
+
+pub fn unrelated() {
+    orphan();
+}
+
+pub fn orphan() {}
+"#;
+
+#[test]
+fn qualified_calls_resolve_narrowly_and_method_calls_over_approximate() {
+    let root = fixture_tree(&[("alpha", ALPHA), ("beta", BETA)]);
+    let mut sources = SourceSet::new(&root);
+    let graph = build_for(&root, &mut sources, ALPHA_BETA).expect("fixture parses");
+
+    let start = graph.resolve_named("lib.rs", Some("Widget"), "start");
+    assert_eq!(start.len(), 1, "seed triple must resolve uniquely");
+    let widget_step = graph.resolve_named("alpha/src/lib.rs", Some("Widget"), "step")[0];
+    let free_step: Vec<usize> = graph
+        .named("step")
+        .iter()
+        .copied()
+        .filter(|&i| graph.nodes[i].impl_type.is_none())
+        .collect();
+    assert_eq!(free_step.len(), 1, "one free fn named step");
+
+    // `Self::step()` resolves to Widget::step only — not the free fn,
+    // not Gadget::step.
+    let callees = graph.callees(start[0]);
+    assert!(callees.contains(&widget_step), "Self:: call missed");
+    assert!(
+        !callees.contains(&free_step[0]),
+        "Self:: must not leak to the same-named free fn"
+    );
+    let gadget_step = graph.resolve_named("beta/src/lib.rs", Some("Gadget"), "step")[0];
+    assert!(!callees.contains(&gadget_step), "Self:: must not cross impls");
+
+    // `g.step()` is a bare method call: over-approximates to every
+    // `step` — both impls and the free fn. Erring cold, never hot.
+    let beta_entry = graph.resolve_named("beta/src/lib.rs", None, "beta_entry")[0];
+    let entry_callees = graph.callees(beta_entry);
+    assert!(entry_callees.contains(&gadget_step), "method call missed its impl");
+    assert!(
+        entry_callees.contains(&widget_step),
+        "method calls must over-approximate across impls"
+    );
+
+    // Reachability from the seed crosses the crate boundary and carries
+    // a reconstructable chain; unconnected nodes stay out.
+    let reached = graph.reachable(&start);
+    assert!(reached.contains_key(&gadget_step), "cross-crate path missed");
+    let chain = graph.chain(&reached, gadget_step);
+    assert!(
+        chain.starts_with("Widget::start → helper → beta_entry"),
+        "unexpected chain: {chain}"
+    );
+    let unrelated = graph.resolve_named("lib.rs", None, "unrelated")[0];
+    let orphan = graph.resolve_named("lib.rs", None, "orphan")[0];
+    assert!(!reached.contains_key(&unrelated), "unreachable fn leaked in");
+    assert!(!reached.contains_key(&orphan), "unreachable fn leaked in");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+const GENERIC: &str = r#"
+pub struct Engine<T> {
+    inner: T,
+}
+
+impl<T: Clone> Engine<T> {
+    pub fn run(&mut self) {
+        self.phase::<u32>();
+        Engine::finish(self);
+    }
+    fn phase<U>(&mut self) {}
+    fn finish(&mut self) {}
+}
+"#;
+
+const GENERIC_ONLY: &[&str] = &["gamma"];
+
+#[test]
+fn generic_impls_and_turbofish_method_calls_resolve() {
+    let root = fixture_tree(&[("gamma", GENERIC)]);
+    let mut sources = SourceSet::new(&root);
+    let graph = build_for(&root, &mut sources, GENERIC_ONLY).expect("fixture parses");
+
+    let run = graph.resolve_named("lib.rs", Some("Engine"), "run");
+    assert_eq!(run.len(), 1, "impl<T> Engine<T> must index as Engine");
+    let callees = graph.callees(run[0]);
+    let phase = graph.resolve_named("lib.rs", Some("Engine"), "phase")[0];
+    let finish = graph.resolve_named("lib.rs", Some("Engine"), "finish")[0];
+    assert!(callees.contains(&phase), "turbofish self-method call missed");
+    assert!(callees.contains(&finish), "Type::method(self) call missed");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+const MACRO_ARMS: &str = r#"
+macro_rules! dispatch_arm {
+    ($msg:expr, $this:expr) => {
+        match $msg {
+            Msg::A => $this.on_a(),
+            Msg::B => $this.on_b(),
+        }
+    };
+}
+
+pub struct Proto;
+
+impl Proto {
+    pub fn handle(&mut self, msg: Msg) {
+        dispatch_arm!(msg, self)
+    }
+    fn on_a(&mut self) {}
+    fn on_b(&mut self) {}
+}
+"#;
+
+const MACRO_ONLY: &[&str] = &["delta"];
+
+#[test]
+fn calls_inside_macro_generated_match_arms_are_graph_edges() {
+    // The builder does not expand macros; it scans the macro body and
+    // invocation textually, which is exactly what keeps macro-generated
+    // dispatch arms inside the audit instead of silently invisible.
+    let root = fixture_tree(&[("delta", MACRO_ARMS)]);
+    let mut sources = SourceSet::new(&root);
+    let graph = build_for(&root, &mut sources, MACRO_ONLY).expect("fixture parses");
+
+    let handle = graph.resolve_named("lib.rs", Some("Proto"), "handle");
+    assert_eq!(handle.len(), 1);
+    let reached = graph.reachable(&handle);
+    for target in ["on_a", "on_b"] {
+        let node = graph.resolve_named("lib.rs", Some("Proto"), target)[0];
+        assert!(
+            reached.contains_key(&node),
+            "macro-generated arm call {target} must stay reachable"
+        );
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -6,7 +6,7 @@
 //! 3.48x, nab); iNPG+OCOR 2.71x avg; gains grow from Group 1 to Group 3;
 //! iNPG over OCOR: 1.35x avg.
 
-use inpg::stats::speedup;
+use inpg::stats::{speedup, Welford};
 use inpg::Mechanism;
 use inpg_bench::{figure_report, geomean, scale_from_env, seeds_from_env, FigureMatrix};
 use inpg_campaign::suites::{self, seed_label};
@@ -51,4 +51,36 @@ fn main() {
     let avg_ocor = matrix.column_agg(0, geomean);
     let avg_inpg = matrix.column_agg(1, geomean);
     println!("iNPG over OCOR: {} avg", speedup(avg_inpg / avg_ocor));
+
+    // With 2+ seeds the overall expedition gets a Student-t 95% CI
+    // over the per-seed geomeans, so the figure is reported with its
+    // seed-to-seed uncertainty instead of a bare point estimate.
+    if seeds.len() >= 2 {
+        let parts: Vec<String> = SERIES
+            .iter()
+            .zip(["OCOR", "iNPG", "iNPG+OCOR"])
+            .map(|(&mechanism, name)| {
+                let mut w = Welford::new();
+                for &seed in &seeds {
+                    let per_bench: Vec<f64> = BENCHMARKS
+                        .iter()
+                        .map(|spec| {
+                            let label = |m: Mechanism| {
+                                format!("{}/{m}/{}", spec.name, seed_label(seed))
+                            };
+                            let base = report.record(&label(Mechanism::Original));
+                            let r = report.record(&label(mechanism));
+                            base.cs_access_time() / r.cs_access_time()
+                        })
+                        .collect();
+                    w.push(geomean(&per_bench));
+                }
+                match w.estimate() {
+                    Some(est) => format!("{name} {:.2} ±{:.2}", est.mean, est.ci95),
+                    None => format!("{name} (no CI)"),
+                }
+            })
+            .collect();
+        println!("95% CI over {} seeds: {}", seeds.len(), parts.join(", "));
+    }
 }

@@ -5,7 +5,7 @@
 //! reductions grow from Group 1 to Group 3; iNPG over OCOR improves ROI
 //! by 7.8% avg / 14.7% max (bt331); the combination is sub-additive.
 
-use inpg::stats::pct;
+use inpg::stats::{pct, Welford};
 use inpg::Mechanism;
 use inpg_bench::{figure_report, mean, scale_from_env, seeds_from_env, FigureMatrix};
 use inpg_campaign::suites::{self, seed_label};
@@ -58,4 +58,37 @@ fn main() {
         best_gain.0 * 100.0,
         best_gain.1
     );
+
+    // With 2+ seeds, the overall relative ROI carries a Student-t 95%
+    // CI over the per-seed means of the 24-benchmark average.
+    if seeds.len() >= 2 {
+        let parts: Vec<String> = SERIES
+            .iter()
+            .zip(["OCOR", "iNPG", "iNPG+OCOR"])
+            .map(|(&mechanism, name)| {
+                let mut w = Welford::new();
+                for &seed in &seeds {
+                    let per_bench: Vec<f64> = BENCHMARKS
+                        .iter()
+                        .map(|spec| {
+                            let label = |m: Mechanism| {
+                                format!("{}/{m}/{}", spec.name, seed_label(seed))
+                            };
+                            let base = report.record(&label(Mechanism::Original));
+                            let r = report.record(&label(mechanism));
+                            r.roi_cycles as f64 / base.roi_cycles as f64
+                        })
+                        .collect();
+                    w.push(mean(&per_bench));
+                }
+                match w.estimate() {
+                    Some(est) => {
+                        format!("{name} {:.1}% ±{:.1}%", est.mean * 100.0, est.ci95 * 100.0)
+                    }
+                    None => format!("{name} (no CI)"),
+                }
+            })
+            .collect();
+        println!("95% CI over {} seeds: {}", seeds.len(), parts.join(", "));
+    }
 }

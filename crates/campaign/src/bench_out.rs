@@ -11,6 +11,7 @@
 //! of the same campaign at `--workers 1` — the measured speedup over
 //! that single-worker run.
 
+use crate::adaptive::AdaptiveReport;
 use crate::engine::CampaignReport;
 use crate::json::{self, Json};
 use crate::submit::SubmitReport;
@@ -125,11 +126,25 @@ fn baseline_wall_ms(runs: &[Json], report: &CampaignReport) -> Option<f64> {
 fn entry_json(report: &CampaignReport, baseline_wall_ms: Option<f64>) -> Json {
     let wall_ms = report.wall_nanos as f64 / 1e6;
     let full_cold = report.executed == report.outcomes.len() && report.executed > 0;
-    let speedup = match baseline_wall_ms {
-        // Speedups only compare full cold executions; a warm run's wall
-        // time measures the cache, not the pool.
-        Some(base) if full_cold && wall_ms > 0.0 => Json::num(base / wall_ms),
-        _ => Json::Null,
+    // Speedups only compare full cold executions; a warm run's wall
+    // time measures the cache, not the pool. When no 1-worker baseline
+    // run is on file, the sum of this run's own per-cell wall times is
+    // an honest serial-execution estimate (what 1 worker would have
+    // spent executing, scheduling overhead excluded) — better than
+    // emitting null until someone reruns the whole suite at --workers 1.
+    let (speedup, basis) = match baseline_wall_ms {
+        Some(base) if full_cold && wall_ms > 0.0 => {
+            (Json::num(base / wall_ms), Json::Str("measured-1-worker".into()))
+        }
+        None if full_cold && wall_ms > 0.0 => {
+            let serial_ms =
+                report.outcomes.iter().map(|o| o.wall_nanos).sum::<u64>() as f64 / 1e6;
+            (
+                Json::num(serial_ms / wall_ms),
+                Json::Str("derived-per-cell-serial".into()),
+            )
+        }
+        _ => (Json::Null, Json::Null),
     };
     let cells_detail: Vec<Json> = report
         .outcomes
@@ -161,8 +176,77 @@ fn entry_json(report: &CampaignReport, baseline_wall_ms: Option<f64>) -> Json {
         ("sim_cycles", Json::UInt(report.sim_cycles())),
         ("sim_cycles_per_sec", Json::num(report.sim_cycles_per_sec())),
         ("speedup_vs_workers_1", speedup),
+        ("speedup_baseline", basis),
         ("cells_detail", Json::Arr(cells_detail)),
     ])
+}
+
+/// Merges an adaptive (`--adaptive`) run into the bench file at `path`.
+/// Adaptive entries are keyed `(mode: "adaptive", campaign, backend)` —
+/// one entry per campaign per backend (`"engine"` for the in-process
+/// pool, `"serve"` for the daemon fleet), newest replacing previous.
+/// Returns the entry written.
+pub fn write_adaptive_bench_json(
+    path: &Path,
+    report: &AdaptiveReport,
+    backend: &str,
+) -> io::Result<Json> {
+    let mut runs: Vec<Json> = match std::fs::read_to_string(path) {
+        Ok(text) => json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+            .unwrap_or_default(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    runs.retain(|r| {
+        !(r.get("mode").and_then(Json::as_str) == Some("adaptive")
+            && r.get("campaign").and_then(Json::as_str) == Some(report.name.as_str())
+            && r.get("backend").and_then(Json::as_str) == Some(backend))
+    });
+
+    let groups_detail: Vec<Json> = report
+        .groups
+        .iter()
+        .map(|g| {
+            Json::obj(vec![
+                ("group", Json::Str(g.label.clone())),
+                ("metric", Json::Str(g.metric.name().to_string())),
+                ("mean", Json::num(g.mean)),
+                ("ci95", g.ci95.map_or(Json::Null, Json::num)),
+                ("n_seeds", Json::UInt(g.n_seeds)),
+                ("converged", Json::Bool(g.converged)),
+            ])
+        })
+        .collect();
+    let entry = Json::obj(vec![
+        ("campaign", Json::Str(report.name.clone())),
+        ("mode", Json::Str("adaptive".into())),
+        ("backend", Json::Str(backend.to_string())),
+        ("groups", Json::UInt(report.groups.len() as u64)),
+        ("converged", Json::UInt(report.converged() as u64)),
+        ("ci_target", Json::num(report.ci_target)),
+        ("seed_budget", Json::UInt(report.seed_budget)),
+        ("replicas_kept", Json::UInt(report.kept() as u64)),
+        ("replicas_scheduled", Json::UInt(report.scheduled as u64)),
+        ("executed", Json::UInt(report.executed as u64)),
+        ("cached", Json::UInt(report.cached as u64)),
+        ("wall_ms", Json::num(report.wall_nanos as f64 / 1e6)),
+        ("groups_detail", Json::Arr(groups_detail)),
+    ]);
+    runs.push(entry.clone());
+
+    let doc = Json::obj(vec![
+        ("schema", Json::UInt(1)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, doc.to_string_compact() + "\n")?;
+    Ok(entry)
 }
 
 #[cfg(test)]
@@ -222,18 +306,29 @@ mod tests {
         let path = tmp_path("speedup");
         let _ = std::fs::remove_file(&path);
 
-        // 1-worker cold run: no baseline yet, so no speedup.
+        // 1-worker cold run: no recorded baseline yet, so the per-cell
+        // wall times stand in (serial sum == total here → speedup 1.0).
         let entry = write_bench_json(&path, &fake_report(1, true, 8_000_000_000)).unwrap();
-        assert_eq!(entry.get("speedup_vs_workers_1"), Some(&Json::Null));
+        let speedup = entry.get("speedup_vs_workers_1").and_then(Json::as_f64).unwrap();
+        assert!((speedup - 1.0).abs() < 1e-9, "{speedup}");
+        assert_eq!(
+            entry.get("speedup_baseline").and_then(Json::as_str),
+            Some("derived-per-cell-serial")
+        );
 
         // 4-worker cold run: speedup vs the recorded 1-worker wall time.
         let entry = write_bench_json(&path, &fake_report(4, true, 2_000_000_000)).unwrap();
         let speedup = entry.get("speedup_vs_workers_1").and_then(Json::as_f64).unwrap();
         assert!((speedup - 4.0).abs() < 1e-9, "{speedup}");
+        assert_eq!(
+            entry.get("speedup_baseline").and_then(Json::as_str),
+            Some("measured-1-worker")
+        );
 
         // Warm (all-cached) run: wall time measures the cache, no speedup.
         let entry = write_bench_json(&path, &fake_report(4, false, 1_000_000)).unwrap();
         assert_eq!(entry.get("speedup_vs_workers_1"), Some(&Json::Null));
+        assert_eq!(entry.get("speedup_baseline"), Some(&Json::Null));
 
         // Re-running a combination replaces its entry instead of duplicating.
         write_bench_json(&path, &fake_report(4, true, 1_000_000_000)).unwrap();
@@ -315,6 +410,52 @@ mod tests {
         // A hit-less serve run reports null latency quantiles.
         let entry = write_serve_bench_json(&path, &serve_report(&[], 5_000_000)).unwrap();
         assert_eq!(entry.get("warm_hit_p50_ms"), Some(&Json::Null));
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adaptive_entries_are_keyed_by_campaign_and_backend() {
+        use crate::adaptive::{GroupSummary, HeadlineMetric};
+
+        let path = tmp_path("adaptive");
+        let _ = std::fs::remove_file(&path);
+
+        // An engine entry first; adaptive entries must coexist with it.
+        write_bench_json(&path, &fake_report(4, true, 2_000_000_000)).unwrap();
+
+        let report = |wall: u64| AdaptiveReport {
+            name: "t".into(),
+            groups: vec![GroupSummary {
+                label: "g".into(),
+                metric: HeadlineMetric::RoiCycles,
+                mean: 1000.0,
+                ci95: Some(30.0),
+                n_seeds: 4,
+                converged: true,
+                replicas: Vec::new(),
+            }],
+            ci_target: 0.05,
+            seed_budget: 16,
+            scheduled: 5,
+            executed: 3,
+            cached: 2,
+            wall_nanos: wall,
+        };
+        let entry = write_adaptive_bench_json(&path, &report(9_000_000), "engine").unwrap();
+        assert_eq!(entry.get("mode").and_then(Json::as_str), Some("adaptive"));
+        assert_eq!(entry.get("replicas_kept").and_then(Json::as_u64), Some(4));
+        let detail = entry.get("groups_detail").and_then(Json::as_arr).unwrap();
+        assert_eq!(detail[0].get("n_seeds").and_then(Json::as_u64), Some(4));
+
+        // A serve-backed adaptive run coexists; an engine rerun replaces
+        // only its own entry.
+        write_adaptive_bench_json(&path, &report(7_000_000), "serve").unwrap();
+        write_adaptive_bench_json(&path, &report(5_000_000), "engine").unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 3, "engine fixed + adaptive engine + adaptive serve");
+        assert!(runs.iter().any(|r| r.get("workers").and_then(Json::as_u64) == Some(4)));
 
         let _ = std::fs::remove_file(&path);
     }

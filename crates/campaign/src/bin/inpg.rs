@@ -7,6 +7,7 @@
 //! inpg sweep-primitives <benchmark> [opts]   Original vs iNPG × 5 primitives
 //! inpg campaign <suite> [campaign options]   run a figure suite in parallel
 //! inpg campaign --list                       list the suites
+//! inpg campaign <suite> --adaptive [...]     run seeds to confidence, not count
 //! inpg serve [serve options]                 run the resident campaign daemon
 //! inpg submit <suite> [submit options]       drive a suite through daemon(s)
 //! inpg shutdown [--daemon A | --addr-file P] gracefully drain a daemon
@@ -30,6 +31,8 @@
 //!   --deadline-ms N      per-request deadline forwarded to the daemon
 //!   --max-attempts N     per-cell attempt budget (default 40)
 //!   --scale F / --seeds N / --filter SUBSTR    as for `inpg campaign`
+//!   --adaptive / --ci-target / --seed-budget / --min-seeds
+//!                        as for `inpg campaign` (replicas shard across daemons)
 //!   --out PATH           merged artifact (default results/campaign/<suite>.jsonl)
 //!   --bench-out PATH     perf trajectory (default BENCH_campaign.json)
 //!   --quiet              no per-cell progress on stderr
@@ -46,6 +49,15 @@
 //!   --bench-out PATH     perf trajectory (default BENCH_campaign.json)
 //!   --jsonl              per-cell JSONL telemetry on stdout
 //!   --quiet              no per-cell progress on stderr
+//!   --adaptive           sequential analysis: run each cell's seed stream
+//!                        until its CI target is met (suites: smoke, fig02,
+//!                        fig11, fig12; artifact gains mean/ci95/n_seeds)
+//!   --ci-target F        relative 95% CI half-width to stop at (default
+//!                        0.05; implies --adaptive)
+//!   --seed-budget N      max replicas per cell, >= 2 (default 16; implies
+//!                        --adaptive)
+//!   --min-seeds N        replicas before the CI is consulted, >= 2
+//!                        (default 3; implies --adaptive)
 //!
 //! options:
 //!   --mechanism original|ocor|inpg|inpg+ocor   (run only; default original)
@@ -74,11 +86,11 @@
 use inpg::stats::{pct, speedup, Table};
 use inpg::{Experiment, ExperimentResult, FaultKind, FaultPlan, LockPrimitive, Mechanism, SimError};
 use inpg_campaign::{
-    bench_out, engine, serve, submit, suites, AddrSource, ExecOptions, ServeOptions,
-    SubmitOptions,
+    bench_out, engine, run_adaptive, serve, submit, suites, AddrSource, AdaptiveOptions,
+    EngineRunner, ExecOptions, ReplicaRunner, ServeOptions, ServiceRunner, SubmitOptions,
 };
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Everything the CLI can fail with, so `main` can pick exit text and
@@ -357,12 +369,114 @@ fn cmd_sweep_primitives(benchmark: &str, options: &Options) -> Result<(), CliErr
     Ok(())
 }
 
+/// Sequential-analysis knobs shared by `inpg campaign` and
+/// `inpg submit`. Passing any value flag implies `--adaptive`.
+#[derive(Debug, Clone, Copy)]
+struct AdaptiveCli {
+    enabled: bool,
+    ci_target: f64,
+    min_seeds: u64,
+    seed_budget: u64,
+}
+
+impl Default for AdaptiveCli {
+    fn default() -> Self {
+        AdaptiveCli { enabled: false, ci_target: 0.05, min_seeds: 3, seed_budget: 16 }
+    }
+}
+
+fn parse_ci_target(s: &str) -> Result<f64, String> {
+    s.parse()
+        .ok()
+        .filter(|&t: &f64| t.is_finite() && t > 0.0)
+        .ok_or_else(|| "bad --ci-target (want a finite value > 0)".to_string())
+}
+
+fn parse_replica_count(flag: &str, s: &str) -> Result<u64, String> {
+    s.parse()
+        .ok()
+        .filter(|&n: &u64| n >= 2)
+        .ok_or_else(|| format!("bad {flag} (want an integer >= 2)"))
+}
+
+fn adaptive_suite_names() -> Vec<&'static str> {
+    suites::ADAPTIVE_SUITES.iter().map(|s| s.name).collect()
+}
+
+/// The adaptive campaign path, shared by `inpg campaign --adaptive`
+/// (engine runner) and `inpg submit --adaptive` (daemon runner).
+#[allow(clippy::too_many_arguments)]
+fn cmd_adaptive(
+    suite: &str,
+    scale: Option<f64>,
+    filter: Option<&str>,
+    cli: &AdaptiveCli,
+    merged_out: Option<PathBuf>,
+    progress: bool,
+    bench_path: &Path,
+    runner: &dyn ReplicaRunner,
+    backend: &str,
+) -> Result<(), CliError> {
+    let campaign = suites::build_adaptive(suite, scale).ok_or_else(|| {
+        CliError::Usage(format!(
+            "suite `{suite}` has no adaptive form; one of: {}",
+            adaptive_suite_names().join(", ")
+        ))
+    })?;
+    let campaign = campaign.matching(filter);
+    if campaign.groups.is_empty() {
+        return Err(CliError::Usage(format!(
+            "--filter matched no cells in suite `{suite}`"
+        )));
+    }
+    let opts = AdaptiveOptions {
+        ci_target: cli.ci_target,
+        min_seeds: cli.min_seeds,
+        seed_budget: cli.seed_budget,
+        merged_out,
+        progress,
+    };
+    let report = run_adaptive(&campaign, &opts, runner)
+        .map_err(|e| CliError::Usage(format!("adaptive campaign failed: {e}")))?;
+    bench_out::write_adaptive_bench_json(bench_path, &report, backend)
+        .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", bench_path.display())))?;
+    println!("{}", report.summary_line());
+    let mut table = Table::new(vec!["group", "metric", "mean", "ci95", "seeds", "converged"]);
+    for g in &report.groups {
+        table.add_row(vec![
+            g.label.clone(),
+            g.metric.to_string(),
+            format!("{:.4}", g.mean),
+            g.ci95.map_or_else(|| "-".to_string(), |ci| format!("±{ci:.4}")),
+            g.n_seeds.to_string(),
+            if g.converged { "yes".to_string() } else { "budget".to_string() },
+        ]);
+    }
+    println!("{table}");
+    if let Some(path) = &opts.merged_out {
+        println!("merged artifact: {}", path.display());
+    }
+    println!("perf trajectory: {}", bench_path.display());
+    let unconverged: Vec<&str> =
+        report.groups.iter().filter(|g| !g.converged).map(|g| g.label.as_str()).collect();
+    if !unconverged.is_empty() {
+        eprintln!(
+            "note: {} group(s) exhausted --seed-budget {} before reaching the CI target: {}",
+            unconverged.len(),
+            cli.seed_budget,
+            unconverged.join(", ")
+        );
+    }
+    Ok(())
+}
+
 /// Parsed `inpg campaign` command line.
 struct CampaignArgs {
     suite: String,
     exec: ExecOptions,
     scale: Option<f64>,
     seed_count: u64,
+    adaptive: AdaptiveCli,
     bench_out: PathBuf,
 }
 
@@ -373,6 +487,8 @@ fn parse_campaign_args(args: &[String]) -> Result<Option<CampaignArgs>, String> 
     exec.cache = Some(PathBuf::from("results/cache"));
     let mut scale: Option<f64> = None;
     let mut seed_count: u64 = 1;
+    let mut seeds_given = false;
+    let mut adaptive = AdaptiveCli::default();
     let mut out: Option<PathBuf> = None;
     let mut bench_out = PathBuf::from("BENCH_campaign.json");
     let mut it = args.iter();
@@ -382,6 +498,19 @@ fn parse_campaign_args(args: &[String]) -> Result<Option<CampaignArgs>, String> 
         };
         match arg.as_str() {
             "--list" => return Ok(None),
+            "--adaptive" => adaptive.enabled = true,
+            "--ci-target" => {
+                adaptive.ci_target = parse_ci_target(&value()?)?;
+                adaptive.enabled = true;
+            }
+            "--seed-budget" => {
+                adaptive.seed_budget = parse_replica_count("--seed-budget", &value()?)?;
+                adaptive.enabled = true;
+            }
+            "--min-seeds" => {
+                adaptive.min_seeds = parse_replica_count("--min-seeds", &value()?)?;
+                adaptive.enabled = true;
+            }
             "--workers" => {
                 exec.workers = value()?
                     .parse()
@@ -407,7 +536,8 @@ fn parse_campaign_args(args: &[String]) -> Result<Option<CampaignArgs>, String> 
                     .parse()
                     .ok()
                     .filter(|&n: &u64| n > 0)
-                    .ok_or("bad --seeds")?
+                    .ok_or("bad --seeds")?;
+                seeds_given = true;
             }
             "--out" => out = Some(PathBuf::from(value()?)),
             "--bench-out" => bench_out = PathBuf::from(value()?),
@@ -422,9 +552,24 @@ fn parse_campaign_args(args: &[String]) -> Result<Option<CampaignArgs>, String> 
     let suite = suite.ok_or_else(|| {
         format!("missing suite name; one of: {}", suite_names().join(", "))
     })?;
-    exec.merged_out =
-        Some(out.unwrap_or_else(|| PathBuf::from(format!("results/campaign/{suite}.jsonl"))));
-    Ok(Some(CampaignArgs { suite, exec, scale, seed_count, bench_out }))
+    if adaptive.enabled {
+        if seeds_given {
+            return Err("--seeds picks a fixed count; --adaptive draws its own \
+                        per-cell seed streams (use --seed-budget / --min-seeds)"
+                .to_string());
+        }
+        if exec.cell_jsonl {
+            return Err("--jsonl is not supported with --adaptive".to_string());
+        }
+    }
+    exec.merged_out = Some(out.unwrap_or_else(|| {
+        if adaptive.enabled {
+            PathBuf::from(format!("results/campaign/{suite}-adaptive.jsonl"))
+        } else {
+            PathBuf::from(format!("results/campaign/{suite}.jsonl"))
+        }
+    }));
+    Ok(Some(CampaignArgs { suite, exec, scale, seed_count, adaptive, bench_out }))
 }
 
 fn suite_names() -> Vec<&'static str> {
@@ -453,6 +598,23 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
         }
         Ok(Some(parsed)) => parsed,
     };
+    if parsed.adaptive.enabled {
+        let mut exec = parsed.exec.clone();
+        let merged_out = exec.merged_out.take();
+        let progress = exec.progress;
+        let filter = exec.filter.take();
+        return cmd_adaptive(
+            &parsed.suite,
+            parsed.scale,
+            filter.as_deref(),
+            &parsed.adaptive,
+            merged_out,
+            progress,
+            &parsed.bench_out,
+            &EngineRunner { exec },
+            "engine",
+        );
+    }
     // The same seed derivation the fig binaries use for INPG_SEEDS.
     let seeds: Vec<u64> =
         (0..parsed.seed_count).map(|i| 0x1a9e_4711 + i * 0x9e37).collect();
@@ -551,6 +713,7 @@ struct SubmitArgs {
     filter: Option<String>,
     scale: Option<f64>,
     seed_count: u64,
+    adaptive: AdaptiveCli,
     out: Option<PathBuf>,
     bench_out: PathBuf,
 }
@@ -561,6 +724,8 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
     let mut filter = None;
     let mut scale = None;
     let mut seed_count: u64 = 1;
+    let mut seeds_given = false;
+    let mut adaptive = AdaptiveCli::default();
     let mut out = None;
     let mut bench_out = PathBuf::from("BENCH_campaign.json");
     let mut it = args.iter();
@@ -604,7 +769,21 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
                     .parse()
                     .ok()
                     .filter(|&n: &u64| n > 0)
-                    .ok_or("bad --seeds")?
+                    .ok_or("bad --seeds")?;
+                seeds_given = true;
+            }
+            "--adaptive" => adaptive.enabled = true,
+            "--ci-target" => {
+                adaptive.ci_target = parse_ci_target(&value()?)?;
+                adaptive.enabled = true;
+            }
+            "--seed-budget" => {
+                adaptive.seed_budget = parse_replica_count("--seed-budget", &value()?)?;
+                adaptive.enabled = true;
+            }
+            "--min-seeds" => {
+                adaptive.min_seeds = parse_replica_count("--min-seeds", &value()?)?;
+                adaptive.enabled = true;
             }
             "--out" => out = Some(PathBuf::from(value()?)),
             "--bench-out" => bench_out = PathBuf::from(value()?),
@@ -618,11 +797,35 @@ fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
     let suite = suite.ok_or_else(|| {
         format!("missing suite name; one of: {}", suite_names().join(", "))
     })?;
-    Ok(SubmitArgs { suite, opts, filter, scale, seed_count, out, bench_out })
+    if adaptive.enabled && seeds_given {
+        return Err("--seeds picks a fixed count; --adaptive draws its own \
+                    per-cell seed streams (use --seed-budget / --min-seeds)"
+            .to_string());
+    }
+    Ok(SubmitArgs { suite, opts, filter, scale, seed_count, adaptive, out, bench_out })
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), CliError> {
     let mut parsed = parse_submit_args(args).map_err(CliError::Usage)?;
+    if parsed.adaptive.enabled {
+        let merged_out = parsed.out.clone().unwrap_or_else(|| {
+            PathBuf::from(format!("results/campaign/{}-adaptive.jsonl", parsed.suite))
+        });
+        let progress = parsed.opts.progress;
+        let mut opts = parsed.opts.clone();
+        opts.merged_out = None;
+        return cmd_adaptive(
+            &parsed.suite,
+            parsed.scale,
+            parsed.filter.as_deref(),
+            &parsed.adaptive,
+            Some(merged_out),
+            progress,
+            &parsed.bench_out,
+            &ServiceRunner { opts },
+            "serve",
+        );
+    }
     let seeds: Vec<u64> =
         (0..parsed.seed_count).map(|i| 0x1a9e_4711 + i * 0x9e37).collect();
     let campaign =

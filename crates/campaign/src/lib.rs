@@ -28,7 +28,14 @@
 //! * [`serve`] — the daemon: deadlines, backpressure, graceful drain.
 //! * [`journal`] — the crash-safe drain journal of unfinished cells.
 //! * [`submit`] — the client: sharding, failover, canonical merge.
+//!
+//! Sequential analysis (PR 10) runs seeds to confidence, not to a count:
+//!
+//! * [`adaptive`] — the adaptive controller: per-group seed streams,
+//!   Welford/Student-t stopping rule, prefix-deterministic artifacts,
+//!   backed by either the engine or the daemon fleet.
 
+pub mod adaptive;
 pub mod admission;
 pub mod bench_out;
 pub mod cache;
@@ -44,11 +51,15 @@ pub mod serve;
 pub mod submit;
 pub mod suites;
 
+pub use adaptive::{
+    run_adaptive, AdaptiveCampaign, AdaptiveError, AdaptiveGroup, AdaptiveOptions,
+    AdaptiveReport, EngineRunner, HeadlineMetric, ReplicaRunner, ServiceRunner,
+};
 pub use cache::{CacheMiss, ResultCache};
 pub use cell::{Campaign, CellConfig, CellRecord, CellSpec, CellWorkload};
 pub use engine::{
     execute, CampaignError, CampaignReport, CellOutcome, ExecOptions, FailedCell,
 };
-pub use protocol::{Reply, Request, ServiceStatus};
+pub use protocol::{Notification, Reply, Request, ServerLine, ServiceStatus};
 pub use serve::ServeOptions;
 pub use submit::{AddrSource, SubmitError, SubmitOptions, SubmitReport};

@@ -32,6 +32,21 @@
 //! {"err":"failed","detail":"..."}           the cell's simulation errored
 //! {"err":"invalid","detail":"..."}          unparseable or malformed request
 //! ```
+//!
+//! A submit that misses the cache may additionally stream progress
+//! *notes* before its terminal reply — zero or more lines carrying a
+//! `"note"` discriminant, pushed on the same connection:
+//!
+//! ```text
+//! {"note":"queued","hash":"<16 hex>","ahead":3}   admitted; 3 jobs queued ahead
+//! {"note":"running","hash":"<16 hex>"}            a worker picked it up
+//! {"note":"done","hash":"<16 hex>","wall_nanos":12345}  simulation finished
+//! ```
+//!
+//! Notes are advisory: a client may ignore every one of them and just
+//! wait for the `"ok"`/`"err"` line ([`ServerLine`] does the
+//! classification). Cache hits and error replies arrive with no notes
+//! at all, so the warm path stays a single-line exchange.
 
 use crate::cell::{CellConfig, CellRecord, SchemaError};
 use crate::json::{self, Json};
@@ -286,6 +301,96 @@ impl Reply {
     }
 }
 
+/// A progress note a daemon pushes for an in-flight cache miss, ahead
+/// of the terminal [`Reply`] on the same connection. Purely advisory:
+/// clients that only read the terminal line still work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Notification {
+    /// The job passed admission; `ahead` jobs were queued before it.
+    Queued { hash: String, ahead: u64 },
+    /// A worker thread picked the job up.
+    Running { hash: String },
+    /// The simulation finished (the result line follows).
+    Done { hash: String, wall_nanos: u64 },
+}
+
+impl Notification {
+    /// The content hash of the cell the note is about.
+    pub fn hash(&self) -> &str {
+        match self {
+            Notification::Queued { hash, .. }
+            | Notification::Running { hash }
+            | Notification::Done { hash, .. } => hash,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        match self {
+            Notification::Queued { hash, ahead } => Json::obj(vec![
+                ("note", Json::Str("queued".into())),
+                ("hash", Json::Str(hash.clone())),
+                ("ahead", Json::UInt(*ahead)),
+            ]),
+            Notification::Running { hash } => Json::obj(vec![
+                ("note", Json::Str("running".into())),
+                ("hash", Json::Str(hash.clone())),
+            ]),
+            Notification::Done { hash, wall_nanos } => Json::obj(vec![
+                ("note", Json::Str("done".into())),
+                ("hash", Json::Str(hash.clone())),
+                ("wall_nanos", Json::UInt(*wall_nanos)),
+            ]),
+        }
+    }
+
+    /// Parses one note line.
+    pub fn from_line(line: &str) -> Result<Self, SchemaError> {
+        let v = json::parse(line)?;
+        let note = v
+            .get("note")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SchemaError("line has no note".into()))?;
+        let hash = v
+            .get("hash")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SchemaError("note has no hash".into()))?
+            .to_string();
+        match note {
+            "queued" => Ok(Notification::Queued {
+                hash,
+                ahead: v.get("ahead").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            "running" => Ok(Notification::Running { hash }),
+            "done" => Ok(Notification::Done {
+                hash,
+                wall_nanos: v.get("wall_nanos").and_then(Json::as_u64).unwrap_or(0),
+            }),
+            other => Err(SchemaError(format!("unknown note `{other}`"))),
+        }
+    }
+}
+
+/// One classified line of a daemon's response stream: either an
+/// advisory progress [`Notification`] or the terminal [`Reply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerLine {
+    Note(Notification),
+    Reply(Reply),
+}
+
+impl ServerLine {
+    /// Classifies one line. The `"note"` discriminant is checked first,
+    /// so a stream reader can loop over lines without knowing whether
+    /// the daemon streams progress at all.
+    pub fn from_line(line: &str) -> Result<Self, SchemaError> {
+        let v = json::parse(line)?;
+        if v.get("note").is_some() {
+            return Notification::from_line(line).map(ServerLine::Note);
+        }
+        Reply::from_line(line).map(ServerLine::Reply)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +460,38 @@ mod tests {
         assert!(Request::from_line("{\"op\":\"fly\"}").is_err());
         assert!(Reply::from_line("{}").is_err());
         assert!(Reply::from_line("{\"ok\":\"victory\"}").is_err());
+    }
+
+    #[test]
+    fn notes_roundtrip() {
+        for note in [
+            Notification::Queued { hash: "00ff00ff00ff00ff".into(), ahead: 3 },
+            Notification::Running { hash: "00ff00ff00ff00ff".into() },
+            Notification::Done { hash: "00ff00ff00ff00ff".into(), wall_nanos: 12_345 },
+        ] {
+            let line = note.to_json().to_string_compact();
+            assert_eq!(Notification::from_line(&line).expect("parses"), note, "{line}");
+            assert_eq!(note.hash(), "00ff00ff00ff00ff");
+        }
+        assert!(Notification::from_line("{\"note\":\"paused\",\"hash\":\"x\"}").is_err());
+        assert!(Notification::from_line("{\"note\":\"done\"}").is_err(), "hash required");
+    }
+
+    #[test]
+    fn server_lines_classify_notes_before_replies() {
+        let note = Notification::Running { hash: "ab".into() };
+        assert_eq!(
+            ServerLine::from_line(&note.to_json().to_string_compact()).expect("parses"),
+            ServerLine::Note(note)
+        );
+        assert_eq!(
+            ServerLine::from_line("{\"ok\":\"pong\"}").expect("parses"),
+            ServerLine::Reply(Reply::Pong)
+        );
+        assert_eq!(
+            ServerLine::from_line("{\"err\":\"draining\"}").expect("parses"),
+            ServerLine::Reply(Reply::Draining)
+        );
+        assert!(ServerLine::from_line("{}").is_err());
     }
 }

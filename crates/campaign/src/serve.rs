@@ -34,13 +34,20 @@
 //! content-addressed and written atomically with identical bytes for
 //! identical cells, so concurrent writers are benign, and a client can
 //! shard cells across daemons by content hash.
+//!
+//! A submit that misses the cache additionally streams progress
+//! [`Notification`] lines (queued/running/done) on its connection ahead
+//! of the terminal reply, so a client watching a long cell sees it move
+//! through the queue instead of a silent socket. Notes are advisory and
+//! never block a worker: they travel through the same unbounded channel
+//! as the final reply, and a disconnected client merely loses them.
 
 use crate::admission::Admission;
 use crate::cache::{CacheMiss, ResultCache};
 use crate::cell::{CellConfig, CellRecord};
 use crate::clock::{Deadline, HarnessClock};
 use crate::journal;
-use crate::protocol::{Reply, Request, ServiceStatus};
+use crate::protocol::{Notification, Reply, Request, ServiceStatus};
 use inpg_manycore::SimError;
 use inpg_sim::AbortHandle;
 use std::collections::BTreeMap;
@@ -95,13 +102,28 @@ impl Default for ServeOptions {
     }
 }
 
+/// What a job's owning connection receives while it is in flight: zero
+/// or more advisory progress notes, then exactly one terminal reply.
+enum JobEvent {
+    Note(Notification),
+    Final(Reply),
+}
+
 /// One admitted, not-yet-finished unit of work.
 struct Job {
     config: CellConfig,
     deadline: Option<Deadline>,
-    /// Where the (exactly one) reply goes. Journal-replay jobs hold a
-    /// sender whose receiver is dropped — their send is a no-op.
-    reply: mpsc::Sender<Reply>,
+    /// Where progress notes and the (exactly one) terminal reply go.
+    /// Journal-replay jobs hold a sender whose receiver is dropped —
+    /// their sends are no-ops.
+    events: mpsc::Sender<JobEvent>,
+}
+
+impl Job {
+    /// Sends the terminal reply (best-effort: the client may be gone).
+    fn finish(&self, reply: Reply) {
+        let _ = self.events.send(JobEvent::Final(reply));
+    }
 }
 
 /// Removes queued jobs whose deadline has passed (the generic drain
@@ -176,7 +198,7 @@ impl Shared {
             None => 0,
         };
         for job in jobs {
-            let _ = job.reply.send(Reply::Draining);
+            job.finish(Reply::Draining);
         }
         journaled
     }
@@ -356,7 +378,7 @@ fn replay_journal(shared: &Arc<Shared>) {
                     shared.hits.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                adm.push(0, Job { config, deadline: None, reply: tx.clone() });
+                adm.push(0, Job { config, deadline: None, events: tx.clone() });
             }
             shared.work_ready.notify_all();
         }
@@ -386,7 +408,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
                 Reply::ShuttingDown { journaled: shared.initiate_drain() }
             }
             Ok(Request::Submit { config, deadline_ms }) => {
-                handle_submit(shared, config, deadline_ms, conn_id)
+                handle_submit(shared, config, deadline_ms, conn_id, &mut writer)
             }
         };
         let out = reply.to_json().to_string_compact() + "\n";
@@ -396,12 +418,24 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
     }
 }
 
-/// The submit path: cache hit inline, miss through the bounded queue.
+/// Writes one progress-note line. Best-effort by design: the note is
+/// advisory, so a failed write is reported to the caller only so it can
+/// stop bothering a dead socket.
+fn write_note(writer: &mut impl Write, note: &Notification) -> io::Result<()> {
+    let line = note.to_json().to_string_compact() + "\n";
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// The submit path: cache hit inline (one reply line, no notes), miss
+/// through the bounded queue with queued/running/done notes streamed to
+/// `writer` ahead of the terminal reply.
 fn handle_submit(
     shared: &Arc<Shared>,
     config: CellConfig,
     deadline_ms: Option<u64>,
     conn_id: u64,
+    writer: &mut impl Write,
 ) -> Reply {
     if let Some(record) = shared.cache_load(&config) {
         shared.hits.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
@@ -414,8 +448,9 @@ fn handle_submit(
     }
 
     let deadline = deadline_ms.or(shared.opts.default_deadline_ms).map(Deadline::after_ms);
+    let hash = config.content_hash();
     let (tx, rx) = mpsc::channel();
-    {
+    let ahead = {
         let mut adm = shared.admission();
         if adm.draining {
             return Reply::Draining;
@@ -427,11 +462,30 @@ fn handle_submit(
             let per_worker = adm.queued() / shared.opts.workers.max(1);
             return Reply::Overloaded { retry_after_ms: 25 * (1 + per_worker as u64) };
         }
-        adm.push(conn_id, Job { config, deadline, reply: tx });
+        let ahead = adm.queued() as u64;
+        adm.push(conn_id, Job { config, deadline, events: tx });
         self::notify_one(shared);
+        ahead
+    };
+    // The queued note is written outside the admission lock: socket I/O
+    // must never extend the daemon's one blocking critical section. The
+    // channel buffers any worker events racing this write, so the wire
+    // order stays queued → running → done → reply.
+    let mut socket_alive = write_note(writer, &Notification::Queued { hash, ahead }).is_ok();
+    // The worker (or the deadline timer, or a drain) always finishes.
+    loop {
+        match rx.recv() {
+            Ok(JobEvent::Note(note)) => {
+                if socket_alive {
+                    socket_alive = write_note(writer, &note).is_ok();
+                }
+            }
+            Ok(JobEvent::Final(reply)) => return reply,
+            Err(_) => {
+                return Reply::Failed { detail: "worker vanished without a reply".into() }
+            }
+        }
     }
-    // The worker (or the deadline timer, or a drain) always answers.
-    rx.recv().unwrap_or(Reply::Failed { detail: "worker vanished without a reply".into() })
 }
 
 fn notify_one(shared: &Shared) {
@@ -458,8 +512,15 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        let hash = job.config.content_hash();
+        let _ = job.events.send(JobEvent::Note(Notification::Running { hash: hash.clone() }));
         let reply = run_job(shared, &job);
-        let _ = job.reply.send(reply);
+        if let Reply::Result { wall_nanos, cached: false, .. } = &reply {
+            let _ = job
+                .events
+                .send(JobEvent::Note(Notification::Done { hash, wall_nanos: *wall_nanos }));
+        }
+        job.finish(reply);
         let mut adm = shared.admission();
         adm.in_flight -= 1;
     }
@@ -564,7 +625,7 @@ fn deadline_timer_loop(shared: &Arc<Shared>) {
         let expired = drain_expired(&mut shared.admission());
         for job in expired {
             shared.timeouts.fetch_add(1, Ordering::Relaxed); // sync: relaxed stat counter
-            let _ = job.reply.send(Reply::Timeout {
+            job.finish(Reply::Timeout {
                 detail: "deadline passed while queued; the cell never ran".into(),
             });
         }
@@ -632,7 +693,7 @@ mod tests {
         ] {
             adm.push(
                 conn,
-                Job { config: CellConfig::benchmark("freq"), deadline, reply: tx.clone() },
+                Job { config: CellConfig::benchmark("freq"), deadline, events: tx.clone() },
             );
         }
         std::thread::sleep(Duration::from_millis(2));

@@ -26,7 +26,7 @@ use crate::cell::{Campaign, CellRecord, CellSpec};
 use crate::clock::HarnessClock;
 use crate::engine;
 use crate::pool;
-use crate::protocol::{Reply, Request, ServiceStatus};
+use crate::protocol::{Notification, Reply, Request, ServerLine, ServiceStatus};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -187,22 +187,40 @@ impl From<io::Error> for SubmitError {
     }
 }
 
-/// One request/one reply over a fresh connection.
-pub fn request(addr: &str, req: &Request) -> io::Result<Reply> {
+/// One request over a fresh connection, streaming any progress notes
+/// the daemon pushes to `on_note` and returning the terminal reply.
+pub fn request_streaming(
+    addr: &str,
+    req: &Request,
+    mut on_note: impl FnMut(&Notification),
+) -> io::Result<Reply> {
     let mut stream = TcpStream::connect(addr)?;
     let line = req.to_json().to_string_compact() + "\n";
     stream.write_all(line.as_bytes())?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
-    let mut reply = String::new();
-    if reader.read_line(&mut reply)? == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "daemon closed the connection without replying",
-        ));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without replying",
+            ));
+        }
+        match ServerLine::from_line(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            ServerLine::Note(note) => on_note(&note),
+            ServerLine::Reply(reply) => return Ok(reply),
+        }
     }
-    Reply::from_line(&reply)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// One request/one terminal reply over a fresh connection; progress
+/// notes, if any, are discarded.
+pub fn request(addr: &str, req: &Request) -> io::Result<Reply> {
+    request_streaming(addr, req, |_| {})
 }
 
 /// Asks the daemon at `source` for its status.
@@ -236,6 +254,20 @@ struct CellReply {
     latency_nanos: u64,
 }
 
+/// Renders one daemon progress note on stderr, labelled with the cell
+/// it is about.
+fn render_note(label: &str, note: &Notification) {
+    match note {
+        Notification::Queued { ahead, .. } => {
+            eprintln!("      {label} queued ({ahead} ahead)");
+        }
+        Notification::Running { .. } => eprintln!("      {label} running"),
+        Notification::Done { wall_nanos, .. } => {
+            eprintln!("      {label} done in {:.3}ms", *wall_nanos as f64 / 1e6);
+        }
+    }
+}
+
 /// Submits one cell, with failover, overload backoff, and typed errors.
 fn submit_cell(
     opts: &SubmitOptions,
@@ -247,11 +279,16 @@ fn submit_cell(
         let source = &opts.daemons[(shard + failovers) % opts.daemons.len()];
         let clock = HarnessClock::start();
         let outcome = source.resolve().and_then(|addr| {
-            request(
+            request_streaming(
                 &addr,
                 &Request::Submit {
                     config: spec.config.clone(),
                     deadline_ms: opts.deadline_ms,
+                },
+                |note| {
+                    if opts.progress {
+                        render_note(&spec.label, note);
+                    }
                 },
             )
         });
@@ -289,26 +326,38 @@ fn submit_cell(
     ))
 }
 
-/// Drives `campaign` through the configured daemons and reassembles the
-/// merged artifact in canonical order.
+/// One cell resolved through the daemons.
+#[derive(Debug)]
+pub struct CellResolution {
+    pub record: CellRecord,
+    /// Whether this run served the cell without executing a simulator:
+    /// the answering request was a cache hit, or the cell was a dedup
+    /// sibling of an identical one.
+    pub cached: bool,
+    /// Client-measured round-trip latency; `None` for dedup siblings
+    /// (served by the owner's round trip, no wire traffic of their own).
+    pub latency_nanos: Option<u64>,
+}
+
+/// Resolves `cells` through the configured daemons, returning one
+/// resolution per cell in input order — the service-backed counterpart
+/// of [`engine::execute`]'s outcome list, shared by `run_campaign` and
+/// the adaptive controller's `ServiceRunner`.
 ///
 /// # Errors
 ///
-/// Fails when no daemon is configured, on the first cell (canonical
-/// order) that could not be completed, and on artifact I/O failures.
-pub fn run_campaign(
-    campaign: &Campaign,
-    filter: Option<&str>,
+/// Fails when no daemon is configured and on the first cell (input
+/// order) that could not be completed.
+pub fn run_cells(
+    cells: &[CellSpec],
     opts: &SubmitOptions,
-) -> Result<SubmitReport, SubmitError> {
+) -> Result<Vec<CellResolution>, SubmitError> {
     if opts.daemons.is_empty() {
         return Err(SubmitError::Io(io::Error::new(
             io::ErrorKind::InvalidInput,
             "no daemons configured (pass --daemon or --addr-file)",
         )));
     }
-    let clock = HarnessClock::start();
-    let cells: Vec<CellSpec> = campaign.matching(filter).into_iter().cloned().collect();
 
     // The engine's dedup scheme: identical configs round-trip once and
     // share the reply (the daemon's cache would dedupe them anyway, but
@@ -356,12 +405,8 @@ pub fn run_campaign(
             reply
         });
 
-    // Reassemble in canonical order; fail on the canonically-first error.
-    let mut lines = Vec::with_capacity(cells.len());
-    let mut hits = 0usize;
-    let mut executed = 0usize;
-    let mut latencies = Vec::with_capacity(unique.len());
-    let mut hit_latencies = Vec::new();
+    // Reassemble in input order; fail on the first error in that order.
+    let mut resolutions = Vec::with_capacity(cells.len());
     for (i, cell) in cells.iter().enumerate() {
         let slot = *exec_slot.get(&i).unwrap_or_else(|| {
             unreachable!("cell {i} was never given an execution slot")
@@ -376,23 +421,56 @@ pub fn run_campaign(
             }
         };
         let is_owner = unique[slot] == i;
-        if is_owner {
-            latencies.push(reply.latency_nanos);
-            if reply.cached {
-                hits += 1;
-                hit_latencies.push(reply.latency_nanos);
-            } else {
-                executed += 1;
+        resolutions.push(CellResolution {
+            record: reply.record.clone(),
+            // A dedup sibling is served by the owner's round trip.
+            cached: reply.cached || !is_owner,
+            latency_nanos: is_owner.then_some(reply.latency_nanos),
+        });
+    }
+    Ok(resolutions)
+}
+
+/// Drives `campaign` through the configured daemons and reassembles the
+/// merged artifact in canonical order.
+///
+/// # Errors
+///
+/// Fails when no daemon is configured, on the first cell (canonical
+/// order) that could not be completed, and on artifact I/O failures.
+pub fn run_campaign(
+    campaign: &Campaign,
+    filter: Option<&str>,
+    opts: &SubmitOptions,
+) -> Result<SubmitReport, SubmitError> {
+    let clock = HarnessClock::start();
+    let cells: Vec<CellSpec> = campaign.matching(filter).into_iter().cloned().collect();
+    let resolutions = run_cells(&cells, opts)?;
+
+    let mut lines = Vec::with_capacity(cells.len());
+    let mut hits = 0usize;
+    let mut executed = 0usize;
+    let mut latencies = Vec::new();
+    let mut hit_latencies = Vec::new();
+    for (cell, resolution) in cells.iter().zip(&resolutions) {
+        match resolution.latency_nanos {
+            Some(latency) => {
+                latencies.push(latency);
+                if resolution.cached {
+                    hits += 1;
+                    hit_latencies.push(latency);
+                } else {
+                    executed += 1;
+                }
             }
-        } else {
             // A dedup sibling: served by the owner's round trip.
-            hits += 1;
+            None => hits += 1,
         }
         lines.push(engine::merged_entry_line(
             &cell.label,
             &cell.config.content_hash(),
             &cell.config,
-            &reply.record,
+            &resolution.record,
         ));
     }
 

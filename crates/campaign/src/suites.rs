@@ -10,6 +10,7 @@
 //!
 //! [`CampaignReport`]: crate::engine::CampaignReport
 
+use crate::adaptive::{AdaptiveCampaign, HeadlineMetric};
 use crate::cell::{Campaign, CellConfig};
 use inpg::{LockPrimitive, Mechanism};
 use inpg_workloads::{group_of, CsGroup, BENCHMARKS};
@@ -95,6 +96,75 @@ pub fn build(name: &str, scale: Option<f64>, seeds: &[u64]) -> Option<Campaign> 
 /// Label for a seed-averaged cell component.
 pub fn seed_label(seed: u64) -> String {
     format!("s{seed:08x}")
+}
+
+/// One adaptive suite the CLI can run by name: the fixed suite it is
+/// derived from, and the headline metric driven to confidence.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveSuiteInfo {
+    pub name: &'static str,
+    pub metric: HeadlineMetric,
+    pub about: &'static str,
+}
+
+/// Every suite `build_adaptive` understands. Each fixed cell (seed
+/// dimension removed) becomes one adaptive *group* whose seed replicas
+/// are drawn from the group's own deterministic stream — the suites
+/// that already sweep seeds (fig11/fig12) sweep confidence instead.
+pub const ADAPTIVE_SUITES: &[AdaptiveSuiteInfo] = &[
+    AdaptiveSuiteInfo { name: "smoke", metric: HeadlineMetric::CsAccessTime, about: "tiny CI set, CS access time to confidence" },
+    AdaptiveSuiteInfo { name: "fig02", metric: HeadlineMetric::LcoShare, about: "LCO share per primitive, to confidence" },
+    AdaptiveSuiteInfo { name: "fig11", metric: HeadlineMetric::CsAccessTime, about: "CS expedition, seeds to confidence" },
+    AdaptiveSuiteInfo { name: "fig12", metric: HeadlineMetric::RoiCycles, about: "ROI finish time, seeds to confidence" },
+];
+
+/// Looks up an adaptive suite's metadata.
+pub fn adaptive_suite_info(name: &str) -> Option<&'static AdaptiveSuiteInfo> {
+    ADAPTIVE_SUITES.iter().find(|s| s.name == name)
+}
+
+/// Wraps a fixed campaign: every cell becomes one adaptive group with
+/// the given headline metric (the cell's `seed` field is a template the
+/// controller overwrites per replica).
+fn adaptive_from(campaign: Campaign, metric: HeadlineMetric) -> AdaptiveCampaign {
+    let mut a = AdaptiveCampaign::new(campaign.name);
+    for cell in campaign.cells {
+        a.push(cell.label, cell.config, metric);
+    }
+    a
+}
+
+/// The fig11/fig12 cell matrix without the seed dimension: one group
+/// per program × mechanism, labelled `{bench}/{mechanism}`.
+fn adaptive_mechanism_sweep(
+    name: &'static str,
+    scale: f64,
+    metric: HeadlineMetric,
+) -> AdaptiveCampaign {
+    let mut a = AdaptiveCampaign::new(name);
+    for spec in &BENCHMARKS {
+        for mechanism in Mechanism::ALL {
+            a.push(
+                format!("{}/{mechanism}", spec.name),
+                qsl_bench(spec.name, mechanism, scale),
+                metric,
+            );
+        }
+    }
+    a
+}
+
+/// Builds an adaptive suite by name. `scale` overrides the fixed
+/// suite's default.
+pub fn build_adaptive(name: &str, scale: Option<f64>) -> Option<AdaptiveCampaign> {
+    let info = adaptive_suite_info(name)?;
+    Some(match info.name {
+        "smoke" => adaptive_from(smoke(scale.unwrap_or(0.02)), info.metric),
+        "fig02" => adaptive_from(fig02(scale.unwrap_or(0.2)), info.metric),
+        "fig11" => adaptive_mechanism_sweep("fig11", scale.unwrap_or(0.2), info.metric),
+        "fig12" => adaptive_mechanism_sweep("fig12", scale.unwrap_or(0.2), info.metric),
+        _ => unreachable!("adaptive_suite_info and build_adaptive agree on names"),
+    })
 }
 
 fn qsl_bench(name: &str, mechanism: Mechanism, scale: f64) -> CellConfig {
@@ -361,6 +431,37 @@ mod tests {
     fn fig09_cells_are_uncacheable_and_others_are_not() {
         assert!(fig09(0.2).cells.iter().all(|c| !c.config.cacheable()));
         assert!(fig11(0.2, &[1]).cells.iter().all(|c| c.config.cacheable()));
+    }
+
+    #[test]
+    fn every_listed_adaptive_suite_builds() {
+        for info in ADAPTIVE_SUITES {
+            let campaign = build_adaptive(info.name, None).expect(info.name);
+            assert_eq!(campaign.name, info.name);
+            assert!(!campaign.groups.is_empty(), "{} is empty", info.name);
+            assert!(
+                campaign.groups.iter().all(|g| g.metric == info.metric),
+                "{} groups carry the suite metric",
+                info.name
+            );
+        }
+        assert!(build_adaptive("fig10", None).is_none(), "not every suite is adaptive");
+        assert!(build_adaptive("nope", None).is_none());
+    }
+
+    #[test]
+    fn adaptive_suites_drop_the_seed_dimension() {
+        // fig11 fixed sweeps programs x mechanisms x seeds; adaptively
+        // the seed axis belongs to the controller, not the suite.
+        let adaptive = build_adaptive("fig11", None).expect("builds");
+        assert_eq!(adaptive.groups.len(), 24 * 4);
+        assert!(adaptive.groups.iter().all(|g| !g.label.contains("/s")));
+        // smoke's adaptive groups mirror its fixed cells one-to-one.
+        let fixed = smoke(0.02);
+        let adaptive = build_adaptive("smoke", None).expect("builds");
+        let labels: Vec<&str> = adaptive.groups.iter().map(|g| g.label.as_str()).collect();
+        let fixed_labels: Vec<&str> = fixed.cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, fixed_labels);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! End-to-end guarantees of the adaptive (sequential-analysis)
+//! campaign: the stopping count is a pure function of the campaign
+//! definition, so the merged artifact is byte-identical across worker
+//! counts and cache states; convergence stops below the seed budget;
+//! budget exhaustion is reported, not fatal.
+
+use inpg::Mechanism;
+use inpg_campaign::{
+    run_adaptive, AdaptiveCampaign, AdaptiveOptions, AdaptiveReport, EngineRunner,
+    ExecOptions, HeadlineMetric,
+};
+use std::path::PathBuf;
+
+/// Two hot-lock groups on a 4×4 mesh: cheap enough for debug-mode CI,
+/// deterministic per seed, with real seed-to-seed variance in the
+/// headline metric (the seed perturbs arrival jitter).
+fn tiny_adaptive() -> AdaptiveCampaign {
+    let mut c = AdaptiveCampaign::new("tiny-adaptive");
+    for mechanism in Mechanism::ALL {
+        let mut cfg = inpg_campaign::CellConfig::hot_lock(2, 80, 30);
+        cfg.mechanism = mechanism;
+        cfg.width = 4;
+        cfg.height = 4;
+        cfg.max_cycles = 5_000_000;
+        c.push(format!("hot/{mechanism}"), cfg, HeadlineMetric::CsAccessTime);
+    }
+    c
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("inpg-adaptive-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn runner(workers: usize, cache: Option<PathBuf>) -> EngineRunner {
+    let mut exec = ExecOptions::quiet();
+    exec.workers = workers;
+    exec.cache = cache;
+    EngineRunner { exec }
+}
+
+fn opts(ci_target: f64, seed_budget: u64, merged: PathBuf) -> AdaptiveOptions {
+    AdaptiveOptions {
+        ci_target,
+        min_seeds: 3,
+        seed_budget,
+        merged_out: Some(merged),
+        progress: false,
+    }
+}
+
+fn run(
+    campaign: &AdaptiveCampaign,
+    workers: usize,
+    cache: Option<PathBuf>,
+    ci_target: f64,
+    seed_budget: u64,
+    merged: PathBuf,
+) -> AdaptiveReport {
+    run_adaptive(campaign, &opts(ci_target, seed_budget, merged), &runner(workers, cache))
+        .unwrap()
+}
+
+#[test]
+fn adaptive_artifact_is_byte_identical_across_worker_counts() {
+    let dir = scratch("workers");
+    let campaign = tiny_adaptive();
+    let mut artifacts = Vec::new();
+    for workers in [1usize, 8] {
+        let merged = dir.join(format!("w{workers}.jsonl"));
+        let report = run(&campaign, workers, None, 0.5, 6, merged.clone());
+        assert_eq!(report.groups.len(), campaign.groups.len());
+        artifacts.push(std::fs::read(&merged).unwrap());
+    }
+    assert!(!artifacts[0].is_empty());
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "1-worker and 8-worker adaptive artifacts must match byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_reruns_execute_nothing_and_reproduce_the_artifact() {
+    let dir = scratch("warm");
+    let cache = dir.join("cache");
+    let campaign = tiny_adaptive();
+
+    let cold_merged = dir.join("cold.jsonl");
+    let cold = run(&campaign, 4, Some(cache.clone()), 0.5, 6, cold_merged.clone());
+    assert!(cold.executed > 0, "a cold run must execute replicas");
+
+    let warm_merged = dir.join("warm.jsonl");
+    let warm = run(&campaign, 2, Some(cache), 0.5, 6, warm_merged.clone());
+    assert_eq!(warm.executed, 0, "a warm cache must execute nothing");
+    assert_eq!(warm.cached, warm.scheduled);
+    assert!(warm.summary_line().contains("(0 executed"), "{}", warm.summary_line());
+
+    assert_eq!(
+        std::fs::read(&cold_merged).unwrap(),
+        std::fs::read(&warm_merged).unwrap(),
+        "cold and warm adaptive artifacts must match byte for byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convergence_stops_below_the_seed_budget() {
+    // A loose target is met at min_seeds, well under the budget — the
+    // whole point of the subsystem: fewer replicas than the equivalent
+    // fixed-count superset (groups × budget).
+    let campaign = tiny_adaptive();
+    let report = run(&campaign, 4, None, 10.0, 12, scratch("below").join("m.jsonl"));
+    assert_eq!(report.converged(), report.groups.len(), "every group converges");
+    let superset = campaign.groups.len() * 12;
+    assert!(
+        report.scheduled < superset,
+        "adaptive resolved {} replicas; the fixed superset is {superset}",
+        report.scheduled
+    );
+    for g in &report.groups {
+        assert_eq!(g.n_seeds, 3, "a loose target stops at min_seeds");
+        assert!(g.converged);
+        assert!(g.rel_ci95().expect("ci defined") <= 10.0);
+        assert_eq!(g.replicas.len() as u64, g.n_seeds);
+    }
+}
+
+#[test]
+fn budget_exhaustion_is_reported_not_fatal() {
+    // A negative target is finite but unreachable (relative half-widths
+    // are non-negative), forcing every group to its budget.
+    let campaign = tiny_adaptive();
+    let report = run(&campaign, 4, None, -1.0, 4, scratch("budget").join("m.jsonl"));
+    assert_eq!(report.converged(), 0);
+    assert_eq!(report.scheduled, campaign.groups.len() * 4);
+    for g in &report.groups {
+        assert!(!g.converged);
+        assert_eq!(g.n_seeds, 4, "unconverged groups stop exactly at the budget");
+    }
+}
+
+#[test]
+fn artifact_lines_carry_the_estimate_and_the_adaptive_footer() {
+    let dir = scratch("fields");
+    let merged = dir.join("m.jsonl");
+    let campaign = tiny_adaptive();
+    let report = run(&campaign, 2, None, 0.5, 6, merged.clone());
+
+    let text = std::fs::read_to_string(&merged).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // One line per kept replica, one summary line per group, one footer.
+    assert_eq!(lines.len(), report.kept() + report.groups.len() + 1);
+
+    for g in &report.groups {
+        let summary = lines
+            .iter()
+            .find(|l| l.contains(&format!("\"group\":\"{}\"", g.label)))
+            .expect("per-group summary line present");
+        for field in ["\"metric\":", "\"mean\":", "\"ci95\":", "\"n_seeds\":", "\"converged\":"]
+        {
+            assert!(summary.contains(field), "{summary} lacks {field}");
+        }
+        // Every kept replica appears, in index order, under its
+        // replica label.
+        for (i, r) in g.replicas.iter().enumerate() {
+            assert_eq!(r.label, format!("{}/r{i:03}", g.label));
+            assert!(
+                lines.iter().any(|l| l.contains(&format!("\"label\":\"{}\"", r.label))),
+                "replica {} missing from the artifact",
+                r.label
+            );
+        }
+    }
+    let footer = lines.last().unwrap();
+    assert!(footer.contains("\"footer\":true"), "{footer}");
+    assert!(footer.contains("\"mode\":\"adaptive\""), "{footer}");
+    assert!(footer.contains("\"ci_target\":"), "{footer}");
+    assert!(footer.contains("\"seed_budget\":"), "{footer}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_tighter_target_keeps_at_least_as_many_replicas() {
+    // Monotonicity of the stopping rule in the target: tightening the
+    // CI requirement can only demand more seeds per group.
+    let dir = scratch("mono");
+    let cache = dir.join("cache");
+    let campaign = tiny_adaptive();
+    let loose = run(&campaign, 4, Some(cache.clone()), 1.0, 8, dir.join("loose.jsonl"));
+    let tight = run(&campaign, 4, Some(cache), 0.01, 8, dir.join("tight.jsonl"));
+    for (l, t) in loose.groups.iter().zip(&tight.groups) {
+        assert_eq!(l.label, t.label);
+        assert!(
+            t.n_seeds >= l.n_seeds,
+            "group {}: tight target kept {} < loose {}",
+            l.label,
+            t.n_seeds,
+            l.n_seeds
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

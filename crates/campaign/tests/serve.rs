@@ -15,7 +15,10 @@
 
 use inpg::Mechanism;
 use inpg_campaign::submit::{self, AddrSource, SubmitOptions};
-use inpg_campaign::{Campaign, CellConfig, Reply, Request};
+use inpg_campaign::{
+    run_adaptive, AdaptiveCampaign, AdaptiveOptions, Campaign, CellConfig, EngineRunner,
+    ExecOptions, HeadlineMetric, Notification, Reply, Request, ServiceRunner,
+};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
@@ -449,5 +452,135 @@ fn sigkill_one_of_two_daemons_mid_campaign_is_survivable_and_deterministic() {
         "no .tmp debris survives the crash and restart"
     );
     assert_eq!(quarantined_entries(&cache), 0, "zero unquarantined corrupt entries");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_cache_miss_streams_queued_running_done_notes_in_order() {
+    let dir = scratch("notes");
+    let mut daemon = Daemon::spawn(
+        &dir.join("addr"),
+        &dir.join("cache"),
+        &dir.join("journal.jsonl"),
+        &["--workers", "1"],
+    );
+    daemon.wait_ready();
+    let addr = daemon.source().resolve().unwrap();
+
+    let config = quick_cell(Mechanism::Original, 2);
+    let hash = config.content_hash();
+    let mut notes: Vec<Notification> = Vec::new();
+    let reply = submit::request_streaming(
+        &addr,
+        &Request::Submit { config: config.clone(), deadline_ms: None },
+        |note| notes.push(note.clone()),
+    )
+    .expect("submit a miss");
+    match &reply {
+        Reply::Result { cached, .. } => assert!(!cached, "first execution is a miss"),
+        other => panic!("expected a result, got {other:?}"),
+    }
+    match &notes[..] {
+        [
+            Notification::Queued { hash: h0, ahead: 0 },
+            Notification::Running { hash: h1 },
+            Notification::Done { hash: h2, wall_nanos },
+        ] => {
+            assert_eq!(h0, &hash);
+            assert_eq!(h1, &hash);
+            assert_eq!(h2, &hash);
+            assert!(*wall_nanos > 0, "done carries the execution time");
+        }
+        other => panic!("expected queued -> running -> done, got {other:?}"),
+    }
+
+    // A warm hit is answered inline: no advisory notes at all.
+    let mut hit_notes = 0usize;
+    let reply = submit::request_streaming(
+        &addr,
+        &Request::Submit { config, deadline_ms: None },
+        |_| hit_notes += 1,
+    )
+    .expect("resubmit the cached cell");
+    match reply {
+        Reply::Result { cached, .. } => assert!(cached),
+        other => panic!("expected a cached result, got {other:?}"),
+    }
+    assert_eq!(hit_notes, 0, "cache hits stay single-line");
+
+    daemon.drain_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn adaptive_over_two_daemons_matches_the_engine_byte_for_byte() {
+    let dir = scratch("adaptive");
+    let mut campaign = AdaptiveCampaign::new("serve-adaptive");
+    for mechanism in Mechanism::ALL {
+        campaign.push(
+            format!("hot/{mechanism}"),
+            quick_cell(mechanism, 2),
+            HeadlineMetric::CsAccessTime,
+        );
+    }
+    let opts = |merged: PathBuf| AdaptiveOptions {
+        ci_target: 0.5,
+        min_seeds: 3,
+        seed_budget: 5,
+        merged_out: Some(merged),
+        progress: false,
+    };
+
+    // Arm 1 — the in-process engine.
+    let engine_merged = dir.join("engine.jsonl");
+    let mut exec = ExecOptions::quiet();
+    exec.workers = 4;
+    exec.cache = Some(dir.join("cache-engine"));
+    let engine_report =
+        run_adaptive(&campaign, &opts(engine_merged.clone()), &EngineRunner { exec })
+            .expect("engine-backed adaptive run");
+
+    // Arm 2 — the same campaign sharded across two daemons with a
+    // shared cache of their own.
+    let cache = dir.join("cache-serve");
+    let mut daemon_a =
+        Daemon::spawn(&dir.join("addr-a"), &cache, &dir.join("journal-a.jsonl"), &[
+            "--workers", "1",
+        ]);
+    let mut daemon_b =
+        Daemon::spawn(&dir.join("addr-b"), &cache, &dir.join("journal-b.jsonl"), &[
+            "--workers", "1",
+        ]);
+    daemon_a.wait_ready();
+    daemon_b.wait_ready();
+    let serve_merged = dir.join("serve.jsonl");
+    let serve_report = run_adaptive(
+        &campaign,
+        &opts(serve_merged.clone()),
+        &ServiceRunner {
+            opts: SubmitOptions {
+                daemons: vec![daemon_a.source(), daemon_b.source()],
+                workers: 4,
+                ..SubmitOptions::default()
+            },
+        },
+    )
+    .expect("daemon-backed adaptive run");
+
+    assert_eq!(
+        std::fs::read(&engine_merged).unwrap(),
+        std::fs::read(&serve_merged).unwrap(),
+        "engine and two-daemon adaptive artifacts must match byte for byte"
+    );
+    assert_eq!(engine_report.kept(), serve_report.kept());
+    assert_eq!(engine_report.converged(), serve_report.converged());
+    for (e, s) in engine_report.groups.iter().zip(&serve_report.groups) {
+        assert_eq!(e.label, s.label);
+        assert_eq!(e.n_seeds, s.n_seeds, "group {} stopping counts differ", e.label);
+        assert_eq!(e.mean.to_bits(), s.mean.to_bits(), "group {} means differ", e.label);
+    }
+
+    daemon_a.drain_and_wait();
+    daemon_b.drain_and_wait();
     let _ = std::fs::remove_dir_all(&dir);
 }

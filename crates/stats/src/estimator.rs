@@ -1,0 +1,319 @@
+//! Online statistical estimation for adaptive campaigns: Welford
+//! mean/variance accumulation, Chan's two-pass-free merge of partial
+//! accumulators, and Student-t 95% confidence intervals from a small
+//! hard-coded critical-value table.
+//!
+//! The adaptive campaign controller folds each seed replica's headline
+//! metric into a [`Welford`] accumulator and stops issuing seeds once
+//! the 95% CI half-width ([`Welford::ci95_half_width`]) drops below its
+//! relative target. Everything here is pure arithmetic over the pushed
+//! values — no clock, no I/O, no randomness — so the same values in the
+//! same order always produce bit-identical estimates, which is what
+//! lets the adaptive artifact stay byte-stable across worker counts.
+
+/// Running mean/variance accumulator (Welford's online algorithm).
+///
+/// `push` is the numerically stable single-sample update; `merge`
+/// combines two partial accumulators without a second pass over the
+/// data (Chan et al.'s parallel formula). Merging is associative and
+/// order-insensitive up to floating-point rounding — the property
+/// tests in this module pin that down — but *not* bit-exact across
+/// orders, so determinism-critical consumers fold values in one
+/// canonical order instead of merging partials.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (aka `M2`).
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub const fn new() -> Self {
+        Welford { n: 0, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another partial accumulator in (Chan's parallel update):
+    /// the result summarizes the concatenation of both sample sets
+    /// without revisiting either.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The sample mean (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance; `None` below two samples. Clamped
+    /// at zero: `m2` can go infinitesimally negative through merge
+    /// rounding.
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        Some((self.m2 / (self.n - 1) as f64).max(0.0))
+    }
+
+    /// Half-width of the two-sided 95% Student-t confidence interval on
+    /// the mean: `t95(n-1) * sqrt(variance / n)`. `None` below two
+    /// samples (no variance estimate exists).
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        let variance = self.sample_variance()?;
+        Some(t95(self.n - 1) * (variance / self.n as f64).sqrt())
+    }
+
+    /// The point estimate with its CI; `None` below two samples.
+    pub fn estimate(&self) -> Option<Estimate> {
+        Some(Estimate { mean: self.mean, ci95: self.ci95_half_width()?, n: self.n })
+    }
+}
+
+/// A point estimate with its 95% CI half-width and sample count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    pub mean: f64,
+    /// Half-width of the two-sided 95% CI on the mean.
+    pub ci95: f64,
+    pub n: u64,
+}
+
+impl Estimate {
+    /// The CI half-width relative to the mean's magnitude. A zero
+    /// half-width is 0 regardless of the mean (an exactly-repeatable
+    /// metric is as settled as it gets); a zero mean with a nonzero
+    /// half-width is infinitely unsettled.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.ci95 == 0.0 {
+            0.0
+        } else if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci95 / self.mean.abs()
+        }
+    }
+
+    /// Whether the relative half-width meets `rel_target`.
+    pub fn meets(&self, rel_target: f64) -> bool {
+        self.relative_half_width() <= rel_target
+    }
+}
+
+/// Two-sided 95% Student-t critical values, indexed by degrees of
+/// freedom 1..=30.
+const T95_TABLE: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, //
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, //
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% Student-t critical value for `df` degrees of
+/// freedom, as a conservative step function over a hard-coded table:
+/// between tabulated points the value of the *smaller* tabulated df is
+/// used, so the returned critical value (and hence the CI) is never
+/// narrower than the exact one. `df == 0` (a single sample) has no
+/// defined interval; it returns infinity so callers can never declare
+/// convergence off one sample.
+pub fn t95(df: u64) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T95_TABLE[df as usize - 1],
+        31..=39 => T95_TABLE[29],
+        40..=59 => 2.021,
+        60..=119 => 2.000,
+        120..=999 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold(values: &[f64]) -> Welford {
+        let mut w = Welford::new();
+        for &v in values {
+            w.push(v);
+        }
+        w
+    }
+
+    #[test]
+    fn welford_matches_the_naive_two_pass_formulas() {
+        let values = [3.0, 5.0, 4.5, 7.25, 2.0, 6.0];
+        let w = fold(&values);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (values.len() - 1) as f64;
+        assert_eq!(w.count(), values.len() as u64);
+        assert!((w.mean() - mean).abs() < 1e-12, "{} vs {mean}", w.mean());
+        let got = w.sample_variance().expect("n >= 2");
+        assert!((got - var).abs() < 1e-12, "{got} vs {var}");
+    }
+
+    #[test]
+    fn small_counts_have_no_variance_or_interval() {
+        let mut w = Welford::new();
+        assert_eq!(w.sample_variance(), None);
+        assert_eq!(w.ci95_half_width(), None);
+        assert_eq!(w.estimate(), None);
+        w.push(4.0);
+        assert_eq!(w.estimate(), None, "one sample estimates nothing");
+        w.push(4.0);
+        let est = w.estimate().expect("two samples");
+        assert_eq!(est.n, 2);
+        assert_eq!(est.ci95, 0.0, "identical samples have a zero-width CI");
+        assert!(est.meets(0.0), "zero half-width meets any target");
+    }
+
+    #[test]
+    fn merge_of_disjoint_halves_matches_the_sequential_fold() {
+        let values = [1.0, 9.0, 2.5, 4.0, 8.0, 3.0, 7.5];
+        for split in 0..=values.len() {
+            let mut left = fold(&values[..split]);
+            let right = fold(&values[split..]);
+            left.merge(&right);
+            let all = fold(&values);
+            assert_eq!(left.count(), all.count());
+            assert!((left.mean() - all.mean()).abs() < 1e-12, "split {split}");
+            let (a, b) = (left.sample_variance().unwrap(), all.sample_variance().unwrap());
+            assert!((a - b).abs() < 1e-12, "split {split}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing_toward_the_normal_limit() {
+        assert_eq!(t95(0), f64::INFINITY);
+        for df in 1..=200u64 {
+            assert!(
+                t95(df) >= t95(df + 1),
+                "t95 must not increase with df: t95({df})={} < t95({})={}",
+                t95(df),
+                df + 1,
+                t95(df + 1)
+            );
+        }
+        assert!((t95(1) - 12.706).abs() < 1e-12);
+        assert!((t95(10_000) - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_width_shrinks_with_more_samples_at_fixed_spread() {
+        // Repeat the same two-point spread: the sample variance stays
+        // put while n grows, so the half-width must shrink strictly.
+        let mut w = Welford::new();
+        let mut last = f64::INFINITY;
+        for round in 0..50 {
+            w.push(10.0);
+            w.push(12.0);
+            let hw = w.ci95_half_width().expect("n >= 2");
+            assert!(hw < last, "round {round}: {hw} !< {last}");
+            last = hw;
+        }
+        assert!(last < 0.3, "100 samples of ±1 spread settle well under 0.3: {last}");
+    }
+
+    #[test]
+    fn relative_half_width_handles_zero_means() {
+        let zero_mean = Estimate { mean: 0.0, ci95: 1.0, n: 5 };
+        assert_eq!(zero_mean.relative_half_width(), f64::INFINITY);
+        assert!(!zero_mean.meets(1e9));
+        let settled_zero = Estimate { mean: 0.0, ci95: 0.0, n: 5 };
+        assert_eq!(settled_zero.relative_half_width(), 0.0);
+        assert!(settled_zero.meets(0.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Samples in [0, 8): u32 quantized to keep generation simple.
+        fn sample() -> impl Strategy<Value = f64> {
+            (0u32..1 << 16).prop_map(|q| f64::from(q) / f64::from(1u32 << 13))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Merging partial accumulators is order-insensitive within
+            /// float tolerance: any split point and either merge
+            /// direction agree with the sequential fold.
+            #[test]
+            fn merge_is_order_insensitive(
+                values in vec(sample(), 2..40),
+                split_sel in any::<u64>(),
+            ) {
+                let split = (split_sel % (values.len() as u64 + 1)) as usize;
+                let all = fold(&values);
+                let left = fold(&values[..split]);
+                let right = fold(&values[split..]);
+                let mut ab = left;
+                ab.merge(&right);
+                let mut ba = right;
+                ba.merge(&left);
+                for (tag, merged) in [("l+r", ab), ("r+l", ba)] {
+                    prop_assert_eq!(merged.count(), all.count());
+                    prop_assert!(
+                        (merged.mean() - all.mean()).abs() <= 1e-9 * (1.0 + all.mean().abs()),
+                        "{} mean {} vs {}", tag, merged.mean(), all.mean()
+                    );
+                    let (m, a) = (
+                        merged.sample_variance().unwrap_or(0.0),
+                        all.sample_variance().unwrap_or(0.0),
+                    );
+                    prop_assert!(
+                        (m - a).abs() <= 1e-9 * (1.0 + a.abs()),
+                        "{} variance {} vs {}", tag, m, a
+                    );
+                }
+            }
+
+            /// With a fixed underlying spread, the CI half-width shrinks
+            /// monotonically in expectation as n grows: folding the same
+            /// sample set in again (variance preserved, n doubled) must
+            /// never widen the interval.
+            #[test]
+            fn doubling_the_sample_never_widens_the_interval(
+                values in vec(sample(), 2..40),
+            ) {
+                let once = fold(&values);
+                let mut twice = once;
+                twice.merge(&once);
+                let (hw1, hw2) = (
+                    once.ci95_half_width().unwrap_or(0.0),
+                    twice.ci95_half_width().unwrap_or(0.0),
+                );
+                prop_assert!(
+                    hw2 <= hw1 + 1e-12,
+                    "doubling n widened the CI: {} -> {}", hw1, hw2
+                );
+            }
+        }
+    }
+}

@@ -3,12 +3,14 @@
 //! section), phase timelines for Figure-9-style profiles, generic
 //! histograms, and plain-text table rendering for the benchmark harness.
 
+pub mod estimator;
 pub mod histogram;
 pub mod phases;
 pub mod render;
 pub mod table;
 pub mod timeline;
 
+pub use estimator::{t95, Estimate, Welford};
 pub use histogram::Histogram;
 pub use phases::{CsRecord, PhaseCounters, ThreadPhase};
 pub use render::{render_timeline, timeline_legend};

@@ -35,6 +35,8 @@ impl Timeline {
     /// Panics if `cycle` precedes the thread's last transition.
     pub fn set_phase(&mut self, thread: usize, cycle: Cycle, phase: ThreadPhase) {
         let log = &mut self.transitions[thread];
+        // lint: allow(unwrap) — every per-thread log is seeded with one
+        // entry at construction and pops never empty it (see below).
         let (last_cycle, last_phase) = *log.last().expect("timeline starts non-empty");
         assert!(cycle >= last_cycle, "timeline must move forward");
         if last_phase == phase {

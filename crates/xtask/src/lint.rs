@@ -78,6 +78,12 @@ pub const CAMPAIGN_CRATES: &[&str] = &["campaign"];
 /// unwrap rule does not apply).
 pub const KERNEL_CRATES: &[&str] = &["sim", "locks"];
 
+/// The statistics crate: the estimator feeds the adaptive stopping rule,
+/// so it gets the campaign-grade discipline — no panicking shortcuts, no
+/// iteration-order-dependent collections, no wall-clock reads outside
+/// the harness boundary.
+pub const STATS_CRATES: &[&str] = &["stats"];
+
 /// Enums whose matches must not hide behind a catch-all.
 pub const PROTOCOL_ENUMS: &[&str] =
     &["CoherenceMsg", "State", "DirState", "EiPhase", "RouterHealth"];
@@ -113,6 +119,12 @@ pub const CAMPAIGN_RULES: &[Rule] =
 
 /// The rule set enforced on [`KERNEL_CRATES`].
 pub const KERNEL_RULES: &[Rule] = &[Rule::Hash, Rule::HotAlloc, Rule::StaleWaiver];
+
+/// The rule set enforced on [`STATS_CRATES`]: a panic inside the
+/// estimator would take down an adaptive campaign mid-flight, a
+/// wall-clock read would make the stopping rule nondeterministic.
+pub const STATS_RULES: &[Rule] =
+    &[Rule::Unwrap, Rule::Hash, Rule::WallClock, Rule::StaleWaiver];
 
 impl Rule {
     pub(crate) fn kind(self) -> &'static str {
@@ -789,8 +801,9 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Lints every linted crate's `src/` tree under `root` (the workspace
 /// root): the protocol crates against [`PROTOCOL_RULES`], the campaign
 /// crate against [`CAMPAIGN_RULES`], the kernel crates against
-/// [`KERNEL_RULES`]. `tests/` and `benches/` trees are exempt by
-/// construction. Parse errors are dropped; see [`lint_workspace_full`].
+/// [`KERNEL_RULES`], the stats crate against [`STATS_RULES`]. `tests/`
+/// and `benches/` trees are exempt by construction. Parse errors are
+/// dropped; see [`lint_workspace_full`].
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     lint_workspace_full(root).map(|(f, _)| f)
 }
@@ -813,10 +826,11 @@ pub fn lint_workspace_with(
 ) -> std::io::Result<(Vec<Finding>, Vec<ParseError>)> {
     let mut findings = Vec::new();
     let mut errors = Vec::new();
-    let sets: [(&[&str], &[Rule]); 3] = [
+    let sets: [(&[&str], &[Rule]); 4] = [
         (PROTOCOL_CRATES, PROTOCOL_RULES),
         (CAMPAIGN_CRATES, CAMPAIGN_RULES),
         (KERNEL_CRATES, KERNEL_RULES),
+        (STATS_CRATES, STATS_RULES),
     ];
     for (crates, rules) in sets {
         for krate in crates {

@@ -73,10 +73,11 @@ fn run_lint(root: &Path) -> ExitCode {
         ExitCode::from(2)
     } else {
         println!(
-            "xtask lint: clean — protocol crates {:?}, campaign crates {:?}, kernel crates {:?}",
+            "xtask lint: clean — protocol crates {:?}, campaign crates {:?}, kernel crates {:?}, stats crates {:?}",
             lint::PROTOCOL_CRATES,
             lint::CAMPAIGN_CRATES,
-            lint::KERNEL_CRATES
+            lint::KERNEL_CRATES,
+            lint::STATS_CRATES
         );
         ExitCode::SUCCESS
     }
